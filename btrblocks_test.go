@@ -1,0 +1,364 @@
+package btrblocks
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"btrblocks/coldata"
+)
+
+func makeTestChunk(rows int, seed int64) *Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	ints := make([]int32, rows)
+	doubles := make([]float64, rows)
+	strs := make([]string, rows)
+	cities := []string{"PHOENIX", "RALEIGH", "BETHESDA", "ATHENS", "CURITIBA"}
+	for i := 0; i < rows; i++ {
+		ints[i] = int32(rng.Intn(1000))
+		doubles[i] = float64(rng.Intn(100000)) / 100
+		strs[i] = cities[rng.Intn(len(cities))]
+	}
+	return &Chunk{Columns: []Column{
+		IntColumn("id", ints),
+		DoubleColumn("price", doubles),
+		StringColumn("city", strs),
+	}}
+}
+
+func TestColumnRoundTripAllTypes(t *testing.T) {
+	opt := DefaultOptions()
+	chunk := makeTestChunk(150000, 1) // spans multiple 64k blocks
+	for _, col := range chunk.Columns {
+		data, err := CompressColumn(col, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecompressColumn(data, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != col.Name || got.Type != col.Type || got.Len() != col.Len() {
+			t.Fatalf("column header mismatch: %+v", got)
+		}
+		switch col.Type {
+		case TypeInt:
+			for i := range col.Ints {
+				if got.Ints[i] != col.Ints[i] {
+					t.Fatalf("int %d mismatch", i)
+				}
+			}
+		case TypeDouble:
+			for i := range col.Doubles {
+				if math.Float64bits(got.Doubles[i]) != math.Float64bits(col.Doubles[i]) {
+					t.Fatalf("double %d mismatch", i)
+				}
+			}
+		case TypeString:
+			if !got.Strings.Equal(col.Strings) {
+				t.Fatal("string column mismatch")
+			}
+		}
+	}
+}
+
+func TestChunkRoundTripParallel(t *testing.T) {
+	opt := &Options{Parallelism: 4}
+	chunk := makeTestChunk(200000, 2)
+	cc, err := CompressChunk(chunk, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Stats) != 3 {
+		t.Fatalf("stats for %d columns", len(cc.Stats))
+	}
+	for _, st := range cc.Stats {
+		if st.Ratio() < 1 {
+			t.Errorf("column %s ratio %.2f < 1", st.Name, st.Ratio())
+		}
+		if want := (200000 + DefaultBlockSize - 1) / DefaultBlockSize; len(st.BlockSchemes) != want {
+			t.Errorf("column %s has %d block schemes, want %d", st.Name, len(st.BlockSchemes), want)
+		}
+	}
+	got, err := DecompressChunk(cc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != chunk.NumRows() {
+		t.Fatalf("rows %d != %d", got.NumRows(), chunk.NumRows())
+	}
+	if !got.Columns[2].Strings.Equal(chunk.Columns[2].Strings) {
+		t.Fatal("string column mismatch after parallel round trip")
+	}
+}
+
+func TestFileEncodeDecode(t *testing.T) {
+	opt := DefaultOptions()
+	chunk := makeTestChunk(10000, 3)
+	cc, err := CompressChunk(chunk, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := cc.EncodeFile()
+	got, err := DecodeFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressChunk(got, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 10000 {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+	// corrupt file container checks
+	if _, err := DecodeFile(file[:5]); err == nil {
+		t.Fatal("short file not detected")
+	}
+	bad := append([]byte(nil), file...)
+	bad[0] = 'X'
+	if _, err := DecodeFile(bad); err == nil {
+		t.Fatal("bad magic not detected")
+	}
+}
+
+func TestNullMaskRoundTrip(t *testing.T) {
+	opt := DefaultOptions()
+	rng := rand.New(rand.NewSource(4))
+	n := 70000
+	ints := make([]int32, n)
+	nulls := NewNullMask()
+	for i := range ints {
+		ints[i] = int32(rng.Intn(100))
+		if rng.Float64() < 0.3 {
+			nulls.SetNull(i)
+		}
+	}
+	col := IntColumn("x", ints)
+	col.Nulls = nulls
+	data, err := CompressColumn(col, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressColumn(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nulls.NullCount() != nulls.NullCount() {
+		t.Fatalf("null count %d != %d", got.Nulls.NullCount(), nulls.NullCount())
+	}
+	for i := 0; i < n; i++ {
+		if got.Nulls.IsNull(i) != nulls.IsNull(i) {
+			t.Fatalf("null flag mismatch at %d", i)
+		}
+		if !nulls.IsNull(i) && got.Ints[i] != ints[i] {
+			t.Fatalf("non-null value changed at %d", i)
+		}
+	}
+}
+
+func TestNullDensificationImprovesCompression(t *testing.T) {
+	// A column that is noise except at NULL positions should compress far
+	// better once nulls are densified into runs.
+	rng := rand.New(rand.NewSource(5))
+	n := 64000
+	ints := make([]int32, n)
+	nulls := NewNullMask()
+	for i := range ints {
+		if i%4 != 0 {
+			nulls.SetNull(i)
+			ints[i] = rng.Int31() // garbage at null positions
+		} else {
+			ints[i] = 100
+		}
+	}
+	col := IntColumn("x", ints)
+	col.Nulls = nulls
+	withNulls, err := CompressColumn(col, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colNoMask := IntColumn("x", ints)
+	without, err := CompressColumn(colNoMask, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withNulls) >= len(without) {
+		t.Fatalf("densified column (%d bytes) should beat raw garbage (%d bytes)", len(withNulls), len(without))
+	}
+}
+
+func TestStringViewsNoCopyPath(t *testing.T) {
+	opt := DefaultOptions()
+	vals := make([]string, 64000)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("region-%d", i%10)
+	}
+	col := StringColumn("region", vals)
+	data, err := CompressColumn(col, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, _, err := DecompressStringViews(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 {
+		t.Fatalf("expected 1 block of views, got %d", len(views))
+	}
+	// The shared pool must be about dictionary-sized, not data-sized:
+	// that is the no-copy guarantee.
+	if len(views[0].Pool) > 1000 {
+		t.Fatalf("view pool is %d bytes; expected dictionary-sized pool", len(views[0].Pool))
+	}
+	for i, want := range vals {
+		if views[0].At(i) != want {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+	// Type check on the views API.
+	if _, _, err := DecompressStringViews(mustCompress(t, IntColumn("i", []int32{1})), opt); err == nil {
+		t.Fatal("expected type mismatch error")
+	}
+}
+
+func mustCompress(t *testing.T, col Column) []byte {
+	t.Helper()
+	data, err := CompressColumn(col, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCustomBlockSize(t *testing.T) {
+	opt := &Options{BlockSize: 1000}
+	ints := make([]int32, 5500)
+	for i := range ints {
+		ints[i] = int32(i)
+	}
+	data, err := CompressColumn(IntColumn("seq", ints), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressColumn(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ints {
+		if got.Ints[i] != ints[i] {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+}
+
+func TestSchemeRestriction(t *testing.T) {
+	// With only Uncompressed allowed, output must be bigger than input.
+	opt := &Options{IntSchemes: []Scheme{}}
+	ints := make([]int32, 64000) // all zeros: normally OneValue
+	data, err := CompressColumn(IntColumn("zeros", ints), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 4*len(ints) {
+		t.Fatalf("restricted pool still compressed: %d bytes", len(data))
+	}
+	got, err := DecompressColumn(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(ints) {
+		t.Fatal("restricted round trip broken")
+	}
+}
+
+func TestChooseAPI(t *testing.T) {
+	zeros := make([]int32, 64000)
+	scheme, ratio := Choose(IntColumn("z", zeros), DefaultOptions())
+	if scheme != SchemeOneValue || ratio < 100 {
+		t.Fatalf("Choose = %v/%.1f", scheme, ratio)
+	}
+}
+
+func TestCorruptColumnFile(t *testing.T) {
+	opt := DefaultOptions()
+	data := mustCompress(t, IntColumn("x", []int32{1, 2, 3, 1, 2, 3}))
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecompressColumn(data[:cut], opt); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[4] = 99 // version
+	if _, err := DecompressColumn(bad, opt); err == nil {
+		t.Fatal("bad version not detected")
+	}
+}
+
+func TestQuickPublicRoundTrip(t *testing.T) {
+	opt := &Options{BlockSize: 100} // small blocks exercise splitting
+	f := func(ints []int32, doubles []float64, strs []string) bool {
+		cols := []Column{
+			IntColumn("a", ints),
+			DoubleColumn("b", doubles),
+			StringColumn("c", strs),
+		}
+		for _, col := range cols {
+			data, err := CompressColumn(col, opt)
+			if err != nil {
+				return false
+			}
+			got, err := DecompressColumn(data, opt)
+			if err != nil || got.Len() != col.Len() {
+				return false
+			}
+			switch col.Type {
+			case TypeInt:
+				for i := range col.Ints {
+					if got.Ints[i] != col.Ints[i] {
+						return false
+					}
+				}
+			case TypeDouble:
+				for i := range col.Doubles {
+					if math.Float64bits(got.Doubles[i]) != math.Float64bits(col.Doubles[i]) {
+						return false
+					}
+				}
+			case TypeString:
+				if !got.Strings.Equal(col.Strings) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyChunk(t *testing.T) {
+	opt := DefaultOptions()
+	cc, err := CompressChunk(&Chunk{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressChunk(cc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 0 {
+		t.Fatal("empty chunk should stay empty")
+	}
+}
+
+func TestStringsColumnFlattened(t *testing.T) {
+	s := coldata.MakeStrings([]string{"a", "bb", "ccc"})
+	col := StringsColumn("s", s)
+	if col.Len() != 3 || col.UncompressedBytes() != 6+12 {
+		t.Fatalf("unexpected column shape: len=%d bytes=%d", col.Len(), col.UncompressedBytes())
+	}
+}

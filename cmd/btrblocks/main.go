@@ -1,0 +1,153 @@
+// Command btrblocks is the CLI for the BtrBlocks columnar format:
+// compress CSV files into .btr files, decompress them back to CSV, and
+// inspect compressed files.
+//
+// Usage:
+//
+//	btrblocks compress  -schema int,int64,double,string [-block N] <in.csv> <out.btr>
+//	btrblocks decompress <in.btr> <out.csv>
+//	btrblocks inspect    <in.btr>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"btrblocks"
+	"btrblocks/internal/csvconv"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = compress(os.Args[2:])
+	case "decompress":
+		err = decompress(os.Args[2:])
+	case "inspect":
+		err = inspect(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btrblocks:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  btrblocks compress  -schema int,int64,double,string [-block N] <in.csv> <out.btr>
+  btrblocks decompress <in.btr> <out.csv>
+  btrblocks inspect    <in.btr>
+`)
+}
+
+func compress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	schema := fs.String("schema", "", "comma-separated column types (int|int64|double|string)")
+	block := fs.Int("block", btrblocks.DefaultBlockSize, "values per block")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 || *schema == "" {
+		return fmt.Errorf("compress needs -schema and <in.csv> <out.btr>")
+	}
+	var types []btrblocks.Type
+	for _, s := range strings.Split(*schema, ",") {
+		t, err := csvconv.ParseType(s)
+		if err != nil {
+			return err
+		}
+		types = append(types, t)
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	chunk, err := csvconv.ReadChunk(in, types)
+	if err != nil {
+		return err
+	}
+	opt := &btrblocks.Options{BlockSize: *block}
+	cc, err := btrblocks.CompressChunk(chunk, opt)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(fs.Arg(1), cc.EncodeFile(), 0o644); err != nil {
+		return err
+	}
+	unc := chunk.UncompressedBytes()
+	comp := cc.CompressedBytes()
+	fmt.Printf("%d rows, %d columns: %d -> %d bytes (%.2fx)\n",
+		chunk.NumRows(), len(chunk.Columns), unc, comp, float64(unc)/float64(comp))
+	for _, st := range cc.Stats {
+		fmt.Printf("  %-30s %-8s %8.2fx  %v\n", st.Name, st.Type, st.Ratio(), st.BlockSchemes)
+	}
+	return nil
+}
+
+func decompress(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("decompress needs <in.btr> <out.csv>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	cc, err := btrblocks.DecodeFile(data)
+	if err != nil {
+		return err
+	}
+	chunk, err := btrblocks.DecompressChunk(cc, btrblocks.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(args[1])
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := csvconv.WriteChunk(out, chunk); err != nil {
+		return err
+	}
+	fmt.Printf("%d rows, %d columns\n", chunk.NumRows(), len(chunk.Columns))
+	return nil
+}
+
+func inspect(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("inspect needs <in.btr>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	cc, err := btrblocks.DecodeFile(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("file: %d bytes, %d columns\n", len(data), len(cc.Columns))
+	for i, colData := range cc.Columns {
+		col, err := btrblocks.DecompressColumn(colData, btrblocks.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("column %d: %w", i, err)
+		}
+		fmt.Printf("  %-30s %-8s %8d rows %10d bytes compressed (%.2fx)",
+			col.Name, col.Type, col.Len(), len(colData),
+			float64(col.UncompressedBytes())/float64(len(colData)))
+		if n := col.Nulls.NullCount(); n > 0 {
+			fmt.Printf("  %d nulls", n)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package coldata
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeStringsAndAccessors(t *testing.T) {
+	vals := []string{"", "a", "bb", "", "ccc"}
+	s := MakeStrings(vals)
+	if s.Len() != len(vals) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i, v := range vals {
+		if s.At(i) != v || string(s.View(i)) != v || s.LenAt(i) != len(v) {
+			t.Fatalf("accessor mismatch at %d", i)
+		}
+	}
+	if s.TotalBytes() != 6+4*5 {
+		t.Fatalf("TotalBytes = %d", s.TotalBytes())
+	}
+}
+
+func TestAppendFromZeroValue(t *testing.T) {
+	var s Strings
+	s = s.Append("hello")
+	s = s.AppendBytes([]byte("world"))
+	if s.Len() != 2 || s.At(0) != "hello" || s.At(1) != "world" {
+		t.Fatal("append from zero value broken")
+	}
+}
+
+func TestSliceRebasesOffsets(t *testing.T) {
+	s := MakeStrings([]string{"aa", "bbb", "c", "dddd", "ee"})
+	sub := s.Slice(1, 4)
+	want := []string{"bbb", "c", "dddd"}
+	if sub.Len() != 3 {
+		t.Fatalf("sub len %d", sub.Len())
+	}
+	for i, v := range want {
+		if sub.At(i) != v {
+			t.Fatalf("sub[%d] = %q, want %q", i, sub.At(i), v)
+		}
+	}
+	if sub.Offsets[0] != 0 {
+		t.Fatal("slice must rebase offsets to zero")
+	}
+	// full-range and empty slices
+	if full := s.Slice(0, 5); !full.Equal(s) {
+		t.Fatal("full slice should equal original")
+	}
+	if empty := s.Slice(2, 2); empty.Len() != 0 {
+		t.Fatal("empty slice should be empty")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MakeStrings([]string{"x", "yy"})
+	b := MakeStrings([]string{"x", "yy"})
+	c := MakeStrings([]string{"x", "zz"})
+	d := MakeStrings([]string{"x"})
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Fatal("Equal broken")
+	}
+}
+
+func TestViewsRoundTrip(t *testing.T) {
+	s := MakeStrings([]string{"alpha", "", "beta"})
+	v := ViewsOf(s)
+	if v.Len() != 3 || v.At(0) != "alpha" || v.At(1) != "" || v.At(2) != "beta" {
+		t.Fatal("ViewsOf broken")
+	}
+	m := v.Materialize()
+	if !m.Equal(s) {
+		t.Fatal("Materialize should reproduce the column")
+	}
+	if !reflect.DeepEqual(m.Offsets, s.Offsets) {
+		t.Fatal("materialized offsets differ")
+	}
+}
+
+func TestQuickMakeMaterialize(t *testing.T) {
+	f := func(vals []string) bool {
+		s := MakeStrings(vals)
+		if s.Len() != len(vals) {
+			return false
+		}
+		m := ViewsOf(s).Materialize()
+		return m.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,600 @@
+package btrblocks
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"btrblocks/coldata"
+	"btrblocks/internal/core"
+	"btrblocks/internal/roaring"
+)
+
+// Errors returned by the format layer.
+var (
+	ErrCorrupt      = errors.New("btrblocks: corrupt file")
+	ErrTypeMismatch = errors.New("btrblocks: column type mismatch")
+)
+
+const (
+	columnMagic   = "BTRC"
+	fileMagic     = "BTRB"
+	formatVersion = 1
+)
+
+// CompressColumn compresses one column into a self-contained column file:
+// a header followed by independently decompressible blocks of
+// opt.BlockSize values, each carrying its NULL bitmap and compressed data
+// stream. This is the one-file-per-column layout §6.7 uses on S3.
+func CompressColumn(col Column, opt *Options) ([]byte, error) {
+	blocks, err := compressColumnBlocks(col, opt)
+	if err != nil {
+		return nil, err
+	}
+	return assembleColumnFile(col, blocks), nil
+}
+
+// compressColumnBlocks produces the per-block payloads of a column.
+func compressColumnBlocks(col Column, opt *Options) ([][]byte, error) {
+	if len(col.Name) > math.MaxUint16 {
+		return nil, fmt.Errorf("btrblocks: column name too long (%d bytes)", len(col.Name))
+	}
+	if opt != nil && opt.BlockSize > core.MaxBlockValues {
+		return nil, fmt.Errorf("btrblocks: block size %d exceeds maximum %d", opt.BlockSize, core.MaxBlockValues)
+	}
+	cfg := opt.coreConfig()
+	bs := opt.blockSize()
+	n := col.Len()
+	numBlocks := (n + bs - 1) / bs
+	blocks := make([][]byte, numBlocks)
+	for b := 0; b < numBlocks; b++ {
+		lo := b * bs
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		blocks[b] = compressBlock(&col, lo, hi, cfg)
+	}
+	return blocks, nil
+}
+
+// compressBlock encodes rows [lo, hi) of col as:
+// rows:u32 nullLen:u32 [roaring bytes] dataLen:u32 data-stream.
+func compressBlock(col *Column, lo, hi int, cfg *core.Config) []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, uint32(hi-lo))
+	nulls := col.Nulls.slice(lo, hi)
+	if nulls == nil {
+		out = binary.LittleEndian.AppendUint32(out, 0)
+	} else {
+		nb := nulls.AppendTo(nil)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(nb)))
+		out = append(out, nb...)
+	}
+	lenPos := len(out)
+	out = binary.LittleEndian.AppendUint32(out, 0) // patched below
+	switch col.Type {
+	case TypeInt:
+		values := col.Ints[lo:hi]
+		if nulls != nil {
+			values = densifyInts(values, nulls)
+		}
+		out = core.CompressInt(out, values, cfg)
+	case TypeInt64:
+		values := col.Ints64[lo:hi]
+		if nulls != nil {
+			values = densifyInts64(values, nulls)
+		}
+		out = core.CompressInt64(out, values, cfg)
+	case TypeDouble:
+		values := col.Doubles[lo:hi]
+		if nulls != nil {
+			values = densifyDoubles(values, nulls)
+		}
+		out = core.CompressDouble(out, values, cfg)
+	case TypeString:
+		values := col.Strings.Slice(lo, hi)
+		if nulls != nil {
+			values = densifyStrings(values, nulls)
+		}
+		out = core.CompressString(out, values, cfg)
+	}
+	binary.LittleEndian.PutUint32(out[lenPos:], uint32(len(out)-lenPos-4))
+	return out
+}
+
+// densifyInts rewrites NULL positions to the previous non-null value so
+// they form runs instead of noise; NULL content is unspecified by contract.
+func densifyInts(src []int32, nulls *roaring.Bitmap) []int32 {
+	out := append([]int32(nil), src...)
+	var last int32
+	haveLast := false
+	for i := range out {
+		if nulls.Contains(uint32(i)) {
+			if haveLast {
+				out[i] = last
+			} else {
+				out[i] = 0
+			}
+		} else {
+			last, haveLast = out[i], true
+		}
+	}
+	return out
+}
+
+func densifyInts64(src []int64, nulls *roaring.Bitmap) []int64 {
+	out := append([]int64(nil), src...)
+	var last int64
+	haveLast := false
+	for i := range out {
+		if nulls.Contains(uint32(i)) {
+			if haveLast {
+				out[i] = last
+			} else {
+				out[i] = 0
+			}
+		} else {
+			last, haveLast = out[i], true
+		}
+	}
+	return out
+}
+
+func densifyDoubles(src []float64, nulls *roaring.Bitmap) []float64 {
+	out := append([]float64(nil), src...)
+	var last float64
+	haveLast := false
+	for i := range out {
+		if nulls.Contains(uint32(i)) {
+			if haveLast {
+				out[i] = last
+			} else {
+				out[i] = 0
+			}
+		} else {
+			last, haveLast = out[i], true
+		}
+	}
+	return out
+}
+
+func densifyStrings(src coldata.Strings, nulls *roaring.Bitmap) coldata.Strings {
+	n := src.Len()
+	out := coldata.NewStringsBuilder(n, len(src.Data))
+	lastIdx := -1
+	for i := 0; i < n; i++ {
+		if nulls.Contains(uint32(i)) {
+			if lastIdx >= 0 {
+				out = out.AppendBytes(src.View(lastIdx))
+			} else {
+				out = out.Append("")
+			}
+		} else {
+			out = out.AppendBytes(src.View(i))
+			lastIdx = i
+		}
+	}
+	return out
+}
+
+func assembleColumnFile(col Column, blocks [][]byte) []byte {
+	var out []byte
+	out = append(out, columnMagic...)
+	out = append(out, formatVersion, byte(col.Type))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(col.Name)))
+	out = append(out, col.Name...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(blocks)))
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// DecompressColumn decodes a column file produced by CompressColumn.
+// String columns are materialized into an owned Strings vector; use
+// DecompressStringViews for the no-copy path.
+func DecompressColumn(data []byte, opt *Options) (Column, error) {
+	col, views, err := decompressColumn(data, opt)
+	if err != nil {
+		return Column{}, err
+	}
+	if col.Type == TypeString {
+		col.Strings = concatViews(views)
+	}
+	return col, nil
+}
+
+// DecompressStringViews decodes a string column file into per-block
+// no-copy view columns (one StringViews per block, pools shared with the
+// block dictionaries).
+func DecompressStringViews(data []byte, opt *Options) ([]coldata.StringViews, *NullMask, error) {
+	col, views, err := decompressColumn(data, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if col.Type != TypeString {
+		return nil, nil, ErrTypeMismatch
+	}
+	return views, col.Nulls, nil
+}
+
+func concatViews(views []coldata.StringViews) coldata.Strings {
+	total, count := 0, 0
+	for _, v := range views {
+		count += v.Len()
+		for i := range v.Views {
+			total += int(v.Views[i].Len)
+		}
+	}
+	out := coldata.NewStringsBuilder(count, total)
+	for _, v := range views {
+		for i := 0; i < v.Len(); i++ {
+			out = out.AppendBytes(v.Bytes(i))
+		}
+	}
+	return out
+}
+
+func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews, error) {
+	cfg := opt.coreConfig()
+	var col Column
+	if len(data) < 12 || string(data[:4]) != columnMagic {
+		return col, nil, ErrCorrupt
+	}
+	if data[4] != formatVersion {
+		return col, nil, fmt.Errorf("btrblocks: unsupported version %d", data[4])
+	}
+	col.Type = Type(data[5])
+	if col.Type > maxType {
+		return col, nil, ErrCorrupt
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data[6:]))
+	pos := 8
+	if len(data) < pos+nameLen+4 {
+		return col, nil, ErrCorrupt
+	}
+	col.Name = string(data[pos : pos+nameLen])
+	pos += nameLen
+	blockCount := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+
+	var viewBlocks []coldata.StringViews
+	rowBase := 0
+	for b := 0; b < blockCount; b++ {
+		if len(data) < pos+8 {
+			return col, nil, ErrCorrupt
+		}
+		rows := int(binary.LittleEndian.Uint32(data[pos:]))
+		nullLen := int(binary.LittleEndian.Uint32(data[pos+4:]))
+		pos += 8
+		if rows > core.MaxBlockValues || nullLen < 0 || len(data) < pos+nullLen+4 {
+			return col, nil, ErrCorrupt
+		}
+		if nullLen > 0 {
+			bm, used, err := roaring.FromBytes(data[pos : pos+nullLen])
+			if err != nil || used != nullLen {
+				return col, nil, ErrCorrupt
+			}
+			if col.Nulls == nil {
+				col.Nulls = NewNullMask()
+			}
+			ok := true
+			bm.ForEach(func(v uint32) bool {
+				if int(v) >= rows {
+					ok = false
+					return false
+				}
+				col.Nulls.SetNull(rowBase + int(v))
+				return true
+			})
+			if !ok {
+				return col, nil, ErrCorrupt
+			}
+			pos += nullLen
+		}
+		dataLen := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if dataLen < 0 || len(data) < pos+dataLen {
+			return col, nil, ErrCorrupt
+		}
+		stream := data[pos : pos+dataLen]
+		// Cap decoded value counts at the block's declared row count so a
+		// corrupt stream header cannot force a huge allocation.
+		cfg.MaxDecodedValues = rows
+		var used int
+		var err error
+		switch col.Type {
+		case TypeInt:
+			before := len(col.Ints)
+			col.Ints, used, err = core.DecompressInt(col.Ints, stream, cfg)
+			if err == nil && len(col.Ints)-before != rows {
+				err = ErrCorrupt
+			}
+		case TypeInt64:
+			before := len(col.Ints64)
+			col.Ints64, used, err = core.DecompressInt64(col.Ints64, stream, cfg)
+			if err == nil && len(col.Ints64)-before != rows {
+				err = ErrCorrupt
+			}
+		case TypeDouble:
+			before := len(col.Doubles)
+			col.Doubles, used, err = core.DecompressDouble(col.Doubles, stream, cfg)
+			if err == nil && len(col.Doubles)-before != rows {
+				err = ErrCorrupt
+			}
+		case TypeString:
+			var views coldata.StringViews
+			views, used, err = core.DecompressString(stream, cfg)
+			if err == nil && views.Len() != rows {
+				err = ErrCorrupt
+			}
+			viewBlocks = append(viewBlocks, views)
+		}
+		if err != nil {
+			return col, nil, err
+		}
+		if used != dataLen {
+			return col, nil, ErrCorrupt
+		}
+		pos += dataLen
+		rowBase += rows
+	}
+	if pos != len(data) {
+		return col, nil, ErrCorrupt
+	}
+	return col, viewBlocks, nil
+}
+
+// ColumnStats describes one compressed column.
+type ColumnStats struct {
+	Name              string
+	Type              Type
+	Rows              int
+	UncompressedBytes int
+	CompressedBytes   int
+	// BlockSchemes is the root scheme chosen for each block.
+	BlockSchemes []Scheme
+}
+
+// Ratio returns the compression factor.
+func (s ColumnStats) Ratio() float64 {
+	if s.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(s.UncompressedBytes) / float64(s.CompressedBytes)
+}
+
+// CompressedChunk is a compressed chunk: one column file per column.
+type CompressedChunk struct {
+	Columns [][]byte
+	Stats   []ColumnStats
+}
+
+// CompressedBytes sums the column file sizes.
+func (c *CompressedChunk) CompressedBytes() int {
+	total := 0
+	for _, col := range c.Columns {
+		total += len(col)
+	}
+	return total
+}
+
+// CompressChunk compresses all columns of a chunk, parallelizing across
+// column blocks (the unit the paper parallelizes on too).
+func CompressChunk(chunk *Chunk, opt *Options) (*CompressedChunk, error) {
+	if opt != nil && opt.BlockSize > core.MaxBlockValues {
+		return nil, fmt.Errorf("btrblocks: block size %d exceeds maximum %d", opt.BlockSize, core.MaxBlockValues)
+	}
+	type task struct {
+		col   int
+		block int
+	}
+	bs := opt.blockSize()
+	nCols := len(chunk.Columns)
+	blockBufs := make([][][]byte, nCols)
+	var tasks []task
+	for ci := range chunk.Columns {
+		n := chunk.Columns[ci].Len()
+		numBlocks := (n + bs - 1) / bs
+		blockBufs[ci] = make([][]byte, numBlocks)
+		for b := 0; b < numBlocks; b++ {
+			tasks = append(tasks, task{ci, b})
+		}
+	}
+
+	cfg := opt.coreConfig()
+	workers := parallelism(opt)
+	var wg sync.WaitGroup
+	taskCh := make(chan task)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				col := &chunk.Columns[t.col]
+				lo := t.block * bs
+				hi := lo + bs
+				if hi > col.Len() {
+					hi = col.Len()
+				}
+				blockBufs[t.col][t.block] = compressBlock(col, lo, hi, cfg)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		taskCh <- t
+	}
+	close(taskCh)
+	wg.Wait()
+
+	out := &CompressedChunk{
+		Columns: make([][]byte, nCols),
+		Stats:   make([]ColumnStats, nCols),
+	}
+	for ci := range chunk.Columns {
+		col := &chunk.Columns[ci]
+		if len(col.Name) > math.MaxUint16 {
+			return nil, fmt.Errorf("btrblocks: column name too long (%d bytes)", len(col.Name))
+		}
+		out.Columns[ci] = assembleColumnFile(*col, blockBufs[ci])
+		st := ColumnStats{
+			Name:              col.Name,
+			Type:              col.Type,
+			Rows:              col.Len(),
+			UncompressedBytes: col.UncompressedBytes(),
+			CompressedBytes:   len(out.Columns[ci]),
+		}
+		for _, b := range blockBufs[ci] {
+			st.BlockSchemes = append(st.BlockSchemes, blockRootScheme(b))
+		}
+		out.Stats[ci] = st
+	}
+	return out, nil
+}
+
+// blockRootScheme extracts the root scheme code from a block payload.
+func blockRootScheme(block []byte) Scheme {
+	// rows:u32 nullLen:u32 [nulls] dataLen:u32 code...
+	if len(block) < 8 {
+		return SchemeUncompressed
+	}
+	nullLen := int(binary.LittleEndian.Uint32(block[4:]))
+	p := 8 + nullLen + 4
+	if len(block) <= p {
+		return SchemeUncompressed
+	}
+	return Scheme(block[p])
+}
+
+// DecompressChunk decodes a compressed chunk, parallelizing across
+// columns.
+func DecompressChunk(cc *CompressedChunk, opt *Options) (*Chunk, error) {
+	cols := make([]Column, len(cc.Columns))
+	errs := make([]error, len(cc.Columns))
+	workers := parallelism(opt)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range cc.Columns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cols[i], errs[i] = DecompressColumn(cc.Columns[i], opt)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Chunk{Columns: cols}, nil
+}
+
+func parallelism(opt *Options) int {
+	if opt != nil && opt.Parallelism > 0 {
+		return opt.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EncodeFile bundles a compressed chunk into a single byte stream:
+// magic, version, column count, column file lengths, column files.
+func (c *CompressedChunk) EncodeFile() []byte {
+	var out []byte
+	out = append(out, fileMagic...)
+	out = append(out, formatVersion)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(c.Columns)))
+	for _, col := range c.Columns {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(col)))
+	}
+	for _, col := range c.Columns {
+		out = append(out, col...)
+	}
+	return out
+}
+
+// DecodeFile parses a stream produced by EncodeFile.
+func DecodeFile(data []byte) (*CompressedChunk, error) {
+	if len(data) < 7 || string(data[:4]) != fileMagic {
+		return nil, ErrCorrupt
+	}
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("btrblocks: unsupported version %d", data[4])
+	}
+	nCols := int(binary.LittleEndian.Uint16(data[5:]))
+	pos := 7
+	if len(data) < pos+4*nCols {
+		return nil, ErrCorrupt
+	}
+	lengths := make([]int, nCols)
+	for i := range lengths {
+		lengths[i] = int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+	}
+	out := &CompressedChunk{Columns: make([][]byte, nCols)}
+	for i, l := range lengths {
+		if l < 0 || len(data) < pos+l {
+			return nil, ErrCorrupt
+		}
+		out.Columns[i] = data[pos : pos+l]
+		pos += l
+	}
+	if pos != len(data) {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// Choose reports the scheme the selection algorithm would pick for the
+// first block of a column, with the estimated compression ratio — handy
+// for inspecting selection decisions (Table 4's "Scheme (Root)" column).
+func Choose(col Column, opt *Options) (Scheme, float64) {
+	cfg := opt.coreConfig()
+	bs := opt.blockSize()
+	switch col.Type {
+	case TypeInt:
+		v := col.Ints
+		if len(v) > bs {
+			v = v[:bs]
+		}
+		return core.ChooseInt(v, cfg)
+	case TypeInt64:
+		v := col.Ints64
+		if len(v) > bs {
+			v = v[:bs]
+		}
+		return core.ChooseInt64(v, cfg)
+	case TypeDouble:
+		v := col.Doubles
+		if len(v) > bs {
+			v = v[:bs]
+		}
+		return core.ChooseDouble(v, cfg)
+	case TypeString:
+		v := col.Strings
+		if v.Len() > bs {
+			v = v.Slice(0, bs)
+		}
+		return core.ChooseString(v, cfg)
+	}
+	return SchemeUncompressed, 1
+}
+
+// ColumnFileType peeks at a column file header and returns the stored
+// column type without decompressing anything.
+func ColumnFileType(data []byte) (Type, error) {
+	if len(data) < 6 || string(data[:4]) != columnMagic {
+		return 0, ErrCorrupt
+	}
+	t := Type(data[5])
+	if t > maxType {
+		return 0, ErrCorrupt
+	}
+	return t, nil
+}

@@ -1,0 +1,98 @@
+// Datalake-scan: the paper's motivating scenario. A table sits in an
+// object store behind a 100 Gbit network; a scan downloads and
+// decompresses it. With a weakly-compressed format the network is the
+// bottleneck; with slow decompression the CPU is. BtrBlocks aims to be
+// compact enough to beat the network and fast enough to keep up with it.
+//
+// This example stores the same table once per format, then simulates a
+// scan: decompression time is measured for real, transfer time is modeled
+// from the compressed size, and scan cost uses the c5n.18xlarge rates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"btrblocks/internal/experiments"
+	"btrblocks/internal/pbi"
+)
+
+const (
+	networkGbps     = 100
+	dollarsPerHour  = 3.89
+	dollarsPer1kGET = 0.0004
+	chunkBytes      = 16 << 20
+)
+
+func main() {
+	// One of the "largest five" synthetic Public BI datasets.
+	ds := pbi.Largest5(64000, 42)[0]
+	fmt.Printf("dataset %q: %d rows, %d columns, %.1f MB uncompressed\n\n",
+		ds.Name, ds.Chunk.NumRows(), len(ds.Chunk.Columns),
+		float64(ds.Chunk.UncompressedBytes())/1e6)
+
+	fmt.Printf("%-16s %10s %12s %12s %12s\n", "format", "ratio", "scan [ms]", "Tc [Gbps]", "cost [$]")
+	for _, f := range experiments.StandardFormats() {
+		var blobs [][]byte
+		var names []string
+		compressed := 0
+		for _, col := range ds.Chunk.Columns {
+			data, err := f.Compress(col)
+			if err != nil {
+				log.Fatal(err)
+			}
+			blobs = append(blobs, data)
+			names = append(names, col.Name)
+			compressed += len(data)
+		}
+
+		// Measure decompression with all cores, like a scan would.
+		start := time.Now()
+		type job struct{ i int }
+		work := make(chan job)
+		done := make(chan error)
+		workers := runtime.GOMAXPROCS(0)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for j := range work {
+					if _, err := f.Scan(blobs[j.i], names[j.i]); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+		}
+		for i := range blobs {
+			work <- job{i}
+		}
+		close(work)
+		for w := 0; w < workers; w++ {
+			if err := <-done; err != nil {
+				log.Fatal(err)
+			}
+		}
+		decompSecs := time.Since(start).Seconds()
+
+		// Model the network side and combine (pipelined).
+		transferSecs := float64(compressed) * 8 / (networkGbps * 1e9)
+		scanSecs := transferSecs
+		if decompSecs > scanSecs {
+			scanSecs = decompSecs
+		}
+		requests := (compressed + chunkBytes - 1) / chunkBytes
+		if requests == 0 {
+			requests = 1
+		}
+		cost := scanSecs/3600*dollarsPerHour + float64(requests)/1000*dollarsPer1kGET
+
+		unc := float64(ds.Chunk.UncompressedBytes())
+		fmt.Printf("%-16s %10.2f %12.2f %12.2f %12.8f\n",
+			f.Name, unc/float64(compressed), scanSecs*1000,
+			float64(compressed)*8/1e9/scanSecs, cost)
+	}
+	fmt.Println("\nTc is throughput over *compressed* bytes: it must exceed the network")
+	fmt.Println("bandwidth for the scan to be network-bound rather than CPU-bound (§6.7).")
+}

@@ -1,0 +1,64 @@
+// Float-telemetry: Pseudodecimal Encoding on the kind of double columns
+// the paper's analysis of real BI data surfaced — pricing data stored as
+// float64 — compared against dictionary-style columns and high-precision
+// sensor values where other schemes win. The scheme selection algorithm
+// picks a different winner for each distribution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"btrblocks"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	n := 64000
+
+	// Pricing: high-cardinality two-decimal values ($0.00 .. $999.99).
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = float64(rng.Intn(100000)) / 100
+	}
+	// Status metric: a handful of distinct readings.
+	levels := []float64{0, 0.25, 0.5, 0.75, 1}
+	status := make([]float64, n)
+	for i := range status {
+		status[i] = levels[rng.Intn(len(levels))]
+	}
+	// Sensor: full-precision physical measurements.
+	sensor := make([]float64, n)
+	for i := range sensor {
+		sensor[i] = rng.NormFloat64() * 9.81
+	}
+
+	opt := btrblocks.DefaultOptions()
+	for _, c := range []btrblocks.Column{
+		btrblocks.DoubleColumn("price_usd", prices),
+		btrblocks.DoubleColumn("battery_level", status),
+		btrblocks.DoubleColumn("accel_z", sensor),
+	} {
+		scheme, estimate := btrblocks.Choose(c, opt)
+		data, err := btrblocks.CompressColumn(c, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		back, err := btrblocks.DecompressColumn(data, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range c.Doubles {
+			if back.Doubles[i] != c.Doubles[i] {
+				log.Fatalf("%s: lossy at %d", c.Name, i)
+			}
+		}
+		actual := float64(c.UncompressedBytes()) / float64(len(data))
+		fmt.Printf("%-14s chose %-14s estimated %6.2fx, actual %6.2fx (bit-exact)\n",
+			c.Name, scheme, estimate, actual)
+	}
+
+	fmt.Println("\npricing data rewrites each double as (digits, exponent) integer pairs;")
+	fmt.Println("low-cardinality readings dictionary-encode; raw sensor noise stays plain.")
+}

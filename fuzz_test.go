@@ -1,0 +1,100 @@
+package btrblocks
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"btrblocks/coldata"
+	"btrblocks/internal/core"
+)
+
+// Native fuzz targets. `go test` runs them on the seed corpus; run
+// `go test -fuzz=FuzzDecompressColumn` (etc.) for continuous fuzzing.
+
+func FuzzDecompressColumn(f *testing.F) {
+	opt := DefaultOptions()
+	seed1, _ := CompressColumn(IntColumn("i", []int32{1, 1, 2, 3, 3, 3}), opt)
+	seed2, _ := CompressColumn(DoubleColumn("d", []float64{3.25, 0.99, math.NaN()}), opt)
+	seed3, _ := CompressColumn(StringColumn("s", []string{"a", "bb", "a", "bb", "ccc"}), opt)
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add(seed3)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// must never panic; errors are fine
+		_, _ = DecompressColumn(data, opt)
+		_, _, _ = DecompressStringViews(data, opt)
+		_, _ = CountEqualInt32(data, 1, opt)
+		_, _ = CountEqualDouble(data, 0.99, opt)
+		_, _ = CountEqualString(data, "a", opt)
+	})
+}
+
+func FuzzDecompressIntStream(f *testing.F) {
+	cfg := core.DefaultConfig()
+	f.Add(core.CompressInt(nil, []int32{5, 5, 5, 900, -1}, cfg))
+	f.Add(core.CompressInt(nil, make([]int32, 1000), cfg))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = core.DecompressInt(nil, data, cfg)
+	})
+}
+
+func FuzzDecompressStringStream(f *testing.F) {
+	cfg := core.DefaultConfig()
+	f.Add(core.CompressString(nil, coldata.MakeStrings([]string{"x", "x", "yz"}), cfg))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = core.DecompressString(data, cfg)
+	})
+}
+
+func FuzzCompressIntRoundTrip(f *testing.F) {
+	cfg := core.DefaultConfig()
+	f.Add([]byte{1, 2, 3, 4, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		src := make([]int32, len(raw)/4)
+		for i := range src {
+			src[i] = int32(raw[4*i]) | int32(raw[4*i+1])<<8 | int32(raw[4*i+2])<<16 | int32(raw[4*i+3])<<24
+		}
+		enc := core.CompressInt(nil, src, cfg)
+		dec, used, err := core.DecompressInt(nil, enc, cfg)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if used != len(enc) || len(dec) != len(src) {
+			t.Fatalf("shape mismatch: used %d/%d, n %d/%d", used, len(enc), len(dec), len(src))
+		}
+		for i := range src {
+			if dec[i] != src[i] {
+				t.Fatalf("value %d mismatch", i)
+			}
+		}
+	})
+}
+
+func FuzzStreamReader(f *testing.F) {
+	opt := DefaultOptions()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, []Column{{Name: "id", Type: TypeInt}}, opt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteChunk(&Chunk{Columns: []Column{IntColumn("id", []int32{1, 2, 2})}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data), opt)
+		if err != nil {
+			return
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module btrblocks
+
+go 1.22

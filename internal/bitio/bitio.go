@@ -1,0 +1,131 @@
+// Package bitio provides MSB-first bit stream readers and writers used by
+// the bit-granular codecs (Gorilla, Chimp, FPC and friends).
+package bitio
+
+import "errors"
+
+// ErrShortBuffer is returned when a Reader runs out of input bits.
+var ErrShortBuffer = errors.New("bitio: short buffer")
+
+// Writer accumulates bits MSB-first into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned in the low `n` bits
+	n    uint   // number of pending bits in cur (< 8)
+	bits uint64 // total bits written
+}
+
+// NewWriter returns a Writer that appends to buf.
+func NewWriter(buf []byte) *Writer {
+	return &Writer{buf: buf}
+}
+
+// WriteBit writes a single bit (any nonzero b means 1).
+func (w *Writer) WriteBit(b uint) {
+	w.WriteBits(uint64(b&1), 1)
+}
+
+// WriteBits writes the low `width` bits of v, most significant first.
+// width must be <= 64.
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	w.bits += uint64(width)
+	for width > 0 {
+		free := 8 - w.n
+		if width <= free {
+			w.cur = (w.cur << width) | v
+			w.n += width
+			if w.n == 8 {
+				w.buf = append(w.buf, byte(w.cur))
+				w.cur, w.n = 0, 0
+			}
+			return
+		}
+		// take the top `free` bits of v
+		take := v >> (width - free)
+		w.cur = (w.cur << free) | take
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.n = 0, 0
+		width -= free
+		if width < 64 {
+			v &= (1 << width) - 1
+		}
+	}
+}
+
+// Bits reports the total number of bits written so far.
+func (w *Writer) Bits() uint64 { return w.bits }
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+// The Writer must not be used after calling Bytes.
+func (w *Writer) Bytes() []byte {
+	if w.n > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.n)))
+		w.cur, w.n = 0, 0
+	}
+	return w.buf
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // next byte index
+	cur uint64
+	n   uint // valid bits in cur (low bits)
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// ReadBits reads `width` bits (<= 64) and returns them right-aligned.
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width > 32 {
+		// Split wide reads so the refill loop below never shifts valid
+		// bits out of the 64-bit accumulator.
+		hi, err := r.ReadBits(width - 32)
+		if err != nil {
+			return 0, err
+		}
+		lo, err := r.ReadBits(32)
+		if err != nil {
+			return 0, err
+		}
+		return hi<<32 | lo, nil
+	}
+	for r.n < width {
+		if r.pos >= len(r.buf) {
+			return 0, ErrShortBuffer
+		}
+		r.cur = (r.cur << 8) | uint64(r.buf[r.pos])
+		r.pos++
+		r.n += 8
+	}
+	return r.readAvail(width)
+}
+
+// readAvail extracts width bits from cur; caller guarantees r.n >= width.
+func (r *Reader) readAvail(width uint) (uint64, error) {
+	if width == 0 {
+		return 0, nil
+	}
+	v := (r.cur >> (r.n - width))
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	r.n -= width
+	return v, nil
+}

@@ -1,0 +1,134 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadMixedWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	type item struct {
+		v uint64
+		w uint
+	}
+	var items []item
+	w := NewWriter(nil)
+	for i := 0; i < 10000; i++ {
+		width := uint(1 + rng.Intn(64))
+		v := rng.Uint64()
+		if width < 64 {
+			v &= (1 << width) - 1
+		}
+		items = append(items, item{v, width})
+		w.WriteBits(v, width)
+	}
+	buf := w.Bytes()
+	r := NewReader(buf)
+	for i, it := range items {
+		got, err := r.ReadBits(it.w)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if got != it.v {
+			t.Fatalf("item %d (width %d): got %#x want %#x", i, it.w, got, it.v)
+		}
+	}
+}
+
+func TestSingleBits(t *testing.T) {
+	w := NewWriter(nil)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Bits() != uint64(len(pattern)) {
+		t.Fatalf("Bits() = %d", w.Bits())
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(16); err != ErrShortBuffer {
+		t.Fatalf("expected ErrShortBuffer, got %v", err)
+	}
+	// 64-bit read from empty
+	r = NewReader(nil)
+	if _, err := r.ReadBits(64); err != ErrShortBuffer {
+		t.Fatalf("expected ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestWideReadAfterPartialConsume(t *testing.T) {
+	// Regression shape: leave the accumulator nearly full, then read 64
+	// bits — must not drop high bits.
+	w := NewWriter(nil)
+	w.WriteBits(1, 1)
+	w.WriteBits(0xDEADBEEFCAFEF00D, 64)
+	r := NewReader(w.Bytes())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("first bit wrong")
+	}
+	got, err := r.ReadBits(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestZeroWidthWrite(t *testing.T) {
+	w := NewWriter(nil)
+	w.WriteBits(123, 0)
+	w.WriteBits(5, 3)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(0); v != 0 {
+		t.Fatal("zero-width read must be 0")
+	}
+	if v, _ := r.ReadBits(3); v != 5 {
+		t.Fatal("payload after zero-width write wrong")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		w := NewWriter(nil)
+		want := make([]uint64, n)
+		ws := make([]uint, n)
+		for i := 0; i < n; i++ {
+			width := uint(widths[i]%64) + 1
+			v := vals[i]
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			want[i], ws[i] = v, width
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			got, err := r.ReadBits(ws[i])
+			if err != nil || got != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package bitpack
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for width := uint(0); width <= 32; width++ {
+		for _, n := range []int{0, 1, 7, 63, 64, 65, 128, 129, 1000} {
+			src := make([]uint32, n)
+			for i := range src {
+				src[i] = rng.Uint32() & mask32(width)
+			}
+			packed := Pack(nil, src, width)
+			got := make([]uint32, n)
+			used, err := Unpack(got, packed, n, width)
+			if err != nil {
+				t.Fatalf("width=%d n=%d: %v", width, n, err)
+			}
+			if used != len(packed) {
+				t.Fatalf("width=%d n=%d: consumed %d of %d bytes", width, n, used, len(packed))
+			}
+			if !reflect.DeepEqual(src, got) {
+				t.Fatalf("width=%d n=%d: round trip mismatch", width, n)
+			}
+		}
+	}
+}
+
+func TestPackAllOnesBoundary(t *testing.T) {
+	src := make([]uint32, 200)
+	for i := range src {
+		src[i] = math.MaxUint32
+	}
+	packed := Pack(nil, src, 32)
+	got := make([]uint32, len(src))
+	if _, err := Unpack(got, packed, len(src), 32); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != math.MaxUint32 {
+			t.Fatalf("value %d = %#x", i, v)
+		}
+	}
+}
+
+func TestFORRoundTrip(t *testing.T) {
+	cases := [][]int32{
+		nil,
+		{},
+		{0},
+		{42},
+		{-5, -5, -5},
+		{math.MinInt32, math.MaxInt32},
+		{100, 101, 113, 105, 118},
+		{-1000000, 0, 1000000},
+	}
+	rng := rand.New(rand.NewSource(2))
+	long := make([]int32, 64000)
+	for i := range long {
+		long[i] = int32(rng.Intn(1 << 20))
+	}
+	cases = append(cases, long)
+
+	for ci, src := range cases {
+		enc := EncodeFOR(nil, src)
+		if want := EncodedSizeFOR(src); want != len(enc) {
+			t.Fatalf("case %d: EncodedSizeFOR=%d, actual=%d", ci, want, len(enc))
+		}
+		dec, used, err := DecodeFOR(nil, enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if used != len(enc) {
+			t.Fatalf("case %d: consumed %d of %d", ci, used, len(enc))
+		}
+		if len(dec) != len(src) {
+			t.Fatalf("case %d: got %d values, want %d", ci, len(dec), len(src))
+		}
+		for i := range src {
+			if dec[i] != src[i] {
+				t.Fatalf("case %d: value %d = %d, want %d", ci, i, dec[i], src[i])
+			}
+		}
+	}
+}
+
+func TestFORAppendsToDst(t *testing.T) {
+	src := []int32{7, 8, 9}
+	enc := EncodeFOR([]byte{0xee}, src)
+	if enc[0] != 0xee {
+		t.Fatal("encode must append to dst")
+	}
+	dec, _, err := DecodeFOR([]int32{-1}, enc[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0] != -1 || len(dec) != 4 {
+		t.Fatal("decode must append to dst")
+	}
+}
+
+func TestFORCorruptInputs(t *testing.T) {
+	enc := EncodeFOR(nil, []int32{1, 2, 3, 4, 5})
+	for cut := 0; cut < len(enc); cut++ {
+		if cut == 4 {
+			continue // a 4-byte prefix with n=0 is a valid empty stream
+		}
+		if _, _, err := DecodeFOR(nil, enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[8] = 99 // impossible width
+	if _, _, err := DecodeFOR(nil, bad); err == nil {
+		t.Fatal("bad width not detected")
+	}
+}
+
+func TestFORQuick(t *testing.T) {
+	f := func(src []int32) bool {
+		enc := EncodeFOR(nil, src)
+		dec, used, err := DecodeFOR(nil, enc)
+		if err != nil || used != len(enc) || len(dec) != len(src) {
+			return false
+		}
+		for i := range src {
+			if dec[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if Width(0) != 0 || Width(1) != 1 || Width(255) != 8 || Width(256) != 9 || Width(math.MaxUint32) != 32 {
+		t.Fatal("Width wrong")
+	}
+	if MaxWidth([]uint32{1, 2, 1024}) != 11 {
+		t.Fatal("MaxWidth wrong")
+	}
+	if MaxWidth(nil) != 0 {
+		t.Fatal("MaxWidth(nil) wrong")
+	}
+}
+
+func BenchmarkUnpack16(b *testing.B) {
+	src := make([]uint32, 64000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range src {
+		src[i] = uint32(rng.Intn(1 << 16))
+	}
+	packed := Pack(nil, src, 16)
+	dst := make([]uint32, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(dst, packed, len(src), 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package codec selects among the general-purpose compression codecs the
+// baselines layer under their encodings, mirroring Parquet's configurable
+// page compression: none, Snappy, LZ4, or the heavyweight entropy codec
+// (the Zstd slot; DEFLATE in this reproduction — see DESIGN.md §4).
+package codec
+
+import (
+	"errors"
+
+	"btrblocks/internal/heavy"
+	"btrblocks/internal/lz4"
+	"btrblocks/internal/snappy"
+)
+
+// Kind identifies a general-purpose codec.
+type Kind uint8
+
+// Available codecs.
+const (
+	None Kind = iota
+	Snappy
+	LZ4
+	Heavy // entropy-coded LZ: the paper's Zstd slot
+)
+
+// ErrUnknown is returned for an invalid codec id.
+var ErrUnknown = errors.New("codec: unknown kind")
+
+// String returns the codec name as used in experiment output.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Snappy:
+		return "snappy"
+	case LZ4:
+		return "lz4"
+	case Heavy:
+		return "zstd*" // stand-in; see DESIGN.md
+	}
+	return "invalid"
+}
+
+// Encode compresses src with codec k and appends to dst.
+func Encode(dst, src []byte, k Kind) ([]byte, error) {
+	switch k {
+	case None:
+		return append(dst, src...), nil
+	case Snappy:
+		return snappy.Encode(dst, src), nil
+	case LZ4:
+		return lz4.Encode(dst, src), nil
+	case Heavy:
+		return heavy.Encode(dst, src), nil
+	}
+	return dst, ErrUnknown
+}
+
+// Decode decompresses src with codec k and appends to dst.
+func Decode(dst, src []byte, k Kind) ([]byte, error) {
+	switch k {
+	case None:
+		return append(dst, src...), nil
+	case Snappy:
+		return snappy.Decode(dst, src)
+	case LZ4:
+		return lz4.Decode(dst, src)
+	case Heavy:
+		return heavy.Decode(dst, src)
+	}
+	return dst, ErrUnknown
+}

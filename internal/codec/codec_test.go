@@ -1,0 +1,74 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte(strings.Repeat("compress me ", 5000)),
+	}
+	random := make([]byte, 30000)
+	rng.Read(random)
+	inputs = append(inputs, random)
+	for _, k := range []Kind{None, Snappy, LZ4, Heavy} {
+		for _, src := range inputs {
+			enc, err := Encode(nil, src, k)
+			if err != nil {
+				t.Fatalf("%s: %v", k, err)
+			}
+			dec, err := Decode(nil, enc, k)
+			if err != nil {
+				t.Fatalf("%s: %v", k, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("%s: round trip mismatch", k)
+			}
+		}
+	}
+}
+
+func TestRatioOrdering(t *testing.T) {
+	// The lineup must preserve the trade-off the paper relies on:
+	// heavy < snappy/lz4 < none in compressed size on redundant text.
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog ", 2000))
+	size := map[Kind]int{}
+	for _, k := range []Kind{None, Snappy, LZ4, Heavy} {
+		enc, err := Encode(nil, src, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size[k] = len(enc)
+	}
+	if !(size[Heavy] < size[Snappy] && size[Snappy] < size[None]) {
+		t.Fatalf("size ordering broken: %v", size)
+	}
+	if !(size[Heavy] < size[LZ4] && size[LZ4] < size[None]) {
+		t.Fatalf("size ordering broken: %v", size)
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := Encode(nil, []byte("x"), Kind(99)); err != ErrUnknown {
+		t.Fatal("unknown encode kind accepted")
+	}
+	if _, err := Decode(nil, []byte("x"), Kind(99)); err != ErrUnknown {
+		t.Fatal("unknown decode kind accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for k, want := range map[Kind]string{
+		None: "none", Snappy: "snappy", LZ4: "lz4", Heavy: "zstd*", Kind(9): "invalid",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package core implements the heart of BtrBlocks: the pool of cascading
+// encoding schemes per data type, the sampling-based scheme selection
+// algorithm (Listing 1 of the paper), and the self-describing compressed
+// stream format. Every compressed stream is one scheme-code byte followed
+// by a scheme-specific payload whose sub-streams are themselves streams
+// chosen by the same algorithm with one less cascade level.
+package core
+
+import (
+	"errors"
+	"math/rand"
+
+	"btrblocks/internal/sample"
+)
+
+// Code identifies an encoding scheme in a compressed stream.
+type Code uint8
+
+// Scheme codes. The set mirrors Table 1 / Figure 3 of the paper.
+const (
+	CodeUncompressed Code = iota
+	CodeOneValue
+	CodeRLE
+	CodeDict
+	CodeFrequency
+	CodeFastBP   // FOR + 128-lane bit packing (SIMD-FastBP128 stand-in)
+	CodeFastPFOR // patched FOR (SIMD-FastPFOR stand-in)
+	CodePDE      // Pseudodecimal Encoding
+	CodeFSST     // Fast Static Symbol Table (strings)
+	numCodes
+)
+
+var codeNames = [numCodes]string{
+	"Uncompressed", "OneValue", "RLE", "Dictionary", "Frequency",
+	"FastBP", "FastPFOR", "Pseudodecimal", "FSST",
+}
+
+// String returns the human-readable scheme name.
+func (c Code) String() string {
+	if int(c) < len(codeNames) {
+		return codeNames[c]
+	}
+	return "Invalid"
+}
+
+// ErrCorrupt is returned by the decompressors for malformed streams.
+var ErrCorrupt = errors.New("btrblocks: corrupt stream")
+
+// DefaultMaxCascadeDepth is the paper's default maximum recursion depth.
+const DefaultMaxCascadeDepth = 3
+
+// Config controls scheme selection and decoding behaviour.
+type Config struct {
+	// MaxCascadeDepth bounds recursive scheme application (default 3).
+	MaxCascadeDepth int
+	// Sample is the sampling strategy for ratio estimation (default 10×64).
+	Sample sample.Strategy
+	// ScalarDecode selects the naive per-element decode kernels instead of
+	// the optimized ones — the Go analog of the §6.8 SIMD ablation.
+	ScalarDecode bool
+	// DisableFuseDictRLE turns off the fused Dict+RLE decompression of §5.
+	DisableFuseDictRLE bool
+	// IntSchemes / DoubleSchemes / StringSchemes restrict the scheme pool;
+	// nil means "all schemes for that type". CodeUncompressed is always an
+	// implicit candidate. Used by the Figure 4 pool-ablation experiments.
+	IntSchemes    []Code
+	DoubleSchemes []Code
+	StringSchemes []Code
+	// Seed makes sampling deterministic.
+	Seed int64
+	// MaxDecodedValues caps the value count a decoder will accept from a
+	// stream header (0 = MaxBlockValues). The file layer sets it to the
+	// block's declared row count so corrupt streams cannot claim huge
+	// outputs.
+	MaxDecodedValues int
+}
+
+// maxN returns the effective decode cap.
+func (c *Config) maxN() int {
+	if c.MaxDecodedValues > 0 && c.MaxDecodedValues < maxBlockValues {
+		return c.MaxDecodedValues
+	}
+	return maxBlockValues
+}
+
+// DefaultConfig returns the paper's default configuration.
+func DefaultConfig() *Config {
+	return &Config{
+		MaxCascadeDepth: DefaultMaxCascadeDepth,
+		Sample:          sample.Default,
+		Seed:            42,
+	}
+}
+
+func (c *Config) normalized() Config {
+	out := *c
+	if out.MaxCascadeDepth <= 0 {
+		out.MaxCascadeDepth = DefaultMaxCascadeDepth
+	}
+	if out.Sample.Runs <= 0 || out.Sample.RunLen <= 0 {
+		out.Sample = sample.Default
+	}
+	return out
+}
+
+func (c *Config) rng() *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed))
+}
+
+func (c *Config) intEnabled(code Code) bool    { return enabled(c.IntSchemes, code) }
+func (c *Config) doubleEnabled(code Code) bool { return enabled(c.DoubleSchemes, code) }
+func (c *Config) stringEnabled(code Code) bool { return enabled(c.StringSchemes, code) }
+
+func enabled(pool []Code, code Code) bool {
+	if pool == nil {
+		return true
+	}
+	for _, p := range pool {
+		if p == code {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxBlockValues bounds per-stream value counts: blocks larger than this
+// cannot be compressed, and decoders reject claimed counts above it so a
+// corrupt header cannot trigger an enormous allocation or a multi-second
+// zero-fill (found by fuzzing).
+const MaxBlockValues = 1 << 22
+
+const maxBlockValues = MaxBlockValues

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"btrblocks/coldata"
+)
+
+// forcedIntData exercises every forced root scheme on suitable inputs.
+func TestForcedIntSchemesRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	inputs := map[Code][]int32{
+		CodeUncompressed: {1, -2, 3},
+		CodeOneValue:     {7, 7, 7, 7},
+		CodeRLE:          {1, 1, 1, 2, 2, 3, 3, 3, 3},
+		CodeDict:         {100, 200, 100, 300, 200},
+		CodeFrequency:    {5, 5, 5, 5, 9, 5, 5, 1},
+		CodeFastBP:       {1000, 1001, 1002, 1003},
+		CodeFastPFOR:     {1, 2, 1 << 28, 3, 4},
+	}
+	long := make([]int32, 10000)
+	for i := range long {
+		long[i] = int32(rng.Intn(50))
+	}
+	for code, src := range inputs {
+		enc := CompressIntAs(nil, src, code, cfg)
+		if enc == nil {
+			t.Fatalf("%s: not applicable to its own test input", code)
+		}
+		if Code(enc[0]) != code {
+			t.Fatalf("%s: wrong root scheme %s", code, Code(enc[0]))
+		}
+		dec, used, err := DecompressInt(nil, enc, cfg)
+		if err != nil || used != len(enc) {
+			t.Fatalf("%s: decode failed: %v (used %d/%d)", code, err, used, len(enc))
+		}
+		for i := range src {
+			if dec[i] != src[i] {
+				t.Fatalf("%s: value %d mismatch", code, i)
+			}
+		}
+	}
+	// inapplicable scheme returns nil
+	if CompressIntAs(nil, []int32{1, 2}, CodeOneValue, cfg) != nil {
+		t.Fatal("OneValue on multi-value block must be inapplicable")
+	}
+	if CompressIntAs(nil, []int32{1}, CodePDE, cfg) != nil {
+		t.Fatal("PDE is not an int scheme")
+	}
+	if CompressIntAs(nil, nil, CodeRLE, cfg) != nil {
+		t.Fatal("empty input only supports Uncompressed")
+	}
+}
+
+func TestForcedDoubleSchemesRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	nan := math.NaN()
+	inputs := map[Code][]float64{
+		CodeUncompressed: {1.5, -2.25},
+		CodeOneValue:     {nan, nan, nan}, // bit-identical NaNs are one value
+		CodeRLE:          {3.5, 3.5, 18, 18, 3.5, 3.5},
+		CodeDict:         {0.5, 1.5, 0.5, 2.5},
+		CodeFrequency:    {9.75, 9.75, 9.75, 1.25, 9.75},
+		CodePDE:          {3.25, 0.99, -6.425, 5.5e-42},
+	}
+	for code, src := range inputs {
+		enc := CompressDoubleAs(nil, src, code, cfg)
+		if enc == nil {
+			t.Fatalf("%s: not applicable to its own test input", code)
+		}
+		if Code(enc[0]) != code {
+			t.Fatalf("%s: wrong root scheme", code)
+		}
+		dec, used, err := DecompressDouble(nil, enc, cfg)
+		if err != nil || used != len(enc) {
+			t.Fatalf("%s: decode failed: %v", code, err)
+		}
+		for i := range src {
+			if math.Float64bits(dec[i]) != math.Float64bits(src[i]) {
+				t.Fatalf("%s: value %d mismatch", code, i)
+			}
+		}
+	}
+	if CompressDoubleAs(nil, []float64{1, 2}, CodeOneValue, cfg) != nil {
+		t.Fatal("OneValue on multi-value block must be inapplicable")
+	}
+	if CompressDoubleAs(nil, []float64{1}, CodeFSST, cfg) != nil {
+		t.Fatal("FSST is not a double scheme")
+	}
+}
+
+func TestForcedDoubleRLELongRuns(t *testing.T) {
+	// Exercises the optimized double run expansion (doubling copy) and
+	// the scalar variant on the same stream.
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(3))
+	src := make([]float64, 0, 50000)
+	for len(src) < 50000 {
+		v := float64(rng.Intn(5))
+		l := 1 + rng.Intn(200) // mixes short (unrolled) and long (doubling) runs
+		for k := 0; k < l && len(src) < 50000; k++ {
+			src = append(src, v)
+		}
+	}
+	enc := CompressDoubleAs(nil, src, CodeRLE, cfg)
+	if enc == nil {
+		t.Fatal("RLE must be applicable")
+	}
+	fast, _, err := DecompressDouble(nil, enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, _, err := DecompressDouble(nil, enc, &Config{ScalarDecode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if fast[i] != src[i] || scalar[i] != src[i] {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+}
+
+func TestForcedStringSchemesRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	inputs := map[Code][]string{
+		CodeUncompressed: {"a", "bb"},
+		CodeOneValue:     {"same", "same", "same"},
+		CodeDict:         {"x", "y", "x", "z"},
+		CodeFSST:         {"http://a.example/1", "http://a.example/2", "http://a.example/3"},
+	}
+	for code, vals := range inputs {
+		src := coldata.MakeStrings(vals)
+		enc := CompressStringAs(nil, src, code, cfg)
+		if enc == nil {
+			t.Fatalf("%s: not applicable to its own test input", code)
+		}
+		views, used, err := DecompressString(enc, cfg)
+		if err != nil || used != len(enc) {
+			t.Fatalf("%s: decode failed: %v", code, err)
+		}
+		for i := range vals {
+			if views.At(i) != vals[i] {
+				t.Fatalf("%s: value %d mismatch", code, i)
+			}
+		}
+	}
+	if CompressStringAs(nil, coldata.MakeStrings([]string{"a", "b"}), CodeOneValue, cfg) != nil {
+		t.Fatal("OneValue on multi-value block must be inapplicable")
+	}
+	if CompressStringAs(nil, coldata.MakeStrings([]string{"a"}), CodeRLE, cfg) != nil {
+		t.Fatal("RLE is not a string root scheme")
+	}
+}
+
+func TestSchemeListsAndNames(t *testing.T) {
+	if len(IntSchemes()) != 7 || len(DoubleSchemes()) != 6 || len(StringSchemes()) != 4 {
+		t.Fatalf("scheme list sizes: %d/%d/%d",
+			len(IntSchemes()), len(DoubleSchemes()), len(StringSchemes()))
+	}
+	for c := CodeUncompressed; c < numCodes; c++ {
+		if c.String() == "Invalid" || c.String() == "" {
+			t.Fatalf("code %d has no name", c)
+		}
+	}
+	if Code(200).String() != "Invalid" {
+		t.Fatal("out-of-range code must stringify as Invalid")
+	}
+}
+
+func TestEstimateOnlySmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	EstimateOnlyInt(make([]int32, 5000), cfg)
+	EstimateOnlyDouble(make([]float64, 5000), cfg)
+	EstimateOnlyString(coldata.MakeStrings([]string{"a", "a", "b"}), cfg)
+}
+
+func TestCountEqualCoreLevel(t *testing.T) {
+	cfg := DefaultConfig()
+	// RLE path: counts come from run lengths, not expansion.
+	src := []int32{4, 4, 4, 9, 9, 4, 4}
+	enc := CompressIntAs(nil, src, CodeRLE, cfg)
+	count, used, err := CountEqualInt(enc, 4, cfg)
+	if err != nil || used != len(enc) || count != 5 {
+		t.Fatalf("RLE count = %d (err %v)", count, err)
+	}
+	// Frequency path: top value answered from the bitmap.
+	freqSrc := []int32{7, 7, 7, 7, 2, 7, 7, 3}
+	enc = CompressIntAs(nil, freqSrc, CodeFrequency, cfg)
+	count, _, err = CountEqualInt(enc, 7, cfg)
+	if err != nil || count != 6 {
+		t.Fatalf("Frequency top count = %d (err %v)", count, err)
+	}
+	count, _, err = CountEqualInt(enc, 3, cfg)
+	if err != nil || count != 1 {
+		t.Fatalf("Frequency exception count = %d (err %v)", count, err)
+	}
+	// Double dict path.
+	dsrc := []float64{1.5, 2.5, 1.5, 1.5}
+	denc := CompressDoubleAs(nil, dsrc, CodeDict, cfg)
+	dcount, _, err := CountEqualDouble(denc, 1.5, cfg)
+	if err != nil || dcount != 3 {
+		t.Fatalf("double dict count = %d (err %v)", dcount, err)
+	}
+	if dcount, _, _ := CountEqualDouble(denc, 9.0, cfg); dcount != 0 {
+		t.Fatalf("absent double counted %d", dcount)
+	}
+	// String dict path.
+	ssrc := coldata.MakeStrings([]string{"a", "b", "a", "a", "c"})
+	senc := CompressStringAs(nil, ssrc, CodeDict, cfg)
+	scount, _, err := CountEqualString(senc, []byte("a"), cfg)
+	if err != nil || scount != 3 {
+		t.Fatalf("string dict count = %d (err %v)", scount, err)
+	}
+	if scount, _, _ := CountEqualString(senc, []byte("zz"), cfg); scount != 0 {
+		t.Fatalf("absent string counted %d", scount)
+	}
+	// Errors on garbage.
+	if _, _, err := CountEqualInt([]byte{}, 1, cfg); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, _, err := CountEqualString([]byte{99}, []byte("x"), cfg); err == nil {
+		t.Fatal("bad scheme code accepted")
+	}
+}

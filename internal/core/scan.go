@@ -1,0 +1,335 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+
+	"btrblocks/internal/roaring"
+)
+
+// This file implements predicate evaluation directly on compressed
+// streams — the capability §7 of the paper notes BtrBlocks can support
+// when the chosen schemes permit it. Equality counting exploits the
+// compressed representation:
+//
+//   - OneValue answers in O(1)
+//   - RLE sums run lengths without expanding runs
+//   - Dictionary resolves the value to a code once and counts codes
+//   - Frequency answers the top value from the bitmap cardinality
+//   - bit-packed/plain streams fall back to decode-and-count
+//
+// All functions return the match count and the bytes consumed.
+
+// CountEqualInt counts occurrences of v in one compressed int stream.
+func CountEqualInt(src []byte, v int32, cfg *Config) (int, int, error) {
+	c := cfg.normalized()
+	return countEqualInt(src, v, &c)
+}
+
+func countEqualInt(src []byte, v int32, cfg *Config) (int, int, error) {
+	if len(src) < 1 {
+		return 0, 0, ErrCorrupt
+	}
+	code := Code(src[0])
+	body := src[1:]
+	switch code {
+	case CodeOneValue:
+		if len(body) < 8 {
+			return 0, 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		if n > maxBlockValues {
+			return 0, 0, ErrCorrupt
+		}
+		stored := int32(binary.LittleEndian.Uint32(body[4:]))
+		if stored == v {
+			return n, 9, nil
+		}
+		return 0, 9, nil
+	case CodeRLE:
+		values, lengths, used, err := decodeRLEParts(src, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		count := 0
+		for i, rv := range values {
+			if rv == v {
+				count += int(lengths[i])
+			}
+		}
+		return count, used, nil
+	case CodeDict:
+		if len(body) < 8 {
+			return 0, 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		dictN := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > maxBlockValues || dictN > n {
+			return 0, 0, ErrCorrupt
+		}
+		pos := 1 + 8
+		dict, used, err := decompressInt(nil, src[pos:], cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		pos += used
+		target := int32(-1)
+		for i, dv := range dict {
+			if dv == v {
+				target = int32(i)
+				break
+			}
+		}
+		if target < 0 {
+			// value absent: skip the codes stream without counting
+			_, used, err := decompressInt(nil, src[pos:], cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return 0, pos + used, nil
+		}
+		count, used, err := countEqualInt(src[pos:], target, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return count, pos + used, nil
+	case CodeFrequency:
+		if len(body) < 8 {
+			return 0, 0, ErrCorrupt
+		}
+		top := int32(binary.LittleEndian.Uint32(body[4:]))
+		pos := 1 + 8
+		bm, used, err := roaring.FromBytes(src[pos:])
+		if err != nil {
+			return 0, 0, ErrCorrupt
+		}
+		pos += used
+		if top == v {
+			// still must skip the exceptions stream
+			_, used, err := decompressInt(nil, src[pos:], cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return bm.Cardinality(), pos + used, nil
+		}
+		count, used, err := countEqualInt(src[pos:], v, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return count, pos + used, nil
+	default:
+		// terminal bit-packed/plain streams: decode and count
+		values, used, err := decompressInt(nil, src, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		count := 0
+		for _, x := range values {
+			if x == v {
+				count++
+			}
+		}
+		return count, used, nil
+	}
+}
+
+// CountEqualDouble counts bit-exact occurrences of v in one compressed
+// double stream.
+func CountEqualDouble(src []byte, v float64, cfg *Config) (int, int, error) {
+	c := cfg.normalized()
+	return countEqualDouble(src, v, &c)
+}
+
+func countEqualDouble(src []byte, v float64, cfg *Config) (int, int, error) {
+	if len(src) < 1 {
+		return 0, 0, ErrCorrupt
+	}
+	vb := math.Float64bits(v)
+	code := Code(src[0])
+	body := src[1:]
+	switch code {
+	case CodeOneValue:
+		if len(body) < 12 {
+			return 0, 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		if n > maxBlockValues {
+			return 0, 0, ErrCorrupt
+		}
+		if binary.LittleEndian.Uint64(body[4:]) == vb {
+			return n, 13, nil
+		}
+		return 0, 13, nil
+	case CodeRLE:
+		if len(body) < 8 {
+			return 0, 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		runCount := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > maxBlockValues || runCount > n {
+			return 0, 0, ErrCorrupt
+		}
+		pos := 1 + 8
+		values, used, err := decompressDouble(nil, src[pos:], cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		pos += used
+		lengths, used, err := decompressInt(nil, src[pos:], cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		pos += used
+		if len(values) != runCount || len(lengths) != runCount {
+			return 0, 0, ErrCorrupt
+		}
+		count := 0
+		for i, rv := range values {
+			if math.Float64bits(rv) == vb {
+				count += int(lengths[i])
+			}
+		}
+		return count, pos, nil
+	case CodeDict:
+		if len(body) < 8 {
+			return 0, 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		dictN := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > maxBlockValues || dictN > n {
+			return 0, 0, ErrCorrupt
+		}
+		pos := 1 + 8
+		dict, used, err := decompressDouble(nil, src[pos:], cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		pos += used
+		target := int32(-1)
+		for i, dv := range dict {
+			if math.Float64bits(dv) == vb {
+				target = int32(i)
+				break
+			}
+		}
+		if target < 0 {
+			_, used, err := decompressInt(nil, src[pos:], cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return 0, pos + used, nil
+		}
+		count, used, err := countEqualInt(src[pos:], target, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return count, pos + used, nil
+	case CodeFrequency:
+		if len(body) < 12 {
+			return 0, 0, ErrCorrupt
+		}
+		top := binary.LittleEndian.Uint64(body[4:])
+		pos := 1 + 12
+		bm, used, err := roaring.FromBytes(src[pos:])
+		if err != nil {
+			return 0, 0, ErrCorrupt
+		}
+		pos += used
+		if top == vb {
+			_, used, err := decompressDouble(nil, src[pos:], cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return bm.Cardinality(), pos + used, nil
+		}
+		count, used, err := countEqualDouble(src[pos:], v, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return count, pos + used, nil
+	default:
+		values, used, err := decompressDouble(nil, src, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		count := 0
+		for _, x := range values {
+			if math.Float64bits(x) == vb {
+				count++
+			}
+		}
+		return count, used, nil
+	}
+}
+
+// CountEqualString counts occurrences of value in one compressed string
+// stream.
+func CountEqualString(src []byte, value []byte, cfg *Config) (int, int, error) {
+	c := cfg.normalized()
+	return countEqualString(src, value, &c)
+}
+
+func countEqualString(src []byte, value []byte, cfg *Config) (int, int, error) {
+	if len(src) < 1 {
+		return 0, 0, ErrCorrupt
+	}
+	code := Code(src[0])
+	body := src[1:]
+	switch code {
+	case CodeOneValue:
+		if len(body) < 8 {
+			return 0, 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		l := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > maxBlockValues || l < 0 || len(body) < 8+l {
+			return 0, 0, ErrCorrupt
+		}
+		if bytes.Equal(body[8:8+l], value) {
+			return n, 1 + 8 + l, nil
+		}
+		return 0, 1 + 8 + l, nil
+	case CodeDict:
+		// Resolve the value against the dictionary once, then count the
+		// matching code in the (typically RLE/bit-packed) code stream
+		// without touching string bytes again.
+		views, err := decodeStringDictViews(body, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		target := int32(-1)
+		for i := 0; i < views.dict.Len(); i++ {
+			if bytes.Equal(views.dict.Bytes(i), value) {
+				target = int32(i)
+				break
+			}
+		}
+		codesStream := body[views.codesOff:]
+		if target < 0 {
+			_, cUsed, err := decompressInt(nil, codesStream, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return 0, 1 + views.codesOff + cUsed, nil
+		}
+		count, cUsed, err := countEqualInt(codesStream, target, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return count, 1 + views.codesOff + cUsed, nil
+	default:
+		// FSST / plain: decode views and compare bytes
+		views, used, err := decompressString(src, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		count := 0
+		for i := 0; i < views.Len(); i++ {
+			if bytes.Equal(views.Bytes(i), value) {
+				count++
+			}
+		}
+		return count, used, nil
+	}
+}

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"slices"
+
+	"btrblocks/coldata"
+	"btrblocks/internal/fsst"
+	"btrblocks/internal/sample"
+	"btrblocks/internal/stats"
+)
+
+// stringPoolOrder is the candidate order for string schemes — the string
+// branch of Figure 3: One Value, Dictionary (optionally with an
+// FSST-compressed pool), direct FSST, or Uncompressed.
+var stringPoolOrder = []Code{CodeOneValue, CodeDict, CodeFSST}
+
+// poolKind values inside a Dict payload.
+const (
+	poolRaw  = 0
+	poolFSST = 1
+)
+
+// CompressString compresses a block of strings into a self-describing
+// stream.
+func CompressString(dst []byte, src coldata.Strings, cfg *Config) []byte {
+	c := cfg.normalized()
+	return compressString(dst, src, &c, c.MaxCascadeDepth, c.rng())
+}
+
+// ChooseString reports the scheme the selection algorithm picks for src
+// and its estimated ratio.
+func ChooseString(src coldata.Strings, cfg *Config) (Code, float64) {
+	c := cfg.normalized()
+	return pickString(src, &c, c.MaxCascadeDepth, c.rng())
+}
+
+func compressString(dst []byte, src coldata.Strings, cfg *Config, depth int, rng *rand.Rand) []byte {
+	code, _ := pickString(src, cfg, depth, rng)
+	return encodeStringAs(dst, src, code, cfg, depth, rng)
+}
+
+// EstimateOnlyString mirrors EstimateOnlyInt for strings.
+func EstimateOnlyString(src coldata.Strings, cfg *Config) {
+	c := cfg.normalized()
+	pickString(src, &c, c.MaxCascadeDepth, c.rng())
+}
+
+func pickString(src coldata.Strings, cfg *Config, depth int, rng *rand.Rand) (Code, float64) {
+	if depth <= 0 || src.Len() == 0 {
+		return CodeUncompressed, 1
+	}
+	st := stats.ComputeString(src)
+	if st.Distinct == 1 && cfg.stringEnabled(CodeOneValue) {
+		return CodeOneValue, float64(src.TotalBytes()) / float64(9+st.MaxLen)
+	}
+	smp := sample.Strings(src, cfg.Sample, rng)
+	rawBytes := float64(smp.TotalBytes())
+	best, bestRatio := CodeUncompressed, 1.0
+	for _, code := range stringPoolOrder {
+		if !cfg.stringEnabled(code) || !stringViable(code, &st) {
+			continue
+		}
+		enc := encodeStringAs(nil, smp, code, cfg, depth, rng)
+		if ratio := rawBytes / float64(len(enc)); ratio > bestRatio {
+			best, bestRatio = code, ratio
+		}
+	}
+	return best, bestRatio
+}
+
+func stringViable(code Code, st *stats.String) bool {
+	switch code {
+	case CodeOneValue:
+		return st.Distinct == 1
+	case CodeDict:
+		return st.Distinct > 1 && st.Distinct < st.N
+	case CodeFSST:
+		// FSST needs some redundancy in the bytes; on near-empty payloads
+		// the table overhead dominates.
+		return st.TotalLen >= 64
+	default:
+		return false
+	}
+}
+
+func encodeStringAs(dst []byte, src coldata.Strings, code Code, cfg *Config, depth int, rng *rand.Rand) []byte {
+	dst = append(dst, byte(code))
+	switch code {
+	case CodeUncompressed:
+		return encodeStringPlain(dst, src)
+	case CodeOneValue:
+		v := src.View(0)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(src.Len()))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+		return append(dst, v...)
+	case CodeDict:
+		return encodeStringDict(dst, src, cfg, depth, rng)
+	case CodeFSST:
+		return encodeStringFSST(dst, src, cfg, depth, rng)
+	}
+	panic("unreachable scheme code " + code.String())
+}
+
+func encodeStringPlain(dst []byte, src coldata.Strings) []byte {
+	n := src.Len()
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(src.Data)))
+	for i := 0; i <= n; i++ {
+		off := uint32(0)
+		if len(src.Offsets) > 0 {
+			off = src.Offsets[i]
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, off)
+	}
+	return append(dst, src.Data...)
+}
+
+// encodeStringDict stores the sorted distinct strings as a pool (raw or
+// FSST-compressed, whichever is smaller), the pool string lengths as a
+// cascaded integer stream, and the per-row codes as a cascaded integer
+// stream — which the selection algorithm typically sends to RLE or
+// bit-packing.
+func encodeStringDict(dst []byte, src coldata.Strings, cfg *Config, depth int, rng *rand.Rand) []byte {
+	dictVals, codes := buildStringDict(src)
+	n := src.Len()
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(dictVals.Len()))
+
+	lengths := make([]int32, dictVals.Len())
+	for i := range lengths {
+		lengths[i] = int32(dictVals.LenAt(i))
+	}
+
+	// Try FSST on the dictionary pool ("Dict+FSST" in Figure 3/4).
+	pool := dictVals.Data
+	useFSST := false
+	var table *fsst.Table
+	var encPool []byte
+	if cfg.stringEnabled(CodeFSST) && depth > 1 && len(pool) >= 64 {
+		table = fsst.Train([][]byte{pool})
+		encPool = table.Encode(nil, pool)
+		overhead := len(table.AppendTable(nil))
+		useFSST = len(encPool)+overhead < len(pool)*95/100
+	}
+	if useFSST {
+		dst = append(dst, poolFSST)
+		dst = table.AppendTable(dst)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pool)))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(encPool)))
+		dst = append(dst, encPool...)
+	} else {
+		dst = append(dst, poolRaw)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pool)))
+		dst = append(dst, pool...)
+	}
+	dst = compressInt(dst, lengths, cfg, depth-1, rng)
+	return compressInt(dst, codes, cfg, depth-1, rng)
+}
+
+// buildStringDict returns the lexicographically sorted distinct strings
+// and per-row codes.
+func buildStringDict(src coldata.Strings) (coldata.Strings, []int32) {
+	seen := make(map[string]int32, 1024)
+	var distinct []string
+	n := src.Len()
+	for i := 0; i < n; i++ {
+		// map[string(view)] lookups allocate only for new distinct values
+		v := src.View(i)
+		if _, ok := seen[string(v)]; !ok {
+			val := string(v)
+			seen[val] = 0
+			distinct = append(distinct, val)
+		}
+	}
+	slices.Sort(distinct)
+	for i, v := range distinct {
+		seen[v] = int32(i)
+	}
+	codes := make([]int32, n)
+	for i := 0; i < n; i++ {
+		codes[i] = seen[string(src.View(i))]
+	}
+	return coldata.MakeStrings(distinct), codes
+}
+
+// encodeStringFSST compresses the block's whole string payload with one
+// trained symbol table and stores only the uncompressed string lengths
+// next to it (§5: offsets of compressed strings are not needed when the
+// block is decoded as one contiguous buffer).
+func encodeStringFSST(dst []byte, src coldata.Strings, cfg *Config, depth int, rng *rand.Rand) []byte {
+	n := src.Len()
+	table := fsst.Train([][]byte{src.Data})
+	enc := table.Encode(nil, src.Data)
+	lengths := make([]int32, n)
+	for i := range lengths {
+		lengths[i] = int32(src.LenAt(i))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = table.AppendTable(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(src.Data)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(enc)))
+	dst = append(dst, enc...)
+	return compressInt(dst, lengths, cfg, depth-1, rng)
+}
+
+// DecompressString decodes one string stream into a no-copy view column,
+// returning the views and the number of input bytes consumed.
+func DecompressString(src []byte, cfg *Config) (coldata.StringViews, int, error) {
+	c := cfg.normalized()
+	return decompressString(src, &c)
+}
+
+func decompressString(src []byte, cfg *Config) (coldata.StringViews, int, error) {
+	var out coldata.StringViews
+	if len(src) < 1 {
+		return out, 0, ErrCorrupt
+	}
+	code := Code(src[0])
+	body := src[1:]
+	switch code {
+	case CodeUncompressed:
+		out, used, err := decodeStringPlain(body)
+		return out, used + 1, err
+	case CodeOneValue:
+		if len(body) < 8 {
+			return out, 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		l := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > cfg.maxN() || l < 0 || len(body) < 8+l {
+			return out, 0, ErrCorrupt
+		}
+		pool := append([]byte(nil), body[8:8+l]...)
+		views := make([]coldata.View, n)
+		for i := range views {
+			views[i] = coldata.View{Off: 0, Len: uint32(l)}
+		}
+		return coldata.StringViews{Views: views, Pool: pool}, 1 + 8 + l, nil
+	case CodeDict:
+		out, used, err := decodeStringDict(body, cfg)
+		return out, used + 1, err
+	case CodeFSST:
+		out, used, err := decodeStringFSST(body, cfg)
+		return out, used + 1, err
+	default:
+		return out, 0, ErrCorrupt
+	}
+}
+
+func decodeStringPlain(src []byte) (coldata.StringViews, int, error) {
+	var out coldata.StringViews
+	if len(src) < 8 {
+		return out, 0, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	dataLen := int(binary.LittleEndian.Uint32(src[4:]))
+	if n > maxBlockValues || dataLen < 0 {
+		return out, 0, ErrCorrupt
+	}
+	need := 8 + 4*(n+1) + dataLen
+	if len(src) < need {
+		return out, 0, ErrCorrupt
+	}
+	offsets := make([]uint32, n+1)
+	for i := range offsets {
+		offsets[i] = binary.LittleEndian.Uint32(src[8+4*i:])
+	}
+	views := make([]coldata.View, n)
+	for i := 0; i < n; i++ {
+		if offsets[i] > offsets[i+1] || int(offsets[i+1]) > dataLen {
+			return out, 0, ErrCorrupt
+		}
+		views[i] = coldata.View{Off: offsets[i], Len: offsets[i+1] - offsets[i]}
+	}
+	pool := append([]byte(nil), src[8+4*(n+1):need]...)
+	return coldata.StringViews{Views: views, Pool: pool}, need, nil
+}
+
+func decodeStringDict(src []byte, cfg *Config) (coldata.StringViews, int, error) {
+	var out coldata.StringViews
+	if len(src) < 9 {
+		return out, 0, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	dictN := int(binary.LittleEndian.Uint32(src[4:]))
+	if n > cfg.maxN() || dictN > n {
+		return out, 0, ErrCorrupt
+	}
+	kind := src[8]
+	pos := 9
+	var pool []byte
+	switch kind {
+	case poolRaw:
+		if len(src) < pos+4 {
+			return out, 0, ErrCorrupt
+		}
+		l := int(binary.LittleEndian.Uint32(src[pos:]))
+		pos += 4
+		if l < 0 || len(src) < pos+l {
+			return out, 0, ErrCorrupt
+		}
+		pool = append([]byte(nil), src[pos:pos+l]...)
+		pos += l
+	case poolFSST:
+		table, used, err := fsst.TableFromBytes(src[pos:])
+		if err != nil {
+			return out, 0, ErrCorrupt
+		}
+		pos += used
+		if len(src) < pos+8 {
+			return out, 0, ErrCorrupt
+		}
+		rawLen := int(binary.LittleEndian.Uint32(src[pos:]))
+		encLen := int(binary.LittleEndian.Uint32(src[pos+4:]))
+		pos += 8
+		if rawLen < 0 || encLen < 0 || len(src) < pos+encLen {
+			return out, 0, ErrCorrupt
+		}
+		pool, err = table.Decode(make([]byte, 0, rawLen), src[pos:pos+encLen])
+		if err != nil || len(pool) != rawLen {
+			return out, 0, ErrCorrupt
+		}
+		pos += encLen
+	default:
+		return out, 0, ErrCorrupt
+	}
+	lengths, used, err := decompressInt(nil, src[pos:], cfg)
+	if err != nil {
+		return out, 0, err
+	}
+	pos += used
+	if len(lengths) != dictN {
+		return out, 0, ErrCorrupt
+	}
+	// Rebuild the dictionary's (offset, len) views over the pool.
+	dictViews := make([]coldata.View, dictN)
+	off := uint32(0)
+	for i, l := range lengths {
+		if l < 0 || int(off)+int(l) > len(pool) {
+			return out, 0, ErrCorrupt
+		}
+		dictViews[i] = coldata.View{Off: off, Len: uint32(l)}
+		off += uint32(l)
+	}
+
+	views := make([]coldata.View, n)
+	// Fused Dict+RLE decompression (§5): when the code stream is RLE with
+	// long runs, look up the dictionary per run and write runs of views
+	// directly, skipping the intermediate codes array.
+	if !cfg.DisableFuseDictRLE && !cfg.ScalarDecode && pos < len(src) && Code(src[pos]) == CodeRLE {
+		runValues, runLengths, used, err := decodeRLEParts(src[pos:], cfg)
+		if err != nil {
+			return out, 0, err
+		}
+		if n > 0 && len(runValues) > 0 && float64(n)/float64(len(runValues)) > 3 {
+			pos += used
+			o := 0
+			for r, cv := range runValues {
+				l := int(runLengths[r])
+				if uint32(cv) >= uint32(dictN) || l < 0 || o+l > n {
+					return out, 0, ErrCorrupt
+				}
+				v := dictViews[cv]
+				for i := 0; i < l; i++ {
+					views[o] = v
+					o++
+				}
+			}
+			if o != n {
+				return out, 0, ErrCorrupt
+			}
+			return coldata.StringViews{Views: views, Pool: pool}, pos, nil
+		}
+		// short runs: fall through to the standard two-step decode below
+	}
+	codes, used, err := decompressInt(nil, src[pos:], cfg)
+	if err != nil {
+		return out, 0, err
+	}
+	pos += used
+	if len(codes) != n {
+		return out, 0, ErrCorrupt
+	}
+	for i, c := range codes {
+		if uint32(c) >= uint32(dictN) {
+			return out, 0, ErrCorrupt
+		}
+		views[i] = dictViews[c]
+	}
+	return coldata.StringViews{Views: views, Pool: pool}, pos, nil
+}
+
+// decodeRLEParts decodes only the run arrays of an RLE integer stream
+// (for the fused Dict+RLE path), without expanding them.
+func decodeRLEParts(src []byte, cfg *Config) (values, lengths []int32, consumed int, err error) {
+	if len(src) < 9 || Code(src[0]) != CodeRLE {
+		return nil, nil, 0, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(src[1:]))
+	runCount := int(binary.LittleEndian.Uint32(src[5:]))
+	if n > cfg.maxN() || runCount > n {
+		return nil, nil, 0, ErrCorrupt
+	}
+	pos := 9
+	values, used, err := decompressInt(nil, src[pos:], cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	pos += used
+	lengths, used, err = decompressInt(nil, src[pos:], cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	pos += used
+	if len(values) != runCount || len(lengths) != runCount {
+		return nil, nil, 0, ErrCorrupt
+	}
+	return values, lengths, pos, nil
+}
+
+func decodeStringFSST(src []byte, cfg *Config) (coldata.StringViews, int, error) {
+	var out coldata.StringViews
+	if len(src) < 4 {
+		return out, 0, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	if n > cfg.maxN() {
+		return out, 0, ErrCorrupt
+	}
+	pos := 4
+	table, used, err := fsst.TableFromBytes(src[pos:])
+	if err != nil {
+		return out, 0, ErrCorrupt
+	}
+	pos += used
+	if len(src) < pos+8 {
+		return out, 0, ErrCorrupt
+	}
+	rawLen := int(binary.LittleEndian.Uint32(src[pos:]))
+	encLen := int(binary.LittleEndian.Uint32(src[pos+4:]))
+	pos += 8
+	if rawLen < 0 || encLen < 0 || len(src) < pos+encLen {
+		return out, 0, ErrCorrupt
+	}
+	// One decode call over the whole block payload (§5: pass the first
+	// offset and the summed length instead of per-string calls).
+	pool, err := table.Decode(make([]byte, 0, rawLen), src[pos:pos+encLen])
+	if err != nil || len(pool) != rawLen {
+		return out, 0, ErrCorrupt
+	}
+	pos += encLen
+	lengths, used, err := decompressInt(nil, src[pos:], cfg)
+	if err != nil {
+		return out, 0, err
+	}
+	pos += used
+	if len(lengths) != n {
+		return out, 0, ErrCorrupt
+	}
+	views := make([]coldata.View, n)
+	off := uint32(0)
+	for i, l := range lengths {
+		if l < 0 || int(off)+int(l) > len(pool) {
+			return out, 0, ErrCorrupt
+		}
+		views[i] = coldata.View{Off: off, Len: uint32(l)}
+		off += uint32(l)
+	}
+	if int(off) != rawLen {
+		return out, 0, ErrCorrupt
+	}
+	return coldata.StringViews{Views: views, Pool: pool}, pos, nil
+}
+
+// dictHeaderViews is the decoded dictionary part of a string Dict payload:
+// the dictionary as views over its pool, plus the body offset where the
+// codes stream begins. Used by compressed-data predicate evaluation.
+type dictHeaderViews struct {
+	dict     coldata.StringViews
+	n        int
+	codesOff int
+}
+
+// decodeStringDictViews decodes only the dictionary of a Dict payload
+// (body excludes the scheme-code byte), leaving the codes stream untouched.
+func decodeStringDictViews(body []byte, cfg *Config) (dictHeaderViews, error) {
+	var out dictHeaderViews
+	if len(body) < 9 {
+		return out, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	dictN := int(binary.LittleEndian.Uint32(body[4:]))
+	if n > cfg.maxN() || dictN > n {
+		return out, ErrCorrupt
+	}
+	kind := body[8]
+	pos := 9
+	var pool []byte
+	switch kind {
+	case poolRaw:
+		if len(body) < pos+4 {
+			return out, ErrCorrupt
+		}
+		l := int(binary.LittleEndian.Uint32(body[pos:]))
+		pos += 4
+		if l < 0 || len(body) < pos+l {
+			return out, ErrCorrupt
+		}
+		pool = body[pos : pos+l]
+		pos += l
+	case poolFSST:
+		table, used, err := fsst.TableFromBytes(body[pos:])
+		if err != nil {
+			return out, ErrCorrupt
+		}
+		pos += used
+		if len(body) < pos+8 {
+			return out, ErrCorrupt
+		}
+		rawLen := int(binary.LittleEndian.Uint32(body[pos:]))
+		encLen := int(binary.LittleEndian.Uint32(body[pos+4:]))
+		pos += 8
+		if rawLen < 0 || encLen < 0 || len(body) < pos+encLen {
+			return out, ErrCorrupt
+		}
+		pool, err = table.Decode(make([]byte, 0, rawLen), body[pos:pos+encLen])
+		if err != nil || len(pool) != rawLen {
+			return out, ErrCorrupt
+		}
+		pos += encLen
+	default:
+		return out, ErrCorrupt
+	}
+	lengths, used, err := decompressInt(nil, body[pos:], cfg)
+	if err != nil {
+		return out, err
+	}
+	pos += used
+	if len(lengths) != dictN {
+		return out, ErrCorrupt
+	}
+	views := make([]coldata.View, dictN)
+	off := uint32(0)
+	for i, l := range lengths {
+		if l < 0 || int(off)+int(l) > len(pool) {
+			return out, ErrCorrupt
+		}
+		views[i] = coldata.View{Off: off, Len: uint32(l)}
+		off += uint32(l)
+	}
+	out.dict = coldata.StringViews{Views: views, Pool: pool}
+	out.n = n
+	out.codesOff = pos
+	return out, nil
+}

@@ -1,0 +1,158 @@
+// Package csvconv converts CSV data to and from the typed in-memory
+// column format — the first step of the paper's compression-speed
+// comparison ("from CSV", §6.4) and the input path of the CLI tool.
+package csvconv
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"btrblocks"
+	"btrblocks/coldata"
+)
+
+// ParseType parses a schema type name.
+func ParseType(s string) (btrblocks.Type, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "int", "integer", "int32":
+		return btrblocks.TypeInt, nil
+	case "int64", "bigint", "long", "timestamp":
+		return btrblocks.TypeInt64, nil
+	case "double", "float", "float64":
+		return btrblocks.TypeDouble, nil
+	case "string", "str", "text":
+		return btrblocks.TypeString, nil
+	}
+	return 0, fmt.Errorf("csvconv: unknown type %q", s)
+}
+
+// ReadChunk parses CSV from r into a chunk. The first record is the
+// header (column names); types gives one type per column. Empty cells and
+// the literal "null" become NULLs.
+func ReadChunk(r io.Reader, types []btrblocks.Type) (*btrblocks.Chunk, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvconv: reading header: %w", err)
+	}
+	if len(header) != len(types) {
+		return nil, fmt.Errorf("csvconv: %d columns in header, %d types", len(header), len(types))
+	}
+	cols := make([]btrblocks.Column, len(header))
+	for i, name := range header {
+		cols[i] = btrblocks.Column{Name: name, Type: types[i]}
+		if types[i] == btrblocks.TypeString {
+			cols[i].Strings = coldata.NewStringsBuilder(0, 0)
+		}
+	}
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvconv: row %d: %w", row+2, err)
+		}
+		for i, cell := range rec {
+			col := &cols[i]
+			isNull := cell == "" || cell == "null" || cell == "NULL"
+			if isNull {
+				if col.Nulls == nil {
+					col.Nulls = btrblocks.NewNullMask()
+				}
+				col.Nulls.SetNull(row)
+			}
+			switch col.Type {
+			case btrblocks.TypeInt:
+				var v int64
+				if !isNull {
+					v, err = strconv.ParseInt(cell, 10, 32)
+					if err != nil {
+						return nil, fmt.Errorf("csvconv: row %d col %q: %w", row+2, col.Name, err)
+					}
+				}
+				col.Ints = append(col.Ints, int32(v))
+			case btrblocks.TypeInt64:
+				var v int64
+				if !isNull {
+					v, err = strconv.ParseInt(cell, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("csvconv: row %d col %q: %w", row+2, col.Name, err)
+					}
+				}
+				col.Ints64 = append(col.Ints64, v)
+			case btrblocks.TypeDouble:
+				var v float64
+				if !isNull {
+					v, err = strconv.ParseFloat(cell, 64)
+					if err != nil {
+						return nil, fmt.Errorf("csvconv: row %d col %q: %w", row+2, col.Name, err)
+					}
+				}
+				col.Doubles = append(col.Doubles, v)
+			case btrblocks.TypeString:
+				if isNull {
+					col.Strings = col.Strings.Append("")
+				} else {
+					col.Strings = col.Strings.Append(cell)
+				}
+			}
+		}
+		row++
+	}
+	return &btrblocks.Chunk{Columns: cols}, nil
+}
+
+// WriteChunk writes a chunk as CSV with a header row. NULLs are written
+// as empty cells.
+func WriteChunk(w io.Writer, chunk *btrblocks.Chunk) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(chunk.Columns))
+	for i := range chunk.Columns {
+		header[i] = chunk.Columns[i].Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rows := chunk.NumRows()
+	rec := make([]string, len(chunk.Columns))
+	for r := 0; r < rows; r++ {
+		for i := range chunk.Columns {
+			col := &chunk.Columns[i]
+			if col.Nulls.IsNull(r) {
+				rec[i] = ""
+				continue
+			}
+			switch col.Type {
+			case btrblocks.TypeInt:
+				rec[i] = strconv.FormatInt(int64(col.Ints[r]), 10)
+			case btrblocks.TypeInt64:
+				rec[i] = strconv.FormatInt(col.Ints64[r], 10)
+			case btrblocks.TypeDouble:
+				rec[i] = strconv.FormatFloat(col.Doubles[r], 'g', -1, 64)
+			case btrblocks.TypeString:
+				rec[i] = col.Strings.At(r)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ChunkToCSVBytes renders a chunk to CSV in memory (used by the
+// compression-speed experiment to measure the "from CSV" path).
+func ChunkToCSVBytes(chunk *btrblocks.Chunk) ([]byte, error) {
+	var sb strings.Builder
+	if err := WriteChunk(&sb, chunk); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}

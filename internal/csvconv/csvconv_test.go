@@ -1,0 +1,109 @@
+package csvconv
+
+import (
+	"strings"
+	"testing"
+
+	"btrblocks"
+)
+
+const sampleCSV = `id,price,city
+1,3.25,PHOENIX
+2,0.99,RALEIGH
+3,,BETHESDA
+,18.5,null
+5,-6.425,ATHENS
+`
+
+func parseSample(t *testing.T) *btrblocks.Chunk {
+	t.Helper()
+	chunk, err := ReadChunk(strings.NewReader(sampleCSV),
+		[]btrblocks.Type{btrblocks.TypeInt, btrblocks.TypeDouble, btrblocks.TypeString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chunk
+}
+
+func TestReadChunk(t *testing.T) {
+	chunk := parseSample(t)
+	if chunk.NumRows() != 5 {
+		t.Fatalf("rows = %d", chunk.NumRows())
+	}
+	id := chunk.Columns[0]
+	if id.Name != "id" || id.Ints[0] != 1 || id.Ints[4] != 5 {
+		t.Fatalf("id column wrong: %+v", id.Ints)
+	}
+	if !id.Nulls.IsNull(3) || id.Nulls.NullCount() != 1 {
+		t.Fatal("id null handling wrong")
+	}
+	price := chunk.Columns[1]
+	if price.Doubles[0] != 3.25 || price.Doubles[4] != -6.425 {
+		t.Fatal("price values wrong")
+	}
+	if !price.Nulls.IsNull(2) {
+		t.Fatal("price null missing")
+	}
+	city := chunk.Columns[2]
+	if city.Strings.At(0) != "PHOENIX" {
+		t.Fatal("city wrong")
+	}
+	if !city.Nulls.IsNull(3) {
+		t.Fatal("city 'null' literal should be NULL")
+	}
+}
+
+func TestRoundTripCSV(t *testing.T) {
+	chunk := parseSample(t)
+	var sb strings.Builder
+	if err := WriteChunk(&sb, chunk); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChunk(strings.NewReader(sb.String()),
+		[]btrblocks.Type{btrblocks.TypeInt, btrblocks.TypeDouble, btrblocks.TypeString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != chunk.NumRows() {
+		t.Fatal("row count changed")
+	}
+	for r := 0; r < 5; r++ {
+		if back.Columns[1].Nulls.IsNull(r) != chunk.Columns[1].Nulls.IsNull(r) {
+			t.Fatalf("null mask changed at %d", r)
+		}
+		if !chunk.Columns[1].Nulls.IsNull(r) && back.Columns[1].Doubles[r] != chunk.Columns[1].Doubles[r] {
+			t.Fatalf("price changed at %d", r)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for in, want := range map[string]btrblocks.Type{
+		"int": btrblocks.TypeInt, "INTEGER": btrblocks.TypeInt,
+		"double": btrblocks.TypeDouble, "float64": btrblocks.TypeDouble,
+		"string": btrblocks.TypeString, " text ": btrblocks.TypeString,
+	} {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := ReadChunk(strings.NewReader("a,b\n1,2\n"),
+		[]btrblocks.Type{btrblocks.TypeInt}); err == nil {
+		t.Fatal("schema arity mismatch accepted")
+	}
+	if _, err := ReadChunk(strings.NewReader("a\nnotanumber\n"),
+		[]btrblocks.Type{btrblocks.TypeInt}); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	if _, err := ReadChunk(strings.NewReader("a\nnotanumber\n"),
+		[]btrblocks.Type{btrblocks.TypeDouble}); err == nil {
+		t.Fatal("bad double accepted")
+	}
+}

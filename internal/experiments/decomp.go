@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"sync"
+
+	"btrblocks"
+	"btrblocks/internal/codec"
+	"btrblocks/internal/pbi"
+)
+
+// compressedCorpus is a corpus compressed with one format, ready for
+// decompression timing.
+type compressedCorpus struct {
+	format       Format
+	names        []string
+	blobs        [][]byte
+	uncompressed int
+	compressed   int
+}
+
+func compressCorpus(f Format, corpus []pbi.Dataset) (*compressedCorpus, error) {
+	cc := &compressedCorpus{format: f}
+	for _, ds := range corpus {
+		for _, col := range ds.Chunk.Columns {
+			data, err := f.Compress(col)
+			if err != nil {
+				return nil, err
+			}
+			cc.names = append(cc.names, col.Name)
+			cc.blobs = append(cc.blobs, data)
+			cc.uncompressed += col.UncompressedBytes()
+			cc.compressed += len(data)
+		}
+	}
+	return cc, nil
+}
+
+func (cc *compressedCorpus) ratio() float64 {
+	return float64(cc.uncompressed) / float64(cc.compressed)
+}
+
+// decompressAll decodes every column with `threads` workers and returns
+// wall seconds (best of reps).
+func (cc *compressedCorpus) decompressAll(threads, reps int) (float64, error) {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		var firstErr error
+		var mu sync.Mutex
+		work := make(chan int)
+		var wg sync.WaitGroup
+		secs := timeSeconds(func() {
+			for w := 0; w < threads; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range work {
+						if _, err := cc.format.Scan(cc.blobs[i], cc.names[i]); err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+						}
+					}
+				}()
+			}
+			for i := range cc.blobs {
+				work <- i
+			}
+			close(work)
+			wg.Wait()
+		})
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		if r == 0 || secs < best {
+			best = secs
+		}
+	}
+	return best, nil
+}
+
+// Fig8 regenerates Figure 8: compression ratio vs in-memory multithreaded
+// decompression bandwidth for the Parquet and ORC variants and BtrBlocks,
+// on the Public BI corpus (top) and TPC-H (bottom).
+func Fig8(cfg *Config) error {
+	for _, part := range []struct {
+		name   string
+		corpus []pbi.Dataset
+	}{
+		{"Public BI", cfg.pbiCorpus()},
+		{"TPC-H", cfg.tpchCorpus()},
+	} {
+		cfg.printf("Figure 8 (%s): ratio vs decompression bandwidth (%d threads)\n", part.name, cfg.threads())
+		cfg.printf("%-16s %10s %18s\n", "format", "ratio", "decompression GB/s")
+		for _, f := range Fig8Formats() {
+			cc, err := compressCorpus(f, part.corpus)
+			if err != nil {
+				return err
+			}
+			secs, err := cc.decompressAll(cfg.threads(), cfg.reps())
+			if err != nil {
+				return err
+			}
+			cfg.printf("%-16s %10.2f %18.2f\n", f.Name, cc.ratio(), gbps(cc.uncompressed, secs))
+		}
+		cfg.printf("\n")
+	}
+	return nil
+}
+
+// Table4 regenerates Table 4: per-column compression ratio and
+// decompression speed, BtrBlocks vs Parquet+Zstd*, with the root scheme
+// BtrBlocks chose for the first block.
+func Table4(cfg *Config) error {
+	cols := pbi.Table4Columns(cfg.rows(), cfg.seed())
+	btrOpt := btrblocks.DefaultOptions()
+	btr := BtrFormat(btrOpt)
+	zstd := ParquetFormat(codec.Heavy)
+
+	cfg.printf("Table 4: per-column ratio and decompression speed (btr vs parquet+zstd*)\n")
+	cfg.printf("%-34s %-8s %9s | %9s %9s | %8s %8s | %s\n",
+		"dataset/column", "type", "size MB", "btr GB/s", "zstd GB/s", "btr x", "zstd x", "scheme (root)")
+	for _, nc := range cols {
+		col := nc.Col
+		unc := col.UncompressedBytes()
+
+		bdata, err := btr.Compress(col)
+		if err != nil {
+			return err
+		}
+		zdata, err := zstd.Compress(col)
+		if err != nil {
+			return err
+		}
+		bsecs, err := timeDecode(btr, bdata, col.Name, cfg.reps())
+		if err != nil {
+			return err
+		}
+		zsecs, err := timeDecode(zstd, zdata, col.Name, cfg.reps())
+		if err != nil {
+			return err
+		}
+		scheme, _ := btrblocks.Choose(col, btrOpt)
+		cfg.printf("%-34s %-8s %9.1f | %9.2f %9.2f | %7.1fx %7.1fx | %s\n",
+			nc.Dataset+"/"+nc.Name, col.Type, float64(unc)/1e6,
+			gbps(unc, bsecs), gbps(unc, zsecs),
+			float64(unc)/float64(len(bdata)), float64(unc)/float64(len(zdata)),
+			scheme)
+	}
+	return nil
+}
+
+func timeDecode(f Format, data []byte, name string, reps int) (float64, error) {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		var err error
+		secs := timeSeconds(func() {
+			_, err = f.Scan(data, name)
+		})
+		if err != nil {
+			return 0, err
+		}
+		if r == 0 || secs < best {
+			best = secs
+		}
+	}
+	return best, nil
+}
+
+// Scalar regenerates the §6.8 ablation: in-memory decompression with the
+// optimized kernels, with the naive scalar kernels, and the fastest
+// Parquet variant for reference. The paper reports scalar as ~17% slower
+// and still 2.3× faster than the fastest Parquet variant.
+func Scalar(cfg *Config) error {
+	corpus := cfg.pbiCorpus()
+	lineup := []Format{
+		BtrFormat(btrblocks.DefaultOptions()),
+		BtrFormat(&btrblocks.Options{ScalarDecode: true}),
+		ParquetFormat(codec.None),
+		ParquetFormat(codec.Snappy),
+	}
+	names := []string{"btrblocks (optimized)", "btrblocks (scalar)", "parquet", "parquet+snappy"}
+
+	cfg.printf("§6.8 scalar-decode ablation (%d threads)\n", cfg.threads())
+	cfg.printf("%-24s %18s %10s\n", "configuration", "decompression GB/s", "relative")
+	var base float64
+	for i, f := range lineup {
+		cc, err := compressCorpus(f, corpus)
+		if err != nil {
+			return err
+		}
+		secs, err := cc.decompressAll(cfg.threads(), cfg.reps())
+		if err != nil {
+			return err
+		}
+		speed := gbps(cc.uncompressed, secs)
+		if i == 0 {
+			base = speed
+		}
+		cfg.printf("%-24s %18.2f %9.2fx\n", names[i], speed, speed/base)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§6). Each experiment has one exported function that
+// runs the workload on the synthetic Public BI / TPC-H corpora and prints
+// the same rows or series the paper reports; `cmd/btrbench` maps
+// subcommands onto these functions and EXPERIMENTS.md records paper-vs-
+// measured values. Absolute numbers differ from the paper (pure Go,
+// different hardware, synthetic data); the comparisons of interest are
+// the relative ones within each experiment.
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"btrblocks"
+	"btrblocks/internal/codec"
+	"btrblocks/internal/orclike"
+	"btrblocks/internal/parquetlike"
+)
+
+// Format abstracts one storage format under comparison: BtrBlocks, the
+// Parquet-like baseline with its codec variants, the ORC-like baseline,
+// or raw binary.
+type Format struct {
+	Name       string
+	Compress   func(col btrblocks.Column) ([]byte, error)
+	Decompress func(data []byte, name string) (btrblocks.Column, error)
+	// Scan decompresses data on the format's cheapest faithful path and
+	// returns the uncompressed size it produced. For BtrBlocks this is
+	// the no-copy string-views path (§5); for the baselines it is full
+	// materialization, which their formats require.
+	Scan func(data []byte, name string) (int, error)
+}
+
+// BtrFormat returns the BtrBlocks format with the given options.
+func BtrFormat(opt *btrblocks.Options) Format {
+	return Format{
+		Name: "btrblocks",
+		Compress: func(col btrblocks.Column) ([]byte, error) {
+			return btrblocks.CompressColumn(col, opt)
+		},
+		Decompress: func(data []byte, name string) (btrblocks.Column, error) {
+			return btrblocks.DecompressColumn(data, opt)
+		},
+		Scan: func(data []byte, name string) (int, error) {
+			t, err := btrblocks.ColumnFileType(data)
+			if err != nil {
+				return 0, err
+			}
+			if t == btrblocks.TypeString {
+				views, _, err := btrblocks.DecompressStringViews(data, opt)
+				if err != nil {
+					return 0, err
+				}
+				total := 0
+				for _, v := range views {
+					for i := range v.Views {
+						total += int(v.Views[i].Len)
+					}
+					total += 4 * v.Len()
+				}
+				return total, nil
+			}
+			col, err := btrblocks.DecompressColumn(data, opt)
+			if err != nil {
+				return 0, err
+			}
+			return col.UncompressedBytes(), nil
+		},
+	}
+}
+
+// ParquetFormat returns the Parquet-like baseline with a codec.
+func ParquetFormat(k codec.Kind) Format {
+	name := "parquet"
+	if k != codec.None {
+		name += "+" + k.String()
+	}
+	opt := &parquetlike.Options{Codec: k}
+	return Format{
+		Name: name,
+		Compress: func(col btrblocks.Column) ([]byte, error) {
+			return parquetlike.CompressColumn(col, opt)
+		},
+		Decompress: parquetlike.DecompressColumn,
+		Scan:       materializingScan(parquetlike.DecompressColumn),
+	}
+}
+
+// ORCFormat returns the ORC-like baseline with a codec.
+func ORCFormat(k codec.Kind) Format {
+	name := "orc"
+	if k != codec.None {
+		name += "+" + k.String()
+	}
+	opt := &orclike.Options{Codec: k}
+	return Format{
+		Name: name,
+		Compress: func(col btrblocks.Column) ([]byte, error) {
+			return orclike.CompressColumn(col, opt)
+		},
+		Decompress: orclike.DecompressColumn,
+		Scan:       materializingScan(orclike.DecompressColumn),
+	}
+}
+
+// UncompressedFormat stores columns in the in-memory binary layout
+// (4 B/int, 8 B/double, payload + 4 B offset per string).
+func UncompressedFormat() Format {
+	return Format{
+		Name:       "uncompressed",
+		Compress:   rawCompress,
+		Decompress: rawDecompress,
+		Scan:       materializingScan(rawDecompress),
+	}
+}
+
+func rawCompress(col btrblocks.Column) ([]byte, error) {
+	var out []byte
+	out = append(out, byte(col.Type))
+	out = binary.LittleEndian.AppendUint32(out, uint32(col.Len()))
+	switch col.Type {
+	case btrblocks.TypeInt:
+		for _, v := range col.Ints {
+			out = binary.LittleEndian.AppendUint32(out, uint32(v))
+		}
+	case btrblocks.TypeDouble:
+		for _, v := range col.Doubles {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	case btrblocks.TypeString:
+		for i := 0; i <= col.Len(); i++ {
+			off := uint32(0)
+			if len(col.Strings.Offsets) > 0 {
+				off = col.Strings.Offsets[i]
+			}
+			out = binary.LittleEndian.AppendUint32(out, off)
+		}
+		out = append(out, col.Strings.Data...)
+	}
+	return out, nil
+}
+
+func rawDecompress(data []byte, name string) (btrblocks.Column, error) {
+	var col btrblocks.Column
+	col.Name = name
+	if len(data) < 5 {
+		return col, fmt.Errorf("raw: short column")
+	}
+	col.Type = btrblocks.Type(data[0])
+	n := int(binary.LittleEndian.Uint32(data[1:]))
+	pos := 5
+	switch col.Type {
+	case btrblocks.TypeInt:
+		col.Ints = make([]int32, n)
+		for i := range col.Ints {
+			col.Ints[i] = int32(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+		}
+	case btrblocks.TypeDouble:
+		col.Doubles = make([]float64, n)
+		for i := range col.Doubles {
+			col.Doubles[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		}
+	case btrblocks.TypeString:
+		offsets := make([]uint32, n+1)
+		for i := range offsets {
+			offsets[i] = binary.LittleEndian.Uint32(data[pos:])
+			pos += 4
+		}
+		col.Strings.Offsets = offsets
+		col.Strings.Data = append([]byte(nil), data[pos:]...)
+	}
+	return col, nil
+}
+
+// StandardFormats returns the format lineup of Table 2 and Figure 1:
+// uncompressed, Parquet with each codec, and BtrBlocks.
+func StandardFormats() []Format {
+	return []Format{
+		UncompressedFormat(),
+		ParquetFormat(codec.None),
+		ParquetFormat(codec.LZ4),
+		ParquetFormat(codec.Snappy),
+		ParquetFormat(codec.Heavy),
+		BtrFormat(btrblocks.DefaultOptions()),
+	}
+}
+
+// Fig8Formats returns the Figure 8 lineup: Parquet and ORC variants plus
+// BtrBlocks.
+func Fig8Formats() []Format {
+	return []Format{
+		ParquetFormat(codec.None),
+		ParquetFormat(codec.Snappy),
+		ParquetFormat(codec.Heavy),
+		ORCFormat(codec.None),
+		ORCFormat(codec.Snappy),
+		ORCFormat(codec.Heavy),
+		BtrFormat(btrblocks.DefaultOptions()),
+	}
+}
+
+// materializingScan wraps a full Decompress as a Scan.
+func materializingScan(dec func(data []byte, name string) (btrblocks.Column, error)) func([]byte, string) (int, error) {
+	return func(data []byte, name string) (int, error) {
+		col, err := dec(data, name)
+		if err != nil {
+			return 0, err
+		}
+		return col.UncompressedBytes(), nil
+	}
+}

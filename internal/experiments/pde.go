@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math"
+
+	"btrblocks/internal/bitpack"
+	"btrblocks/internal/floatbase"
+	"btrblocks/internal/pbi"
+	"btrblocks/internal/pde"
+	"btrblocks/internal/roaring"
+)
+
+// pdeFixedCascade compresses doubles with Pseudodecimal Encoding followed
+// by a fixed FastBP128 second level on both integer outputs — the §6.5
+// standalone-evaluation cascade — and returns the total encoded size.
+func pdeFixedCascade(src []float64) int {
+	digits, exps, patches, patchIdx := pde.Encode(src)
+	bm := roaring.New()
+	for _, i := range patchIdx {
+		bm.Add(i)
+	}
+	bm.RunOptimize()
+	size := bitpack.EncodedSizeFOR(digits)
+	size += bitpack.EncodedSizeFOR(exps)
+	size += bm.SerializedSize()
+	size += 8 * len(patches)
+	return size
+}
+
+// dictFixedCascade: dictionary of raw doubles + FastBP128 codes.
+func dictFixedCascade(src []float64) int {
+	seen := make(map[uint64]int32, 1024)
+	var ndict int
+	codes := make([]int32, len(src))
+	for i, v := range src {
+		b := math.Float64bits(v)
+		id, ok := seen[b]
+		if !ok {
+			id = int32(ndict)
+			seen[b] = id
+			ndict++
+		}
+		codes[i] = id
+	}
+	return 8*ndict + bitpack.EncodedSizeFOR(codes)
+}
+
+// rleFixedCascade: raw run values + FastBP128 run lengths.
+func rleFixedCascade(src []float64) int {
+	if len(src) == 0 {
+		return 4
+	}
+	var lengths []int32
+	runs := 1
+	cur := math.Float64bits(src[0])
+	n := int32(0)
+	for _, v := range src {
+		b := math.Float64bits(v)
+		if b == cur {
+			n++
+			continue
+		}
+		lengths = append(lengths, n)
+		runs++
+		cur, n = b, 1
+	}
+	lengths = append(lengths, n)
+	return 8*runs + bitpack.EncodedSizeFOR(lengths)
+}
+
+// bpDirect: bit packing applied directly to the IEEE 754 words (the
+// "should rarely be effective" check).
+func bpDirect(src []float64) int {
+	// pack each double as two 32-bit halves with FOR
+	lo := make([]int32, len(src))
+	hi := make([]int32, len(src))
+	for i, v := range src {
+		b := math.Float64bits(v)
+		lo[i] = int32(uint32(b))
+		hi[i] = int32(uint32(b >> 32))
+	}
+	return bitpack.EncodedSizeFOR(lo) + bitpack.EncodedSizeFOR(hi)
+}
+
+// Table3 regenerates Table 3: Pseudodecimal Encoding vs FPC, Gorilla,
+// Chimp and Chimp128 on the large Public BI double columns. PDE uses the
+// fixed PDE→FastBP128 cascade, as in the paper.
+func Table3(cfg *Config) error {
+	cols := pbi.Table3Columns(cfg.rows(), cfg.seed())
+	cfg.printf("Table 3: double-scheme compression ratios (fixed PDE->FastBP128 cascade)\n")
+	cfg.printf("%-22s %8s %8s %8s %9s %8s\n", "column", "FPC", "Gorilla", "Chimp", "Chimp128", "PDE")
+	for _, nc := range cols {
+		src := nc.Col.Doubles
+		raw := float64(len(src) * 8)
+		fpc := raw / float64(len(floatbase.FPCEncode(nil, src)))
+		gor := raw / float64(len(floatbase.GorillaEncode(nil, src)))
+		chi := raw / float64(len(floatbase.ChimpEncode(nil, src)))
+		c128 := raw / float64(len(floatbase.Chimp128Encode(nil, src)))
+		pd := raw / float64(pdeFixedCascade(src))
+		cfg.printf("%-22s %8.2f %8.2f %8.2f %9.2f %8.2f\n",
+			nc.Dataset+"/"+nc.Name, fpc, gor, chi, c128, pd)
+	}
+	return nil
+}
+
+// PDEPool regenerates the §6.5 inline table: Bit-packing, Dictionary, RLE
+// and Pseudodecimal on the same columns, each followed by a fixed
+// FastBP128 second level, to check where PDE earns its place in the pool.
+func PDEPool(cfg *Config) error {
+	cols := pbi.Table3Columns(cfg.rows(), cfg.seed())
+	cfg.printf("§6.5: general schemes vs PDE (each -> FastBP128)\n")
+	cfg.printf("%-22s %8s %8s %8s %8s\n", "column", "BP", "Dict", "RLE", "PDE")
+	for _, nc := range cols {
+		src := nc.Col.Doubles
+		raw := float64(len(src) * 8)
+		cfg.printf("%-22s %8.2f %8.2f %8.2f %8.2f\n",
+			nc.Dataset+"/"+nc.Name,
+			raw/float64(bpDirect(src)),
+			raw/float64(dictFixedCascade(src)),
+			raw/float64(rleFixedCascade(src)),
+			raw/float64(pdeFixedCascade(src)))
+	}
+	return nil
+}
+
+// verifyPDERoundTrip is used by tests: the fixed cascade must round-trip.
+func verifyPDERoundTrip(src []float64) bool {
+	digits, exps, patches, patchIdx := pde.Encode(src)
+	// encode digits+exps through FastBP and back
+	enc := bitpack.EncodeFOR(nil, digits)
+	enc = bitpack.EncodeFOR(enc, exps)
+	d2, used, err := bitpack.DecodeFOR(nil, enc)
+	if err != nil {
+		return false
+	}
+	e2, _, err := bitpack.DecodeFOR(nil, enc[used:])
+	if err != nil {
+		return false
+	}
+	out := pde.Decode(nil, d2, e2, patches, patchIdx)
+	if len(out) != len(src) {
+		return false
+	}
+	for i := range src {
+		if math.Float64bits(out[i]) != math.Float64bits(src[i]) {
+			return false
+		}
+	}
+	return true
+}

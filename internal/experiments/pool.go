@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"sort"
+
+	"btrblocks"
+	"btrblocks/internal/codec"
+)
+
+// Fig4 regenerates Figure 4: successively enabling encoding schemes per
+// data type and measuring the effect on compression ratio and
+// single-threaded decompression throughput.
+func Fig4(cfg *Config) error {
+	corpus := cfg.pbiCorpus()
+
+	type stage struct {
+		label string
+		opt   *btrblocks.Options
+	}
+	sets := []struct {
+		t      btrblocks.Type
+		stages []stage
+	}{
+		{btrblocks.TypeDouble, []stage{
+			{"uncompressed", &btrblocks.Options{DoubleSchemes: []btrblocks.Scheme{}}},
+			{"+one value", &btrblocks.Options{DoubleSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue}}},
+			{"+rle", &btrblocks.Options{DoubleSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeRLE}}},
+			{"+frequency", &btrblocks.Options{DoubleSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeRLE, btrblocks.SchemeFrequency}}},
+			{"+dictionary", &btrblocks.Options{DoubleSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeRLE, btrblocks.SchemeFrequency, btrblocks.SchemeDict}}},
+			{"+pseudodecimal", &btrblocks.Options{DoubleSchemes: nil}}, // full pool
+		}},
+		{btrblocks.TypeInt, []stage{
+			{"uncompressed", &btrblocks.Options{IntSchemes: []btrblocks.Scheme{}}},
+			{"+one value", &btrblocks.Options{IntSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue}}},
+			{"+rle", &btrblocks.Options{IntSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeRLE}}},
+			{"+bitpack", &btrblocks.Options{IntSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeRLE, btrblocks.SchemeFastBP}}},
+			{"+pfor", &btrblocks.Options{IntSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeRLE, btrblocks.SchemeFastBP, btrblocks.SchemeFastPFOR}}},
+			{"+dictionary", &btrblocks.Options{IntSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeRLE, btrblocks.SchemeFastBP, btrblocks.SchemeFastPFOR, btrblocks.SchemeDict}}},
+			{"+frequency", &btrblocks.Options{IntSchemes: nil}},
+		}},
+		{btrblocks.TypeString, []stage{
+			{"uncompressed", &btrblocks.Options{StringSchemes: []btrblocks.Scheme{}}},
+			{"+one value", &btrblocks.Options{StringSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue}}},
+			{"+dictionary", &btrblocks.Options{StringSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeDict}}},
+			{"+fsst", &btrblocks.Options{StringSchemes: nil}}, // adds FSST and Dict+FSST
+		}},
+	}
+
+	for _, set := range sets {
+		cols := columnsOfType(corpus, set.t)
+		cfg.printf("Figure 4 (%s): scheme pool ablation, single-threaded decompression\n", typeName(set.t))
+		cfg.printf("%-16s %10s %14s\n", "pool", "ratio", "decomp GB/s")
+		for _, st := range set.stages {
+			f := BtrFormat(st.opt)
+			var unc, comp int
+			var blobs [][]byte
+			var names []string
+			for _, col := range cols {
+				data, err := f.Compress(col)
+				if err != nil {
+					return err
+				}
+				unc += col.UncompressedBytes()
+				comp += len(data)
+				blobs = append(blobs, data)
+				names = append(names, col.Name)
+			}
+			best := 0.0
+			for r := 0; r < cfg.reps(); r++ {
+				var err error
+				secs := timeSeconds(func() {
+					for i := range blobs {
+						if _, e := f.Scan(blobs[i], names[i]); e != nil {
+							err = e
+							return
+						}
+					}
+				})
+				if err != nil {
+					return err
+				}
+				if r == 0 || secs < best {
+					best = secs
+				}
+			}
+			cfg.printf("%-16s %10.2f %14.2f\n", st.label, float64(unc)/float64(comp), gbps(unc, best))
+		}
+		cfg.printf("\n")
+	}
+	return nil
+}
+
+// Fig7 regenerates Figure 7: compression ratios on the Public BI corpus
+// for the proprietary column stores A–D (configured stand-ins; the paper
+// anonymizes them — see DESIGN.md §4), the Parquet variants and BtrBlocks.
+func Fig7(cfg *Config) error {
+	corpus := cfg.pbiCorpus()
+
+	dictOnly := &btrblocks.Options{
+		IntSchemes:    []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeDict},
+		DoubleSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeDict},
+		StringSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeDict},
+	}
+	forStore := &btrblocks.Options{
+		IntSchemes:    []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeFastBP},
+		DoubleSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeDict},
+		StringSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeDict},
+	}
+	rleDict := &btrblocks.Options{
+		IntSchemes:    []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeRLE, btrblocks.SchemeDict},
+		DoubleSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeRLE, btrblocks.SchemeDict},
+		StringSchemes: []btrblocks.Scheme{btrblocks.SchemeOneValue, btrblocks.SchemeDict},
+	}
+
+	lineup := []Format{
+		renamed(BtrFormat(dictOnly), "System A"),
+		renamed(BtrFormat(forStore), "System B"),
+		renamed(BtrFormat(rleDict), "System C"),
+		renamed(ORCFormat(codec.Snappy), "System D"),
+		ParquetFormat(codec.None),
+		ParquetFormat(codec.Snappy),
+		ParquetFormat(codec.Heavy),
+		BtrFormat(btrblocks.DefaultOptions()),
+	}
+
+	type row struct {
+		name  string
+		ratio float64
+	}
+	var rows []row
+	for _, f := range lineup {
+		cc, err := compressCorpus(f, corpus)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{f.Name, cc.ratio()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio < rows[j].ratio })
+
+	cfg.printf("Figure 7: Public BI compression ratios\n")
+	cfg.printf("%-16s %10s\n", "system", "ratio")
+	for _, r := range rows {
+		cfg.printf("%-16s %10.2f\n", r.name, r.ratio)
+	}
+	return nil
+}
+
+func renamed(f Format, name string) Format {
+	f.Name = name
+	return f
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"btrblocks"
+	"btrblocks/internal/codec"
+	"btrblocks/internal/pbi"
+	"btrblocks/internal/s3sim"
+)
+
+// s3Formats is the Figure 1 / Table 5 lineup.
+func s3Formats() []Format {
+	return []Format{
+		BtrFormat(btrblocks.DefaultOptions()),
+		ParquetFormat(codec.None),
+		ParquetFormat(codec.Snappy),
+		ParquetFormat(codec.Heavy),
+	}
+}
+
+// uploadCorpus stores every column of every dataset as one object per
+// column (the BtrBlocks S3 layout; the baselines get the same layout so
+// the comparison isolates the compression format, as §6.7's full-dataset
+// experiment does).
+func uploadCorpus(store *s3sim.Store, f Format, corpus []pbi.Dataset) (uncompressed int, keys []string, err error) {
+	for _, ds := range corpus {
+		for _, col := range ds.Chunk.Columns {
+			data, cerr := f.Compress(col)
+			if cerr != nil {
+				return 0, nil, cerr
+			}
+			key := f.Name + "/" + ds.Name + "/" + col.Name
+			store.Put(key, data)
+			keys = append(keys, key)
+			uncompressed += col.UncompressedBytes()
+		}
+	}
+	return uncompressed, keys, nil
+}
+
+func scanFull(cfg *Config, model s3sim.Model, store *s3sim.Store, f Format, keys []string) (*s3sim.ScanResult, error) {
+	objects := make([]s3sim.Object, len(keys))
+	for i, k := range keys {
+		objects[i] = s3sim.Object{Key: k}
+	}
+	return model.Scan(store, objects, cfg.threads(), func(key string, data []byte) (int, error) {
+		return f.Scan(data, key)
+	})
+}
+
+// Table5 regenerates Table 5: full-dataset S3 scans of the five largest
+// Public BI workbooks — S3 T_r, S3 T_c, scan cost, and cost normalized to
+// BtrBlocks.
+func Table5(cfg *Config) error {
+	corpus := pbi.Largest5(cfg.rows(), cfg.seed())
+	model := s3sim.Default()
+	model.NetworkGbps = cfg.networkGbps()
+	store := s3sim.NewStore()
+
+	type row struct {
+		name string
+		res  *s3sim.ScanResult
+	}
+	var rows []row
+	for _, f := range s3Formats() {
+		_, keys, err := uploadCorpus(store, f, corpus)
+		if err != nil {
+			return err
+		}
+		best := &s3sim.ScanResult{}
+		for r := 0; r < cfg.reps(); r++ {
+			res, err := scanFull(cfg, model, store, f, keys)
+			if err != nil {
+				return err
+			}
+			if r == 0 || res.ScanSeconds < best.ScanSeconds {
+				best = res
+			}
+		}
+		rows = append(rows, row{f.Name, best})
+	}
+
+	base := rows[0].res.CostDollars // btrblocks
+	cfg.printf("Table 5: S3 scan cost on the largest 5 Public BI workbooks (%.2f Gbps calibrated network)\n", cfg.networkGbps())
+	cfg.printf("%-16s %10s %10s %12s %12s\n", "format", "Tr [GB/s]", "Tc [Gbps]", "cost [$]", "normalized")
+	for _, r := range rows {
+		cfg.printf("%-16s %10.2f %10.2f %12.6f %11.2fx\n",
+			r.name, r.res.TrGbps()/8, r.res.TcGbps(), r.res.CostDollars, r.res.CostDollars/base)
+	}
+	return nil
+}
+
+// Fig1 regenerates Figure 1: the cost vs throughput scatter of S3 scans.
+func Fig1(cfg *Config) error {
+	corpus := pbi.Largest5(cfg.rows(), cfg.seed())
+	model := s3sim.Default()
+	model.NetworkGbps = cfg.networkGbps()
+	store := s3sim.NewStore()
+
+	cfg.printf("Figure 1: S3 scan cost vs throughput (largest 5 PBI datasets, %.2f Gbps calibrated network)\n", cfg.networkGbps())
+	cfg.printf("%-16s %22s %14s\n", "format", "scan throughput [Gbps]", "cost [$]")
+	for _, f := range s3Formats() {
+		_, keys, err := uploadCorpus(store, f, corpus)
+		if err != nil {
+			return err
+		}
+		var best *s3sim.ScanResult
+		for r := 0; r < cfg.reps(); r++ {
+			res, err := scanFull(cfg, model, store, f, keys)
+			if err != nil {
+				return err
+			}
+			if best == nil || res.ScanSeconds < best.ScanSeconds {
+				best = res
+			}
+		}
+		cfg.printf("%-16s %22.2f %14.6f\n", f.Name, best.TcGbps(), best.CostDollars)
+	}
+	return nil
+}
+
+// ColumnScan regenerates the §6.7 single-column loading experiment:
+// loading individual query columns, where Parquet needs three dependent
+// requests per column (footer length, footer, column chunk) while the
+// one-file-per-column BtrBlocks layout needs one.
+func ColumnScan(cfg *Config) error {
+	corpus := pbi.Largest5(cfg.rows(), cfg.seed())
+	model := s3sim.Default()
+	model.NetworkGbps = cfg.networkGbps()
+	store := s3sim.NewStore()
+	rng := rand.New(rand.NewSource(cfg.seed()))
+
+	type fmtCost struct {
+		name string
+		deps int
+		f    Format
+	}
+	lineup := []fmtCost{
+		{"btrblocks", 0, BtrFormat(btrblocks.DefaultOptions())},
+		{"parquet", 2, ParquetFormat(codec.None)},
+		{"parquet+snappy", 2, ParquetFormat(codec.Snappy)},
+		{"parquet+zstd*", 2, ParquetFormat(codec.Heavy)},
+	}
+
+	// Random "queries" each select ~1/3 of a dataset's columns.
+	type query struct{ dataset, column string }
+	var queries []query
+	for _, ds := range corpus {
+		for _, col := range ds.Chunk.Columns {
+			if rng.Float64() < 0.34 {
+				queries = append(queries, query{ds.Name, col.Name})
+			}
+		}
+	}
+	sort.Slice(queries, func(i, j int) bool {
+		return queries[i].dataset+queries[i].column < queries[j].dataset+queries[j].column
+	})
+
+	cfg.printf("§6.7 single-column S3 loads (%d columns)\n", len(queries))
+	cfg.printf("%-16s %12s %10s %14s\n", "format", "cost [$]", "requests", "vs btrblocks")
+	var baseCost float64
+	for _, fc := range lineup {
+		_, _, err := uploadCorpus(store, fc.f, corpus)
+		if err != nil {
+			return err
+		}
+		var total float64
+		var requests int
+		for _, q := range queries {
+			key := fc.f.Name + "/" + q.dataset + "/" + q.column
+			res, err := model.Scan(store, []s3sim.Object{{Key: key, DependentRequests: fc.deps}}, 1,
+				func(key string, data []byte) (int, error) {
+					return fc.f.Scan(data, key)
+				})
+			if err != nil {
+				return fmt.Errorf("%s %s/%s: %w", fc.name, q.dataset, q.column, err)
+			}
+			total += res.CostDollars
+			requests += res.Requests
+		}
+		if fc.name == "btrblocks" {
+			baseCost = total
+		}
+		cfg.printf("%-16s %12.6f %10d %13.2fx\n", fc.name, total, requests, total/baseCost)
+	}
+	return nil
+}

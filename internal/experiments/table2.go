@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"btrblocks"
+	"btrblocks/internal/codec"
+	"btrblocks/internal/csvconv"
+	"btrblocks/internal/parquetlike"
+	"btrblocks/internal/pbi"
+)
+
+// typeVolume accumulates per-type uncompressed/compressed byte counts.
+type typeVolume struct {
+	unc  [3]int
+	comp [3]int
+}
+
+func (v *typeVolume) add(t btrblocks.Type, unc, comp int) {
+	v.unc[t] += unc
+	v.comp[t] += comp
+}
+
+func (v *typeVolume) totalComp() int { return v.comp[0] + v.comp[1] + v.comp[2] }
+func (v *typeVolume) totalUnc() int  { return v.unc[0] + v.unc[1] + v.unc[2] }
+
+// share returns type t's share of the format's compressed volume (%).
+func (v *typeVolume) share(t btrblocks.Type) float64 {
+	if v.totalComp() == 0 {
+		return 0
+	}
+	return 100 * float64(v.comp[t]) / float64(v.totalComp())
+}
+
+// ratio returns type t's compression factor.
+func (v *typeVolume) ratio(t btrblocks.Type) float64 {
+	if v.comp[t] == 0 {
+		return 0
+	}
+	return float64(v.unc[t]) / float64(v.comp[t])
+}
+
+func (v *typeVolume) combined() float64 {
+	if v.totalComp() == 0 {
+		return 0
+	}
+	return float64(v.totalUnc()) / float64(v.totalComp())
+}
+
+func compressCorpusVolume(f Format, corpus []pbi.Dataset) (*typeVolume, error) {
+	var vol typeVolume
+	for _, ds := range corpus {
+		for _, col := range ds.Chunk.Columns {
+			data, err := f.Compress(col)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s/%s: %w", f.Name, ds.Name, col.Name, err)
+			}
+			vol.add(col.Type, col.UncompressedBytes(), len(data))
+		}
+	}
+	return &vol, nil
+}
+
+// Table2 regenerates Table 2: per-data-type volume share and compression
+// ratio on the Public BI and TPC-H corpora for every format.
+func Table2(cfg *Config) error {
+	pbiCorpus := cfg.pbiCorpus()
+	tpchCorpus := cfg.tpchCorpus()
+	formats := StandardFormats()
+
+	cfg.printf("Table 2: data types by volume share and compression ratio\n")
+	cfg.printf("%-16s | %26s | %26s | %26s | %15s\n", "", "String", "Double", "Integer", "Combined")
+	cfg.printf("%-16s | %12s %12s | %12s %12s | %12s %12s | %7s %7s\n",
+		"format", "PBI sh/cr", "TPCH sh/cr", "PBI sh/cr", "TPCH sh/cr", "PBI sh/cr", "TPCH sh/cr", "PBI", "TPCH")
+
+	types := []btrblocks.Type{btrblocks.TypeString, btrblocks.TypeDouble, btrblocks.TypeInt}
+	for _, f := range formats {
+		pv, err := compressCorpusVolume(f, pbiCorpus)
+		if err != nil {
+			return err
+		}
+		tv, err := compressCorpusVolume(f, tpchCorpus)
+		if err != nil {
+			return err
+		}
+		cfg.printf("%-16s |", f.Name)
+		for _, t := range types {
+			cfg.printf(" %5.1f%%/%5.2f %5.1f%%/%5.2f |", pv.share(t), pv.ratio(t), tv.share(t), tv.ratio(t))
+		}
+		cfg.printf(" %7.2f %7.2f\n", pv.combined(), tv.combined())
+	}
+	return nil
+}
+
+// CompressionSpeed regenerates the §6.4 inline table: single-threaded
+// compression speed from CSV and from the binary in-memory format, plus
+// the achieved compression factor, for BtrBlocks, Parquet+Snappy and
+// Parquet+Zstd*.
+func CompressionSpeed(cfg *Config) error {
+	corpus := cfg.pbiCorpus()
+
+	type row struct {
+		name string
+		do   func(chunk *btrblocks.Chunk) (int, error) // returns compressed size
+	}
+	btrOpt := btrblocks.DefaultOptions()
+	rows := []row{
+		{"btrblocks", func(chunk *btrblocks.Chunk) (int, error) {
+			total := 0
+			for _, col := range chunk.Columns {
+				data, err := btrblocks.CompressColumn(col, btrOpt)
+				if err != nil {
+					return 0, err
+				}
+				total += len(data)
+			}
+			return total, nil
+		}},
+		{"parquet+snappy", func(chunk *btrblocks.Chunk) (int, error) {
+			return parquetCompressAll(chunk, codec.Snappy)
+		}},
+		{"parquet+zstd*", func(chunk *btrblocks.Chunk) (int, error) {
+			return parquetCompressAll(chunk, codec.Heavy)
+		}},
+	}
+
+	// Render the corpus as CSV once; types per dataset for re-parsing.
+	type dataset struct {
+		csv    []byte
+		types  []btrblocks.Type
+		chunk  *btrblocks.Chunk
+		binary int
+	}
+	var sets []dataset
+	for i := range corpus {
+		chunk := corpus[i].Chunk
+		csvBytes, err := csvconv.ChunkToCSVBytes(&chunk)
+		if err != nil {
+			return err
+		}
+		types := make([]btrblocks.Type, len(chunk.Columns))
+		for ci := range chunk.Columns {
+			types[ci] = chunk.Columns[ci].Type
+		}
+		sets = append(sets, dataset{csv: csvBytes, types: types, chunk: &chunk, binary: chunk.UncompressedBytes()})
+	}
+
+	cfg.printf("Compression speed (single-threaded), cf. §6.4\n")
+	cfg.printf("%-16s %14s %14s %10s\n", "format", "from CSV", "from binary", "factor")
+	for _, r := range rows {
+		var csvBytes, binBytes, compBytes int
+		var fromCSV, fromBin float64
+		for _, ds := range sets {
+			ds := ds
+			// from binary
+			var size int
+			var err error
+			fromBin += timeSeconds(func() {
+				size, err = r.do(ds.chunk)
+			})
+			if err != nil {
+				return err
+			}
+			compBytes += size
+			binBytes += ds.binary
+			// from CSV: parse + compress
+			csvBytes += len(ds.csv)
+			fromCSV += timeSeconds(func() {
+				chunk, perr := csvconv.ReadChunk(bytes.NewReader(ds.csv), ds.types)
+				if perr != nil {
+					err = perr
+					return
+				}
+				_, err = r.do(chunk)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		factor := float64(binBytes) / float64(compBytes)
+		cfg.printf("%-16s %11.1f MB/s %11.1f MB/s %9.2fx\n",
+			r.name, float64(csvBytes)/1e6/fromCSV, float64(binBytes)/1e6/fromBin, factor)
+	}
+	return nil
+}
+
+func parquetCompressAll(chunk *btrblocks.Chunk, k codec.Kind) (int, error) {
+	total := 0
+	opt := &parquetlike.Options{Codec: k}
+	for _, col := range chunk.Columns {
+		data, err := parquetlike.CompressColumn(col, opt)
+		if err != nil {
+			return 0, err
+		}
+		total += len(data)
+	}
+	return total, nil
+}

@@ -1,0 +1,136 @@
+package fastpfor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"btrblocks/internal/bitpack"
+)
+
+func roundTrip(t *testing.T, src []int32) []byte {
+	t.Helper()
+	enc := Encode(nil, src)
+	dec, used, err := Decode(nil, enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if used != len(enc) {
+		t.Fatalf("consumed %d of %d", used, len(enc))
+	}
+	if len(dec) != len(src) {
+		t.Fatalf("got %d values, want %d", len(dec), len(src))
+	}
+	for i := range src {
+		if dec[i] != src[i] {
+			t.Fatalf("value %d = %d, want %d", i, dec[i], src[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	for _, src := range [][]int32{
+		nil,
+		{0},
+		{1, 2, 3},
+		{math.MinInt32, 0, math.MaxInt32},
+		{-7, -7, -7, -7},
+	} {
+		roundTrip(t, src)
+	}
+}
+
+func TestOutliersBeatPlainFOR(t *testing.T) {
+	// Mostly small values with rare huge outliers: patching should win
+	// clearly over plain FOR, which must widen every value.
+	rng := rand.New(rand.NewSource(7))
+	src := make([]int32, 64000)
+	for i := range src {
+		src[i] = int32(rng.Intn(16))
+		if i%512 == 0 {
+			src[i] = int32(rng.Intn(1 << 30))
+		}
+	}
+	pf := roundTrip(t, src)
+	plain := bitpack.EncodeFOR(nil, src)
+	if len(pf) >= len(plain) {
+		t.Fatalf("fastpfor (%d bytes) should beat plain FOR (%d bytes) on outlier data", len(pf), len(plain))
+	}
+	if ratio := float64(len(src)*4) / float64(len(pf)); ratio < 4 {
+		t.Fatalf("expected ratio > 4x on 4-bit data with rare outliers, got %.2f", ratio)
+	}
+}
+
+func TestUniformDataNoRegression(t *testing.T) {
+	// With no outliers the codec should degrade gracefully to ~plain FOR.
+	rng := rand.New(rand.NewSource(8))
+	src := make([]int32, 10000)
+	for i := range src {
+		src[i] = int32(rng.Intn(1 << 12))
+	}
+	pf := roundTrip(t, src)
+	plain := bitpack.EncodeFOR(nil, src)
+	if float64(len(pf)) > 1.1*float64(len(plain)) {
+		t.Fatalf("fastpfor %d bytes vs plain %d bytes: more than 10%% worse on uniform data", len(pf), len(plain))
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	enc := Encode(nil, []int32{5, 5, 5, 1000000, 5})
+	for cut := 0; cut < len(enc); cut++ {
+		if cut == 4 {
+			continue // valid empty stream prefix
+		}
+		if _, _, err := Decode(nil, enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[8] = 60 // b > 32
+	if _, _, err := Decode(nil, bad); err == nil {
+		t.Fatal("bad width not detected")
+	}
+}
+
+func TestQuick(t *testing.T) {
+	f := func(src []int32) bool {
+		enc := Encode(nil, src)
+		dec, used, err := Decode(nil, enc)
+		if err != nil || used != len(enc) || len(dec) != len(src) {
+			return false
+		}
+		for i := range src {
+			if dec[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	src := make([]int32, 64000)
+	for i := range src {
+		src[i] = int32(rng.Intn(1 << 10))
+		if i%256 == 0 {
+			src[i] = int32(rng.Intn(1 << 28))
+		}
+	}
+	enc := Encode(nil, src)
+	dst := make([]int32, 0, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, _, err = Decode(dst[:0], enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

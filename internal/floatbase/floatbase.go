@@ -1,0 +1,537 @@
+// Package floatbase implements the floating-point compression baselines the
+// paper compares Pseudodecimal Encoding against in Table 3: Gorilla
+// (Pelkonen et al. 2015), Chimp and Chimp128 (Liakos et al. 2022), and FPC
+// (Burtscher & Ratanaworabhan 2007). All are lossless, bit-exact codecs for
+// float64 streams.
+package floatbase
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/bits"
+
+	"btrblocks/internal/bitio"
+)
+
+// ErrCorrupt is returned for malformed streams.
+var ErrCorrupt = errors.New("floatbase: corrupt stream")
+
+func appendHeader(dst []byte, n int) []byte {
+	return binary.LittleEndian.AppendUint32(dst, uint32(n))
+}
+
+func readHeader(src []byte) (int, []byte, error) {
+	if len(src) < 4 {
+		return 0, nil, ErrCorrupt
+	}
+	return int(binary.LittleEndian.Uint32(src)), src[4:], nil
+}
+
+// --- Gorilla ---
+
+// GorillaEncode compresses src with the Gorilla XOR scheme and appends the
+// result (4-byte count header + bit stream) to dst.
+func GorillaEncode(dst []byte, src []float64) []byte {
+	dst = appendHeader(dst, len(src))
+	if len(src) == 0 {
+		return dst
+	}
+	w := bitio.NewWriter(dst)
+	prev := math.Float64bits(src[0])
+	w.WriteBits(prev, 64)
+	prevLead, prevTrail := uint(65), uint(65) // invalid: forces a new window
+	for _, v := range src[1:] {
+		cur := math.Float64bits(v)
+		xor := prev ^ cur
+		prev = cur
+		if xor == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		lead := uint(bits.LeadingZeros64(xor))
+		if lead > 31 {
+			lead = 31
+		}
+		trail := uint(bits.TrailingZeros64(xor))
+		if lead >= prevLead && trail >= prevTrail {
+			// fits in the previous meaningful-bit window
+			w.WriteBits(0b10, 2)
+			w.WriteBits(xor>>prevTrail, 64-prevLead-prevTrail)
+			continue
+		}
+		meaningful := 64 - lead - trail
+		w.WriteBits(0b11, 2)
+		w.WriteBits(uint64(lead), 5)
+		w.WriteBits(uint64(meaningful-1), 6)
+		w.WriteBits(xor>>trail, meaningful)
+		prevLead, prevTrail = lead, trail
+	}
+	return w.Bytes()
+}
+
+// GorillaDecode decompresses a GorillaEncode stream, appending to dst.
+func GorillaDecode(dst []float64, src []byte) ([]float64, error) {
+	n, body, err := readHeader(src)
+	if err != nil {
+		return dst, err
+	}
+	if n == 0 {
+		return dst, nil
+	}
+	r := bitio.NewReader(body)
+	raw, err := r.ReadBits(64)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, math.Float64frombits(raw))
+	prev := raw
+	var lead, trail uint
+	for i := 1; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return dst, err
+		}
+		if b == 0 {
+			dst = append(dst, math.Float64frombits(prev))
+			continue
+		}
+		b, err = r.ReadBit()
+		if err != nil {
+			return dst, err
+		}
+		if b == 1 {
+			leadBits, err := r.ReadBits(5)
+			if err != nil {
+				return dst, err
+			}
+			mBits, err := r.ReadBits(6)
+			if err != nil {
+				return dst, err
+			}
+			lead = uint(leadBits)
+			meaningful := uint(mBits) + 1
+			if lead+meaningful > 64 {
+				return dst, ErrCorrupt
+			}
+			trail = 64 - lead - meaningful
+		}
+		width := 64 - lead - trail
+		xor, err := r.ReadBits(width)
+		if err != nil {
+			return dst, err
+		}
+		prev ^= xor << trail
+		dst = append(dst, math.Float64frombits(prev))
+	}
+	return dst, nil
+}
+
+// --- Chimp ---
+
+// chimpLeadRound quantizes a leading-zero count to the 8 representable
+// values, and chimpLeadBits maps a 3-bit index back.
+var chimpLeadBits = [8]uint{0, 8, 12, 16, 18, 20, 22, 24}
+
+func chimpLeadIndex(lead uint) uint {
+	switch {
+	case lead >= 24:
+		return 7
+	case lead >= 22:
+		return 6
+	case lead >= 20:
+		return 5
+	case lead >= 18:
+		return 4
+	case lead >= 16:
+		return 3
+	case lead >= 12:
+		return 2
+	case lead >= 8:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ChimpEncode compresses src with the Chimp scheme.
+func ChimpEncode(dst []byte, src []float64) []byte {
+	dst = appendHeader(dst, len(src))
+	if len(src) == 0 {
+		return dst
+	}
+	w := bitio.NewWriter(dst)
+	prev := math.Float64bits(src[0])
+	w.WriteBits(prev, 64)
+	prevLead := uint(65)
+	for _, v := range src[1:] {
+		cur := math.Float64bits(v)
+		xor := prev ^ cur
+		prev = cur
+		if xor == 0 {
+			w.WriteBits(0b00, 2)
+			prevLead = 65
+			continue
+		}
+		lead := chimpLeadBits[chimpLeadIndex(uint(bits.LeadingZeros64(xor)))]
+		trail := uint(bits.TrailingZeros64(xor))
+		if trail > 6 {
+			// center-bits case: worth paying for an explicit trailing cut
+			center := 64 - lead - trail
+			w.WriteBits(0b01, 2)
+			w.WriteBits(uint64(chimpLeadIndex(lead)), 3)
+			w.WriteBits(uint64(center), 6)
+			w.WriteBits(xor>>trail, center)
+			prevLead = 65
+			continue
+		}
+		if lead == prevLead {
+			w.WriteBits(0b10, 2)
+			w.WriteBits(xor, 64-lead)
+			continue
+		}
+		w.WriteBits(0b11, 2)
+		w.WriteBits(uint64(chimpLeadIndex(lead)), 3)
+		w.WriteBits(xor, 64-lead)
+		prevLead = lead
+	}
+	return w.Bytes()
+}
+
+// ChimpDecode decompresses a ChimpEncode stream, appending to dst.
+func ChimpDecode(dst []float64, src []byte) ([]float64, error) {
+	n, body, err := readHeader(src)
+	if err != nil {
+		return dst, err
+	}
+	if n == 0 {
+		return dst, nil
+	}
+	r := bitio.NewReader(body)
+	prev, err := r.ReadBits(64)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, math.Float64frombits(prev))
+	prevLead := uint(65)
+	for i := 1; i < n; i++ {
+		flag, err := r.ReadBits(2)
+		if err != nil {
+			return dst, err
+		}
+		switch flag {
+		case 0b00:
+			prevLead = 65
+		case 0b01:
+			leadIdx, err := r.ReadBits(3)
+			if err != nil {
+				return dst, err
+			}
+			center, err := r.ReadBits(6)
+			if err != nil {
+				return dst, err
+			}
+			lead := chimpLeadBits[leadIdx]
+			if lead+uint(center) > 64 {
+				return dst, ErrCorrupt
+			}
+			trail := 64 - lead - uint(center)
+			xor, err := r.ReadBits(uint(center))
+			if err != nil {
+				return dst, err
+			}
+			prev ^= xor << trail
+			prevLead = 65
+		case 0b10:
+			if prevLead > 64 {
+				return dst, ErrCorrupt
+			}
+			xor, err := r.ReadBits(64 - prevLead)
+			if err != nil {
+				return dst, err
+			}
+			prev ^= xor
+		case 0b11:
+			leadIdx, err := r.ReadBits(3)
+			if err != nil {
+				return dst, err
+			}
+			lead := chimpLeadBits[leadIdx]
+			xor, err := r.ReadBits(64 - lead)
+			if err != nil {
+				return dst, err
+			}
+			prev ^= xor
+			prevLead = lead
+		}
+		dst = append(dst, math.Float64frombits(prev))
+	}
+	return dst, nil
+}
+
+// --- Chimp128 ---
+
+const (
+	chimp128Window = 128
+	chimp128Hash   = 1 << 14
+)
+
+func chimp128Key(bits uint64) uint {
+	return uint((bits * 0x9E3779B97F4A7C15) >> 50)
+}
+
+// Chimp128Encode compresses src with a Chimp128-style scheme: each value may
+// reference any of the previous 128 values (found through a hash of the
+// value bits), trading 7 index bits for much shorter XOR residues on
+// recurring values.
+func Chimp128Encode(dst []byte, src []float64) []byte {
+	dst = appendHeader(dst, len(src))
+	if len(src) == 0 {
+		return dst
+	}
+	w := bitio.NewWriter(dst)
+	first := math.Float64bits(src[0])
+	w.WriteBits(first, 64)
+
+	window := make([]uint64, chimp128Window)
+	indices := make([]int, chimp128Hash)
+	for i := range indices {
+		indices[i] = -1
+	}
+	window[0] = first
+	indices[chimp128Key(first)] = 0
+	prevLead := uint(65)
+
+	for i := 1; i < len(src); i++ {
+		cur := math.Float64bits(src[i])
+		prev := window[(i-1)%chimp128Window]
+
+		// candidate reference from the hash of the current value
+		refIdx := i - 1
+		if cand := indices[chimp128Key(cur)]; cand >= 0 && cand < i && i-cand <= chimp128Window {
+			refIdx = cand
+		}
+		ref := window[refIdx%chimp128Window]
+		xor := ref ^ cur
+		refOff := uint64(refIdx % chimp128Window)
+
+		if xor == 0 {
+			w.WriteBits(0b00, 2)
+			w.WriteBits(refOff, 7)
+			prevLead = 65
+		} else if trail := uint(bits.TrailingZeros64(xor)); trail > 6 {
+			lead := chimpLeadBits[chimpLeadIndex(uint(bits.LeadingZeros64(xor)))]
+			center := 64 - lead - trail
+			w.WriteBits(0b01, 2)
+			w.WriteBits(refOff, 7)
+			w.WriteBits(uint64(chimpLeadIndex(lead)), 3)
+			w.WriteBits(uint64(center), 6)
+			w.WriteBits(xor>>trail, center)
+			prevLead = 65
+		} else {
+			// fall back to chaining off the immediately previous value
+			xor = prev ^ cur
+			lead := chimpLeadBits[chimpLeadIndex(uint(bits.LeadingZeros64(xor)))]
+			if lead == prevLead {
+				w.WriteBits(0b10, 2)
+				w.WriteBits(xor, 64-lead)
+			} else {
+				w.WriteBits(0b11, 2)
+				w.WriteBits(uint64(chimpLeadIndex(lead)), 3)
+				w.WriteBits(xor, 64-lead)
+				prevLead = lead
+			}
+		}
+		window[i%chimp128Window] = cur
+		indices[chimp128Key(cur)] = i
+	}
+	return w.Bytes()
+}
+
+// Chimp128Decode decompresses a Chimp128Encode stream, appending to dst.
+func Chimp128Decode(dst []float64, src []byte) ([]float64, error) {
+	n, body, err := readHeader(src)
+	if err != nil {
+		return dst, err
+	}
+	if n == 0 {
+		return dst, nil
+	}
+	r := bitio.NewReader(body)
+	first, err := r.ReadBits(64)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, math.Float64frombits(first))
+	window := make([]uint64, chimp128Window)
+	window[0] = first
+	prevLead := uint(65)
+
+	for i := 1; i < n; i++ {
+		flag, err := r.ReadBits(2)
+		if err != nil {
+			return dst, err
+		}
+		var cur uint64
+		switch flag {
+		case 0b00:
+			off, err := r.ReadBits(7)
+			if err != nil {
+				return dst, err
+			}
+			cur = window[off]
+			prevLead = 65
+		case 0b01:
+			off, err := r.ReadBits(7)
+			if err != nil {
+				return dst, err
+			}
+			leadIdx, err := r.ReadBits(3)
+			if err != nil {
+				return dst, err
+			}
+			center, err := r.ReadBits(6)
+			if err != nil {
+				return dst, err
+			}
+			lead := chimpLeadBits[leadIdx]
+			if lead+uint(center) > 64 {
+				return dst, ErrCorrupt
+			}
+			trail := 64 - lead - uint(center)
+			xor, err := r.ReadBits(uint(center))
+			if err != nil {
+				return dst, err
+			}
+			cur = window[off] ^ (xor << trail)
+			prevLead = 65
+		case 0b10:
+			if prevLead > 64 {
+				return dst, ErrCorrupt
+			}
+			xor, err := r.ReadBits(64 - prevLead)
+			if err != nil {
+				return dst, err
+			}
+			cur = window[(i-1)%chimp128Window] ^ xor
+		case 0b11:
+			leadIdx, err := r.ReadBits(3)
+			if err != nil {
+				return dst, err
+			}
+			lead := chimpLeadBits[leadIdx]
+			xor, err := r.ReadBits(64 - lead)
+			if err != nil {
+				return dst, err
+			}
+			cur = window[(i-1)%chimp128Window] ^ xor
+			prevLead = lead
+		}
+		dst = append(dst, math.Float64frombits(cur))
+		window[i%chimp128Window] = cur
+	}
+	return dst, nil
+}
+
+// --- FPC ---
+
+const fpcTableBits = 16
+
+// FPCEncode compresses src with the FPC scheme: two hash-based predictors
+// (FCM and DFCM); each value stores which predictor was closer, the number
+// of leading zero bytes of the XOR residue, and the remaining raw bytes.
+func FPCEncode(dst []byte, src []float64) []byte {
+	dst = appendHeader(dst, len(src))
+	w := bitio.NewWriter(dst)
+	var fcm, dfcm fpcPredictor
+	dfcm.delta = true
+	for _, v := range src {
+		cur := math.Float64bits(v)
+		p1 := fcm.predict()
+		p2 := dfcm.predict()
+		x1 := cur ^ p1
+		x2 := cur ^ p2
+		sel := uint64(0)
+		xor := x1
+		if bits.LeadingZeros64(x2) > bits.LeadingZeros64(x1) {
+			sel, xor = 1, x2
+		}
+		lzb := uint(bits.LeadingZeros64(xor)) / 8
+		w.WriteBits(sel, 1)
+		w.WriteBits(uint64(lzb), 4)
+		if lzb < 8 {
+			w.WriteBits(xor, (8-lzb)*8)
+		}
+		fcm.update(cur)
+		dfcm.update(cur)
+	}
+	return w.Bytes()
+}
+
+// FPCDecode decompresses an FPCEncode stream, appending to dst.
+func FPCDecode(dst []float64, src []byte) ([]float64, error) {
+	n, body, err := readHeader(src)
+	if err != nil {
+		return dst, err
+	}
+	r := bitio.NewReader(body)
+	var fcm, dfcm fpcPredictor
+	dfcm.delta = true
+	for i := 0; i < n; i++ {
+		sel, err := r.ReadBits(1)
+		if err != nil {
+			return dst, err
+		}
+		lzb, err := r.ReadBits(4)
+		if err != nil {
+			return dst, err
+		}
+		if lzb > 8 {
+			return dst, ErrCorrupt
+		}
+		var xor uint64
+		if lzb < 8 {
+			xor, err = r.ReadBits((8 - uint(lzb)) * 8)
+			if err != nil {
+				return dst, err
+			}
+		}
+		pred := fcm.predict()
+		if sel == 1 {
+			pred = dfcm.predict()
+		}
+		cur := pred ^ xor
+		dst = append(dst, math.Float64frombits(cur))
+		fcm.update(cur)
+		dfcm.update(cur)
+	}
+	return dst, nil
+}
+
+// fpcPredictor implements both FCM (delta=false) and DFCM (delta=true).
+type fpcPredictor struct {
+	table [1 << fpcTableBits]uint64
+	hash  uint
+	last  uint64
+	delta bool
+}
+
+func (p *fpcPredictor) predict() uint64 {
+	v := p.table[p.hash]
+	if p.delta {
+		return v + p.last
+	}
+	return v
+}
+
+func (p *fpcPredictor) update(cur uint64) {
+	if p.delta {
+		d := cur - p.last
+		p.table[p.hash] = d
+		p.hash = ((p.hash << 2) ^ uint(d>>40)) & (1<<fpcTableBits - 1)
+		p.last = cur
+	} else {
+		p.table[p.hash] = cur
+		p.hash = ((p.hash << 6) ^ uint(cur>>48)) & (1<<fpcTableBits - 1)
+	}
+}

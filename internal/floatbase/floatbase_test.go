@@ -1,0 +1,169 @@
+package floatbase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type codec struct {
+	name   string
+	encode func([]byte, []float64) []byte
+	decode func([]float64, []byte) ([]float64, error)
+}
+
+var codecs = []codec{
+	{"gorilla", GorillaEncode, GorillaDecode},
+	{"chimp", ChimpEncode, ChimpDecode},
+	{"chimp128", Chimp128Encode, Chimp128Decode},
+	{"fpc", FPCEncode, FPCDecode},
+}
+
+func checkRoundTrip(t *testing.T, c codec, src []float64) int {
+	t.Helper()
+	enc := c.encode(nil, src)
+	dec, err := c.decode(nil, enc)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", c.name, err)
+	}
+	if len(dec) != len(src) {
+		t.Fatalf("%s: got %d values, want %d", c.name, len(dec), len(src))
+	}
+	for i := range src {
+		if math.Float64bits(dec[i]) != math.Float64bits(src[i]) {
+			t.Fatalf("%s: value %d: %v != %v", c.name, i, dec[i], src[i])
+		}
+	}
+	return len(enc)
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	inputs := [][]float64{
+		nil,
+		{0},
+		{1.5},
+		{1.5, 1.5, 1.5, 1.5},
+		{3.25, 0.99, -6.425, 5.5e-42},
+		{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)},
+		{math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64},
+	}
+	rng := rand.New(rand.NewSource(31))
+	walk := make([]float64, 10000)
+	v := 100.0
+	for i := range walk {
+		v += rng.Float64() - 0.5
+		walk[i] = v
+	}
+	inputs = append(inputs, walk)
+
+	for _, c := range codecs {
+		for _, src := range inputs {
+			checkRoundTrip(t, c, src)
+		}
+	}
+}
+
+func TestTimeSeriesCompress(t *testing.T) {
+	// Slowly changing series: every XOR codec should beat raw storage.
+	src := make([]float64, 10000)
+	for i := range src {
+		src[i] = 20 + 0.01*float64(i%100)
+	}
+	raw := len(src) * 8
+	for _, c := range codecs {
+		size := checkRoundTrip(t, c, src)
+		if size >= raw {
+			t.Errorf("%s: %d bytes >= raw %d on a compressible series", c.name, size, raw)
+		}
+	}
+}
+
+func TestChimp128BeatsChimpOnRecurringValues(t *testing.T) {
+	// A small set of recurring values separated by noise: the 128-value
+	// window is exactly what lets Chimp128 win here.
+	rng := rand.New(rand.NewSource(32))
+	vals := []float64{83.2833, 3.05, 9.5999, 17.25, 0.0}
+	src := make([]float64, 20000)
+	for i := range src {
+		if i%3 == 0 {
+			src[i] = rng.NormFloat64() * 1000
+		} else {
+			src[i] = vals[rng.Intn(len(vals))]
+		}
+	}
+	chimpSize := checkRoundTrip(t, codecs[1], src)
+	c128Size := checkRoundTrip(t, codecs[2], src)
+	if c128Size >= chimpSize {
+		t.Fatalf("chimp128 (%d) should beat chimp (%d) on recurring values", c128Size, chimpSize)
+	}
+}
+
+func TestTruncatedStreams(t *testing.T) {
+	src := []float64{1.5, 2.5, 3.5, 2.5, 900.125}
+	for _, c := range codecs {
+		enc := c.encode(nil, src)
+		for cut := 0; cut < 4; cut++ {
+			if _, err := c.decode(nil, enc[:cut]); err == nil {
+				t.Fatalf("%s: missing header not detected at cut %d", c.name, cut)
+			}
+		}
+		// Deep truncations must error, not panic or hang (a few byte
+		// positions may decode fewer values legally only if the count
+		// cannot be satisfied, which must be an error).
+		for cut := 4; cut < len(enc); cut++ {
+			if _, err := c.decode(nil, enc[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d not detected", c.name, cut)
+			}
+		}
+	}
+}
+
+func TestQuickAllCodecs(t *testing.T) {
+	for _, c := range codecs {
+		c := c
+		f := func(raw []uint64) bool {
+			src := make([]float64, len(raw))
+			for i, b := range raw {
+				src[i] = math.Float64frombits(b)
+			}
+			enc := c.encode(nil, src)
+			dec, err := c.decode(nil, enc)
+			if err != nil || len(dec) != len(src) {
+				return false
+			}
+			for i := range src {
+				if math.Float64bits(dec[i]) != math.Float64bits(src[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	src := make([]float64, 64000)
+	for i := range src {
+		src[i] = float64(rng.Intn(100000)) / 100
+	}
+	for _, c := range codecs {
+		b.Run(c.name, func(b *testing.B) {
+			enc := c.encode(nil, src)
+			dst := make([]float64, 0, len(src))
+			b.SetBytes(int64(len(src) * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, err = c.decode(dst[:0], enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

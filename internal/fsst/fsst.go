@@ -1,0 +1,341 @@
+// Package fsst implements Fast Static Symbol Table string compression
+// (Boncz, Neumann, Leis — PVLDB 2020). FSST replaces frequently occurring
+// substrings of up to 8 bytes with 1-byte codes from an immutable 255-entry
+// symbol table; decompression is a tight loop of table lookups and 8-byte
+// copies. The table is trained per block with an iterative bottom-up
+// algorithm that repeatedly compresses a sample, counts symbol and
+// symbol-pair frequencies, and keeps the highest-gain candidates.
+package fsst
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+const (
+	// MaxSymbols is the number of usable codes; code 255 is the escape
+	// marker that prefixes a literal byte.
+	MaxSymbols = 255
+	// MaxSymbolLen is the maximum symbol length in bytes.
+	MaxSymbolLen = 8
+	// EscapeCode marks "next input byte is a literal".
+	EscapeCode = 255
+
+	// maxSampleBytes bounds the training sample, like the reference
+	// implementation, so table construction stays cheap.
+	maxSampleBytes = 1 << 14
+	// buildIterations is the number of refinement generations.
+	buildIterations = 5
+)
+
+// ErrCorrupt is returned for malformed compressed data or tables.
+var ErrCorrupt = errors.New("fsst: corrupt stream")
+
+// Symbol is a byte string of length 1..8 stored in a uint64
+// (first byte in the lowest-order byte).
+type Symbol struct {
+	Val uint64
+	Len uint8
+}
+
+func makeSymbol(b []byte) Symbol {
+	var v uint64
+	n := len(b)
+	if n > MaxSymbolLen {
+		n = MaxSymbolLen
+	}
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return Symbol{Val: v, Len: uint8(n)}
+}
+
+func concatSymbols(a, b Symbol) (Symbol, bool) {
+	if int(a.Len)+int(b.Len) > MaxSymbolLen {
+		return Symbol{}, false
+	}
+	return Symbol{Val: a.Val | b.Val<<(8*uint(a.Len)), Len: a.Len + b.Len}, true
+}
+
+// Bytes returns the symbol's byte string.
+func (s Symbol) Bytes() []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], s.Val)
+	return buf[:s.Len]
+}
+
+// Table is an immutable FSST symbol table.
+type Table struct {
+	symbols [MaxSymbols]Symbol
+	n       int
+	// index buckets candidate codes by first byte, longest symbols first,
+	// for greedy longest-match encoding.
+	index [256][]uint8
+}
+
+// NumSymbols returns the number of symbols in the table.
+func (t *Table) NumSymbols() int { return t.n }
+
+// SymbolAt returns symbol i (for inspection and tests).
+func (t *Table) SymbolAt(i int) Symbol { return t.symbols[i] }
+
+func (t *Table) buildIndex() {
+	for i := range t.index {
+		t.index[i] = nil
+	}
+	// insert longer symbols first so each bucket is sorted by length desc
+	for l := MaxSymbolLen; l >= 1; l-- {
+		for i := 0; i < t.n; i++ {
+			if int(t.symbols[i].Len) == l {
+				first := byte(t.symbols[i].Val)
+				t.index[first] = append(t.index[first], uint8(i))
+			}
+		}
+	}
+}
+
+// findLongestMatch returns the code of the longest symbol matching a prefix
+// of src, or -1 if none matches.
+func (t *Table) findLongestMatch(src []byte) int {
+	var window uint64
+	n := len(src)
+	if n >= 8 {
+		window = binary.LittleEndian.Uint64(src)
+		n = 8
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			window = window<<8 | uint64(src[i])
+		}
+	}
+	for _, code := range t.index[src[0]] {
+		s := t.symbols[code]
+		if int(s.Len) > n {
+			continue
+		}
+		mask := ^uint64(0)
+		if s.Len < 8 {
+			mask = (1 << (8 * uint(s.Len))) - 1
+		}
+		if window&mask == s.Val {
+			return int(code)
+		}
+	}
+	return -1
+}
+
+// Encode compresses src and appends the result to dst. Every input byte
+// not covered by a symbol costs two output bytes (escape + literal).
+func (t *Table) Encode(dst, src []byte) []byte {
+	for i := 0; i < len(src); {
+		if code := t.findLongestMatch(src[i:]); code >= 0 {
+			dst = append(dst, byte(code))
+			i += int(t.symbols[code].Len)
+			continue
+		}
+		dst = append(dst, EscapeCode, src[i])
+		i++
+	}
+	return dst
+}
+
+// EncodedSize returns len(Encode(nil, src)) without materializing output.
+func (t *Table) EncodedSize(src []byte) int {
+	size := 0
+	for i := 0; i < len(src); {
+		if code := t.findLongestMatch(src[i:]); code >= 0 {
+			size++
+			i += int(t.symbols[code].Len)
+			continue
+		}
+		size += 2
+		i++
+	}
+	return size
+}
+
+// Decode decompresses src (produced by Encode) and appends to dst.
+func (t *Table) Decode(dst, src []byte) ([]byte, error) {
+	var buf [8]byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == EscapeCode {
+			i++
+			if i >= len(src) {
+				return dst, ErrCorrupt
+			}
+			dst = append(dst, src[i])
+			continue
+		}
+		if int(c) >= t.n {
+			return dst, ErrCorrupt
+		}
+		s := t.symbols[c]
+		binary.LittleEndian.PutUint64(buf[:], s.Val)
+		dst = append(dst, buf[:s.Len]...)
+	}
+	return dst, nil
+}
+
+// Train builds a symbol table from sample strings. An empty or tiny sample
+// yields an empty table (everything escapes). When the input exceeds the
+// training budget, evenly spaced chunks are taken from across the whole
+// input rather than just its head — real columns drift within a block, and
+// a head-only sample would learn symbols for only the first distribution.
+func Train(sample [][]byte) *Table {
+	total := 0
+	for _, s := range sample {
+		total += len(s)
+	}
+	var corpus []byte
+	if total <= maxSampleBytes {
+		for _, s := range sample {
+			corpus = append(corpus, s...)
+		}
+	} else {
+		const chunk = 512
+		nChunks := maxSampleBytes / chunk
+		stride := total / nChunks
+		// walk the concatenation, copying `chunk` bytes every `stride`
+		next := 0
+		off := 0
+		for _, s := range sample {
+			for len(s) > 0 {
+				if off+len(s) <= next {
+					off += len(s)
+					break
+				}
+				start := next - off
+				if start < 0 {
+					start = 0
+				}
+				end := start + chunk
+				if end > len(s) {
+					end = len(s)
+				}
+				corpus = append(corpus, s[start:end]...)
+				if len(corpus) >= maxSampleBytes {
+					s = nil
+					break
+				}
+				next += stride
+				if next < off+end {
+					next = off + end
+				}
+			}
+			if len(corpus) >= maxSampleBytes {
+				break
+			}
+		}
+	}
+	t := &Table{}
+	t.buildIndex()
+	if len(corpus) == 0 {
+		return t
+	}
+
+	for iter := 0; iter < buildIterations; iter++ {
+		t = nextGeneration(t, corpus)
+	}
+	return t
+}
+
+// candidate tracks the gain of a potential symbol during training.
+type candidate struct {
+	sym  Symbol
+	gain int
+}
+
+// nextGeneration compresses the corpus with the current table, counts
+// single symbols and adjacent pairs, and returns a new table of the
+// highest-gain candidates.
+func nextGeneration(t *Table, corpus []byte) *Table {
+	gains := make(map[Symbol]int)
+	prev := Symbol{}
+	havePrev := false
+	for i := 0; i < len(corpus); {
+		var cur Symbol
+		if code := t.findLongestMatch(corpus[i:]); code >= 0 {
+			cur = t.symbols[code]
+		} else {
+			cur = Symbol{Val: uint64(corpus[i]), Len: 1}
+		}
+		gains[cur] += int(cur.Len)
+		if havePrev {
+			if joined, ok := concatSymbols(prev, cur); ok {
+				gains[joined] += int(joined.Len)
+			}
+		}
+		prev, havePrev = cur, true
+		i += int(cur.Len)
+	}
+
+	cands := make([]candidate, 0, len(gains))
+	for sym, gain := range gains {
+		// A 1-byte symbol saves nothing over an escape unless it is
+		// frequent (escape costs 2 bytes); gain is already freq*len, so
+		// single bytes are naturally ranked lower. Skip singletons.
+		if gain <= int(sym.Len) {
+			continue
+		}
+		cands = append(cands, candidate{sym: sym, gain: gain})
+	}
+	// Partial selection sort of the top MaxSymbols candidates by gain
+	// (ties broken deterministically by symbol value for reproducibility).
+	nt := &Table{}
+	for nt.n < MaxSymbols && len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].gain > cands[best].gain ||
+				(cands[i].gain == cands[best].gain &&
+					(cands[i].sym.Len > cands[best].sym.Len ||
+						(cands[i].sym.Len == cands[best].sym.Len && cands[i].sym.Val < cands[best].sym.Val))) {
+				best = i
+			}
+		}
+		nt.symbols[nt.n] = cands[best].sym
+		nt.n++
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+	nt.buildIndex()
+	return nt
+}
+
+// AppendTable serializes the table and appends it to dst:
+// n:u8 then per symbol len:u8 + bytes.
+func (t *Table) AppendTable(dst []byte) []byte {
+	dst = append(dst, byte(t.n))
+	for i := 0; i < t.n; i++ {
+		s := t.symbols[i]
+		dst = append(dst, s.Len)
+		dst = append(dst, s.Bytes()...)
+	}
+	return dst
+}
+
+// TableFromBytes deserializes a table, returning it and bytes consumed.
+func TableFromBytes(src []byte) (*Table, int, error) {
+	if len(src) < 1 {
+		return nil, 0, ErrCorrupt
+	}
+	n := int(src[0])
+	if n > MaxSymbols {
+		return nil, 0, ErrCorrupt
+	}
+	pos := 1
+	t := &Table{n: n}
+	for i := 0; i < n; i++ {
+		if pos >= len(src) {
+			return nil, 0, ErrCorrupt
+		}
+		l := int(src[pos])
+		pos++
+		if l < 1 || l > MaxSymbolLen || pos+l > len(src) {
+			return nil, 0, ErrCorrupt
+		}
+		t.symbols[i] = makeSymbol(src[pos : pos+l])
+		pos += l
+	}
+	t.buildIndex()
+	return t, pos, nil
+}

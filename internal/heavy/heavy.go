@@ -1,0 +1,54 @@
+// Package heavy provides the heavyweight general-purpose codec slot that
+// the paper fills with Zstd. The Go standard library has no Zstd, so this
+// wraps compress/flate (DEFLATE at maximum compression): like Zstd it is an
+// entropy-coded LZ with a clearly better ratio and clearly slower
+// decompression than the byte-oriented Snappy/LZ4 — the two properties the
+// paper's comparisons depend on. See DESIGN.md §4 for the substitution note.
+package heavy
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrCorrupt is returned for malformed compressed data.
+var ErrCorrupt = errors.New("heavy: corrupt input")
+
+var writerPool = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.BestCompression)
+		if err != nil {
+			panic(err)
+		}
+		return w
+	},
+}
+
+// Encode compresses src and appends the result to dst.
+func Encode(dst, src []byte) []byte {
+	var buf bytes.Buffer
+	w := writerPool.Get().(*flate.Writer)
+	w.Reset(&buf)
+	if _, err := w.Write(src); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	writerPool.Put(w)
+	return append(dst, buf.Bytes()...)
+}
+
+// Decode decompresses src entirely and appends to dst.
+func Decode(dst, src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return dst, ErrCorrupt
+	}
+	return append(dst, out...), nil
+}

@@ -1,0 +1,55 @@
+package heavy
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte(strings.Repeat("heavyweight compression ", 5000)),
+	}
+	rng := rand.New(rand.NewSource(61))
+	random := make([]byte, 50000)
+	rng.Read(random)
+	inputs = append(inputs, random)
+	for _, src := range inputs {
+		enc := Encode(nil, src)
+		dec, err := Decode(nil, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatal("round trip mismatch")
+		}
+	}
+}
+
+func TestBeatsSnappyClassRatioOnText(t *testing.T) {
+	src := []byte(strings.Repeat("the compression ratio of entropy coded formats is better ", 2000))
+	enc := Encode(nil, src)
+	if len(enc) > len(src)/10 {
+		t.Fatalf("expected strong compression on repetitive text: %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	if _, err := Decode(nil, []byte{0xff, 0x00, 0x01}); err == nil {
+		t.Fatal("garbage not detected")
+	}
+}
+
+func TestQuick(t *testing.T) {
+	f := func(src []byte) bool {
+		dec, err := Decode(nil, Encode(nil, src))
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package lz4 implements the LZ4 block format from scratch: token bytes
+// with literal-length and match-length nibbles, 255-extension bytes, and
+// 2-byte little-endian match offsets. It is used as one of the
+// general-purpose codecs layered under the Parquet-like baseline, exactly
+// as the paper layers LZ4 under Parquet.
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt is returned for malformed compressed data.
+var ErrCorrupt = errors.New("lz4: corrupt input")
+
+const (
+	minMatch  = 4
+	hashBits  = 14
+	hashTable = 1 << hashBits
+	// The format requires the last match to start at least 12 bytes
+	// before the end and the last 5 bytes to be literals.
+	endMargin = 12
+)
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> (32 - hashBits)
+}
+
+// Encode compresses src and appends the result to dst, prefixed with a
+// uvarint decompressed length (the raw block format itself carries none).
+func Encode(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	var table [hashTable]int32
+	for i := range table {
+		table[i] = -1
+	}
+	s, lit := 0, 0
+	limit := len(src) - endMargin
+	for s < limit {
+		u := binary.LittleEndian.Uint32(src[s:])
+		h := hash4(u)
+		cand := int(table[h])
+		table[h] = int32(s)
+		if cand < 0 || s-cand > 65535 || binary.LittleEndian.Uint32(src[cand:]) != u {
+			s++
+			continue
+		}
+		matchLen := minMatch
+		// matches may extend up to the end margin
+		maxLen := len(src) - 5 - s
+		for matchLen < maxLen && src[cand+matchLen] == src[s+matchLen] {
+			matchLen++
+		}
+		dst = emitSequence(dst, src[lit:s], s-cand, matchLen)
+		s += matchLen
+		lit = s
+	}
+	// trailing literals-only sequence
+	return emitLastLiterals(dst, src[lit:])
+}
+
+func emitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	mlToken := matchLen - minMatch
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if mlToken >= 15 {
+		token |= 15
+	} else {
+		token |= byte(mlToken)
+	}
+	dst = append(dst, token)
+	dst = appendExtLen(dst, litLen)
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	return appendExtLen(dst, mlToken)
+}
+
+func emitLastLiterals(dst, literals []byte) []byte {
+	litLen := len(literals)
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	dst = append(dst, token)
+	dst = appendExtLen(dst, litLen)
+	return append(dst, literals...)
+}
+
+// appendExtLen appends the 255-run extension bytes for a length field whose
+// nibble was saturated at 15.
+func appendExtLen(dst []byte, n int) []byte {
+	if n < 15 {
+		return dst
+	}
+	n -= 15
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// Decode decompresses src entirely and appends to dst.
+func Decode(dst, src []byte) ([]byte, error) {
+	want, read := binary.Uvarint(src)
+	if read <= 0 || want > 1<<32 {
+		return dst, ErrCorrupt
+	}
+	s := read
+	base := len(dst)
+	if want == 0 {
+		if s != len(src) {
+			return dst, ErrCorrupt
+		}
+		return dst, nil
+	}
+	for s < len(src) {
+		token := src[s]
+		s++
+		// literals
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, s, err = readExtLen(src, s, litLen)
+			if err != nil {
+				return dst, err
+			}
+		}
+		if s+litLen > len(src) {
+			return dst, ErrCorrupt
+		}
+		dst = append(dst, src[s:s+litLen]...)
+		s += litLen
+		if s == len(src) {
+			break // last sequence has no match part
+		}
+		// match
+		if s+2 > len(src) {
+			return dst, ErrCorrupt
+		}
+		offset := int(binary.LittleEndian.Uint16(src[s:]))
+		s += 2
+		matchLen := int(token & 0x0f)
+		if matchLen == 15 {
+			var err error
+			matchLen, s, err = readExtLen(src, s, matchLen)
+			if err != nil {
+				return dst, err
+			}
+		}
+		matchLen += minMatch
+		if offset == 0 || offset > len(dst)-base {
+			return dst, ErrCorrupt
+		}
+		pos := len(dst) - offset
+		for i := 0; i < matchLen; i++ {
+			dst = append(dst, dst[pos+i])
+		}
+	}
+	if len(dst)-base != int(want) {
+		return dst, ErrCorrupt
+	}
+	return dst, nil
+}
+
+func readExtLen(src []byte, s, n int) (int, int, error) {
+	for {
+		if s >= len(src) {
+			return 0, 0, ErrCorrupt
+		}
+		b := src[s]
+		s++
+		n += int(b)
+		if b != 255 {
+			return n, s, nil
+		}
+	}
+}

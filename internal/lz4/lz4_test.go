@@ -1,0 +1,83 @@
+package lz4
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) int {
+	t.Helper()
+	enc := Encode(nil, src)
+	dec, err := Decode(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(dec))
+	}
+	return len(enc)
+}
+
+func TestRoundTrip(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abcdefghijklm"),
+		[]byte(strings.Repeat("0123456789abcdef", 4096)),
+		bytes.Repeat([]byte{7}, 300000),
+	}
+	rng := rand.New(rand.NewSource(51))
+	random := make([]byte, 70000)
+	rng.Read(random)
+	inputs = append(inputs, random)
+	for _, src := range inputs {
+		roundTrip(t, src)
+	}
+}
+
+func TestExtensionLengths(t *testing.T) {
+	// literal run > 15+255 and match run > 15+255 exercise extension bytes
+	var src []byte
+	rng := rand.New(rand.NewSource(52))
+	lit := make([]byte, 700)
+	rng.Read(lit)
+	src = append(src, lit...)
+	src = append(src, bytes.Repeat([]byte("Q"), 900)...)
+	src = append(src, lit...)
+	roundTrip(t, src)
+}
+
+func TestCompressionEffective(t *testing.T) {
+	src := []byte(strings.Repeat("lorem ipsum dolor sit amet ", 2000))
+	if size := roundTrip(t, src); size > len(src)/5 {
+		t.Fatalf("repetitive text compressed only to %d/%d", size, len(src))
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	enc := Encode(nil, []byte(strings.Repeat("abcabcabd", 200)))
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(nil, enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 250 // wrong decompressed length
+	if _, err := Decode(nil, bad); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestQuick(t *testing.T) {
+	f := func(src []byte) bool {
+		dec, err := Decode(nil, Encode(nil, src))
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

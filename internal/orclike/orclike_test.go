@@ -1,0 +1,164 @@
+package orclike
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"btrblocks"
+	"btrblocks/internal/codec"
+)
+
+func roundTrip(t *testing.T, col btrblocks.Column, opt *Options) int {
+	t.Helper()
+	data, err := CompressColumn(col, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressColumn(data, col.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != col.Len() || got.Type != col.Type {
+		t.Fatalf("shape mismatch")
+	}
+	switch col.Type {
+	case btrblocks.TypeInt:
+		for i := range col.Ints {
+			if got.Ints[i] != col.Ints[i] {
+				t.Fatalf("int %d: %d != %d", i, got.Ints[i], col.Ints[i])
+			}
+		}
+	case btrblocks.TypeDouble:
+		for i := range col.Doubles {
+			if math.Float64bits(got.Doubles[i]) != math.Float64bits(col.Doubles[i]) {
+				t.Fatalf("double %d mismatch", i)
+			}
+		}
+	case btrblocks.TypeString:
+		if !got.Strings.Equal(col.Strings) {
+			t.Fatal("string mismatch")
+		}
+	}
+	return len(data)
+}
+
+func TestRLEv1DeltaRuns(t *testing.T) {
+	// ascending sequences are RLEv1's best case (delta runs)
+	n := 100000
+	ints := make([]int32, n)
+	for i := range ints {
+		ints[i] = int32(i)
+	}
+	size := roundTrip(t, btrblocks.IntColumn("seq", ints), &Options{})
+	if size > n/10 {
+		t.Fatalf("sequential ints should delta-run compress, got %d bytes", size)
+	}
+}
+
+func TestRLEv1Literals(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ints := make([]int32, 50001)
+	for i := range ints {
+		ints[i] = rng.Int31() - (1 << 30)
+	}
+	roundTrip(t, btrblocks.IntColumn("noise", ints), &Options{})
+}
+
+func TestRLEv1MixedRunsAndLiterals(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var ints []int32
+	for len(ints) < 80000 {
+		switch rng.Intn(3) {
+		case 0: // constant run
+			v := int32(rng.Intn(1000))
+			for k := 0; k < 5+rng.Intn(300); k++ {
+				ints = append(ints, v)
+			}
+		case 1: // delta run
+			v := int32(rng.Intn(1000000))
+			d := int32(rng.Intn(20) - 10)
+			for k := 0; k < 5+rng.Intn(100); k++ {
+				ints = append(ints, v)
+				v += d
+			}
+		default: // noise
+			for k := 0; k < rng.Intn(50); k++ {
+				ints = append(ints, rng.Int31())
+			}
+		}
+	}
+	roundTrip(t, btrblocks.IntColumn("mix", ints), &Options{})
+}
+
+func TestStringDictionaryThreshold(t *testing.T) {
+	// low-cardinality: dictionary stripe
+	strs := make([]string, 65536)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("city-%d", i%40)
+	}
+	size := roundTrip(t, btrblocks.StringColumn("city", strs), &Options{})
+	if raw := 65536 * 7; size > raw/3 {
+		t.Fatalf("dictionary stripe too large: %d", size)
+	}
+	// high-cardinality: must go direct (threshold 0.8)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("unique-%d", i)
+	}
+	roundTrip(t, btrblocks.StringColumn("unique", strs), &Options{})
+}
+
+func TestDoubleAndCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	doubles := make([]float64, 150000)
+	for i := range doubles {
+		doubles[i] = float64(rng.Intn(10000)) / 100
+	}
+	col := btrblocks.DoubleColumn("price", doubles)
+	for _, k := range []codec.Kind{codec.None, codec.Snappy, codec.LZ4, codec.Heavy} {
+		roundTrip(t, col, &Options{Codec: k})
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	data, err := CompressColumn(btrblocks.IntColumn("x", []int32{9, 9, 9, 9, 1, 5}), &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecompressColumn(data[:cut], "x"); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestQuick(t *testing.T) {
+	opt := &Options{StripeSize: 64, Codec: codec.LZ4}
+	f := func(ints []int32, strs []string) bool {
+		data, err := CompressColumn(btrblocks.IntColumn("i", ints), opt)
+		if err != nil {
+			return false
+		}
+		got, err := DecompressColumn(data, "i")
+		if err != nil || got.Len() != len(ints) {
+			return false
+		}
+		for i := range ints {
+			if got.Ints[i] != ints[i] {
+				return false
+			}
+		}
+		sc := btrblocks.StringColumn("s", strs)
+		data, err = CompressColumn(sc, opt)
+		if err != nil {
+			return false
+		}
+		gs, err := DecompressColumn(data, "s")
+		return err == nil && gs.Strings.Equal(sc.Strings)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

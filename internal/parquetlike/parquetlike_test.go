@@ -1,0 +1,186 @@
+package parquetlike
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"btrblocks"
+	"btrblocks/internal/codec"
+)
+
+func roundTrip(t *testing.T, col btrblocks.Column, opt *Options) int {
+	t.Helper()
+	data, err := CompressColumn(col, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressColumn(data, col.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != col.Len() || got.Type != col.Type {
+		t.Fatalf("shape mismatch: %d/%v vs %d/%v", got.Len(), got.Type, col.Len(), col.Type)
+	}
+	switch col.Type {
+	case btrblocks.TypeInt:
+		for i := range col.Ints {
+			if got.Ints[i] != col.Ints[i] {
+				t.Fatalf("int %d mismatch", i)
+			}
+		}
+	case btrblocks.TypeDouble:
+		for i := range col.Doubles {
+			if math.Float64bits(got.Doubles[i]) != math.Float64bits(col.Doubles[i]) {
+				t.Fatalf("double %d mismatch", i)
+			}
+		}
+	case btrblocks.TypeString:
+		if !got.Strings.Equal(col.Strings) {
+			t.Fatal("string mismatch")
+		}
+	}
+	return len(data)
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ints := make([]int32, 200000)
+	doubles := make([]float64, 200000)
+	strs := make([]string, 200000)
+	for i := range ints {
+		ints[i] = int32(rng.Intn(500))
+		doubles[i] = float64(rng.Intn(1000)) / 4
+		strs[i] = fmt.Sprintf("customer-%d", rng.Intn(300))
+	}
+	cols := []btrblocks.Column{
+		btrblocks.IntColumn("i", ints),
+		btrblocks.DoubleColumn("d", doubles),
+		btrblocks.StringColumn("s", strs),
+	}
+	for _, k := range []codec.Kind{codec.None, codec.Snappy, codec.LZ4, codec.Heavy} {
+		opt := &Options{Codec: k}
+		for _, col := range cols {
+			roundTrip(t, col, opt)
+		}
+	}
+}
+
+func TestDictionaryFallbackToPlain(t *testing.T) {
+	// more distinct values than maxDictSize forces the plain path,
+	// mirroring Parquet's fallback behaviour the paper cites.
+	n := maxDictSize + 1000
+	ints := make([]int32, n)
+	for i := range ints {
+		ints[i] = int32(i)
+	}
+	opt := &Options{}
+	size := roundTrip(t, btrblocks.IntColumn("unique", ints), opt)
+	if size < 4*n {
+		t.Fatalf("unique ints should stay plain (~%d bytes), got %d", 4*n, size)
+	}
+	strs := make([]string, 70000)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("unique-value-%d", i)
+	}
+	roundTrip(t, btrblocks.StringColumn("us", strs), opt)
+	doubles := make([]float64, 70000)
+	for i := range doubles {
+		doubles[i] = float64(i) + 0.5
+	}
+	roundTrip(t, btrblocks.DoubleColumn("ud", doubles), opt)
+}
+
+func TestHybridEncodesRunsCompactly(t *testing.T) {
+	n := 100000
+	ints := make([]int32, n) // one long run of zeros
+	data, err := CompressColumn(btrblocks.IntColumn("zeros", ints), &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 200 {
+		t.Fatalf("all-zero column should RLE to almost nothing, got %d bytes", len(data))
+	}
+	roundTrip(t, btrblocks.IntColumn("zeros", ints), &Options{})
+}
+
+func TestHybridLiteralRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ints := make([]int32, 10007) // odd size exercises literal padding
+	for i := range ints {
+		ints[i] = int32(rng.Intn(100))
+	}
+	roundTrip(t, btrblocks.IntColumn("noise", ints), &Options{})
+}
+
+func TestSnappyHelpsOnPlainStrings(t *testing.T) {
+	// Text with redundancy but too many distinct values for a dictionary:
+	// general-purpose compression is where Parquet+Snappy gains.
+	strs := make([]string, 70000)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("https://example.com/a/very/long/path/%d/%s", i, strings.Repeat("x", i%30))
+	}
+	col := btrblocks.StringColumn("urls", strs)
+	plain := roundTrip(t, col, &Options{Codec: codec.None})
+	snappied := roundTrip(t, col, &Options{Codec: codec.Snappy})
+	heavied := roundTrip(t, col, &Options{Codec: codec.Heavy})
+	if snappied >= plain {
+		t.Fatalf("snappy (%d) should beat none (%d)", snappied, plain)
+	}
+	if heavied >= snappied {
+		t.Fatalf("heavy (%d) should beat snappy (%d)", heavied, snappied)
+	}
+}
+
+func TestSmallRowGroups(t *testing.T) {
+	ints := make([]int32, 1000)
+	for i := range ints {
+		ints[i] = int32(i % 7)
+	}
+	roundTrip(t, btrblocks.IntColumn("x", ints), &Options{RowGroupSize: 128})
+}
+
+func TestCorrupt(t *testing.T) {
+	data, err := CompressColumn(btrblocks.IntColumn("x", []int32{1, 2, 3}), &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecompressColumn(data[:cut], "x"); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestQuick(t *testing.T) {
+	opt := &Options{RowGroupSize: 64, Codec: codec.Snappy}
+	f := func(ints []int32, strs []string) bool {
+		ic := btrblocks.IntColumn("i", ints)
+		data, err := CompressColumn(ic, opt)
+		if err != nil {
+			return false
+		}
+		got, err := DecompressColumn(data, "i")
+		if err != nil || got.Len() != len(ints) {
+			return false
+		}
+		for i := range ints {
+			if got.Ints[i] != ints[i] {
+				return false
+			}
+		}
+		sc := btrblocks.StringColumn("s", strs)
+		data, err = CompressColumn(sc, opt)
+		if err != nil {
+			return false
+		}
+		gs, err := DecompressColumn(data, "s")
+		return err == nil && gs.Strings.Equal(sc.Strings)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package pbi
+
+import (
+	"testing"
+
+	"btrblocks"
+)
+
+func TestCorpusShape(t *testing.T) {
+	corpus := Corpus(2000, 1)
+	if len(corpus) != len(corpusNames) {
+		t.Fatalf("%d datasets, want %d", len(corpus), len(corpusNames))
+	}
+	for _, ds := range corpus {
+		if ds.Chunk.NumRows() != 2000 {
+			t.Fatalf("%s has %d rows", ds.Name, ds.Chunk.NumRows())
+		}
+		for _, col := range ds.Chunk.Columns {
+			if col.Len() != 2000 {
+				t.Fatalf("%s/%s has %d rows", ds.Name, col.Name, col.Len())
+			}
+		}
+	}
+}
+
+func TestCorpusIsStringHeavy(t *testing.T) {
+	// §6.1: PBI is ~71.5% strings by volume; the stand-in corpus must be
+	// clearly string-dominated too.
+	corpus := Corpus(5000, 2)
+	byType := map[btrblocks.Type]int{}
+	total := 0
+	for _, ds := range corpus {
+		for _, col := range ds.Chunk.Columns {
+			byType[col.Type] += col.UncompressedBytes()
+			total += col.UncompressedBytes()
+		}
+	}
+	strFrac := float64(byType[btrblocks.TypeString]) / float64(total)
+	if strFrac < 0.5 || strFrac > 0.9 {
+		t.Fatalf("string volume fraction %.2f outside [0.5, 0.9]", strFrac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Corpus(1000, 7)
+	b := Corpus(1000, 7)
+	for i := range a {
+		for ci := range a[i].Chunk.Columns {
+			ca, cb := a[i].Chunk.Columns[ci], b[i].Chunk.Columns[ci]
+			switch ca.Type {
+			case btrblocks.TypeInt:
+				for j := range ca.Ints {
+					if ca.Ints[j] != cb.Ints[j] {
+						t.Fatalf("nondeterministic int at %s[%d]", ca.Name, j)
+					}
+				}
+			case btrblocks.TypeString:
+				if !ca.Strings.Equal(cb.Strings) {
+					t.Fatalf("nondeterministic strings at %s", ca.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestTable3ColumnCharacteristics(t *testing.T) {
+	cols := Table3Columns(64000, 3)
+	if len(cols) != 12 {
+		t.Fatalf("%d table-3 columns", len(cols))
+	}
+	byName := map[string]btrblocks.Column{}
+	for _, nc := range cols {
+		if nc.Col.Len() != 64000 {
+			t.Fatalf("%s/%s wrong length", nc.Dataset, nc.Name)
+		}
+		byName[nc.Dataset+"/"+nc.Name] = nc.Col
+	}
+	// Gov/26 and Gov/40 must have long runs; Gov/31 must not.
+	runLen := func(col btrblocks.Column) float64 {
+		runs := 1
+		for i := 1; i < len(col.Doubles); i++ {
+			if col.Doubles[i] != col.Doubles[i-1] {
+				runs++
+			}
+		}
+		return float64(len(col.Doubles)) / float64(runs)
+	}
+	if r := runLen(byName["CommonGovernment/26"]); r < 50 {
+		t.Fatalf("Gov/26 avg run %.1f, want long runs", r)
+	}
+	if r := runLen(byName["CommonGovernment/31"]); r > 1.5 {
+		t.Fatalf("Gov/31 avg run %.1f, want no runs", r)
+	}
+}
+
+func TestTable4ColumnsIncludeExpectedNames(t *testing.T) {
+	cols := Table4Columns(10000, 4)
+	want := map[string]bool{
+		"RealEstate1/New Build?":        false,
+		"Motos/Medio":                   false,
+		"SalariesFrance/LIBDOM1":        false,
+		"Telco/TOTAL_MINS_P1":           false,
+		"Redfin4/median_sale_price_mom": false,
+	}
+	for _, nc := range cols {
+		key := nc.Dataset + "/" + nc.Name
+		if _, ok := want[key]; ok {
+			want[key] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("missing column %s", k)
+		}
+	}
+	// New Build? is the all-one-value column
+	for _, nc := range cols {
+		if nc.Dataset == "RealEstate1" {
+			for _, v := range nc.Col.Ints {
+				if v != 0 {
+					t.Fatal("New Build? must be all zeros")
+				}
+			}
+		}
+	}
+}
+
+func TestLargest5(t *testing.T) {
+	ds := Largest5(1000, 5)
+	if len(ds) != 5 {
+		t.Fatalf("%d datasets", len(ds))
+	}
+	for i, d := range ds {
+		if d.Name != Largest5Names[i] {
+			t.Fatalf("dataset %d = %s", i, d.Name)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package pde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeSingleExamples(t *testing.T) {
+	// The paper's running examples.
+	d, ok := EncodeSingle(3.25)
+	if !ok || d.Digits != 325 || d.Exp != 2 {
+		t.Fatalf("3.25 -> (%d,%d), want (325,2)", d.Digits, d.Exp)
+	}
+	// 0.99 is stored as 0.98999...; (99, 2) must still suffice.
+	d, ok = EncodeSingle(0.99)
+	if !ok || d.Digits != 99 || d.Exp != 2 {
+		t.Fatalf("0.99 -> (%d,%d), want (99,2)", d.Digits, d.Exp)
+	}
+	d, ok = EncodeSingle(-6.425)
+	if !ok || d.Digits != -6425 || d.Exp != 3 {
+		t.Fatalf("-6.425 -> (%d,%d), want (-6425,3)", d.Digits, d.Exp)
+	}
+	d, ok = EncodeSingle(0)
+	if !ok || d.Digits != 0 || d.Exp != 0 {
+		t.Fatalf("0 -> (%d,%d), want (0,0)", d.Digits, d.Exp)
+	}
+}
+
+func TestSpecialValuesArePatched(t *testing.T) {
+	for _, v := range []float64{
+		math.Copysign(0, -1), // -0.0
+		math.Inf(1), math.Inf(-1),
+		math.NaN(),
+		5.5e-42,
+		1e300,
+		math.Pi,
+		float64(math.MaxInt32) * 10, // digits overflow at exp 0 and beyond
+	} {
+		if _, ok := EncodeSingle(v); ok {
+			t.Fatalf("%v should be a patch", v)
+		}
+	}
+}
+
+func TestBoundaryDigits(t *testing.T) {
+	// Largest representable digits value must encode; one above must not.
+	d, ok := EncodeSingle(float64(math.MaxInt32))
+	if !ok || d.Digits != math.MaxInt32 || d.Exp != 0 {
+		t.Fatalf("MaxInt32: got (%d,%d) ok=%v", d.Digits, d.Exp, ok)
+	}
+	if d, ok = EncodeSingle(-float64(math.MaxInt32)); !ok || d.Digits != -math.MaxInt32 {
+		t.Fatalf("-MaxInt32: got (%d,%d) ok=%v", d.Digits, d.Exp, ok)
+	}
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestRoundTripBitExact(t *testing.T) {
+	src := []float64{
+		3.5, 3.5, 18, 18, 3.5, 3.5,
+		0.989999999999999991118215802999, // 0.99 as stored
+		-0.0, 0.0, math.NaN(), math.Inf(1), math.Inf(-1),
+		5.5e-42, 1e22, 83.2833, 3.05, 9.5999,
+		-123.456, math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	digits, exps, patches, idx := Encode(src)
+	if len(digits) != len(src) || len(exps) != len(src) {
+		t.Fatal("aligned outputs must match input length")
+	}
+	if len(patches) != len(idx) {
+		t.Fatal("patch values and indexes must align")
+	}
+	dec := Decode(nil, digits, exps, patches, idx)
+	for i := range src {
+		if !bitsEqual(dec[i], src[i]) {
+			t.Fatalf("value %d: %x != %x (%v vs %v)",
+				i, math.Float64bits(dec[i]), math.Float64bits(src[i]), dec[i], src[i])
+		}
+	}
+	// Scalar ablation decoder must agree.
+	dec2 := DecodeScalar(nil, digits, exps, patches)
+	for i := range src {
+		if !bitsEqual(dec2[i], src[i]) {
+			t.Fatalf("scalar decode value %d mismatch", i)
+		}
+	}
+}
+
+func TestExponentBounds(t *testing.T) {
+	src := []float64{1e-22, 1e-23, 12345.6789}
+	digits, exps, _, _ := Encode(src)
+	if exps[0] != 22 || digits[0] != 1 {
+		t.Fatalf("1e-22 -> (%d,%d), want (1,22)", digits[0], exps[0])
+	}
+	for i, e := range exps {
+		if e < 0 || e > ExceptionExponent {
+			t.Fatalf("exponent %d out of bounds at %d", e, i)
+		}
+	}
+}
+
+func TestPricingDataEncodesCompactly(t *testing.T) {
+	// Monetary values like $3.25, $0.99: the scheme's motivating case.
+	rng := rand.New(rand.NewSource(21))
+	src := make([]float64, 64000)
+	for i := range src {
+		src[i] = float64(rng.Intn(10000)) / 100
+	}
+	digits, exps, patches, idx := Encode(src)
+	if len(patches) != 0 {
+		t.Fatalf("pricing data should have no patches, got %d", len(patches))
+	}
+	dec := Decode(nil, digits, exps, patches, idx)
+	for i := range src {
+		if !bitsEqual(dec[i], src[i]) {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+	// Most prices should find a small exponent (x.yz -> (xyz, 2)); a few
+	// need a larger one because e.g. 81.1/0.1 rounds before it matches
+	// bit-exactly. The encoder always picks the smallest exact exponent.
+	small := 0
+	for _, e := range exps {
+		if e <= 2 {
+			small++
+		}
+	}
+	if float64(small) < 0.8*float64(len(exps)) {
+		t.Fatalf("only %d/%d prices found exp <= 2", small, len(exps))
+	}
+}
+
+func TestQuickBitExact(t *testing.T) {
+	f := func(raw []uint64) bool {
+		src := make([]float64, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float64frombits(b)
+		}
+		digits, exps, patches, idx := Encode(src)
+		dec := Decode(nil, digits, exps, patches, idx)
+		if len(dec) != len(src) {
+			return false
+		}
+		for i := range src {
+			if !bitsEqual(dec[i], src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecimalDoubles(t *testing.T) {
+	// Doubles that come from small decimals must always encode (no patch).
+	f := func(mantissa int32, exp8 uint8) bool {
+		exp := int(exp8 % (MaxExponent + 1))
+		if mantissa == math.MinInt32 {
+			mantissa++
+		}
+		v := float64(mantissa) * frac10[exp]
+		if v == 0 && math.Signbit(v) {
+			return true // -0.0 from mantissa<0 rounding; patched by design
+		}
+		d, ok := EncodeSingle(v)
+		if !ok {
+			return false
+		}
+		return bitsEqual(DecodeSingle(d), v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	src := make([]float64, 64000)
+	for i := range src {
+		src[i] = float64(rng.Intn(100000)) / 100
+	}
+	digits, exps, patches, idx := Encode(src)
+	dst := make([]float64, 0, len(src))
+	b.SetBytes(int64(len(src) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Decode(dst[:0], digits, exps, patches, idx)
+	}
+}

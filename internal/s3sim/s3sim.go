@@ -1,0 +1,211 @@
+// Package s3sim simulates the cloud environment of the paper's end-to-end
+// cost evaluation (§6.7): an object store in front of a compute instance
+// with a fixed-bandwidth network. Decompression time is *measured* by
+// actually running the format's decoder on the stored bytes with the
+// requested parallelism; transfer time and request counts are modeled
+// from the documented S3/EC2 parameters. Scan cost is then
+// duration·instance-rate + GETs·request-rate, and the throughput metrics
+// T_r (uncompressed bytes / scan time) and T_c (compressed bytes / scan
+// time) fall out exactly as §6.7 defines them.
+package s3sim
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Model holds the cloud cost and performance parameters.
+type Model struct {
+	// NetworkGbps is the instance network bandwidth (c5n.18xlarge: 100).
+	NetworkGbps float64
+	// GetLatency is the per-request first-byte latency.
+	GetLatency time.Duration
+	// ChunkBytes is the fetch granularity (the S3 performance guidelines
+	// recommend 8–16 MB; the paper uses 16 MB).
+	ChunkBytes int
+	// InstanceDollarsPerHour is the compute cost (c5n.18xlarge: $3.89).
+	InstanceDollarsPerHour float64
+	// DollarsPer1000GET is the S3 request cost ($0.0004).
+	DollarsPer1000GET float64
+}
+
+// Default returns the paper's test setup: c5n.18xlarge with 100 Gbit
+// networking, 16 MB chunks, $3.89/h and $0.0004 per 1000 GETs.
+func Default() Model {
+	return Model{
+		NetworkGbps:            100,
+		GetLatency:             30 * time.Millisecond,
+		ChunkBytes:             16 << 20,
+		InstanceDollarsPerHour: 3.89,
+		DollarsPer1000GET:      0.0004,
+	}
+}
+
+// Store is the in-memory object store.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{objects: make(map[string][]byte)}
+}
+
+// Put stores an object.
+func (s *Store) Put(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[key] = data
+}
+
+// Get fetches an object (nil if absent).
+func (s *Store) Get(key string) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.objects[key]
+}
+
+// Size returns an object's size in bytes, or -1 if absent.
+func (s *Store) Size(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if d, ok := s.objects[key]; ok {
+		return len(d)
+	}
+	return -1
+}
+
+// TotalBytes sums all object sizes.
+func (s *Store) TotalBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, d := range s.objects {
+		total += len(d)
+	}
+	return total
+}
+
+// Object identifies one object to scan. DependentRequests adds extra
+// sequential round trips before the data arrives — the Parquet
+// single-column case needs three dependent GETs (footer length, footer,
+// column chunk), §6.7.
+type Object struct {
+	Key               string
+	DependentRequests int
+}
+
+// ScanResult aggregates a simulated scan.
+type ScanResult struct {
+	CompressedBytes   int
+	UncompressedBytes int
+	Requests          int
+	// TransferSeconds is the modeled network time.
+	TransferSeconds float64
+	// DecompressSeconds is the measured CPU time for decoding everything
+	// at the requested parallelism.
+	DecompressSeconds float64
+	// ScanSeconds is the pipelined total: max(transfer, decompression)
+	// plus the dependent-request latency chains.
+	ScanSeconds float64
+	// CostDollars is instance time plus request cost.
+	CostDollars float64
+}
+
+// TrGbps is decompression throughput over uncompressed size — the
+// consumer-visible metric of Figure 8.
+func (r *ScanResult) TrGbps() float64 {
+	if r.ScanSeconds == 0 {
+		return 0
+	}
+	return float64(r.UncompressedBytes) * 8 / 1e9 / r.ScanSeconds
+}
+
+// TcGbps is throughput over compressed size — the metric that must exceed
+// the network bandwidth for a scan to be network-bound (§6.7).
+func (r *ScanResult) TcGbps() float64 {
+	if r.ScanSeconds == 0 {
+		return 0
+	}
+	return float64(r.CompressedBytes) * 8 / 1e9 / r.ScanSeconds
+}
+
+// ErrMissingObject is returned when a scan references an absent key.
+var ErrMissingObject = errors.New("s3sim: missing object")
+
+// Scan simulates loading and decompressing the given objects with
+// `threads` workers. decode must decompress one object's bytes and return
+// the uncompressed size it produced; its wall time is measured for real.
+func (m Model) Scan(store *Store, objects []Object, threads int, decode func(key string, data []byte) (int, error)) (*ScanResult, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	res := &ScanResult{}
+	maxChain := 0
+	for _, obj := range objects {
+		data := store.Get(obj.Key)
+		if data == nil {
+			return nil, ErrMissingObject
+		}
+		res.CompressedBytes += len(data)
+		chunks := (len(data) + m.ChunkBytes - 1) / m.ChunkBytes
+		if chunks == 0 {
+			chunks = 1
+		}
+		res.Requests += chunks + obj.DependentRequests
+		if obj.DependentRequests > maxChain {
+			maxChain = obj.DependentRequests
+		}
+	}
+
+	// measured decompression at the requested parallelism
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := make(chan Object)
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for obj := range work {
+				n, err := decode(obj.Key, store.Get(obj.Key))
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				res.UncompressedBytes += n
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, obj := range objects {
+		work <- obj
+	}
+	close(work)
+	wg.Wait()
+	res.DecompressSeconds = time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res.TransferSeconds = float64(res.CompressedBytes) * 8 / (m.NetworkGbps * 1e9)
+	// Transfer and decompression pipeline against each other; dependent
+	// request chains serialize in front of the pipeline.
+	res.ScanSeconds = maxF(res.TransferSeconds, res.DecompressSeconds) +
+		float64(maxChain)*m.GetLatency.Seconds()
+	res.CostDollars = res.ScanSeconds/3600*m.InstanceDollarsPerHour +
+		float64(res.Requests)/1000*m.DollarsPer1000GET
+	return res, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package s3sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	s.Put("a", make([]byte, 100))
+	s.Put("b", make([]byte, 50))
+	if s.Size("a") != 100 || s.Size("b") != 50 || s.Size("c") != -1 {
+		t.Fatal("sizes wrong")
+	}
+	if s.TotalBytes() != 150 {
+		t.Fatal("total wrong")
+	}
+	if s.Get("c") != nil {
+		t.Fatal("phantom object")
+	}
+}
+
+func TestScanRequestCounting(t *testing.T) {
+	m := Default()
+	s := NewStore()
+	s.Put("big", make([]byte, 40<<20)) // 40 MB -> 3 GETs of 16 MB
+	s.Put("tiny", make([]byte, 100))   // 1 GET
+	res, err := m.Scan(s, []Object{{Key: "big"}, {Key: "tiny", DependentRequests: 2}}, 2,
+		func(key string, data []byte) (int, error) { return len(data) * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 3+1+2 {
+		t.Fatalf("requests = %d, want 6", res.Requests)
+	}
+	if res.CompressedBytes != 40<<20+100 {
+		t.Fatalf("compressed bytes = %d", res.CompressedBytes)
+	}
+	if res.UncompressedBytes != 2*(40<<20+100) {
+		t.Fatalf("uncompressed bytes = %d", res.UncompressedBytes)
+	}
+}
+
+func TestScanCostModel(t *testing.T) {
+	m := Model{
+		NetworkGbps:            1, // slow network dominates
+		ChunkBytes:             16 << 20,
+		InstanceDollarsPerHour: 3.6, // $0.001/s
+		DollarsPer1000GET:      0.4, // $0.0004/GET
+	}
+	s := NewStore()
+	s.Put("obj", make([]byte, 125_000_000)) // 1 Gbit -> 1 s at 1 Gbps
+	res, err := m.Scan(s, []Object{{Key: "obj"}}, 1,
+		func(key string, data []byte) (int, error) { return len(data), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransferSeconds < 0.99 || res.TransferSeconds > 1.01 {
+		t.Fatalf("transfer = %f s, want 1", res.TransferSeconds)
+	}
+	// scan time >= transfer time (pipelined against measured decode)
+	if res.ScanSeconds < res.TransferSeconds {
+		t.Fatal("scan cannot be faster than the network")
+	}
+	wantCost := res.ScanSeconds/3600*3.6 + float64(res.Requests)/1000*0.4
+	if diff := res.CostDollars - wantCost; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("cost = %f, want %f", res.CostDollars, wantCost)
+	}
+	if res.TcGbps() > 1.01 {
+		t.Fatalf("Tc %.2f cannot exceed network bandwidth on a network-bound scan", res.TcGbps())
+	}
+}
+
+func TestCPUBoundScan(t *testing.T) {
+	// A deliberately slow decoder makes the scan CPU-bound: T_c must drop
+	// below the network bandwidth — the paper's core argument.
+	m := Default()
+	s := NewStore()
+	s.Put("obj", make([]byte, 1<<20))
+	res, err := m.Scan(s, []Object{{Key: "obj"}}, 1,
+		func(key string, data []byte) (int, error) {
+			time.Sleep(50 * time.Millisecond)
+			return len(data) * 3, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScanSeconds < 0.05 {
+		t.Fatalf("scan %f s must include measured decode time", res.ScanSeconds)
+	}
+	if res.TcGbps() >= m.NetworkGbps {
+		t.Fatal("CPU-bound scan cannot saturate the network")
+	}
+	if res.TrGbps() <= res.TcGbps() {
+		t.Fatal("Tr must exceed Tc when data compresses")
+	}
+}
+
+func TestMissingObject(t *testing.T) {
+	m := Default()
+	s := NewStore()
+	if _, err := m.Scan(s, []Object{{Key: "nope"}}, 1,
+		func(string, []byte) (int, error) { return 0, nil }); err != ErrMissingObject {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDependentRequestLatency(t *testing.T) {
+	m := Default()
+	s := NewStore()
+	s.Put("col", make([]byte, 1000))
+	noDep, err := m.Scan(s, []Object{{Key: "col"}}, 1,
+		func(key string, data []byte) (int, error) { return len(data), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDep, err := m.Scan(s, []Object{{Key: "col", DependentRequests: 2}}, 1,
+		func(key string, data []byte) (int, error) { return len(data), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDep.ScanSeconds <= noDep.ScanSeconds {
+		t.Fatal("dependent requests must add latency")
+	}
+}

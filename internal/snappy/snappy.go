@@ -1,0 +1,191 @@
+// Package snappy implements the Snappy block format (the byte-oriented
+// LZ77 codec Parquet files are commonly recompressed with). Both the
+// encoder and decoder are written from scratch against the public format
+// description: a uvarint length preamble followed by literal and copy
+// elements with 1-, 2- or 4-byte offsets.
+package snappy
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt is returned for malformed compressed data.
+var ErrCorrupt = errors.New("snappy: corrupt input")
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+
+	hashBits  = 14
+	hashTable = 1 << hashBits
+
+	minMatch = 4
+)
+
+// MaxEncodedLen returns an upper bound on Encode's output size for an
+// input of length n.
+func MaxEncodedLen(n int) int {
+	return 32 + n + n/6
+}
+
+func hash4(u uint32) uint32 {
+	return (u * 0x1e35a7bd) >> (32 - hashBits)
+}
+
+// Encode compresses src and appends the result to dst.
+func Encode(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	var table [hashTable]int32
+	for i := range table {
+		table[i] = -1
+	}
+	s := 0   // current position
+	lit := 0 // start of pending literals
+	limit := len(src) - minMatch
+	for s <= limit {
+		u := binary.LittleEndian.Uint32(src[s:])
+		h := hash4(u)
+		cand := int(table[h])
+		table[h] = int32(s)
+		if cand < 0 || s-cand > 1<<16-1 || binary.LittleEndian.Uint32(src[cand:]) != u {
+			s++
+			continue
+		}
+		// extend the match
+		matchLen := minMatch
+		for s+matchLen < len(src) && src[cand+matchLen] == src[s+matchLen] {
+			matchLen++
+		}
+		dst = emitLiteral(dst, src[lit:s])
+		dst = emitCopy(dst, s-cand, matchLen)
+		s += matchLen
+		lit = s
+	}
+	return emitLiteral(dst, src[lit:])
+}
+
+func emitLiteral(dst, lit []byte) []byte {
+	n := len(lit)
+	if n == 0 {
+		return dst
+	}
+	switch {
+	case n <= 60:
+		dst = append(dst, byte(n-1)<<2|tagLiteral)
+	case n <= 1<<8:
+		dst = append(dst, 60<<2|tagLiteral, byte(n-1))
+	case n <= 1<<16:
+		dst = append(dst, 61<<2|tagLiteral, byte(n-1), byte((n-1)>>8))
+	case n <= 1<<24:
+		dst = append(dst, 62<<2|tagLiteral, byte(n-1), byte((n-1)>>8), byte((n-1)>>16))
+	default:
+		dst = append(dst, 63<<2|tagLiteral, byte(n-1), byte((n-1)>>8), byte((n-1)>>16), byte((n-1)>>24))
+	}
+	return append(dst, lit...)
+}
+
+func emitCopy(dst []byte, offset, length int) []byte {
+	// Long matches are emitted as a chain of copies, longest-first.
+	for length >= 68 {
+		dst = append(dst, 63<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length > 64 {
+		// emit a length-60 copy to leave >= 4 for the final element
+		dst = append(dst, 59<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 60
+	}
+	if length >= 12 || offset >= 2048 || length < 4 {
+		dst = append(dst, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+		return dst
+	}
+	// 1-byte-offset form: 3 offset high bits in the tag
+	dst = append(dst, byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1, byte(offset))
+	return dst
+}
+
+// DecodedLen returns the decompressed length recorded in the preamble.
+func DecodedLen(src []byte) (int, error) {
+	n, read := binary.Uvarint(src)
+	if read <= 0 || n > 1<<32 {
+		return 0, ErrCorrupt
+	}
+	return int(n), nil
+}
+
+// Decode decompresses src entirely and appends to dst.
+func Decode(dst, src []byte) ([]byte, error) {
+	want, err := DecodedLen(src)
+	if err != nil {
+		return dst, err
+	}
+	_, read := binary.Uvarint(src)
+	s := read
+	base := len(dst)
+	for s < len(src) {
+		tag := src[s]
+		var length, offset int
+		switch tag & 0x03 {
+		case tagLiteral:
+			length = int(tag>>2) + 1
+			s++
+			if length > 60 {
+				extra := length - 60
+				if s+extra > len(src) {
+					return dst, ErrCorrupt
+				}
+				length = 0
+				for i := extra - 1; i >= 0; i-- {
+					length = length<<8 | int(src[s+i])
+				}
+				length++
+				s += extra
+			}
+			if s+length > len(src) {
+				return dst, ErrCorrupt
+			}
+			dst = append(dst, src[s:s+length]...)
+			s += length
+			continue
+		case tagCopy1:
+			if s+2 > len(src) {
+				return dst, ErrCorrupt
+			}
+			length = 4 + int(tag>>2)&0x07
+			offset = int(tag&0xe0)<<3 | int(src[s+1])
+			s += 2
+		case tagCopy2:
+			if s+3 > len(src) {
+				return dst, ErrCorrupt
+			}
+			length = 1 + int(tag>>2)
+			offset = int(binary.LittleEndian.Uint16(src[s+1:]))
+			s += 3
+		case tagCopy4:
+			if s+5 > len(src) {
+				return dst, ErrCorrupt
+			}
+			length = 1 + int(tag>>2)
+			offset = int(binary.LittleEndian.Uint32(src[s+1:]))
+			s += 5
+		}
+		if offset <= 0 || offset > len(dst)-base {
+			return dst, ErrCorrupt
+		}
+		// Overlapping copies are legal (offset < length): copy byte-wise.
+		pos := len(dst) - offset
+		for i := 0; i < length; i++ {
+			dst = append(dst, dst[pos+i])
+		}
+	}
+	if len(dst)-base != want {
+		return dst, ErrCorrupt
+	}
+	return dst, nil
+}

@@ -1,0 +1,111 @@
+package snappy
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) int {
+	t.Helper()
+	enc := Encode(nil, src)
+	if len(enc) > MaxEncodedLen(len(src)) {
+		t.Fatalf("encoded %d exceeds MaxEncodedLen %d", len(enc), MaxEncodedLen(len(src)))
+	}
+	dec, err := Decode(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(dec))
+	}
+	return len(enc)
+}
+
+func TestRoundTrip(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abcd"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte(strings.Repeat("the quick brown fox ", 1000)),
+		bytes.Repeat([]byte{0}, 100000),
+	}
+	rng := rand.New(rand.NewSource(41))
+	random := make([]byte, 65536)
+	rng.Read(random)
+	inputs = append(inputs, random)
+	for _, src := range inputs {
+		roundTrip(t, src)
+	}
+}
+
+func TestCompressionEffective(t *testing.T) {
+	src := []byte(strings.Repeat("SELECT * FROM lineitem WHERE l_shipdate < DATE '1998-09-02'; ", 500))
+	if size := roundTrip(t, src); size > len(src)/5 {
+		t.Fatalf("repetitive text compressed only to %d/%d", size, len(src))
+	}
+}
+
+func TestOverlappingCopies(t *testing.T) {
+	// RLE-style data forces overlapping copies (offset < length).
+	src := append([]byte("x"), bytes.Repeat([]byte("ab"), 5000)...)
+	roundTrip(t, src)
+}
+
+func TestLongMatches(t *testing.T) {
+	// matches > 64 bytes exercise the chained emitCopy path
+	src := bytes.Repeat([]byte("z"), 1<<20)
+	if size := roundTrip(t, src); size > 64000 {
+		t.Fatalf("1 MiB of z compressed to only %d", size)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	enc := Encode(nil, []byte(strings.Repeat("hello world ", 100)))
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(nil, enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	// declared length longer than actual output
+	bad := append([]byte{200}, enc[1:]...)
+	if _, err := Decode(nil, bad); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestQuick(t *testing.T) {
+	f := func(src []byte) bool {
+		dec, err := Decode(nil, Encode(nil, src))
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var sb strings.Builder
+	rng := rand.New(rand.NewSource(42))
+	words := []string{"data", "lake", "scan", "column", "block", "the", "of", "compression"}
+	for sb.Len() < 1<<20 {
+		sb.WriteString(words[rng.Intn(len(words))])
+		sb.WriteByte(' ')
+	}
+	src := []byte(sb.String())
+	enc := Encode(nil, src)
+	dst := make([]byte, 0, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = Decode(dst[:0], enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"btrblocks/coldata"
+)
+
+func TestComputeInt(t *testing.T) {
+	st := ComputeInt([]int32{5, 5, 5, -2, -2, 9})
+	if st.N != 6 || st.Min != -2 || st.Max != 9 {
+		t.Fatalf("min/max wrong: %+v", st)
+	}
+	if st.Distinct != 3 || st.RunCount != 3 {
+		t.Fatalf("distinct/runs wrong: %+v", st)
+	}
+	if st.AvgRunLen != 2 {
+		t.Fatalf("avg run = %f", st.AvgRunLen)
+	}
+	if st.TopValue != 5 || st.TopCount != 3 {
+		t.Fatalf("top wrong: %+v", st)
+	}
+	if st.UniqueFrac != 0.5 {
+		t.Fatalf("unique frac = %f", st.UniqueFrac)
+	}
+}
+
+func TestComputeIntEmpty(t *testing.T) {
+	st := ComputeInt(nil)
+	if st.N != 0 || st.Distinct != 0 {
+		t.Fatalf("empty stats wrong: %+v", st)
+	}
+}
+
+func TestComputeDoubleNaNHandling(t *testing.T) {
+	nan := math.NaN()
+	st := ComputeDouble([]float64{nan, nan, nan, 1.5})
+	if st.Distinct != 2 {
+		t.Fatalf("NaN must count as one distinct bit pattern, got %d", st.Distinct)
+	}
+	if st.TopCount != 3 {
+		t.Fatalf("NaN top count = %d", st.TopCount)
+	}
+	if st.RunCount != 2 {
+		t.Fatalf("NaN run must be one run, got %d", st.RunCount)
+	}
+}
+
+func TestComputeDoubleSignedZero(t *testing.T) {
+	st := ComputeDouble([]float64{0, math.Copysign(0, -1), 0})
+	if st.Distinct != 2 {
+		t.Fatalf("-0.0 and 0.0 must be distinct, got %d", st.Distinct)
+	}
+	if st.RunCount != 3 {
+		t.Fatalf("runs = %d", st.RunCount)
+	}
+}
+
+func TestComputeString(t *testing.T) {
+	col := coldata.MakeStrings([]string{"aa", "aa", "b", "b", "b", "ccc"})
+	st := ComputeString(col)
+	if st.N != 6 || st.Distinct != 3 || st.TotalLen != 10 || st.MaxLen != 3 {
+		t.Fatalf("string stats wrong: %+v", st)
+	}
+	if st.TopValue != "b" || st.TopCount != 3 {
+		t.Fatalf("top wrong: %+v", st)
+	}
+	if st.RunCount != 3 || st.AvgRunLen != 2 {
+		t.Fatalf("runs wrong: %+v", st)
+	}
+}
+
+func TestComputeStringEmpty(t *testing.T) {
+	st := ComputeString(coldata.Strings{})
+	if st.N != 0 {
+		t.Fatalf("empty stats wrong: %+v", st)
+	}
+}

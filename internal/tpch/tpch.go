@@ -1,0 +1,181 @@
+// Package tpch generates a TPC-H-like synthetic corpus with the data
+// characteristics §6.1 contrasts against the Public BI Benchmark: fully
+// normalized tables whose integers are unique or foreign keys (few runs,
+// few repeating patterns), doubles drawn from a single price range, and
+// comment strings sampled from a word pool — i.e. data that compresses
+// far worse than denormalized real-world tables.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"btrblocks"
+	"btrblocks/coldata"
+)
+
+// Dataset is one generated table.
+type Dataset struct {
+	Name  string
+	Chunk btrblocks.Chunk
+}
+
+var commentWords = []string{
+	"furiously", "quickly", "slyly", "carefully", "blithely", "deposits",
+	"requests", "accounts", "packages", "instructions", "foxes", "ideas",
+	"theodolites", "pinto", "beans", "final", "regular", "express", "bold",
+	"even", "special", "unusual", "pending", "ironic", "silent", "daring",
+}
+
+func comment(rng *rand.Rand, minWords, maxWords int) string {
+	n := minWords + rng.Intn(maxWords-minWords+1)
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += commentWords[rng.Intn(len(commentWords))]
+	}
+	return s
+}
+
+// Lineitem generates the lineitem table, TPC-H's volume carrier.
+func Lineitem(rows int, seed int64) btrblocks.Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	orderkey := make([]int32, rows)
+	partkey := make([]int32, rows)
+	suppkey := make([]int32, rows)
+	linenumber := make([]int32, rows)
+	quantity := make([]float64, rows)
+	extendedprice := make([]float64, rows)
+	discount := make([]float64, rows)
+	tax := make([]float64, rows)
+	shipdate := make([]int32, rows)
+	returnflag := coldata.NewStringsBuilder(rows, rows)
+	linestatus := coldata.NewStringsBuilder(rows, rows)
+	shipmode := coldata.NewStringsBuilder(rows, rows*4)
+	comments := coldata.NewStringsBuilder(rows, rows*27)
+
+	flags := []string{"R", "A", "N"}
+	statuses := []string{"O", "F"}
+	modes := []string{"TRUCK", "MAIL", "SHIP", "AIR", "RAIL", "REG AIR", "FOB"}
+
+	ok := int32(1)
+	line := int32(1)
+	for i := 0; i < rows; i++ {
+		// orders have 1..7 lineitems: short runs on the sorted key only
+		if line > int32(1+rng.Intn(7)) {
+			ok += int32(1 + rng.Intn(3)) // sparse keys, as dbgen produces
+			line = 1
+		}
+		orderkey[i] = ok
+		linenumber[i] = line
+		line++
+		partkey[i] = int32(1 + rng.Intn(200000))
+		suppkey[i] = int32(1 + rng.Intn(10000))
+		q := float64(1 + rng.Intn(50))
+		quantity[i] = q
+		extendedprice[i] = q * float64(90000+rng.Intn(110001)) / 100
+		discount[i] = float64(rng.Intn(11)) / 100
+		tax[i] = float64(rng.Intn(9)) / 100
+		shipdate[i] = int32(8036 + rng.Intn(2526)) // 1992-01-02 .. 1998-12-01 as day numbers
+		returnflag = returnflag.Append(flags[rng.Intn(len(flags))])
+		linestatus = linestatus.Append(statuses[rng.Intn(len(statuses))])
+		shipmode = shipmode.Append(modes[rng.Intn(len(modes))])
+		comments = comments.Append(comment(rng, 3, 10))
+	}
+	return btrblocks.Chunk{Columns: []btrblocks.Column{
+		btrblocks.IntColumn("l_orderkey", orderkey),
+		btrblocks.IntColumn("l_partkey", partkey),
+		btrblocks.IntColumn("l_suppkey", suppkey),
+		btrblocks.IntColumn("l_linenumber", linenumber),
+		btrblocks.DoubleColumn("l_quantity", quantity),
+		btrblocks.DoubleColumn("l_extendedprice", extendedprice),
+		btrblocks.DoubleColumn("l_discount", discount),
+		btrblocks.DoubleColumn("l_tax", tax),
+		btrblocks.IntColumn("l_shipdate", shipdate),
+		btrblocks.StringsColumn("l_returnflag", returnflag),
+		btrblocks.StringsColumn("l_linestatus", linestatus),
+		btrblocks.StringsColumn("l_shipmode", shipmode),
+		btrblocks.StringsColumn("l_comment", comments),
+	}}
+}
+
+// Orders generates the orders table.
+func Orders(rows int, seed int64) btrblocks.Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	orderkey := make([]int32, rows)
+	custkey := make([]int32, rows)
+	totalprice := make([]float64, rows)
+	orderdate := make([]int32, rows)
+	priority := coldata.NewStringsBuilder(rows, rows*8)
+	status := coldata.NewStringsBuilder(rows, rows)
+	comments := coldata.NewStringsBuilder(rows, rows*25)
+
+	prios := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	stats := []string{"O", "F", "P"}
+	for i := 0; i < rows; i++ {
+		orderkey[i] = int32(i*4 + 1) // unique, sparse, sorted
+		custkey[i] = int32(1 + rng.Intn(150000))
+		totalprice[i] = float64(100000+rng.Intn(40000000)) / 100
+		orderdate[i] = int32(8036 + rng.Intn(2405))
+		priority = priority.Append(prios[rng.Intn(len(prios))])
+		status = status.Append(stats[rng.Intn(len(stats))])
+		comments = comments.Append(comment(rng, 5, 12))
+	}
+	return btrblocks.Chunk{Columns: []btrblocks.Column{
+		btrblocks.IntColumn("o_orderkey", orderkey),
+		btrblocks.IntColumn("o_custkey", custkey),
+		btrblocks.DoubleColumn("o_totalprice", totalprice),
+		btrblocks.IntColumn("o_orderdate", orderdate),
+		btrblocks.StringsColumn("o_orderpriority", priority),
+		btrblocks.StringsColumn("o_orderstatus", status),
+		btrblocks.StringsColumn("o_comment", comments),
+	}}
+}
+
+// Part generates the part table.
+func Part(rows int, seed int64) btrblocks.Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	partkey := make([]int32, rows)
+	size := make([]int32, rows)
+	retail := make([]float64, rows)
+	names := coldata.NewStringsBuilder(rows, rows*30)
+	brands := coldata.NewStringsBuilder(rows, rows*8)
+	types := coldata.NewStringsBuilder(rows, rows*20)
+	containers := coldata.NewStringsBuilder(rows, rows*10)
+
+	adjectives := []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched"}
+	kinds := []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	metals := []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	finishes := []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	boxes := []string{"SM CASE", "SM BOX", "LG CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"}
+	for i := 0; i < rows; i++ {
+		partkey[i] = int32(i + 1)
+		size[i] = int32(1 + rng.Intn(50))
+		retail[i] = float64(90000+((i%200000)/10)*32+(i%200000)%1000) / 100
+		names = names.Append(adjectives[rng.Intn(len(adjectives))] + " " + adjectives[rng.Intn(len(adjectives))] + " " + metals[rng.Intn(len(metals))])
+		brands = brands.Append(fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5)))
+		types = types.Append(kinds[rng.Intn(len(kinds))] + " " + finishes[rng.Intn(len(finishes))] + " " + metals[rng.Intn(len(metals))])
+		containers = containers.Append(boxes[rng.Intn(len(boxes))])
+	}
+	return btrblocks.Chunk{Columns: []btrblocks.Column{
+		btrblocks.IntColumn("p_partkey", partkey),
+		btrblocks.IntColumn("p_size", size),
+		btrblocks.DoubleColumn("p_retailprice", retail),
+		btrblocks.StringsColumn("p_name", names),
+		btrblocks.StringsColumn("p_brand", brands),
+		btrblocks.StringsColumn("p_type", types),
+		btrblocks.StringsColumn("p_container", containers),
+	}}
+}
+
+// Corpus generates the three tables scaled so lineitem dominates, like
+// TPC-H's volume distribution.
+func Corpus(scaleRows int, seed int64) []Dataset {
+	return []Dataset{
+		{Name: "lineitem", Chunk: Lineitem(scaleRows, seed)},
+		{Name: "orders", Chunk: Orders(scaleRows/4, seed+1)},
+		{Name: "part", Chunk: Part(scaleRows/30+1, seed+2)},
+	}
+}

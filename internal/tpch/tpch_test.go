@@ -1,0 +1,100 @@
+package tpch
+
+import (
+	"testing"
+
+	"btrblocks"
+)
+
+func TestLineitemShape(t *testing.T) {
+	chunk := Lineitem(10000, 1)
+	if chunk.NumRows() != 10000 {
+		t.Fatalf("rows = %d", chunk.NumRows())
+	}
+	if len(chunk.Columns) != 13 {
+		t.Fatalf("columns = %d", len(chunk.Columns))
+	}
+	byName := map[string]btrblocks.Column{}
+	for _, c := range chunk.Columns {
+		byName[c.Name] = c
+	}
+	// orderkey must be non-decreasing (sorted insert order)
+	ok := byName["l_orderkey"].Ints
+	for i := 1; i < len(ok); i++ {
+		if ok[i] < ok[i-1] {
+			t.Fatal("l_orderkey must be sorted")
+		}
+	}
+	// quantities in 1..50
+	for _, q := range byName["l_quantity"].Doubles {
+		if q < 1 || q > 50 {
+			t.Fatalf("quantity %f out of range", q)
+		}
+	}
+	// discount has at most 11 distinct values
+	distinct := map[float64]bool{}
+	for _, d := range byName["l_discount"].Doubles {
+		distinct[d] = true
+	}
+	if len(distinct) > 11 {
+		t.Fatalf("%d distinct discounts", len(distinct))
+	}
+}
+
+func TestNormalizedKeysAreHighCardinality(t *testing.T) {
+	// §6.1: TPC-H integers are mostly unique/foreign keys with few runs.
+	chunk := Orders(20000, 2)
+	var keys []int32
+	for _, c := range chunk.Columns {
+		if c.Name == "o_orderkey" {
+			keys = c.Ints
+		}
+	}
+	seen := map[int32]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatal("o_orderkey must be unique")
+		}
+		seen[k] = true
+	}
+}
+
+func TestCorpusVolumeMix(t *testing.T) {
+	corpus := Corpus(20000, 3)
+	if len(corpus) != 3 {
+		t.Fatalf("%d tables", len(corpus))
+	}
+	byType := map[btrblocks.Type]int{}
+	total := 0
+	for _, ds := range corpus {
+		for _, col := range ds.Chunk.Columns {
+			byType[col.Type] += col.UncompressedBytes()
+			total += col.UncompressedBytes()
+		}
+	}
+	// strings should carry the majority of volume but less extremely
+	// than PBI, and doubles a bigger share than in PBI (§6.1, Table 2)
+	strFrac := float64(byType[btrblocks.TypeString]) / float64(total)
+	dblFrac := float64(byType[btrblocks.TypeDouble]) / float64(total)
+	if strFrac < 0.4 || strFrac > 0.8 {
+		t.Fatalf("string fraction %.2f", strFrac)
+	}
+	if dblFrac < 0.1 {
+		t.Fatalf("double fraction %.2f", dblFrac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Lineitem(5000, 9)
+	b := Lineitem(5000, 9)
+	for ci := range a.Columns {
+		ca, cb := a.Columns[ci], b.Columns[ci]
+		if ca.Type == btrblocks.TypeDouble {
+			for j := range ca.Doubles {
+				if ca.Doubles[j] != cb.Doubles[j] {
+					t.Fatalf("nondeterministic %s", ca.Name)
+				}
+			}
+		}
+	}
+}

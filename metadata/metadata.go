@@ -1,0 +1,336 @@
+// Package metadata implements the statistics layer the paper deliberately
+// keeps *out* of the data files (§2.1): per-block min/max/null summaries
+// that live in a separate object, so a query engine can prune blocks
+// before fetching anything over a high-latency network. BtrBlocks files
+// stay pure blocks of compressed data; this package provides the
+// orthogonal layer on top.
+package metadata
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"btrblocks"
+)
+
+// ErrCorrupt is returned for malformed metadata bytes.
+var ErrCorrupt = errors.New("metadata: corrupt stream")
+
+// maxStringBound caps stored string bounds; longer values are truncated
+// (still valid bounds for pruning: a truncated min is <= the true min's
+// prefix semantics used by Overlaps).
+const maxStringBound = 32
+
+// BlockSummary is the prunable statistics of one block.
+type BlockSummary struct {
+	Rows      int
+	NullCount int
+	// Typed bounds over the non-null values; unset when the block is
+	// entirely NULL (AllNull true).
+	AllNull   bool
+	IntMin    int32
+	IntMax    int32
+	Int64Min  int64
+	Int64Max  int64
+	DoubleMin float64
+	DoubleMax float64
+	// String bounds are byte-truncated to maxStringBound: StrMin is <=
+	// every value, StrMaxPrefix is a prefix-upper-bound (every value is
+	// < StrMaxPrefix appended with 0xFF bytes).
+	StrMin string
+	StrMax string
+}
+
+// ColumnMeta is the metadata object for one column file.
+type ColumnMeta struct {
+	Name   string
+	Type   btrblocks.Type
+	Blocks []BlockSummary
+}
+
+// Rows returns the total row count.
+func (m *ColumnMeta) Rows() int {
+	total := 0
+	for _, b := range m.Blocks {
+		total += b.Rows
+	}
+	return total
+}
+
+// Build computes per-block summaries for a column, using the same block
+// boundaries the compressor uses for the given options.
+func Build(col btrblocks.Column, opt *btrblocks.Options) ColumnMeta {
+	bs := btrblocks.DefaultBlockSize
+	if opt != nil && opt.BlockSize > 0 {
+		bs = opt.BlockSize
+	}
+	meta := ColumnMeta{Name: col.Name, Type: col.Type}
+	n := col.Len()
+	for lo := 0; lo < n; lo += bs {
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		meta.Blocks = append(meta.Blocks, summarize(&col, lo, hi))
+	}
+	return meta
+}
+
+func summarize(col *btrblocks.Column, lo, hi int) BlockSummary {
+	s := BlockSummary{Rows: hi - lo, AllNull: true}
+	for i := lo; i < hi; i++ {
+		if col.Nulls.IsNull(i) {
+			s.NullCount++
+			continue
+		}
+		switch col.Type {
+		case btrblocks.TypeInt:
+			v := col.Ints[i]
+			if s.AllNull || v < s.IntMin {
+				s.IntMin = v
+			}
+			if s.AllNull || v > s.IntMax {
+				s.IntMax = v
+			}
+		case btrblocks.TypeInt64:
+			v := col.Ints64[i]
+			if s.AllNull || v < s.Int64Min {
+				s.Int64Min = v
+			}
+			if s.AllNull || v > s.Int64Max {
+				s.Int64Max = v
+			}
+		case btrblocks.TypeDouble:
+			v := col.Doubles[i]
+			if v != v { // NaN participates in no ordering; widen to all
+				s.DoubleMin = math.Inf(-1)
+				s.DoubleMax = math.Inf(1)
+				s.AllNull = false
+				continue
+			}
+			if s.AllNull || v < s.DoubleMin {
+				s.DoubleMin = v
+			}
+			if s.AllNull || v > s.DoubleMax {
+				s.DoubleMax = v
+			}
+		case btrblocks.TypeString:
+			v := col.Strings.At(i)
+			if s.AllNull || v < s.StrMin {
+				s.StrMin = truncate(v)
+			}
+			if s.AllNull || v > s.StrMax {
+				s.StrMax = truncate(v)
+			}
+		}
+		s.AllNull = false
+	}
+	return s
+}
+
+func truncate(v string) string {
+	if len(v) > maxStringBound {
+		return v[:maxStringBound]
+	}
+	return v
+}
+
+// --- pruning ---
+
+// PruneIntRange returns the indexes of blocks that may contain a value in
+// [lo, hi].
+func (m *ColumnMeta) PruneIntRange(lo, hi int32) []int {
+	var out []int
+	for i, b := range m.Blocks {
+		if b.AllNull {
+			continue
+		}
+		if b.IntMax >= lo && b.IntMin <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PruneInt64Range returns the indexes of blocks that may contain a value
+// in [lo, hi].
+func (m *ColumnMeta) PruneInt64Range(lo, hi int64) []int {
+	var out []int
+	for i, b := range m.Blocks {
+		if b.AllNull {
+			continue
+		}
+		if b.Int64Max >= lo && b.Int64Min <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PruneDoubleRange returns the indexes of blocks that may contain a value
+// in [lo, hi].
+func (m *ColumnMeta) PruneDoubleRange(lo, hi float64) []int {
+	var out []int
+	for i, b := range m.Blocks {
+		if b.AllNull {
+			continue
+		}
+		if b.DoubleMax >= lo && b.DoubleMin <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PruneStringEquals returns the indexes of blocks that may contain the
+// exact string v, honoring the truncated bounds.
+func (m *ColumnMeta) PruneStringEquals(v string) []int {
+	var out []int
+	tv := truncate(v)
+	for i, b := range m.Blocks {
+		if b.AllNull {
+			continue
+		}
+		// b.StrMin <= v (compare on the truncated prefix semantics) and
+		// v's truncated form <= StrMax-as-prefix-upper-bound.
+		if b.StrMin <= v && !(tv > b.StrMax && !hasPrefix(tv, b.StrMax)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// PruneNotNull returns the indexes of blocks with at least one non-null.
+func (m *ColumnMeta) PruneNotNull() []int {
+	var out []int
+	for i, b := range m.Blocks {
+		if !b.AllNull {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// --- serialization ---
+
+// AppendTo serializes the metadata object (it lives in its own file,
+// apart from the data blocks).
+func (m *ColumnMeta) AppendTo(dst []byte) []byte {
+	dst = append(dst, 'B', 'T', 'R', 'M', 1, byte(m.Type))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Name)))
+	dst = append(dst, m.Name...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(b.Rows))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(b.NullCount))
+		flags := byte(0)
+		if b.AllNull {
+			flags = 1
+		}
+		dst = append(dst, flags)
+		switch m.Type {
+		case btrblocks.TypeInt:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(b.IntMin))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(b.IntMax))
+		case btrblocks.TypeInt64:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(b.Int64Min))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(b.Int64Max))
+		case btrblocks.TypeDouble:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.DoubleMin))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.DoubleMax))
+		case btrblocks.TypeString:
+			dst = append(dst, byte(len(b.StrMin)))
+			dst = append(dst, b.StrMin...)
+			dst = append(dst, byte(len(b.StrMax)))
+			dst = append(dst, b.StrMax...)
+		}
+	}
+	return dst
+}
+
+// FromBytes deserializes a metadata object, returning it and the bytes
+// consumed.
+func FromBytes(src []byte) (ColumnMeta, int, error) {
+	var m ColumnMeta
+	if len(src) < 8 || string(src[:4]) != "BTRM" || src[4] != 1 {
+		return m, 0, ErrCorrupt
+	}
+	m.Type = btrblocks.Type(src[5])
+	if m.Type > btrblocks.TypeInt64 {
+		return m, 0, ErrCorrupt
+	}
+	nameLen := int(binary.LittleEndian.Uint16(src[6:]))
+	pos := 8
+	if len(src) < pos+nameLen+4 {
+		return m, 0, ErrCorrupt
+	}
+	m.Name = string(src[pos : pos+nameLen])
+	pos += nameLen
+	blocks := int(binary.LittleEndian.Uint32(src[pos:]))
+	pos += 4
+	if blocks < 0 || blocks > 1<<24 {
+		return m, 0, ErrCorrupt
+	}
+	for i := 0; i < blocks; i++ {
+		var b BlockSummary
+		if len(src) < pos+9 {
+			return m, 0, ErrCorrupt
+		}
+		b.Rows = int(binary.LittleEndian.Uint32(src[pos:]))
+		b.NullCount = int(binary.LittleEndian.Uint32(src[pos+4:]))
+		b.AllNull = src[pos+8]&1 != 0
+		pos += 9
+		switch m.Type {
+		case btrblocks.TypeInt:
+			if len(src) < pos+8 {
+				return m, 0, ErrCorrupt
+			}
+			b.IntMin = int32(binary.LittleEndian.Uint32(src[pos:]))
+			b.IntMax = int32(binary.LittleEndian.Uint32(src[pos+4:]))
+			pos += 8
+		case btrblocks.TypeInt64:
+			if len(src) < pos+16 {
+				return m, 0, ErrCorrupt
+			}
+			b.Int64Min = int64(binary.LittleEndian.Uint64(src[pos:]))
+			b.Int64Max = int64(binary.LittleEndian.Uint64(src[pos+8:]))
+			pos += 16
+		case btrblocks.TypeDouble:
+			if len(src) < pos+16 {
+				return m, 0, ErrCorrupt
+			}
+			b.DoubleMin = math.Float64frombits(binary.LittleEndian.Uint64(src[pos:]))
+			b.DoubleMax = math.Float64frombits(binary.LittleEndian.Uint64(src[pos+8:]))
+			pos += 16
+		case btrblocks.TypeString:
+			var err error
+			b.StrMin, pos, err = readShortString(src, pos)
+			if err != nil {
+				return m, 0, err
+			}
+			b.StrMax, pos, err = readShortString(src, pos)
+			if err != nil {
+				return m, 0, err
+			}
+		}
+		m.Blocks = append(m.Blocks, b)
+	}
+	return m, pos, nil
+}
+
+func readShortString(src []byte, pos int) (string, int, error) {
+	if pos >= len(src) {
+		return "", 0, ErrCorrupt
+	}
+	l := int(src[pos])
+	pos++
+	if l > maxStringBound || len(src) < pos+l {
+		return "", 0, ErrCorrupt
+	}
+	return string(src[pos : pos+l]), pos + l, nil
+}

@@ -1,0 +1,181 @@
+package metadata
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"btrblocks"
+)
+
+func TestBuildIntSummaries(t *testing.T) {
+	opt := &btrblocks.Options{BlockSize: 100}
+	values := make([]int32, 250)
+	for i := range values {
+		values[i] = int32(i)
+	}
+	m := Build(btrblocks.IntColumn("seq", values), opt)
+	if len(m.Blocks) != 3 || m.Rows() != 250 {
+		t.Fatalf("blocks=%d rows=%d", len(m.Blocks), m.Rows())
+	}
+	if m.Blocks[0].IntMin != 0 || m.Blocks[0].IntMax != 99 {
+		t.Fatalf("block 0 bounds: %+v", m.Blocks[0])
+	}
+	if m.Blocks[2].IntMin != 200 || m.Blocks[2].IntMax != 249 || m.Blocks[2].Rows != 50 {
+		t.Fatalf("block 2 bounds: %+v", m.Blocks[2])
+	}
+}
+
+func TestPruneIntRange(t *testing.T) {
+	opt := &btrblocks.Options{BlockSize: 100}
+	values := make([]int32, 500)
+	for i := range values {
+		values[i] = int32(i)
+	}
+	m := Build(btrblocks.IntColumn("seq", values), opt)
+	if got := m.PruneIntRange(150, 250); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("prune [150,250] = %v", got)
+	}
+	if got := m.PruneIntRange(1000, 2000); got != nil {
+		t.Fatalf("out-of-range prune = %v", got)
+	}
+	if got := m.PruneIntRange(0, 0); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("point prune = %v", got)
+	}
+}
+
+func TestPruneDoubleAndNaN(t *testing.T) {
+	opt := &btrblocks.Options{BlockSize: 4}
+	values := []float64{1, 2, 3, 4, math.NaN(), 5, 6, 7, 100, 101, 102, 103}
+	m := Build(btrblocks.DoubleColumn("d", values), opt)
+	// the NaN block must widen to everything
+	if got := m.PruneDoubleRange(-1e308, 1e308); len(got) != 3 {
+		t.Fatalf("full-range prune = %v", got)
+	}
+	got := m.PruneDoubleRange(99, 104)
+	found := false
+	for _, b := range got {
+		if b == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("prune [99,104] = %v missing block 2", got)
+	}
+}
+
+func TestPruneStringEquals(t *testing.T) {
+	opt := &btrblocks.Options{BlockSize: 3}
+	values := []string{"apple", "banana", "cherry", "kiwi", "lemon", "mango", "peach", "pear", "plum"}
+	m := Build(btrblocks.StringColumn("s", values), opt)
+	if got := m.PruneStringEquals("lemon"); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("prune lemon = %v", got)
+	}
+	if got := m.PruneStringEquals("aaaa"); got != nil {
+		t.Fatalf("prune aaaa = %v", got)
+	}
+	if got := m.PruneStringEquals("zzz"); got != nil {
+		t.Fatalf("prune zzz = %v", got)
+	}
+}
+
+func TestStringBoundsTruncation(t *testing.T) {
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = 'x'
+	}
+	values := []string{string(long), "yolo"}
+	m := Build(btrblocks.StringColumn("s", values), nil)
+	if len(m.Blocks[0].StrMin) > maxStringBound || len(m.Blocks[0].StrMax) > maxStringBound {
+		t.Fatal("bounds not truncated")
+	}
+	// the long value must still be findable despite truncation
+	if got := m.PruneStringEquals(string(long)); len(got) != 1 {
+		t.Fatalf("truncated long value pruned away: %v", got)
+	}
+}
+
+func TestAllNullBlocks(t *testing.T) {
+	opt := &btrblocks.Options{BlockSize: 4}
+	values := make([]int32, 8)
+	nulls := btrblocks.NewNullMask()
+	for i := 0; i < 4; i++ {
+		nulls.SetNull(i)
+	}
+	for i := 4; i < 8; i++ {
+		values[i] = 42
+	}
+	col := btrblocks.IntColumn("n", values)
+	col.Nulls = nulls
+	m := Build(col, opt)
+	if !m.Blocks[0].AllNull || m.Blocks[0].NullCount != 4 {
+		t.Fatalf("block 0: %+v", m.Blocks[0])
+	}
+	if m.Blocks[1].AllNull {
+		t.Fatalf("block 1: %+v", m.Blocks[1])
+	}
+	if got := m.PruneNotNull(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("PruneNotNull = %v", got)
+	}
+	if got := m.PruneIntRange(42, 42); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("all-null block not pruned: %v", got)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, col := range []btrblocks.Column{
+		btrblocks.IntColumn("i", []int32{5, -3, 1 << 30}),
+		btrblocks.DoubleColumn("d", []float64{1.5, math.Inf(1), -0.5}),
+		btrblocks.StringColumn("s", []string{"alpha", "omega"}),
+	} {
+		m := Build(col, &btrblocks.Options{BlockSize: 2})
+		data := m.AppendTo(nil)
+		got, used, err := FromBytes(data)
+		if err != nil {
+			t.Fatalf("%s: %v", col.Name, err)
+		}
+		if used != len(data) {
+			t.Fatalf("%s: consumed %d of %d", col.Name, used, len(data))
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%s: round trip mismatch:\n%+v\n%+v", col.Name, got, m)
+		}
+	}
+}
+
+func TestSerializeCorrupt(t *testing.T) {
+	m := Build(btrblocks.StringColumn("s", []string{"a", "b"}), nil)
+	data := m.AppendTo(nil)
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, err := FromBytes(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestQuickPruneSoundness(t *testing.T) {
+	// Pruning must be sound: every block containing the probe must be in
+	// the pruned set (no false negatives).
+	opt := &btrblocks.Options{BlockSize: 50}
+	f := func(values []int32, probe int32) bool {
+		if len(values) == 0 {
+			return true
+		}
+		col := btrblocks.IntColumn("q", values)
+		m := Build(col, opt)
+		keep := map[int]bool{}
+		for _, b := range m.PruneIntRange(probe, probe) {
+			keep[b] = true
+		}
+		for i, v := range values {
+			if v == probe && !keep[i/50] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

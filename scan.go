@@ -1,0 +1,188 @@
+package btrblocks
+
+import (
+	"encoding/binary"
+	"math"
+
+	"btrblocks/internal/core"
+	"btrblocks/internal/roaring"
+)
+
+// This file exposes predicate evaluation on compressed column files —
+// the §7 capability: equality predicates are answered from the compressed
+// representation where the block's scheme permits (OneValue in O(1), RLE
+// by summing run lengths, dictionaries by resolving the value to a code
+// once), falling back to decode-and-compare otherwise.
+
+// CountEqualInt32 counts non-NULL rows equal to v in a compressed integer
+// column file.
+func CountEqualInt32(data []byte, v int32, opt *Options) (int, error) {
+	return countEqualColumn(data, opt, TypeInt,
+		func(stream []byte, cfg *core.Config) (int, int, error) {
+			return core.CountEqualInt(stream, v, cfg)
+		},
+		func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error) {
+			values, _, err := core.DecompressInt(nil, stream, cfg)
+			if err != nil {
+				return 0, err
+			}
+			count := 0
+			for i, x := range values {
+				if x == v && !nulls.Contains(uint32(i)) {
+					count++
+				}
+			}
+			return count, nil
+		})
+}
+
+// CountEqualInt64 counts non-NULL rows equal to v in a compressed int64
+// column file.
+func CountEqualInt64(data []byte, v int64, opt *Options) (int, error) {
+	return countEqualColumn(data, opt, TypeInt64,
+		func(stream []byte, cfg *core.Config) (int, int, error) {
+			return core.CountEqualInt64(stream, v, cfg)
+		},
+		func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error) {
+			values, _, err := core.DecompressInt64(nil, stream, cfg)
+			if err != nil {
+				return 0, err
+			}
+			count := 0
+			for i, x := range values {
+				if x == v && !nulls.Contains(uint32(i)) {
+					count++
+				}
+			}
+			return count, nil
+		})
+}
+
+// CountEqualDouble counts non-NULL rows bit-exactly equal to v in a
+// compressed double column file.
+func CountEqualDouble(data []byte, v float64, opt *Options) (int, error) {
+	vb := math.Float64bits(v)
+	return countEqualColumn(data, opt, TypeDouble,
+		func(stream []byte, cfg *core.Config) (int, int, error) {
+			return core.CountEqualDouble(stream, v, cfg)
+		},
+		func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error) {
+			values, _, err := core.DecompressDouble(nil, stream, cfg)
+			if err != nil {
+				return 0, err
+			}
+			count := 0
+			for i, x := range values {
+				if math.Float64bits(x) == vb && !nulls.Contains(uint32(i)) {
+					count++
+				}
+			}
+			return count, nil
+		})
+}
+
+// CountEqualString counts non-NULL rows equal to v in a compressed string
+// column file.
+func CountEqualString(data []byte, v string, opt *Options) (int, error) {
+	vb := []byte(v)
+	return countEqualColumn(data, opt, TypeString,
+		func(stream []byte, cfg *core.Config) (int, int, error) {
+			return core.CountEqualString(stream, vb, cfg)
+		},
+		func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error) {
+			views, _, err := core.DecompressString(stream, cfg)
+			if err != nil {
+				return 0, err
+			}
+			count := 0
+			for i := 0; i < views.Len(); i++ {
+				if string(views.Bytes(i)) == v && !nulls.Contains(uint32(i)) {
+					count++
+				}
+			}
+			return count, nil
+		})
+}
+
+// countEqualColumn walks a column file's blocks. Blocks without NULLs use
+// the compressed-data fast path; blocks with NULLs must decode, because
+// the compressor rewrites NULL slots (their content is unspecified) and a
+// rewritten slot could spuriously match.
+func countEqualColumn(
+	data []byte,
+	opt *Options,
+	want Type,
+	fast func(stream []byte, cfg *core.Config) (int, int, error),
+	slow func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error),
+) (int, error) {
+	cfg := opt.coreConfig()
+	if len(data) < 12 || string(data[:4]) != columnMagic || data[4] != formatVersion {
+		return 0, ErrCorrupt
+	}
+	if Type(data[5]) != want {
+		return 0, ErrTypeMismatch
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data[6:]))
+	pos := 8 + nameLen
+	if len(data) < pos+4 {
+		return 0, ErrCorrupt
+	}
+	blockCount := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+
+	total := 0
+	for b := 0; b < blockCount; b++ {
+		if len(data) < pos+8 {
+			return 0, ErrCorrupt
+		}
+		rows := int(binary.LittleEndian.Uint32(data[pos:]))
+		nullLen := int(binary.LittleEndian.Uint32(data[pos+4:]))
+		pos += 8
+		if rows > core.MaxBlockValues {
+			return 0, ErrCorrupt
+		}
+		cfg.MaxDecodedValues = rows
+		var nulls *roaring.Bitmap
+		if nullLen > 0 {
+			if len(data) < pos+nullLen {
+				return 0, ErrCorrupt
+			}
+			bm, used, err := roaring.FromBytes(data[pos : pos+nullLen])
+			if err != nil || used != nullLen {
+				return 0, ErrCorrupt
+			}
+			nulls = bm
+			pos += nullLen
+		}
+		if len(data) < pos+4 {
+			return 0, ErrCorrupt
+		}
+		dataLen := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if dataLen < 0 || len(data) < pos+dataLen {
+			return 0, ErrCorrupt
+		}
+		stream := data[pos : pos+dataLen]
+		if nulls == nil {
+			count, used, err := fast(stream, cfg)
+			if err != nil {
+				return 0, err
+			}
+			if used != dataLen {
+				return 0, ErrCorrupt
+			}
+			total += count
+		} else {
+			count, err := slow(stream, nulls, cfg)
+			if err != nil {
+				return 0, err
+			}
+			total += count
+		}
+		pos += dataLen
+	}
+	if pos != len(data) {
+		return 0, ErrCorrupt
+	}
+	return total, nil
+}

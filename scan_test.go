@@ -1,0 +1,277 @@
+package btrblocks
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// countRef is the reference implementation: decompress and compare.
+func countRefInt(col Column, v int32) int {
+	n := 0
+	for i, x := range col.Ints {
+		if x == v && !col.Nulls.IsNull(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCountEqualInt32AllSchemes(t *testing.T) {
+	opt := DefaultOptions()
+	rng := rand.New(rand.NewSource(1))
+
+	makers := map[string]func(n int) []int32{
+		"onevalue": func(n int) []int32 { return make([]int32, n) },
+		"runs": func(n int) []int32 {
+			out := make([]int32, 0, n)
+			for len(out) < n {
+				v := int32(rng.Intn(10))
+				for k := 0; k < 20+rng.Intn(100) && len(out) < n; k++ {
+					out = append(out, v)
+				}
+			}
+			return out
+		},
+		"smallrange": func(n int) []int32 {
+			out := make([]int32, n)
+			for i := range out {
+				out[i] = int32(rng.Intn(64))
+			}
+			return out
+		},
+		"skewed": func(n int) []int32 {
+			out := make([]int32, n)
+			for i := range out {
+				if rng.Float64() < 0.9 {
+					out[i] = 7
+				} else {
+					out[i] = rng.Int31()
+				}
+			}
+			return out
+		},
+		"outliers": func(n int) []int32 {
+			out := make([]int32, n)
+			for i := range out {
+				out[i] = int32(rng.Intn(16))
+				if i%97 == 0 {
+					out[i] = 1 << 29
+				}
+			}
+			return out
+		},
+	}
+	for name, mk := range makers {
+		values := mk(64000)
+		col := IntColumn("c", values)
+		data, err := CompressColumn(col, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, probe := range []int32{0, 7, 5, 1 << 29, -1, values[100]} {
+			got, err := CountEqualInt32(data, probe, opt)
+			if err != nil {
+				t.Fatalf("%s probe %d: %v", name, probe, err)
+			}
+			if want := countRefInt(col, probe); got != want {
+				t.Fatalf("%s probe %d: got %d, want %d", name, probe, got, want)
+			}
+		}
+	}
+}
+
+func TestCountEqualDoubleSchemes(t *testing.T) {
+	opt := DefaultOptions()
+	rng := rand.New(rand.NewSource(2))
+	makers := map[string]func(n int) []float64{
+		"pricing": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(rng.Intn(500)) / 4 // quarters: exact
+			}
+			return out
+		},
+		"dict": func(n int) []float64 {
+			vals := []float64{0, 1.5, math.Pi, 99.99}
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = vals[rng.Intn(len(vals))]
+			}
+			return out
+		},
+		"runs": func(n int) []float64 {
+			out := make([]float64, 0, n)
+			for len(out) < n {
+				v := float64(rng.Intn(8))
+				for k := 0; k < 30+rng.Intn(60) && len(out) < n; k++ {
+					out = append(out, v)
+				}
+			}
+			return out
+		},
+	}
+	for name, mk := range makers {
+		values := mk(64000)
+		col := DoubleColumn("c", values)
+		data, err := CompressColumn(col, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, probe := range []float64{0, 1.5, values[5], -7.25, math.Pi} {
+			got, err := CountEqualDouble(data, probe, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			want := 0
+			pb := math.Float64bits(probe)
+			for _, x := range values {
+				if math.Float64bits(x) == pb {
+					want++
+				}
+			}
+			if got != want {
+				t.Fatalf("%s probe %v: got %d, want %d", name, probe, got, want)
+			}
+		}
+	}
+}
+
+func TestCountEqualStringSchemes(t *testing.T) {
+	opt := DefaultOptions()
+	rng := rand.New(rand.NewSource(3))
+	makers := map[string]func(n int) []string{
+		"onevalue": func(n int) []string {
+			out := make([]string, n)
+			for i := range out {
+				out[i] = "CABLE"
+			}
+			return out
+		},
+		"dict": func(n int) []string {
+			vals := []string{"PHOENIX", "RALEIGH", "ATHENS"}
+			out := make([]string, n)
+			for i := range out {
+				out[i] = vals[rng.Intn(len(vals))]
+			}
+			return out
+		},
+		"dictRuns": func(n int) []string {
+			vals := []string{"01 BRONX", "04 BRONX", "03 QUEENS"}
+			out := make([]string, 0, n)
+			for len(out) < n {
+				v := vals[rng.Intn(len(vals))]
+				for k := 0; k < 40+rng.Intn(80) && len(out) < n; k++ {
+					out = append(out, v)
+				}
+			}
+			return out
+		},
+		"fsst": func(n int) []string {
+			out := make([]string, n)
+			for i := range out {
+				out[i] = fmt.Sprintf("https://example.com/products/item-%d", i)
+			}
+			return out
+		},
+	}
+	for name, mk := range makers {
+		values := mk(30000)
+		col := StringColumn("c", values)
+		data, err := CompressColumn(col, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, probe := range []string{"CABLE", "PHOENIX", "01 BRONX", values[7], "missing-value"} {
+			got, err := CountEqualString(data, probe, opt)
+			if err != nil {
+				t.Fatalf("%s probe %q: %v", name, probe, err)
+			}
+			want := 0
+			for _, x := range values {
+				if x == probe {
+					want++
+				}
+			}
+			if got != want {
+				t.Fatalf("%s probe %q: got %d, want %d", name, probe, got, want)
+			}
+		}
+	}
+}
+
+func TestCountEqualRespectsNulls(t *testing.T) {
+	// NULL slots are rewritten by densification and must never count.
+	opt := DefaultOptions()
+	n := 10000
+	values := make([]int32, n)
+	nulls := NewNullMask()
+	for i := range values {
+		values[i] = 5
+		if i%3 == 0 {
+			nulls.SetNull(i)
+			values[i] = 999 // garbage that densification replaces
+		}
+	}
+	col := IntColumn("c", values)
+	col.Nulls = nulls
+	data, err := CompressColumn(col, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CountEqualInt32(data, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := countRefInt(col, 5); got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+	// 999 slots are NULL; they must not be observable as matches
+	got999, err := CountEqualInt32(data, 999, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got999 != 0 {
+		t.Fatalf("NULL garbage matched %d times", got999)
+	}
+}
+
+func TestCountEqualTypeMismatch(t *testing.T) {
+	opt := DefaultOptions()
+	data, err := CompressColumn(IntColumn("c", []int32{1, 2, 3}), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CountEqualString(data, "x", opt); err != ErrTypeMismatch {
+		t.Fatalf("err = %v, want type mismatch", err)
+	}
+	if _, err := CountEqualDouble(data, 1, opt); err != ErrTypeMismatch {
+		t.Fatalf("err = %v, want type mismatch", err)
+	}
+}
+
+func TestCountEqualQuick(t *testing.T) {
+	opt := &Options{BlockSize: 500}
+	f := func(values []int32, probe int32) bool {
+		// push values into a small range so matches actually occur
+		for i := range values {
+			values[i] &= 15
+		}
+		probe &= 15
+		col := IntColumn("c", values)
+		data, err := CompressColumn(col, opt)
+		if err != nil {
+			return false
+		}
+		got, err := CountEqualInt32(data, probe, opt)
+		if err != nil {
+			return false
+		}
+		return got == countRefInt(col, probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package btrblocks
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file implements a streaming table format on top of the chunk
+// format: a Writer consumes chunks (e.g. one per 64k-row ingest batch)
+// and emits a framed sequence the Reader consumes chunk by chunk, so
+// tables larger than memory round-trip through ordinary io.Writer /
+// io.Reader plumbing.
+//
+//	stream  := magic "BTRS" version:u8 schema chunk* footer
+//	schema  := colCount:u16 (type:u8 nameLen:u16 name)*
+//	chunk   := 'C' chunkLen:u32 <CompressedChunk file bytes>
+//	footer  := 'E' chunkCount:u32 rowCount:u64
+
+const streamMagic = "BTRS"
+
+// Writer writes a stream of compressed chunks with a fixed schema.
+type Writer struct {
+	w        *bufio.Writer
+	opt      *Options
+	schema   []Column // names/types only
+	chunks   int
+	rows     uint64
+	finished bool
+}
+
+// NewWriter starts a stream with the schema taken from the given columns
+// (their data is ignored; only Name and Type matter).
+func NewWriter(w io.Writer, schema []Column, opt *Options) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(streamMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return nil, err
+	}
+	var hdr []byte
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(schema)))
+	for _, col := range schema {
+		hdr = append(hdr, byte(col.Type))
+		hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(col.Name)))
+		hdr = append(hdr, col.Name...)
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, opt: opt, schema: schema}, nil
+}
+
+// WriteChunk compresses and appends one chunk. The chunk's columns must
+// match the writer's schema in order, name and type.
+func (w *Writer) WriteChunk(chunk *Chunk) error {
+	if w.finished {
+		return fmt.Errorf("btrblocks: write after Close")
+	}
+	if len(chunk.Columns) != len(w.schema) {
+		return fmt.Errorf("btrblocks: chunk has %d columns, schema has %d",
+			len(chunk.Columns), len(w.schema))
+	}
+	for i := range chunk.Columns {
+		if chunk.Columns[i].Name != w.schema[i].Name || chunk.Columns[i].Type != w.schema[i].Type {
+			return fmt.Errorf("btrblocks: column %d (%s %s) does not match schema (%s %s)",
+				i, chunk.Columns[i].Name, chunk.Columns[i].Type, w.schema[i].Name, w.schema[i].Type)
+		}
+	}
+	cc, err := CompressChunk(chunk, w.opt)
+	if err != nil {
+		return err
+	}
+	payload := cc.EncodeFile()
+	if err := w.w.WriteByte('C'); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	w.chunks++
+	w.rows += uint64(chunk.NumRows())
+	return nil
+}
+
+// Close writes the footer and flushes. It does not close the underlying
+// writer.
+func (w *Writer) Close() error {
+	if w.finished {
+		return nil
+	}
+	w.finished = true
+	if err := w.w.WriteByte('E'); err != nil {
+		return err
+	}
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(w.chunks))
+	binary.LittleEndian.PutUint64(buf[4:], w.rows)
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader reads a stream written by Writer.
+type Reader struct {
+	r      *bufio.Reader
+	opt    *Options
+	schema []Column
+	chunks int
+	rows   uint64
+	done   bool
+}
+
+// NewReader parses the stream header and returns a Reader positioned at
+// the first chunk.
+func NewReader(r io.Reader, opt *Options) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, ErrCorrupt
+	}
+	if string(magic[:4]) != streamMagic || magic[4] != formatVersion {
+		return nil, ErrCorrupt
+	}
+	var cnt [2]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint16(cnt[:]))
+	schema := make([]Column, n)
+	for i := range schema {
+		var hdr [3]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, ErrCorrupt
+		}
+		schema[i].Type = Type(hdr[0])
+		if schema[i].Type > maxType {
+			return nil, ErrCorrupt
+		}
+		nameLen := int(binary.LittleEndian.Uint16(hdr[1:]))
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, ErrCorrupt
+		}
+		schema[i].Name = string(name)
+	}
+	return &Reader{r: br, opt: opt, schema: schema}, nil
+}
+
+// Schema returns the stream's column names and types.
+func (r *Reader) Schema() []Column { return r.schema }
+
+// Next decompresses and returns the next chunk, or io.EOF after the
+// footer has been consumed (Rows/Chunks are then valid).
+func (r *Reader) Next() (*Chunk, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	tag, err := r.r.ReadByte()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	switch tag {
+	case 'C':
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+			return nil, ErrCorrupt
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if payloadLen < 0 || payloadLen > 1<<31 {
+			return nil, ErrCorrupt
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(r.r, payload); err != nil {
+			return nil, ErrCorrupt
+		}
+		cc, err := DecodeFile(payload)
+		if err != nil {
+			return nil, err
+		}
+		chunk, err := DecompressChunk(cc, r.opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk.Columns) != len(r.schema) {
+			return nil, ErrCorrupt
+		}
+		return chunk, nil
+	case 'E':
+		var buf [12]byte
+		if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+			return nil, ErrCorrupt
+		}
+		r.chunks = int(binary.LittleEndian.Uint32(buf[:4]))
+		r.rows = binary.LittleEndian.Uint64(buf[4:])
+		r.done = true
+		return nil, io.EOF
+	default:
+		return nil, ErrCorrupt
+	}
+}
+
+// Rows returns the footer's total row count; valid after Next returned
+// io.EOF.
+func (r *Reader) Rows() uint64 { return r.rows }
+
+// Chunks returns the footer's chunk count; valid after Next returned
+// io.EOF.
+func (r *Reader) Chunks() int { return r.chunks }

@@ -1,0 +1,202 @@
+package btrblocks
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func streamSchema() []Column {
+	return []Column{
+		{Name: "id", Type: TypeInt},
+		{Name: "price", Type: TypeDouble},
+		{Name: "city", Type: TypeString},
+	}
+}
+
+func streamChunk(rows int, seed int64) *Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	ints := make([]int32, rows)
+	doubles := make([]float64, rows)
+	strs := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		ints[i] = int32(rng.Intn(500))
+		doubles[i] = float64(rng.Intn(10000)) / 100
+		strs[i] = fmt.Sprintf("city-%d", rng.Intn(20))
+	}
+	return &Chunk{Columns: []Column{
+		IntColumn("id", ints),
+		DoubleColumn("price", doubles),
+		StringColumn("city", strs),
+	}}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	opt := &Options{BlockSize: 1000}
+	w, err := NewWriter(&buf, streamSchema(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*Chunk
+	for i := 0; i < 5; i++ {
+		chunk := streamChunk(3000+i*100, int64(i))
+		want = append(want, chunk)
+		if err := w.WriteChunk(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := r.Schema()
+	if len(schema) != 3 || schema[2].Name != "city" || schema[2].Type != TypeString {
+		t.Fatalf("schema = %+v", schema)
+	}
+	totalRows := 0
+	for i := 0; ; i++ {
+		chunk, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc := want[i]
+		if chunk.NumRows() != wc.NumRows() {
+			t.Fatalf("chunk %d rows %d != %d", i, chunk.NumRows(), wc.NumRows())
+		}
+		for ci := range wc.Columns {
+			switch wc.Columns[ci].Type {
+			case TypeInt:
+				for j := range wc.Columns[ci].Ints {
+					if chunk.Columns[ci].Ints[j] != wc.Columns[ci].Ints[j] {
+						t.Fatalf("chunk %d col %d int %d mismatch", i, ci, j)
+					}
+				}
+			case TypeString:
+				if !chunk.Columns[ci].Strings.Equal(wc.Columns[ci].Strings) {
+					t.Fatalf("chunk %d col %d strings mismatch", i, ci)
+				}
+			}
+		}
+		totalRows += chunk.NumRows()
+	}
+	if r.Chunks() != 5 || int(r.Rows()) != totalRows {
+		t.Fatalf("footer: chunks=%d rows=%d, want 5/%d", r.Chunks(), r.Rows(), totalRows)
+	}
+	// Next after EOF keeps returning EOF
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err after EOF = %v", err)
+	}
+}
+
+func TestStreamSchemaEnforcement(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, streamSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wrong column count
+	if err := w.WriteChunk(&Chunk{Columns: []Column{IntColumn("id", nil)}}); err == nil {
+		t.Fatal("column count mismatch accepted")
+	}
+	// wrong type
+	bad := streamChunk(10, 1)
+	bad.Columns[1] = IntColumn("price", make([]int32, 10))
+	if err := w.WriteChunk(bad); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	// wrong name
+	bad = streamChunk(10, 1)
+	bad.Columns[0].Name = "identifier"
+	if err := w.WriteChunk(bad); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(streamChunk(10, 1)); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestStreamCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, streamSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(streamChunk(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// bad magic
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := NewReader(bytes.NewReader(bad), nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// truncations must error from NewReader or Next, never panic
+	for cut := 0; cut < len(data); cut += 3 {
+		r, err := NewReader(bytes.NewReader(data[:cut]), nil)
+		if err != nil {
+			continue
+		}
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+	// bad chunk tag
+	bad = append([]byte(nil), data...)
+	// the first chunk tag is right after the header; find it
+	hdrLen := 5 + 2
+	for _, col := range streamSchema() {
+		hdrLen += 3 + len(col.Name)
+	}
+	bad[hdrLen] = 'Z'
+	r, err := NewReader(bytes.NewReader(bad), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bad tag accepted")
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, streamSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty stream Next = %v", err)
+	}
+	if r.Chunks() != 0 || r.Rows() != 0 {
+		t.Fatal("empty footer wrong")
+	}
+}
