@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race uses -short to skip the full experiments sweep (it re-runs the
+# same library code the other packages already race-test, but takes
+# most of an hour under the race detector).
+race:
+	$(GO) test -race -short -timeout 30m ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# check is the tier-1 gate: format, vet, build, tests (incl. race).
+check: fmt vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: check

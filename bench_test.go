@@ -552,3 +552,30 @@ func BenchmarkCountEqual_Ablation(b *testing.B) {
 		}
 	})
 }
+
+// --- Telemetry overhead ---
+
+// BenchmarkTelemetryOverhead compares block compression with telemetry
+// disabled (nil recorder — the default), enabled, and against the
+// baseline; "off" must stay within noise (~2%) of the baseline.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]int32, 64000)
+	for i := range vals {
+		vals[i] = int32(rng.Intn(1 << 14))
+	}
+	col := btrblocks.IntColumn("v", vals)
+	run := func(b *testing.B, opt *btrblocks.Options) {
+		b.SetBytes(int64(col.UncompressedBytes()))
+		for i := 0; i < b.N; i++ {
+			if _, err := btrblocks.CompressColumn(col, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, btrblocks.DefaultOptions()) })
+	b.Run("on", func(b *testing.B) {
+		rec := btrblocks.NewTelemetry()
+		run(b, &btrblocks.Options{Telemetry: rec})
+	})
+}

@@ -16,6 +16,12 @@
 // (dictionary with optional FSST pool compression, or direct FSST). NULLs
 // are tracked per block in Roaring bitmaps, orthogonally to value
 // compression.
+//
+// Compressed files are self-describing: Inspect parses a column, chunk,
+// or stream file into an exact byte-accounted layout tree without
+// decompressing any payload, and Options.Telemetry records per-block
+// scheme-selection telemetry during compression. FORMAT.md in the
+// repository root specifies the binary format byte by byte.
 package btrblocks
 
 import (
@@ -100,6 +106,12 @@ type Options struct {
 	Parallelism int
 	// Seed makes sampling deterministic (default 42).
 	Seed int64
+	// Telemetry, when non-nil, records per-block compression telemetry
+	// (chosen schemes per cascade level, estimated vs. actual ratios,
+	// timings). nil — the default — disables recording entirely and adds
+	// no measurable overhead. The recorder is safe to share across
+	// concurrent compressions; read it with Snapshot.
+	Telemetry *Telemetry
 }
 
 // DefaultOptions returns the paper's default configuration.

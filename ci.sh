@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 gate: formatting, vet, build, tests, race tests.
+set -eu
+
+echo "== gofmt =="
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+# -short skips the full experiments sweep, which re-runs library code
+# the other packages already race-test but takes most of an hour under
+# the race detector.
+go test -race -short -timeout 30m ./...
+
+echo "ci: all checks passed"

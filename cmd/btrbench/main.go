@@ -6,8 +6,8 @@
 //
 //	btrbench [-rows N] [-seed S] [-threads T] [-reps R] <experiment>...
 //
-// Experiments: fig1 table2 fig4 fig5 fig6 fig7 compspeed table3 pde-pool
-// fig8 table4 table5 colscan scalar selection all
+// Experiments: fig1 table2 schemes fig4 fig5 fig6 fig7 compspeed table3
+// pde-pool fig8 table4 table5 colscan scalar selection all
 package main
 
 import (
@@ -35,11 +35,12 @@ var registry = map[string]func(*experiments.Config) error{
 	"colscan":   experiments.ColumnScan,
 	"scalar":    experiments.Scalar,
 	"selection": experiments.SelectionOverhead,
+	"schemes":   experiments.Schemes,
 }
 
 // order keeps `all` output in the paper's presentation order.
 var order = []string{
-	"fig1", "table2", "fig4", "fig5", "fig6", "selection", "fig7",
+	"fig1", "table2", "schemes", "fig4", "fig5", "fig6", "selection", "fig7",
 	"compspeed", "table3", "pde-pool", "fig8", "table4", "table5",
 	"colscan", "scalar",
 }

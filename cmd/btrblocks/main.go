@@ -1,12 +1,20 @@
 // Command btrblocks is the CLI for the BtrBlocks columnar format:
 // compress CSV files into .btr files, decompress them back to CSV, and
-// inspect compressed files.
+// inspect compressed files without decompressing them.
 //
 // Usage:
 //
-//	btrblocks compress  -schema int,int64,double,string [-block N] <in.csv> <out.btr>
+//	btrblocks compress  -schema int,int64,double,string [-block N] [-stats] <in.csv> <out.btr>
 //	btrblocks decompress <in.btr> <out.csv>
 //	btrblocks inspect    <in.btr>
+//	btrblocks stats      <in.btr>
+//
+// inspect prints the full layout tree of a column, chunk, or stream file
+// (see FORMAT.md): container framing, per-block NULL bitmap and data
+// sizes, and the cascade of schemes with exact byte accounting. stats
+// prints aggregate counters over the same layout: where the bytes went
+// and which schemes were chosen how often. Both read only headers —
+// payloads are never decompressed.
 package main
 
 import (
@@ -32,6 +40,8 @@ func main() {
 		err = decompress(os.Args[2:])
 	case "inspect":
 		err = inspect(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -44,9 +54,10 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  btrblocks compress  -schema int,int64,double,string [-block N] <in.csv> <out.btr>
+  btrblocks compress  -schema int,int64,double,string [-block N] [-stats] <in.csv> <out.btr>
   btrblocks decompress <in.btr> <out.csv>
   btrblocks inspect    <in.btr>
+  btrblocks stats      <in.btr>
 `)
 }
 
@@ -54,6 +65,7 @@ func compress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	schema := fs.String("schema", "", "comma-separated column types (int|int64|double|string)")
 	block := fs.Int("block", btrblocks.DefaultBlockSize, "values per block")
+	telemetryReport := fs.Bool("stats", false, "print a compression telemetry report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +90,9 @@ func compress(args []string) error {
 		return err
 	}
 	opt := &btrblocks.Options{BlockSize: *block}
+	if *telemetryReport {
+		opt.Telemetry = btrblocks.NewTelemetry()
+	}
 	cc, err := btrblocks.CompressChunk(chunk, opt)
 	if err != nil {
 		return err
@@ -91,6 +106,11 @@ func compress(args []string) error {
 		chunk.NumRows(), len(chunk.Columns), unc, comp, float64(unc)/float64(comp))
 	for _, st := range cc.Stats {
 		fmt.Printf("  %-30s %-8s %8.2fx  %v\n", st.Name, st.Type, st.Ratio(), st.BlockSchemes)
+	}
+	if *telemetryReport {
+		snap := opt.Telemetry.Snapshot()
+		fmt.Println()
+		fmt.Print(snap.Report())
 	}
 	return nil
 }
@@ -131,23 +151,26 @@ func inspect(args []string) error {
 	if err != nil {
 		return err
 	}
-	cc, err := btrblocks.DecodeFile(data)
+	info, err := btrblocks.Inspect(data)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("file: %d bytes, %d columns\n", len(data), len(cc.Columns))
-	for i, colData := range cc.Columns {
-		col, err := btrblocks.DecompressColumn(colData, btrblocks.DefaultOptions())
-		if err != nil {
-			return fmt.Errorf("column %d: %w", i, err)
-		}
-		fmt.Printf("  %-30s %-8s %8d rows %10d bytes compressed (%.2fx)",
-			col.Name, col.Type, col.Len(), len(colData),
-			float64(col.UncompressedBytes())/float64(len(colData)))
-		if n := col.Nulls.NullCount(); n > 0 {
-			fmt.Printf("  %d nulls", n)
-		}
-		fmt.Println()
+	info.RenderTree(os.Stdout)
+	return nil
+}
+
+func stats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stats needs <in.btr>")
 	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	info, err := btrblocks.Inspect(data)
+	if err != nil {
+		return err
+	}
+	info.Stats().Render(os.Stdout)
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"btrblocks/coldata"
 	"btrblocks/internal/core"
 	"btrblocks/internal/roaring"
+	"btrblocks/internal/telemetry"
 )
 
 // Errors returned by the format layer.
@@ -46,6 +47,7 @@ func compressColumnBlocks(col Column, opt *Options) ([][]byte, error) {
 		return nil, fmt.Errorf("btrblocks: block size %d exceeds maximum %d", opt.BlockSize, core.MaxBlockValues)
 	}
 	cfg := opt.coreConfig()
+	rec := opt.telemetryRecorder()
 	bs := opt.blockSize()
 	n := col.Len()
 	numBlocks := (n + bs - 1) / bs
@@ -56,14 +58,23 @@ func compressColumnBlocks(col Column, opt *Options) ([][]byte, error) {
 		if hi > n {
 			hi = n
 		}
-		blocks[b] = compressBlock(&col, lo, hi, cfg)
+		blocks[b] = compressBlock(&col, b, lo, hi, cfg, rec)
 	}
 	return blocks, nil
 }
 
-// compressBlock encodes rows [lo, hi) of col as:
+// compressBlock encodes one block, routing through the telemetry path
+// when a recorder is set.
+func compressBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetry.Recorder) []byte {
+	if rec == nil {
+		return encodeBlock(col, lo, hi, cfg)
+	}
+	return recordBlock(col, block, lo, hi, cfg, rec)
+}
+
+// encodeBlock encodes rows [lo, hi) of col as:
 // rows:u32 nullLen:u32 [roaring bytes] dataLen:u32 data-stream.
-func compressBlock(col *Column, lo, hi int, cfg *core.Config) []byte {
+func encodeBlock(col *Column, lo, hi int, cfg *core.Config) []byte {
 	var out []byte
 	out = binary.LittleEndian.AppendUint32(out, uint32(hi-lo))
 	nulls := col.Nulls.slice(lo, hi)
@@ -407,6 +418,7 @@ func CompressChunk(chunk *Chunk, opt *Options) (*CompressedChunk, error) {
 	}
 
 	cfg := opt.coreConfig()
+	rec := opt.telemetryRecorder()
 	workers := parallelism(opt)
 	var wg sync.WaitGroup
 	taskCh := make(chan task)
@@ -421,7 +433,7 @@ func CompressChunk(chunk *Chunk, opt *Options) (*CompressedChunk, error) {
 				if hi > col.Len() {
 					hi = col.Len()
 				}
-				blockBufs[t.col][t.block] = compressBlock(col, lo, hi, cfg)
+				blockBufs[t.col][t.block] = compressBlock(col, t.block, lo, hi, cfg, rec)
 			}
 		}()
 	}

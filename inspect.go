@@ -1,0 +1,604 @@
+package btrblocks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"btrblocks/internal/core"
+	"btrblocks/internal/roaring"
+)
+
+// This file implements file introspection: parsing a compressed column,
+// chunk, or stream file into a structured layout tree — container
+// framing, per-block scheme tags, NULL-bitmap sizes, payload sizes, and
+// the full cascade structure — without decompressing any payload. The
+// layout is the ground truth behind FORMAT.md; `btrblocks inspect`
+// renders it.
+//
+// Byte accounting is exact: every FileInfo section sums to the file
+// size (see FileInfo.AccountedBytes), which the tests assert on every
+// corpus file.
+
+// SchemeNode describes one compressed stream of a block's cascade tree:
+// its scheme, value count, byte breakdown, and sub-streams. It is an
+// alias of the core layout walker's node type.
+type SchemeNode = core.Layout
+
+// FileKind identifies which container format a file uses.
+type FileKind uint8
+
+// Container kinds distinguished by Inspect.
+const (
+	// FileKindColumn is a single-column file ("BTRC", CompressColumn).
+	FileKindColumn FileKind = iota
+	// FileKindChunk is a multi-column chunk file ("BTRB", EncodeFile).
+	FileKindChunk
+	// FileKindStream is a framed multi-chunk stream ("BTRS", Writer).
+	FileKindStream
+)
+
+// String returns the kind name.
+func (k FileKind) String() string {
+	switch k {
+	case FileKindColumn:
+		return "column"
+	case FileKindChunk:
+		return "chunk"
+	case FileKindStream:
+		return "stream"
+	}
+	return "invalid"
+}
+
+// BlockInfo describes one block of a compressed column.
+type BlockInfo struct {
+	// Offset is the block's byte offset from the start of the file;
+	// Size is its total encoded size including the block header.
+	Offset int
+	Size   int
+	// Rows is the block's value count.
+	Rows int
+	// NullCount is the number of NULL positions recorded in the block's
+	// bitmap; NullBytes is the serialized bitmap size (0 when the block
+	// has no NULLs).
+	NullCount int
+	NullBytes int
+	// DataBytes is the size of the block's compressed data stream, and
+	// Data is that stream's cascade layout tree.
+	DataBytes int
+	Data      *SchemeNode
+}
+
+// blockHeaderBytes is the fixed per-block framing: rows:u32 nullLen:u32
+// dataLen:u32.
+const blockHeaderBytes = 12
+
+// ColumnInfo describes one compressed column within a file.
+type ColumnInfo struct {
+	Name string
+	Type Type
+	// Offset is the column file's byte offset from the start of the
+	// containing file (0 for a standalone column file); Size is its
+	// total size; HeaderBytes is the column header (magic, version,
+	// type, name, block count).
+	Offset      int
+	Size        int
+	HeaderBytes int
+	// Rows and NullCount sum over all blocks.
+	Rows      int
+	NullCount int
+	Blocks    []*BlockInfo
+}
+
+// ChunkInfo describes one chunk of a stream file.
+type ChunkInfo struct {
+	// Offset and Size cover the chunk including its stream framing;
+	// FrameBytes is that framing ('C' tag + length), and HeaderBytes is
+	// the embedded chunk file's header (magic, version, column count,
+	// per-column length table).
+	Offset      int
+	Size        int
+	FrameBytes  int
+	HeaderBytes int
+	Columns     []*ColumnInfo
+}
+
+// FileInfo is the parsed layout of a compressed file.
+type FileInfo struct {
+	// Kind is the container format, detected from the magic bytes.
+	Kind FileKind
+	// Size is the total file size in bytes.
+	Size int
+	// HeaderBytes is the container header: 0 for a column file (the
+	// header belongs to Columns[0]), the chunk header plus length table
+	// for a chunk file, and the stream header including the schema for
+	// a stream file. FooterBytes is the stream footer (0 otherwise).
+	HeaderBytes int
+	FooterBytes int
+	// Columns holds the file's columns: exactly one for a column file,
+	// all columns for a chunk file, nil for a stream file (see Chunks).
+	Columns []*ColumnInfo
+	// Chunks holds a stream file's chunks in order.
+	Chunks []*ChunkInfo
+	// Schema holds a stream file's column names and types.
+	Schema []Column
+}
+
+// Inspect parses a compressed file — column ("BTRC"), chunk ("BTRB") or
+// stream ("BTRS") — into its layout tree without decompressing any
+// payload. The returned FileInfo accounts for every byte of the file:
+// AccountedBytes() == Size, or Inspect returns ErrCorrupt.
+func Inspect(data []byte) (*FileInfo, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	switch string(data[:4]) {
+	case columnMagic:
+		col, err := inspectColumn(data, 0)
+		if err != nil {
+			return nil, err
+		}
+		if col.Size != len(data) {
+			return nil, ErrCorrupt
+		}
+		return &FileInfo{Kind: FileKindColumn, Size: len(data), Columns: []*ColumnInfo{col}}, nil
+	case fileMagic:
+		return inspectChunkFile(data)
+	case streamMagic:
+		return inspectStreamFile(data)
+	}
+	return nil, ErrCorrupt
+}
+
+// inspectColumn parses one column file starting at data[0]; base is the
+// absolute offset used for Offset fields.
+func inspectColumn(data []byte, base int) (*ColumnInfo, error) {
+	if len(data) < 12 || string(data[:4]) != columnMagic {
+		return nil, ErrCorrupt
+	}
+	if data[4] != formatVersion {
+		return nil, fmt.Errorf("btrblocks: unsupported version %d", data[4])
+	}
+	ci := &ColumnInfo{Offset: base, Type: Type(data[5])}
+	if ci.Type > maxType {
+		return nil, ErrCorrupt
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data[6:]))
+	pos := 8
+	if len(data) < pos+nameLen+4 {
+		return nil, ErrCorrupt
+	}
+	ci.Name = string(data[pos : pos+nameLen])
+	pos += nameLen
+	blockCount := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	ci.HeaderBytes = pos
+	for b := 0; b < blockCount; b++ {
+		bi, err := inspectBlock(data, pos, base, ci.Type)
+		if err != nil {
+			return nil, err
+		}
+		pos += bi.Size
+		ci.Rows += bi.Rows
+		ci.NullCount += bi.NullCount
+		ci.Blocks = append(ci.Blocks, bi)
+	}
+	ci.Size = pos
+	return ci, nil
+}
+
+// inspectBlock parses one block at data[pos]; offsets are reported
+// relative to base.
+func inspectBlock(data []byte, pos, base int, t Type) (*BlockInfo, error) {
+	bi := &BlockInfo{Offset: base + pos}
+	if len(data) < pos+8 {
+		return nil, ErrCorrupt
+	}
+	bi.Rows = int(binary.LittleEndian.Uint32(data[pos:]))
+	bi.NullBytes = int(binary.LittleEndian.Uint32(data[pos+4:]))
+	pos += 8
+	if bi.Rows > core.MaxBlockValues || bi.NullBytes < 0 || len(data) < pos+bi.NullBytes+4 {
+		return nil, ErrCorrupt
+	}
+	if bi.NullBytes > 0 {
+		bm, used, err := roaring.FromBytes(data[pos : pos+bi.NullBytes])
+		if err != nil || used != bi.NullBytes {
+			return nil, ErrCorrupt
+		}
+		bi.NullCount = bm.Cardinality()
+		pos += bi.NullBytes
+	}
+	bi.DataBytes = int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	if bi.DataBytes < 0 || len(data) < pos+bi.DataBytes {
+		return nil, ErrCorrupt
+	}
+	node, used, err := core.InspectStream(streamKind(t), data[pos:pos+bi.DataBytes])
+	if err != nil {
+		return nil, err
+	}
+	if used != bi.DataBytes || node.Values != bi.Rows {
+		return nil, ErrCorrupt
+	}
+	bi.Data = node
+	bi.Size = blockHeaderBytes + bi.NullBytes + bi.DataBytes
+	return bi, nil
+}
+
+// streamKind maps a column type to its core stream kind.
+func streamKind(t Type) core.Kind {
+	switch t {
+	case TypeInt:
+		return core.KindInt
+	case TypeInt64:
+		return core.KindInt64
+	case TypeDouble:
+		return core.KindDouble
+	default:
+		return core.KindString
+	}
+}
+
+func inspectChunkFile(data []byte) (*FileInfo, error) {
+	fi := &FileInfo{Kind: FileKindChunk, Size: len(data)}
+	cols, headerBytes, err := inspectChunkBody(data, 0)
+	if err != nil {
+		return nil, err
+	}
+	fi.Columns = cols
+	fi.HeaderBytes = headerBytes
+	total := headerBytes
+	for _, c := range cols {
+		total += c.Size
+	}
+	if total != len(data) {
+		return nil, ErrCorrupt
+	}
+	return fi, nil
+}
+
+// inspectChunkBody parses a chunk file ("BTRB") located at data[0],
+// returning its columns and header size; base offsets the Offset fields.
+func inspectChunkBody(data []byte, base int) ([]*ColumnInfo, int, error) {
+	if len(data) < 7 || string(data[:4]) != fileMagic {
+		return nil, 0, ErrCorrupt
+	}
+	if data[4] != formatVersion {
+		return nil, 0, fmt.Errorf("btrblocks: unsupported version %d", data[4])
+	}
+	nCols := int(binary.LittleEndian.Uint16(data[5:]))
+	pos := 7
+	if len(data) < pos+4*nCols {
+		return nil, 0, ErrCorrupt
+	}
+	lengths := make([]int, nCols)
+	for i := range lengths {
+		lengths[i] = int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+	}
+	headerBytes := pos
+	cols := make([]*ColumnInfo, nCols)
+	for i, l := range lengths {
+		if l < 0 || len(data) < pos+l {
+			return nil, 0, ErrCorrupt
+		}
+		ci, err := inspectColumn(data[pos:pos+l], base+pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ci.Size != l {
+			return nil, 0, ErrCorrupt
+		}
+		cols[i] = ci
+		pos += l
+	}
+	return cols, headerBytes, nil
+}
+
+func inspectStreamFile(data []byte) (*FileInfo, error) {
+	fi := &FileInfo{Kind: FileKindStream, Size: len(data)}
+	if len(data) < 7 || string(data[:4]) != streamMagic || data[4] != formatVersion {
+		return nil, ErrCorrupt
+	}
+	nCols := int(binary.LittleEndian.Uint16(data[5:]))
+	pos := 7
+	for i := 0; i < nCols; i++ {
+		if len(data) < pos+3 {
+			return nil, ErrCorrupt
+		}
+		t := Type(data[pos])
+		if t > maxType {
+			return nil, ErrCorrupt
+		}
+		nameLen := int(binary.LittleEndian.Uint16(data[pos+1:]))
+		pos += 3
+		if len(data) < pos+nameLen {
+			return nil, ErrCorrupt
+		}
+		fi.Schema = append(fi.Schema, Column{Name: string(data[pos : pos+nameLen]), Type: t})
+		pos += nameLen
+	}
+	fi.HeaderBytes = pos
+	for {
+		if len(data) < pos+1 {
+			return nil, ErrCorrupt
+		}
+		switch data[pos] {
+		case 'C':
+			if len(data) < pos+5 {
+				return nil, ErrCorrupt
+			}
+			payloadLen := int(binary.LittleEndian.Uint32(data[pos+1:]))
+			if payloadLen < 0 || len(data) < pos+5+payloadLen {
+				return nil, ErrCorrupt
+			}
+			cols, headerBytes, err := inspectChunkBody(data[pos+5:pos+5+payloadLen], pos+5)
+			if err != nil {
+				return nil, err
+			}
+			total := headerBytes
+			for _, c := range cols {
+				total += c.Size
+			}
+			if total != payloadLen {
+				return nil, ErrCorrupt
+			}
+			fi.Chunks = append(fi.Chunks, &ChunkInfo{
+				Offset: pos, Size: 5 + payloadLen, FrameBytes: 5,
+				HeaderBytes: headerBytes, Columns: cols,
+			})
+			pos += 5 + payloadLen
+		case 'E':
+			if len(data) != pos+13 {
+				return nil, ErrCorrupt
+			}
+			fi.FooterBytes = 13
+			return fi, nil
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+}
+
+// AccountedBytes sums every section of the layout: container header and
+// footer, per-column headers, block framing, NULL bitmaps, and every
+// scheme node's header and payload bytes. A well-formed file satisfies
+// AccountedBytes() == Size; Inspect guarantees it for the layouts it
+// returns.
+func (f *FileInfo) AccountedBytes() int {
+	total := f.HeaderBytes + f.FooterBytes
+	for _, c := range f.Columns {
+		total += columnAccountedBytes(c)
+	}
+	for _, ch := range f.Chunks {
+		total += ch.FrameBytes + ch.HeaderBytes
+		for _, c := range ch.Columns {
+			total += columnAccountedBytes(c)
+		}
+	}
+	return total
+}
+
+func columnAccountedBytes(c *ColumnInfo) int {
+	total := c.HeaderBytes
+	for _, b := range c.Blocks {
+		total += blockHeaderBytes + b.NullBytes
+		b.Data.Walk(func(n *SchemeNode, _ int) {
+			total += n.HeaderBytes + n.PayloadBytes
+		})
+	}
+	return total
+}
+
+// eachColumn visits every column in the file, across chunks for stream
+// files.
+func (f *FileInfo) eachColumn(fn func(*ColumnInfo)) {
+	for _, c := range f.Columns {
+		fn(c)
+	}
+	for _, ch := range f.Chunks {
+		for _, c := range ch.Columns {
+			fn(c)
+		}
+	}
+}
+
+// Rows returns the total row count of the file's first column (all
+// columns of a chunk have equal length; a stream sums across chunks).
+func (f *FileInfo) Rows() int {
+	rows := 0
+	if len(f.Columns) > 0 {
+		return f.Columns[0].Rows
+	}
+	for _, ch := range f.Chunks {
+		if len(ch.Columns) > 0 {
+			rows += ch.Columns[0].Rows
+		}
+	}
+	return rows
+}
+
+// RenderTree writes the full layout tree — containers, columns, blocks,
+// and per-block cascade structure with byte counts — as indented text.
+func (f *FileInfo) RenderTree(w io.Writer) {
+	fmt.Fprintf(w, "%s file: %d bytes", f.Kind, f.Size)
+	switch f.Kind {
+	case FileKindColumn:
+		fmt.Fprintf(w, "\n")
+	case FileKindChunk:
+		fmt.Fprintf(w, ", %d columns, header %dB\n", len(f.Columns), f.HeaderBytes)
+	case FileKindStream:
+		fmt.Fprintf(w, ", %d chunks, header %dB, footer %dB\n", len(f.Chunks), f.HeaderBytes, f.FooterBytes)
+		fmt.Fprintf(w, "schema:")
+		for _, col := range f.Schema {
+			fmt.Fprintf(w, " %s:%s", col.Name, col.Type)
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	for _, c := range f.Columns {
+		renderColumn(w, c, "")
+	}
+	for i, ch := range f.Chunks {
+		fmt.Fprintf(w, "chunk %d: offset %d, %d bytes (frame %dB, header %dB), %d columns\n",
+			i, ch.Offset, ch.Size, ch.FrameBytes, ch.HeaderBytes, len(ch.Columns))
+		for _, c := range ch.Columns {
+			renderColumn(w, c, "  ")
+		}
+	}
+}
+
+func renderColumn(w io.Writer, c *ColumnInfo, indent string) {
+	fmt.Fprintf(w, "%scolumn %q %s: offset %d, %d bytes (header %dB), %d rows, %d blocks",
+		indent, c.Name, c.Type, c.Offset, c.Size, c.HeaderBytes, c.Rows, len(c.Blocks))
+	if c.NullCount > 0 {
+		fmt.Fprintf(w, ", %d nulls", c.NullCount)
+	}
+	fmt.Fprintf(w, "\n")
+	for i, b := range c.Blocks {
+		fmt.Fprintf(w, "%s  block %d: offset %d, %d bytes (header %dB, nulls %dB, data %dB), %d rows",
+			indent, i, b.Offset, b.Size, blockHeaderBytes, b.NullBytes, b.DataBytes, b.Rows)
+		if b.NullCount > 0 {
+			fmt.Fprintf(w, ", %d nulls", b.NullCount)
+		}
+		fmt.Fprintf(w, "\n")
+		b.Data.Walk(func(n *SchemeNode, level int) {
+			fmt.Fprintf(w, "%s  %s", indent, spaces(2*(level+1)))
+			if n.Role != "" {
+				fmt.Fprintf(w, "%s: ", n.Role)
+			}
+			fmt.Fprintf(w, "%s n=%d %dB (header %dB, payload %dB)", n.Code, n.Values, n.Bytes, n.HeaderBytes, n.PayloadBytes)
+			if n.Detail != "" {
+				fmt.Fprintf(w, " — %s", n.Detail)
+			}
+			fmt.Fprintf(w, "\n")
+		})
+	}
+}
+
+func spaces(n int) string {
+	const pad = "                                                                "
+	for n > len(pad) {
+		n = len(pad)
+	}
+	return pad[:n]
+}
+
+// FileStats aggregates a FileInfo into summary counters: where the bytes
+// went (framing, NULL bitmaps, scheme headers, payloads) and which
+// schemes were chosen how often — the on-disk analogue of the
+// compression telemetry.
+type FileStats struct {
+	Size    int
+	Rows    int
+	Columns int
+	Chunks  int
+	Blocks  int
+	Nulls   int
+	// FramingBytes counts container/column/block headers and footers;
+	// NullBytes the serialized NULL bitmaps; SchemeHeaderBytes and
+	// SchemePayloadBytes the scheme-node breakdown.
+	FramingBytes       int
+	NullBytes          int
+	SchemeHeaderBytes  int
+	SchemePayloadBytes int
+	// RootSchemes counts blocks by column type and root scheme
+	// (type → scheme → blocks). StreamSchemes counts every cascade
+	// stream by kind and scheme, and StreamSchemeBytes sums each
+	// scheme's own bytes (header + payload, sub-streams excluded).
+	RootSchemes       map[string]map[string]int
+	StreamSchemes     map[string]map[string]int
+	StreamSchemeBytes map[string]map[string]int
+}
+
+// Stats aggregates the layout into summary counters.
+func (f *FileInfo) Stats() *FileStats {
+	s := &FileStats{
+		Size:              f.Size,
+		Rows:              f.Rows(),
+		Chunks:            len(f.Chunks),
+		FramingBytes:      f.HeaderBytes + f.FooterBytes,
+		RootSchemes:       make(map[string]map[string]int),
+		StreamSchemes:     make(map[string]map[string]int),
+		StreamSchemeBytes: make(map[string]map[string]int),
+	}
+	for _, ch := range f.Chunks {
+		s.FramingBytes += ch.FrameBytes + ch.HeaderBytes
+	}
+	f.eachColumn(func(c *ColumnInfo) {
+		s.Columns++
+		s.Nulls += c.NullCount
+		s.FramingBytes += c.HeaderBytes
+		for _, b := range c.Blocks {
+			s.Blocks++
+			s.FramingBytes += blockHeaderBytes
+			s.NullBytes += b.NullBytes
+			statsBump(s.RootSchemes, c.Type.String(), b.Data.Code.String(), 1)
+			b.Data.Walk(func(n *SchemeNode, _ int) {
+				s.SchemeHeaderBytes += n.HeaderBytes
+				s.SchemePayloadBytes += n.PayloadBytes
+				statsBump(s.StreamSchemes, n.Kind.String(), n.Code.String(), 1)
+				statsBump(s.StreamSchemeBytes, n.Kind.String(), n.Code.String(), n.HeaderBytes+n.PayloadBytes)
+			})
+		}
+	})
+	return s
+}
+
+func statsBump(m map[string]map[string]int, outer, inner string, by int) {
+	mm := m[outer]
+	if mm == nil {
+		mm = make(map[string]int)
+		m[outer] = mm
+	}
+	mm[inner] += by
+}
+
+// Render writes the stats as a text report.
+func (s *FileStats) Render(w io.Writer) {
+	fmt.Fprintf(w, "size: %d bytes, %d rows, %d columns, %d blocks", s.Size, s.Rows, s.Columns, s.Blocks)
+	if s.Chunks > 0 {
+		fmt.Fprintf(w, ", %d chunks", s.Chunks)
+	}
+	if s.Nulls > 0 {
+		fmt.Fprintf(w, ", %d nulls", s.Nulls)
+	}
+	fmt.Fprintf(w, "\n")
+	fmt.Fprintf(w, "byte breakdown: framing %d, null bitmaps %d, scheme headers %d, payloads %d\n",
+		s.FramingBytes, s.NullBytes, s.SchemeHeaderBytes, s.SchemePayloadBytes)
+	renderCountTable(w, "root schemes (blocks, by column type)", s.RootSchemes, nil)
+	renderCountTable(w, "cascade streams (count and bytes, by stream kind)", s.StreamSchemes, s.StreamSchemeBytes)
+}
+
+func renderCountTable(w io.Writer, title string, counts, bytes map[string]map[string]int) {
+	if len(counts) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s:\n", title)
+	outer := make([]string, 0, len(counts))
+	for k := range counts {
+		outer = append(outer, k)
+	}
+	sort.Strings(outer)
+	for _, o := range outer {
+		fmt.Fprintf(w, "  %s:\n", o)
+		inner := make([]string, 0, len(counts[o]))
+		for k := range counts[o] {
+			inner = append(inner, k)
+		}
+		sort.Slice(inner, func(i, j int) bool {
+			if counts[o][inner[i]] != counts[o][inner[j]] {
+				return counts[o][inner[i]] > counts[o][inner[j]]
+			}
+			return inner[i] < inner[j]
+		})
+		for _, k := range inner {
+			fmt.Fprintf(w, "    %-14s %6d", k, counts[o][k])
+			if bytes != nil {
+				fmt.Fprintf(w, " %10dB", bytes[o][k])
+			}
+			fmt.Fprintf(w, "\n")
+		}
+	}
+}

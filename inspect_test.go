@@ -1,0 +1,248 @@
+package btrblocks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// checkAccounting inspects data and asserts the layout accounts for every
+// byte of the file.
+func checkAccounting(t *testing.T, data []byte) *FileInfo {
+	t.Helper()
+	info, err := Inspect(data)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.Size != len(data) {
+		t.Fatalf("Size = %d, file is %d bytes", info.Size, len(data))
+	}
+	if got := info.AccountedBytes(); got != len(data) {
+		t.Fatalf("AccountedBytes = %d, file is %d bytes", got, len(data))
+	}
+	// Every scheme node must satisfy the tree invariant too.
+	info.eachColumn(func(c *ColumnInfo) {
+		colTotal := c.HeaderBytes
+		for _, b := range c.Blocks {
+			if b.Data.Bytes != b.DataBytes {
+				t.Fatalf("block %d of %q: root node %d bytes, data stream %d",
+					b.Offset, c.Name, b.Data.Bytes, b.DataBytes)
+			}
+			b.Data.Walk(func(n *SchemeNode, _ int) {
+				sum := n.HeaderBytes + n.PayloadBytes
+				for _, ch := range n.Children {
+					sum += ch.Bytes
+				}
+				if sum != n.Bytes {
+					t.Fatalf("node %s in %q: Bytes %d != header %d + payload %d + children",
+						n.Code, c.Name, n.Bytes, n.HeaderBytes, n.PayloadBytes)
+				}
+			})
+			colTotal += b.Size
+		}
+		if colTotal != c.Size {
+			t.Fatalf("column %q: blocks+header sum %d, Size %d", c.Name, colTotal, c.Size)
+		}
+	})
+	return info
+}
+
+func TestInspectColumnFile(t *testing.T) {
+	opt := DefaultOptions()
+	chunk := makeTestChunk(150000, 7)
+	for _, col := range chunk.Columns {
+		data, err := CompressColumn(col, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := checkAccounting(t, data)
+		if info.Kind != FileKindColumn || len(info.Columns) != 1 {
+			t.Fatalf("kind %v, %d columns", info.Kind, len(info.Columns))
+		}
+		ci := info.Columns[0]
+		if ci.Name != col.Name || ci.Type != col.Type || ci.Rows != col.Len() {
+			t.Fatalf("column header mismatch: %+v", ci)
+		}
+		if len(ci.Blocks) != 3 { // 150k rows / 64k block size
+			t.Fatalf("%d blocks", len(ci.Blocks))
+		}
+		// Root schemes must agree with the compressor's own stats.
+		for i, b := range ci.Blocks {
+			if got := blockRootScheme(data[b.Offset : b.Offset+b.Size]); b.Data.Code != got {
+				t.Fatalf("block %d root scheme %v, header says %v", i, b.Data.Code, got)
+			}
+		}
+	}
+}
+
+func TestInspectChunkAndStreamFiles(t *testing.T) {
+	opt := DefaultOptions()
+	chunk := makeTestChunk(100000, 8)
+	cc, err := CompressChunk(chunk, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := cc.EncodeFile()
+	info := checkAccounting(t, file)
+	if info.Kind != FileKindChunk || len(info.Columns) != 3 {
+		t.Fatalf("kind %v, %d columns", info.Kind, len(info.Columns))
+	}
+	for i, ci := range info.Columns {
+		if ci.Name != chunk.Columns[i].Name || ci.Rows != 100000 {
+			t.Fatalf("column %d: %+v", i, ci)
+		}
+	}
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, chunk.Columns, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.WriteChunk(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sinfo := checkAccounting(t, buf.Bytes())
+	if sinfo.Kind != FileKindStream || len(sinfo.Chunks) != 2 || len(sinfo.Schema) != 3 {
+		t.Fatalf("kind %v, %d chunks, schema %v", sinfo.Kind, len(sinfo.Chunks), sinfo.Schema)
+	}
+	if sinfo.Rows() != 200000 {
+		t.Fatalf("stream rows %d", sinfo.Rows())
+	}
+	if sinfo.FooterBytes != 13 {
+		t.Fatalf("footer %d bytes", sinfo.FooterBytes)
+	}
+}
+
+func TestInspectEmptyColumn(t *testing.T) {
+	data, err := CompressColumn(IntColumn("empty", nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := checkAccounting(t, data)
+	ci := info.Columns[0]
+	if len(ci.Blocks) != 0 || ci.Rows != 0 {
+		t.Fatalf("%d blocks, %d rows", len(ci.Blocks), ci.Rows)
+	}
+	if ci.HeaderBytes != len(data) {
+		t.Fatalf("header %d bytes, file %d", ci.HeaderBytes, len(data))
+	}
+}
+
+func TestInspectSingleBlockColumn(t *testing.T) {
+	vals := make([]int32, 1000)
+	for i := range vals {
+		vals[i] = int32(i % 10)
+	}
+	data, err := CompressColumn(IntColumn("single", vals), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := checkAccounting(t, data)
+	ci := info.Columns[0]
+	if len(ci.Blocks) != 1 || ci.Blocks[0].Rows != 1000 {
+		t.Fatalf("%d blocks, rows %v", len(ci.Blocks), ci.Blocks)
+	}
+	if ci.Blocks[0].Data.Values != 1000 {
+		t.Fatalf("root node values %d", ci.Blocks[0].Data.Values)
+	}
+}
+
+func TestInspectAllNullBlock(t *testing.T) {
+	vals := make([]float64, 5000)
+	col := DoubleColumn("nulls", vals)
+	col.Nulls = NewNullMask()
+	for i := range vals {
+		col.Nulls.SetNull(i)
+	}
+	data, err := CompressColumn(col, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := checkAccounting(t, data)
+	b := info.Columns[0].Blocks[0]
+	if b.NullCount != 5000 {
+		t.Fatalf("null count %d", b.NullCount)
+	}
+	if b.NullBytes == 0 {
+		t.Fatal("no null bitmap recorded")
+	}
+	if info.Columns[0].NullCount != 5000 {
+		t.Fatalf("column null count %d", info.Columns[0].NullCount)
+	}
+	// All values were densified to one run: the data stream should be a
+	// OneValue leaf.
+	if b.Data.Code != SchemeOneValue {
+		t.Fatalf("all-null block compressed as %v", b.Data.Code)
+	}
+}
+
+func TestInspectMaxDepthCascade(t *testing.T) {
+	// Long runs over a mid-size distinct set: Dict at the root, RLE on the
+	// dictionary codes, bit-packing on the run values/lengths — a cascade
+	// that uses all three levels.
+	vals := make([]int32, 64000)
+	for i := range vals {
+		vals[i] = int32((i / 400) * 1000)
+	}
+	data, err := CompressColumn(IntColumn("deep", vals), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := checkAccounting(t, data)
+	root := info.Columns[0].Blocks[0].Data
+	if got := root.MaxDepth(); got < 2 {
+		tree := &strings.Builder{}
+		info.RenderTree(tree)
+		t.Fatalf("cascade depth %d < 2:\n%s", got+1, tree)
+	}
+}
+
+func TestInspectRejectsCorruptInput(t *testing.T) {
+	if _, err := Inspect(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := Inspect([]byte("XXXX garbage")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	data, err := CompressColumn(IntColumn("x", []int32{1, 2, 3}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inspect(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestInspectRenderAndStats(t *testing.T) {
+	chunk := makeTestChunk(70000, 9)
+	cc, err := CompressChunk(chunk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := checkAccounting(t, cc.EncodeFile())
+	var tree strings.Builder
+	info.RenderTree(&tree)
+	for _, want := range []string{"chunk file:", `column "id"`, "block 0:", "n=64000"} {
+		if !strings.Contains(tree.String(), want) {
+			t.Fatalf("tree output missing %q:\n%s", want, tree.String())
+		}
+	}
+	st := info.Stats()
+	if st.Blocks != 6 || st.Columns != 3 || st.Rows != 70000 {
+		t.Fatalf("stats: %+v", st)
+	}
+	total := st.FramingBytes + st.NullBytes + st.SchemeHeaderBytes + st.SchemePayloadBytes
+	if total != st.Size {
+		t.Fatalf("stats byte breakdown sums to %d, file is %d", total, st.Size)
+	}
+	var rep strings.Builder
+	st.Render(&rep)
+	if !strings.Contains(rep.String(), "root schemes") {
+		t.Fatalf("stats report missing scheme table:\n%s", rep.String())
+	}
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"strings"
 
 	"btrblocks/internal/sample"
 )
@@ -43,6 +44,85 @@ func (c Code) String() string {
 	return "Invalid"
 }
 
+// Valid reports whether c is a defined scheme code.
+func (c Code) Valid() bool { return c < numCodes }
+
+// AllCodes returns every defined scheme code in tag order.
+func AllCodes() []Code {
+	out := make([]Code, numCodes)
+	for i := range out {
+		out[i] = Code(i)
+	}
+	return out
+}
+
+// CodeFromName resolves a scheme name (as returned by Code.String) back
+// to its code. The lookup is case-insensitive.
+func CodeFromName(name string) (Code, bool) {
+	for i, n := range codeNames {
+		if strings.EqualFold(n, name) {
+			return Code(i), true
+		}
+	}
+	return 0, false
+}
+
+// Kind identifies the value kind of a compressed stream. Sub-streams of
+// a cascade may have a different kind than their parent: RLE run lengths
+// and dictionary codes are 32-bit integer streams regardless of the
+// parent's kind.
+type Kind uint8
+
+// Stream value kinds.
+const (
+	KindInt Kind = iota
+	KindInt64
+	KindDouble
+	KindString
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindInt64:
+		return "int64"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	}
+	return "invalid"
+}
+
+// Decision describes one scheme-selection outcome: the scheme chosen for
+// one stream (the block root or a cascade sub-stream) and what it did.
+// Decisions are delivered to Config.OnDecision in post-order — a
+// stream's sub-stream decisions arrive before its own.
+type Decision struct {
+	// Kind is the stream's value kind.
+	Kind Kind
+	// Level is the cascade level: 0 for the block root, 1 for its direct
+	// sub-streams, and so on.
+	Level int
+	// Code is the chosen scheme.
+	Code Code
+	// Values is the stream's value count.
+	Values int
+	// InputBytes is the stream's raw binary size (4 or 8 bytes per
+	// value; strings count payload plus one 32-bit offset per value).
+	// OutputBytes is the encoded size including the scheme tag.
+	InputBytes  int
+	OutputBytes int
+	// EstimatedRatio is the sample-based estimate that won the pick
+	// (1 when no scheme beat Uncompressed).
+	EstimatedRatio float64
+	// PickNanos is the time spent selecting the scheme: statistics,
+	// sampling, and trial-encoding every viable candidate.
+	PickNanos int64
+}
+
 // ErrCorrupt is returned by the decompressors for malformed streams.
 var ErrCorrupt = errors.New("btrblocks: corrupt stream")
 
@@ -73,6 +153,12 @@ type Config struct {
 	// block's declared row count so corrupt streams cannot claim huge
 	// outputs.
 	MaxDecodedValues int
+	// OnDecision, when non-nil, is called once per scheme-selection
+	// decision during compression — the block root and every cascade
+	// sub-stream, in post-order. Sampling trial encodes do not fire the
+	// hook. A nil hook adds no measurable cost to the compression path;
+	// a non-nil hook additionally times each selection.
+	OnDecision func(Decision)
 }
 
 // maxN returns the effective decode cap.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"slices"
+	"time"
 
 	"btrblocks/internal/pde"
 	"btrblocks/internal/roaring"
@@ -33,8 +34,21 @@ func ChooseDouble(src []float64, cfg *Config) (Code, float64) {
 }
 
 func compressDouble(dst []byte, src []float64, cfg *Config, depth int, rng *rand.Rand) []byte {
-	code, _ := pickDouble(src, cfg, depth, rng)
-	return encodeDoubleAs(dst, src, code, cfg, depth, rng)
+	if cfg.OnDecision == nil {
+		code, _ := pickDouble(src, cfg, depth, rng)
+		return encodeDoubleAs(dst, src, code, cfg, depth, rng)
+	}
+	t0 := time.Now()
+	code, est := pickDouble(src, cfg, depth, rng)
+	pickNanos := time.Since(t0).Nanoseconds()
+	before := len(dst)
+	dst = encodeDoubleAs(dst, src, code, cfg, depth, rng)
+	cfg.OnDecision(Decision{
+		Kind: KindDouble, Level: cfg.MaxCascadeDepth - depth, Code: code,
+		Values: len(src), InputBytes: 8 * len(src), OutputBytes: len(dst) - before,
+		EstimatedRatio: est, PickNanos: pickNanos,
+	})
+	return dst
 }
 
 // EstimateOnlyDouble mirrors EstimateOnlyInt for doubles.
@@ -47,6 +61,7 @@ func pickDouble(src []float64, cfg *Config, depth int, rng *rand.Rand) (Code, fl
 	if depth <= 0 || len(src) == 0 {
 		return CodeUncompressed, 1
 	}
+	cfg = quiet(cfg)
 	st := stats.ComputeDouble(src)
 	if st.Distinct == 1 && cfg.doubleEnabled(CodeOneValue) {
 		return CodeOneValue, float64(len(src)*8) / 13

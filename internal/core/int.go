@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"slices"
+	"time"
 
 	"btrblocks/internal/bitpack"
 	"btrblocks/internal/fastpfor"
@@ -11,6 +12,17 @@ import (
 	"btrblocks/internal/sample"
 	"btrblocks/internal/stats"
 )
+
+// quiet returns cfg with the decision hook stripped, so the trial encodes
+// a pick function runs on samples are not reported as real decisions.
+func quiet(cfg *Config) *Config {
+	if cfg.OnDecision == nil {
+		return cfg
+	}
+	c := *cfg
+	c.OnDecision = nil
+	return &c
+}
 
 // intPoolOrder is the fixed candidate order; on estimate ties the earlier
 // (cheaper to decode) scheme wins.
@@ -31,8 +43,21 @@ func ChooseInt(src []int32, cfg *Config) (Code, float64) {
 }
 
 func compressInt(dst []byte, src []int32, cfg *Config, depth int, rng *rand.Rand) []byte {
-	code, _ := pickInt(src, cfg, depth, rng)
-	return encodeIntAs(dst, src, code, cfg, depth, rng)
+	if cfg.OnDecision == nil {
+		code, _ := pickInt(src, cfg, depth, rng)
+		return encodeIntAs(dst, src, code, cfg, depth, rng)
+	}
+	t0 := time.Now()
+	code, est := pickInt(src, cfg, depth, rng)
+	pickNanos := time.Since(t0).Nanoseconds()
+	before := len(dst)
+	dst = encodeIntAs(dst, src, code, cfg, depth, rng)
+	cfg.OnDecision(Decision{
+		Kind: KindInt, Level: cfg.MaxCascadeDepth - depth, Code: code,
+		Values: len(src), InputBytes: 4 * len(src), OutputBytes: len(dst) - before,
+		EstimatedRatio: est, PickNanos: pickNanos,
+	})
+	return dst
 }
 
 // EstimateOnlyInt runs just the statistics + sampling + per-scheme
@@ -50,6 +75,7 @@ func pickInt(src []int32, cfg *Config, depth int, rng *rand.Rand) (Code, float64
 	if depth <= 0 || len(src) == 0 {
 		return CodeUncompressed, 1
 	}
+	cfg = quiet(cfg)
 	st := stats.ComputeInt(src)
 	if st.Distinct == 1 && cfg.intEnabled(CodeOneValue) {
 		return CodeOneValue, float64(len(src)*4) / 9

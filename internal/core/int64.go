@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"slices"
+	"time"
 
 	"btrblocks/internal/bitpack"
 	"btrblocks/internal/roaring"
@@ -37,14 +38,28 @@ func EstimateOnlyInt64(src []int64, cfg *Config) {
 }
 
 func compressInt64(dst []byte, src []int64, cfg *Config, depth int, rng *rand.Rand) []byte {
-	code, _ := pickInt64(src, cfg, depth, rng)
-	return encodeInt64As(dst, src, code, cfg, depth, rng)
+	if cfg.OnDecision == nil {
+		code, _ := pickInt64(src, cfg, depth, rng)
+		return encodeInt64As(dst, src, code, cfg, depth, rng)
+	}
+	t0 := time.Now()
+	code, est := pickInt64(src, cfg, depth, rng)
+	pickNanos := time.Since(t0).Nanoseconds()
+	before := len(dst)
+	dst = encodeInt64As(dst, src, code, cfg, depth, rng)
+	cfg.OnDecision(Decision{
+		Kind: KindInt64, Level: cfg.MaxCascadeDepth - depth, Code: code,
+		Values: len(src), InputBytes: 8 * len(src), OutputBytes: len(dst) - before,
+		EstimatedRatio: est, PickNanos: pickNanos,
+	})
+	return dst
 }
 
 func pickInt64(src []int64, cfg *Config, depth int, rng *rand.Rand) (Code, float64) {
 	if depth <= 0 || len(src) == 0 {
 		return CodeUncompressed, 1
 	}
+	cfg = quiet(cfg)
 	st := stats.ComputeInt64(src)
 	if st.Distinct == 1 && cfg.intEnabled(CodeOneValue) {
 		return CodeOneValue, float64(len(src)*8) / 13

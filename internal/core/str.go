@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"slices"
+	"time"
 
 	"btrblocks/coldata"
 	"btrblocks/internal/fsst"
@@ -37,8 +38,21 @@ func ChooseString(src coldata.Strings, cfg *Config) (Code, float64) {
 }
 
 func compressString(dst []byte, src coldata.Strings, cfg *Config, depth int, rng *rand.Rand) []byte {
-	code, _ := pickString(src, cfg, depth, rng)
-	return encodeStringAs(dst, src, code, cfg, depth, rng)
+	if cfg.OnDecision == nil {
+		code, _ := pickString(src, cfg, depth, rng)
+		return encodeStringAs(dst, src, code, cfg, depth, rng)
+	}
+	t0 := time.Now()
+	code, est := pickString(src, cfg, depth, rng)
+	pickNanos := time.Since(t0).Nanoseconds()
+	before := len(dst)
+	dst = encodeStringAs(dst, src, code, cfg, depth, rng)
+	cfg.OnDecision(Decision{
+		Kind: KindString, Level: cfg.MaxCascadeDepth - depth, Code: code,
+		Values: src.Len(), InputBytes: src.TotalBytes(), OutputBytes: len(dst) - before,
+		EstimatedRatio: est, PickNanos: pickNanos,
+	})
+	return dst
 }
 
 // EstimateOnlyString mirrors EstimateOnlyInt for strings.
@@ -51,6 +65,7 @@ func pickString(src coldata.Strings, cfg *Config, depth int, rng *rand.Rand) (Co
 	if depth <= 0 || src.Len() == 0 {
 		return CodeUncompressed, 1
 	}
+	cfg = quiet(cfg)
 	st := stats.ComputeString(src)
 	if st.Distinct == 1 && cfg.stringEnabled(CodeOneValue) {
 		return CodeOneValue, float64(src.TotalBytes()) / float64(9+st.MaxLen)

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"btrblocks"
+	"btrblocks/internal/pbi"
+)
+
+// Schemes reports which schemes the sampling-based selection algorithm
+// actually picks on the evaluation corpora, from compression telemetry:
+// root-scheme frequencies per column type, cascade-level picks per stream
+// kind, used cascade depth, and the achieved-ratio histogram — the
+// telemetry-side companion to Table 2's volume shares.
+func Schemes(cfg *Config) error {
+	corpora := []struct {
+		name   string
+		corpus []pbi.Dataset
+	}{
+		{"Public BI", cfg.pbiCorpus()},
+		{"TPC-H", cfg.tpchCorpus()},
+	}
+	cfg.printf("Scheme selection telemetry (cf. Table 2)\n")
+	for _, c := range corpora {
+		rec := btrblocks.NewTelemetry()
+		opt := btrblocks.DefaultOptions()
+		opt.Telemetry = rec
+		for _, ds := range c.corpus {
+			for _, col := range ds.Chunk.Columns {
+				if _, err := btrblocks.CompressColumn(col, opt); err != nil {
+					return err
+				}
+			}
+		}
+		snap := rec.Snapshot()
+		cfg.printf("\n== %s corpus ==\n%s", c.name, snap.Report())
+	}
+	return nil
+}

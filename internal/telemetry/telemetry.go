@@ -1,0 +1,368 @@
+// Package telemetry collects per-block compression observability data:
+// which scheme the sampling-based selection algorithm chose at every
+// cascade level, the estimated versus achieved compression ratio, byte
+// counts, cascade depth, and where the compression time went (scheme
+// selection versus encoding).
+//
+// The entry point is Recorder. A nil *Recorder is valid and disables all
+// collection: every method is a no-op on nil, so the compression path can
+// call RecordBlock unconditionally behind a single pointer check. The
+// recorder is safe for concurrent use — CompressChunk records from many
+// worker goroutines.
+//
+// Snapshot returns an immutable aggregate view (the data behind the
+// paper's Table 2 and Figure 2), and Snapshot.Report renders it as text.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level records one scheme-selection decision inside a block: the scheme
+// chosen for one stream of the cascade and what it did to that stream.
+type Level struct {
+	// Depth is the cascade level: 0 for the block's root stream, 1 for
+	// its direct sub-streams (RLE lengths, dictionary codes, …), etc.
+	Depth int
+	// Kind is the value kind of the stream ("int", "int64", "double",
+	// "string"). Sub-streams of a string or double block are usually
+	// integer streams.
+	Kind string
+	// Scheme is the chosen scheme's name (e.g. "Dictionary", "FastBP").
+	Scheme string
+	// Values is the number of values in the stream.
+	Values int
+	// InputBytes and OutputBytes are the stream's uncompressed and
+	// encoded sizes (including the scheme tag byte).
+	InputBytes  int
+	OutputBytes int
+	// EstimatedRatio is the sample-based ratio estimate that won the
+	// scheme the pick (1 when selection fell through to Uncompressed).
+	EstimatedRatio float64
+	// PickNanos is the time spent deciding: statistics, sampling and
+	// trial-encoding the candidate schemes.
+	PickNanos int64
+}
+
+// BlockEvent is the telemetry record for one compressed block.
+type BlockEvent struct {
+	// Column and Block identify the block: column name and zero-based
+	// block index within the column.
+	Column string
+	Block  int
+	// Type is the column's type name ("integer", "double", …).
+	Type string
+	// Rows is the number of values in the block.
+	Rows int
+	// Scheme is the root scheme chosen for the block.
+	Scheme string
+	// EstimatedRatio is the root pick's sample-based estimate;
+	// ActualRatio is InputBytes/OutputBytes as achieved.
+	EstimatedRatio float64
+	ActualRatio    float64
+	// InputBytes and OutputBytes are the block's uncompressed size and
+	// the size of its encoded data stream (excluding the block framing
+	// and NULL bitmap).
+	InputBytes  int
+	OutputBytes int
+	// CascadeDepth is the number of cascade levels actually used
+	// (1 = the root scheme had no compressed sub-streams).
+	CascadeDepth int
+	// SampleNanos is the total scheme-selection time across all levels;
+	// CompressNanos is the block's total wall-clock compression time
+	// (selection included).
+	SampleNanos   int64
+	CompressNanos int64
+	// Levels lists every selection decision in the block, root first.
+	Levels []Level
+}
+
+// ratioBuckets are the upper bounds of the compression-ratio histogram;
+// the last bucket is unbounded.
+var ratioBuckets = [...]float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// RatioHistogram counts blocks by achieved compression ratio in
+// power-of-two buckets: [0,1), [1,2), [2,4), … [128,∞).
+type RatioHistogram struct {
+	Counts [len(ratioBuckets) + 1]int
+}
+
+func (h *RatioHistogram) add(ratio float64) {
+	for i, ub := range ratioBuckets {
+		if ratio < ub {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(ratioBuckets)]++
+}
+
+// BucketLabel returns the human-readable range of bucket i.
+func (h *RatioHistogram) BucketLabel(i int) string {
+	if i == 0 {
+		return fmt.Sprintf("<%gx", ratioBuckets[0])
+	}
+	if i == len(ratioBuckets) {
+		return fmt.Sprintf(">=%gx", ratioBuckets[len(ratioBuckets)-1])
+	}
+	return fmt.Sprintf("%g-%gx", ratioBuckets[i-1], ratioBuckets[i])
+}
+
+// Total returns the number of blocks counted.
+func (h *RatioHistogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Recorder accumulates block events and aggregate counters. The zero
+// value is ready to use; a nil *Recorder discards everything.
+type Recorder struct {
+	mu     sync.Mutex
+	events []BlockEvent
+
+	blocks        int
+	inputBytes    int64
+	outputBytes   int64
+	sampleNanos   int64
+	compressNanos int64
+	// rootPicks counts root-scheme choices per column type; cascadePicks
+	// counts choices at every level per stream kind.
+	rootPicks    map[string]map[string]int
+	cascadePicks map[string]map[string]int
+	depthHist    map[int]int
+	ratioHist    RatioHistogram
+}
+
+// New returns an empty enabled recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Enabled reports whether the recorder collects anything (i.e. is
+// non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// RecordBlock adds one block event. Safe for concurrent use; a no-op on
+// a nil receiver.
+func (r *Recorder) RecordBlock(ev BlockEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+	r.blocks++
+	r.inputBytes += int64(ev.InputBytes)
+	r.outputBytes += int64(ev.OutputBytes)
+	r.sampleNanos += ev.SampleNanos
+	r.compressNanos += ev.CompressNanos
+	if r.rootPicks == nil {
+		r.rootPicks = make(map[string]map[string]int)
+		r.cascadePicks = make(map[string]map[string]int)
+		r.depthHist = make(map[int]int)
+	}
+	bump(r.rootPicks, ev.Type, ev.Scheme)
+	for _, lv := range ev.Levels {
+		bump(r.cascadePicks, lv.Kind, lv.Scheme)
+	}
+	r.depthHist[ev.CascadeDepth]++
+	r.ratioHist.add(ev.ActualRatio)
+}
+
+func bump(m map[string]map[string]int, outer, inner string) {
+	mm := m[outer]
+	if mm == nil {
+		mm = make(map[string]int)
+		m[outer] = mm
+	}
+	mm[inner]++
+}
+
+// Reset discards all recorded data.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+	r.blocks = 0
+	r.inputBytes, r.outputBytes = 0, 0
+	r.sampleNanos, r.compressNanos = 0, 0
+	r.rootPicks, r.cascadePicks, r.depthHist = nil, nil, nil
+	r.ratioHist = RatioHistogram{}
+}
+
+// Snapshot is an immutable copy of a Recorder's state.
+type Snapshot struct {
+	// Blocks is the number of blocks recorded.
+	Blocks int
+	// InputBytes and OutputBytes sum the per-block byte counts.
+	InputBytes  int64
+	OutputBytes int64
+	// SampleNanos and CompressNanos sum selection and total compression
+	// time across blocks.
+	SampleNanos   int64
+	CompressNanos int64
+	// RootPicks counts root-scheme choices per column type
+	// (type → scheme → blocks); CascadePicks counts every cascade-level
+	// choice per stream kind (kind → scheme → streams).
+	RootPicks    map[string]map[string]int
+	CascadePicks map[string]map[string]int
+	// DepthHist counts blocks by used cascade depth.
+	DepthHist map[int]int
+	// RatioHist buckets blocks by achieved compression ratio.
+	RatioHist RatioHistogram
+	// Events holds every block event, ordered by (column, block).
+	Events []BlockEvent
+}
+
+// Snapshot returns a copy of the recorder's aggregate state. Events are
+// sorted by (column, block index) so concurrent recording yields a
+// deterministic snapshot. Returns a zero Snapshot on a nil receiver.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Blocks:        r.blocks,
+		InputBytes:    r.inputBytes,
+		OutputBytes:   r.outputBytes,
+		SampleNanos:   r.sampleNanos,
+		CompressNanos: r.compressNanos,
+		RootPicks:     copyCounts(r.rootPicks),
+		CascadePicks:  copyCounts(r.cascadePicks),
+		DepthHist:     make(map[int]int, len(r.depthHist)),
+		RatioHist:     r.ratioHist,
+		Events:        append([]BlockEvent(nil), r.events...),
+	}
+	for d, c := range r.depthHist {
+		s.DepthHist[d] = c
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		if s.Events[i].Column != s.Events[j].Column {
+			return s.Events[i].Column < s.Events[j].Column
+		}
+		return s.Events[i].Block < s.Events[j].Block
+	})
+	return s
+}
+
+func copyCounts(m map[string]map[string]int) map[string]map[string]int {
+	out := make(map[string]map[string]int, len(m))
+	for k, mm := range m {
+		c := make(map[string]int, len(mm))
+		for k2, v := range mm {
+			c[k2] = v
+		}
+		out[k] = c
+	}
+	return out
+}
+
+// Ratio returns the overall achieved compression factor.
+func (s *Snapshot) Ratio() float64 {
+	if s.OutputBytes == 0 {
+		return 0
+	}
+	return float64(s.InputBytes) / float64(s.OutputBytes)
+}
+
+// SampleFraction returns the share of compression time spent on scheme
+// selection (statistics + sampling + trial encodes), the §3.1 overhead.
+func (s *Snapshot) SampleFraction() float64 {
+	if s.CompressNanos == 0 {
+		return 0
+	}
+	return float64(s.SampleNanos) / float64(s.CompressNanos)
+}
+
+// Report renders the snapshot as a multi-section text table: totals,
+// scheme-pick frequencies per type (root and all cascade levels), the
+// cascade-depth distribution, and the ratio histogram.
+func (s *Snapshot) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "blocks: %d\n", s.Blocks)
+	fmt.Fprintf(&b, "bytes: %d -> %d (%.2fx)\n", s.InputBytes, s.OutputBytes, s.Ratio())
+	if s.CompressNanos > 0 {
+		fmt.Fprintf(&b, "compress time: %v (%.1f%% scheme selection)\n",
+			time.Duration(s.CompressNanos), 100*s.SampleFraction())
+	}
+	writePickTable(&b, "root scheme picks (blocks)", s.RootPicks)
+	writePickTable(&b, "cascade scheme picks (streams, all levels)", s.CascadePicks)
+	if len(s.DepthHist) > 0 {
+		b.WriteString("cascade depth used:\n")
+		for _, d := range sortedIntKeys(s.DepthHist) {
+			fmt.Fprintf(&b, "  %d: %d\n", d, s.DepthHist[d])
+		}
+	}
+	if s.RatioHist.Total() > 0 {
+		b.WriteString("achieved ratio histogram:\n")
+		for i, c := range s.RatioHist.Counts {
+			if c == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-8s %d\n", s.RatioHist.BucketLabel(i), c)
+		}
+	}
+	return b.String()
+}
+
+func writePickTable(b *strings.Builder, title string, m map[string]map[string]int) {
+	if len(m) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%s:\n", title)
+	for _, typ := range sortedKeys(m) {
+		picks := m[typ]
+		total := 0
+		for _, c := range picks {
+			total += c
+		}
+		fmt.Fprintf(b, "  %s:\n", typ)
+		for _, scheme := range sortedByCount(picks) {
+			c := picks[scheme]
+			fmt.Fprintf(b, "    %-14s %6d (%5.1f%%)\n", scheme, c, 100*float64(c)/float64(total))
+		}
+	}
+}
+
+func sortedKeys(m map[string]map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedIntKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedByCount orders scheme names by descending count, then name.
+func sortedByCount(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.RecordBlock(BlockEvent{Column: "x"})
+	r.Reset()
+	s := r.Snapshot()
+	if s.Blocks != 0 || len(s.Events) != 0 {
+		t.Fatalf("nil recorder snapshot not empty: %+v", s)
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	r := New()
+	r.RecordBlock(BlockEvent{
+		Column: "a", Block: 0, Type: "integer", Rows: 10,
+		Scheme: "RLE", EstimatedRatio: 5, ActualRatio: 4.5,
+		InputBytes: 40, OutputBytes: 9, CascadeDepth: 2,
+		SampleNanos: 100, CompressNanos: 400,
+		Levels: []Level{
+			{Depth: 0, Kind: "int", Scheme: "RLE"},
+			{Depth: 1, Kind: "int", Scheme: "OneValue"},
+			{Depth: 1, Kind: "int", Scheme: "FastBP"},
+		},
+	})
+	r.RecordBlock(BlockEvent{
+		Column: "a", Block: 1, Type: "integer", Rows: 10,
+		Scheme: "FastBP", EstimatedRatio: 2, ActualRatio: 1.8,
+		InputBytes: 40, OutputBytes: 22, CascadeDepth: 1,
+		SampleNanos: 50, CompressNanos: 100,
+		Levels: []Level{{Depth: 0, Kind: "int", Scheme: "FastBP"}},
+	})
+	s := r.Snapshot()
+	if s.Blocks != 2 {
+		t.Fatalf("blocks = %d, want 2", s.Blocks)
+	}
+	if s.InputBytes != 80 || s.OutputBytes != 31 {
+		t.Fatalf("bytes = %d -> %d, want 80 -> 31", s.InputBytes, s.OutputBytes)
+	}
+	if got := s.RootPicks["integer"]["RLE"]; got != 1 {
+		t.Fatalf("root RLE picks = %d, want 1", got)
+	}
+	if got := s.CascadePicks["int"]["FastBP"]; got != 2 {
+		t.Fatalf("cascade FastBP picks = %d, want 2", got)
+	}
+	if got := s.DepthHist[2]; got != 1 {
+		t.Fatalf("depth-2 blocks = %d, want 1", got)
+	}
+	// 4.5 lands in [4,8), 1.8 in [1,2).
+	if s.RatioHist.Counts[1] != 1 || s.RatioHist.Counts[3] != 1 {
+		t.Fatalf("ratio histogram = %v", s.RatioHist.Counts)
+	}
+	if s.SampleFraction() != 150.0/500.0 {
+		t.Fatalf("sample fraction = %v", s.SampleFraction())
+	}
+	rep := s.Report()
+	for _, want := range []string{"blocks: 2", "RLE", "FastBP", "cascade depth used"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestSnapshotEventOrderDeterministic(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.RecordBlock(BlockEvent{Column: "c", Block: i, ActualRatio: 1})
+		}(i)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	for i, ev := range s.Events {
+		if ev.Block != i {
+			t.Fatalf("event %d has block %d; snapshot not sorted", i, ev.Block)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.RecordBlock(BlockEvent{Column: "a", ActualRatio: 2})
+	r.Reset()
+	if s := r.Snapshot(); s.Blocks != 0 || len(s.Events) != 0 {
+		t.Fatalf("reset left data: %+v", s)
+	}
+}

@@ -1,0 +1,90 @@
+package btrblocks
+
+import (
+	"time"
+
+	"btrblocks/internal/core"
+	"btrblocks/internal/telemetry"
+)
+
+// This file connects the compression pipeline to the telemetry recorder:
+// Options.Telemetry, when set, receives one BlockEvent per compressed
+// block with the full cascade decision trail. The recorder itself lives
+// in internal/telemetry; the aliases below make it usable from outside
+// the module.
+
+// Telemetry is a thread-safe recorder for per-block compression
+// telemetry. Create one with NewTelemetry, set it on Options.Telemetry,
+// and read it with its Snapshot or Report methods. A nil *Telemetry is
+// valid and records nothing.
+type Telemetry = telemetry.Recorder
+
+// TelemetrySnapshot is a consistent copy of a recorder's state: per-block
+// events plus aggregate counters (scheme pick frequencies, ratio
+// histogram, byte and time totals).
+type TelemetrySnapshot = telemetry.Snapshot
+
+// BlockEvent is the telemetry record for one compressed block.
+type BlockEvent = telemetry.BlockEvent
+
+// NewTelemetry returns an empty recorder.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// telemetryRecorder returns the recorder to use, or nil when disabled.
+func (o *Options) telemetryRecorder() *telemetry.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.Telemetry
+}
+
+// recordBlock compresses rows [lo, hi) of col with the decision hook
+// installed, assembles a BlockEvent from the decision trail, and records
+// it. Only called when a recorder is set: the per-block Config copy and
+// the timing calls are the telemetry path's cost, not the default
+// path's.
+func recordBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetry.Recorder) []byte {
+	var decisions []core.Decision
+	tcfg := *cfg
+	tcfg.OnDecision = func(d core.Decision) { decisions = append(decisions, d) }
+	start := time.Now()
+	out := encodeBlock(col, lo, hi, &tcfg)
+	elapsed := time.Since(start)
+
+	ev := telemetry.BlockEvent{
+		Column:        col.Name,
+		Block:         block,
+		Type:          col.Type.String(),
+		Rows:          hi - lo,
+		CompressNanos: elapsed.Nanoseconds(),
+	}
+	for _, d := range decisions {
+		ev.SampleNanos += d.PickNanos
+		if d.Level+1 > ev.CascadeDepth {
+			ev.CascadeDepth = d.Level + 1
+		}
+		ev.Levels = append(ev.Levels, telemetry.Level{
+			Depth:          d.Level,
+			Kind:           d.Kind.String(),
+			Scheme:         d.Code.String(),
+			Values:         d.Values,
+			InputBytes:     d.InputBytes,
+			OutputBytes:    d.OutputBytes,
+			EstimatedRatio: d.EstimatedRatio,
+			PickNanos:      d.PickNanos,
+		})
+	}
+	// Decisions arrive post-order, so the block's root decision is last.
+	if n := len(decisions); n > 0 {
+		root := decisions[n-1]
+		ev.Scheme = root.Code.String()
+		ev.EstimatedRatio = root.EstimatedRatio
+		ev.InputBytes = root.InputBytes
+		ev.OutputBytes = root.OutputBytes
+		if root.OutputBytes > 0 {
+			ev.ActualRatio = float64(root.InputBytes) / float64(root.OutputBytes)
+		}
+	}
+	rec.RecordBlock(ev)
+	return out
+}
