@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench ci
+.PHONY: all build test race vet fmt check bench ci serve-smoke
 
 all: build
 
@@ -24,8 +24,14 @@ fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# check is the tier-1 gate: format, vet, build, tests (incl. race).
-check: fmt vet build test race
+# serve-smoke starts btrserved on a generated corpus and verifies every
+# endpoint against direct in-process decompression.
+serve-smoke:
+	$(GO) run ./cmd/btrserved -smoke
+
+# check is the tier-1 gate: format, vet, build, tests (incl. race),
+# and the end-to-end serving smoke test.
+check: fmt vet build test race serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

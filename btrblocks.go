@@ -108,9 +108,11 @@ type Options struct {
 	Seed int64
 	// Telemetry, when non-nil, records per-block compression telemetry
 	// (chosen schemes per cascade level, estimated vs. actual ratios,
-	// timings). nil — the default — disables recording entirely and adds
-	// no measurable overhead. The recorder is safe to share across
-	// concurrent compressions; read it with Snapshot.
+	// timings) and decode-side counters (blocks decompressed, values
+	// produced, decode time). nil — the default — disables recording
+	// entirely and adds no measurable overhead. The recorder is safe to
+	// share across concurrent compressions and decompressions; read it
+	// with Snapshot.
 	Telemetry *Telemetry
 }
 

@@ -25,4 +25,9 @@ echo "== go test -race =="
 # the race detector.
 go test -race -short -timeout 30m ./...
 
+echo "== serve smoke =="
+# End-to-end: btrserved serves a generated corpus on a loopback port and
+# every endpoint is verified against direct in-process decompression.
+go run ./cmd/btrserved -smoke
+
 echo "ci: all checks passed"

@@ -7,7 +7,7 @@
 //	btrbench [-rows N] [-seed S] [-threads T] [-reps R] <experiment>...
 //
 // Experiments: fig1 table2 schemes fig4 fig5 fig6 fig7 compspeed table3
-// pde-pool fig8 table4 table5 colscan scalar selection all
+// pde-pool fig8 table4 table5 colscan scalar selection serve all
 package main
 
 import (
@@ -36,13 +36,14 @@ var registry = map[string]func(*experiments.Config) error{
 	"scalar":    experiments.Scalar,
 	"selection": experiments.SelectionOverhead,
 	"schemes":   experiments.Schemes,
+	"serve":     experiments.Serve,
 }
 
 // order keeps `all` output in the paper's presentation order.
 var order = []string{
 	"fig1", "table2", "schemes", "fig4", "fig5", "fig6", "selection", "fig7",
 	"compspeed", "table3", "pde-pool", "fig8", "table4", "table5",
-	"colscan", "scalar",
+	"colscan", "scalar", "serve",
 }
 
 func main() {

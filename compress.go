@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"btrblocks/coldata"
 	"btrblocks/internal/core"
@@ -252,6 +253,7 @@ func concatViews(views []coldata.StringViews) coldata.Strings {
 
 func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews, error) {
 	cfg := opt.coreConfig()
+	rec := opt.telemetryRecorder()
 	var col Column
 	if len(data) < 12 || string(data[:4]) != columnMagic {
 		return col, nil, ErrCorrupt
@@ -316,6 +318,10 @@ func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews,
 		// Cap decoded value counts at the block's declared row count so a
 		// corrupt stream header cannot force a huge allocation.
 		cfg.MaxDecodedValues = rows
+		var start time.Time
+		if rec != nil {
+			start = time.Now()
+		}
 		var used int
 		var err error
 		switch col.Type {
@@ -350,6 +356,9 @@ func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews,
 		}
 		if used != dataLen {
 			return col, nil, ErrCorrupt
+		}
+		if rec != nil {
+			rec.RecordDecode(1, rows, dataLen, time.Since(start).Nanoseconds())
 		}
 		pos += dataLen
 		rowBase += rows

@@ -1,0 +1,191 @@
+package btrblocks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"btrblocks/coldata"
+	"btrblocks/internal/core"
+	"btrblocks/internal/roaring"
+)
+
+// This file exposes block-granular access to column files. A ColumnIndex
+// is built from the file's headers alone — no payload is decompressed —
+// and locates every block so callers can decode, cache and serve blocks
+// independently. This is what a networked block server needs: random
+// access at block granularity over the one-file-per-column S3 layout of
+// §6.7, without materializing whole columns.
+
+// BlockRef locates one block inside a column file without decoding it.
+// All offsets are relative to the start of the file.
+type BlockRef struct {
+	// Offset is the byte offset of the block header (rows:u32 nullLen:u32).
+	Offset int
+	// StartRow is the block's first row within the column.
+	StartRow int
+	// Rows is the number of values in the block.
+	Rows int
+	// NullBytes is the encoded NULL bitmap size (0 = block has no NULLs).
+	NullBytes int
+	// DataBytes is the compressed data stream size.
+	DataBytes int
+	// Scheme is the block's root encoding scheme.
+	Scheme Scheme
+}
+
+// NullOffset returns the offset of the block's NULL bitmap (meaningless
+// when NullBytes is 0).
+func (b BlockRef) NullOffset() int { return b.Offset + 8 }
+
+// DataOffset returns the offset of the block's compressed data stream.
+func (b BlockRef) DataOffset() int { return b.Offset + 8 + b.NullBytes + 4 }
+
+// End returns the offset one past the block's last byte.
+func (b BlockRef) End() int { return b.DataOffset() + b.DataBytes }
+
+// CompressedBytes returns the block's total on-disk footprint: header,
+// NULL bitmap and data stream.
+func (b BlockRef) CompressedBytes() int { return b.End() - b.Offset }
+
+// ColumnIndex is the parsed block directory of a column file.
+type ColumnIndex struct {
+	Name string
+	Type Type
+	// Rows is the column's total row count (sum over blocks).
+	Rows int
+	// Blocks lists the column's blocks in order.
+	Blocks []BlockRef
+}
+
+// ParseColumnIndex walks a column file's framing and returns its block
+// directory without decompressing any payload. Like Inspect, it verifies
+// that the framing accounts for every byte of the file.
+func ParseColumnIndex(data []byte) (*ColumnIndex, error) {
+	if len(data) < 12 || string(data[:4]) != columnMagic || data[4] != formatVersion {
+		return nil, ErrCorrupt
+	}
+	t := Type(data[5])
+	if t > maxType {
+		return nil, ErrCorrupt
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data[6:]))
+	pos := 8
+	if len(data) < pos+nameLen+4 {
+		return nil, ErrCorrupt
+	}
+	ix := &ColumnIndex{Name: string(data[pos : pos+nameLen]), Type: t}
+	pos += nameLen
+	blockCount := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	if blockCount < 0 || blockCount > len(data) {
+		return nil, ErrCorrupt
+	}
+	ix.Blocks = make([]BlockRef, 0, blockCount)
+	for b := 0; b < blockCount; b++ {
+		if len(data) < pos+8 {
+			return nil, ErrCorrupt
+		}
+		rows := int(binary.LittleEndian.Uint32(data[pos:]))
+		nullLen := int(binary.LittleEndian.Uint32(data[pos+4:]))
+		if rows > core.MaxBlockValues || nullLen < 0 || len(data) < pos+8+nullLen+4 {
+			return nil, ErrCorrupt
+		}
+		ref := BlockRef{Offset: pos, StartRow: ix.Rows, Rows: rows, NullBytes: nullLen}
+		ref.DataBytes = int(binary.LittleEndian.Uint32(data[pos+8+nullLen:]))
+		if ref.DataBytes < 0 || ref.End() > len(data) {
+			return nil, ErrCorrupt
+		}
+		if ref.DataBytes > 0 {
+			ref.Scheme = Scheme(data[ref.DataOffset()])
+		}
+		ix.Blocks = append(ix.Blocks, ref)
+		ix.Rows += rows
+		pos = ref.End()
+	}
+	if pos != len(data) {
+		return nil, ErrCorrupt
+	}
+	return ix, nil
+}
+
+// DecompressBlock decodes block b of the column file the index was parsed
+// from, returning it as a standalone Column whose NULL mask is rebased to
+// the block (position 0 is the block's first row). String blocks are
+// materialized into an owned vector, so the result does not alias data.
+// When opt.Telemetry is set, the decode is counted on the recorder.
+func (ix *ColumnIndex) DecompressBlock(data []byte, b int, opt *Options) (Column, error) {
+	if b < 0 || b >= len(ix.Blocks) {
+		return Column{}, fmt.Errorf("btrblocks: block %d out of range [0,%d)", b, len(ix.Blocks))
+	}
+	ref := ix.Blocks[b]
+	if ref.End() > len(data) {
+		return Column{}, ErrCorrupt
+	}
+	col := Column{Name: ix.Name, Type: ix.Type}
+	if ref.NullBytes > 0 {
+		bm, used, err := roaring.FromBytes(data[ref.NullOffset() : ref.NullOffset()+ref.NullBytes])
+		if err != nil || used != ref.NullBytes {
+			return Column{}, ErrCorrupt
+		}
+		col.Nulls = NewNullMask()
+		ok := true
+		bm.ForEach(func(v uint32) bool {
+			if int(v) >= ref.Rows {
+				ok = false
+				return false
+			}
+			col.Nulls.SetNull(int(v))
+			return true
+		})
+		if !ok {
+			return Column{}, ErrCorrupt
+		}
+	}
+	cfg := opt.coreConfig()
+	cfg.MaxDecodedValues = ref.Rows
+	stream := data[ref.DataOffset():ref.End()]
+	rec := opt.telemetryRecorder()
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
+	var used int
+	var err error
+	switch ix.Type {
+	case TypeInt:
+		col.Ints, used, err = core.DecompressInt(nil, stream, cfg)
+		if err == nil && len(col.Ints) != ref.Rows {
+			err = ErrCorrupt
+		}
+	case TypeInt64:
+		col.Ints64, used, err = core.DecompressInt64(nil, stream, cfg)
+		if err == nil && len(col.Ints64) != ref.Rows {
+			err = ErrCorrupt
+		}
+	case TypeDouble:
+		col.Doubles, used, err = core.DecompressDouble(nil, stream, cfg)
+		if err == nil && len(col.Doubles) != ref.Rows {
+			err = ErrCorrupt
+		}
+	case TypeString:
+		var views coldata.StringViews
+		views, used, err = core.DecompressString(stream, cfg)
+		if err == nil && views.Len() != ref.Rows {
+			err = ErrCorrupt
+		}
+		if err == nil {
+			col.Strings = views.Materialize()
+		}
+	}
+	if err != nil {
+		return Column{}, err
+	}
+	if used != ref.DataBytes {
+		return Column{}, ErrCorrupt
+	}
+	if rec != nil {
+		rec.RecordDecode(1, ref.Rows, ref.DataBytes, time.Since(start).Nanoseconds())
+	}
+	return col, nil
+}

@@ -1,0 +1,182 @@
+package btrblocks
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// indexTestColumns builds one multi-block column per type, with NULLs.
+func indexTestColumns(t *testing.T) []Column {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	const n = 10000
+	nulls := NewNullMask()
+	for i := 0; i < n; i += 7 {
+		nulls.SetNull(i)
+	}
+	ints := make([]int32, n)
+	ints64 := make([]int64, n)
+	doubles := make([]float64, n)
+	strs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ints[i] = int32(rng.Intn(1000))
+		ints64[i] = int64(rng.Intn(1000)) << 20
+		doubles[i] = float64(rng.Intn(40000)) / 100
+		strs[i] = fmt.Sprintf("value-%d", rng.Intn(64))
+	}
+	cols := []Column{
+		IntColumn("i", ints),
+		Int64Column("l", ints64),
+		DoubleColumn("d", doubles),
+		StringColumn("s", strs),
+	}
+	for i := range cols {
+		cols[i].Nulls = nulls
+	}
+	return cols
+}
+
+func TestParseColumnIndexShape(t *testing.T) {
+	opt := &Options{BlockSize: 3000} // 10000 rows -> 4 blocks
+	for _, col := range indexTestColumns(t) {
+		data, err := CompressColumn(col, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", col.Name, err)
+		}
+		ix, err := ParseColumnIndex(data)
+		if err != nil {
+			t.Fatalf("%s: %v", col.Name, err)
+		}
+		if ix.Name != col.Name || ix.Type != col.Type {
+			t.Fatalf("%s: index says %s %v", col.Name, ix.Name, ix.Type)
+		}
+		if ix.Rows != col.Len() {
+			t.Fatalf("%s: index rows %d, want %d", col.Name, ix.Rows, col.Len())
+		}
+		if len(ix.Blocks) != 4 {
+			t.Fatalf("%s: %d blocks, want 4", col.Name, len(ix.Blocks))
+		}
+		start := 0
+		for b, ref := range ix.Blocks {
+			if ref.StartRow != start {
+				t.Fatalf("%s block %d: StartRow %d, want %d", col.Name, b, ref.StartRow, start)
+			}
+			start += ref.Rows
+			if ref.End() > len(data) {
+				t.Fatalf("%s block %d: End %d past file end %d", col.Name, b, ref.End(), len(data))
+			}
+			if ref.NullBytes == 0 {
+				t.Fatalf("%s block %d: expected a NULL bitmap", col.Name, b)
+			}
+		}
+		if ix.Blocks[3].End() != len(data) {
+			t.Fatalf("%s: last block ends at %d, file has %d", col.Name, ix.Blocks[3].End(), len(data))
+		}
+	}
+}
+
+func TestDecompressBlockMatchesFullDecode(t *testing.T) {
+	opt := &Options{BlockSize: 3000}
+	for _, col := range indexTestColumns(t) {
+		data, err := CompressColumn(col, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", col.Name, err)
+		}
+		full, err := DecompressColumn(data, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", col.Name, err)
+		}
+		ix, err := ParseColumnIndex(data)
+		if err != nil {
+			t.Fatalf("%s: %v", col.Name, err)
+		}
+		for b, ref := range ix.Blocks {
+			blk, err := ix.DecompressBlock(data, b, opt)
+			if err != nil {
+				t.Fatalf("%s block %d: %v", col.Name, b, err)
+			}
+			if blk.Len() != ref.Rows {
+				t.Fatalf("%s block %d: %d rows, want %d", col.Name, b, blk.Len(), ref.Rows)
+			}
+			for i := 0; i < blk.Len(); i++ {
+				r := ref.StartRow + i
+				if blk.Nulls.IsNull(i) != full.Nulls.IsNull(r) {
+					t.Fatalf("%s block %d row %d: NULL mask mismatch", col.Name, b, i)
+				}
+				if blk.Nulls.IsNull(i) {
+					continue
+				}
+				var same bool
+				switch col.Type {
+				case TypeInt:
+					same = blk.Ints[i] == full.Ints[r]
+				case TypeInt64:
+					same = blk.Ints64[i] == full.Ints64[r]
+				case TypeDouble:
+					same = blk.Doubles[i] == full.Doubles[r]
+				case TypeString:
+					same = blk.Strings.At(i) == full.Strings.At(r)
+				}
+				if !same {
+					t.Fatalf("%s block %d row %d: value mismatch", col.Name, b, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecompressBlockOutOfRange(t *testing.T) {
+	data := mustCompress(t, IntColumn("x", []int32{1, 2, 3}))
+	ix, err := ParseColumnIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{-1, 1, 99} {
+		if _, err := ix.DecompressBlock(data, b, nil); err == nil {
+			t.Fatalf("block %d: no error", b)
+		}
+	}
+}
+
+func TestParseColumnIndexCorrupt(t *testing.T) {
+	data := mustCompress(t, IntColumn("x", []int32{1, 2, 3, 4, 5, 6}))
+	// Every truncation must be rejected — the index walk is header-only
+	// but still bounds-checks the whole file.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ParseColumnIndex(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	// Trailing garbage is corruption, not slack.
+	if _, err := ParseColumnIndex(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("trailing byte not detected")
+	}
+	bad := append([]byte(nil), data...)
+	bad[4] = 99 // version
+	if _, err := ParseColumnIndex(bad); err == nil {
+		t.Fatal("bad version not detected")
+	}
+}
+
+func TestDecompressBlockRecordsTelemetry(t *testing.T) {
+	opt := &Options{BlockSize: 3000, Telemetry: NewTelemetry()}
+	col := indexTestColumns(t)[0]
+	data, err := CompressColumn(col, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ParseColumnIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Telemetry.Reset()
+	if _, err := ix.DecompressBlock(data, 2, opt); err != nil {
+		t.Fatal(err)
+	}
+	snap := opt.Telemetry.Snapshot()
+	if snap.DecodeBlocks != 1 || snap.DecodeValues != int64(ix.Blocks[2].Rows) {
+		t.Fatalf("decode telemetry = %d blocks / %d values, want 1 / %d",
+			snap.DecodeBlocks, snap.DecodeValues, ix.Blocks[2].Rows)
+	}
+}

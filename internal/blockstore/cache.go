@@ -1,0 +1,162 @@
+package blockstore
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+)
+
+// Cache is a sharded, byte-bounded LRU of decompressed blocks with
+// singleflight loading: concurrent GetOrLoad calls for the same key run
+// the loader exactly once and share its result. Sharding keeps lock
+// contention off the serving hot path; the byte bound is enforced per
+// shard as maxBytes/shards, so the total never exceeds maxBytes.
+//
+// Errors are not cached: a failed load is returned to every waiter of
+// that flight and the next request retries.
+type Cache struct {
+	shards []shard
+	seed   maphash.Seed
+}
+
+type entry struct {
+	key   string
+	val   *Block
+	bytes int64
+}
+
+type flight struct {
+	done chan struct{}
+	val  *Block
+	err  error
+}
+
+type shard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+	inflight map[string]*flight
+	metrics  *Metrics
+}
+
+// DefaultCacheShards is the shard count used when Config leaves it zero.
+const DefaultCacheShards = 16
+
+// NewCache returns a cache bounded to maxBytes of decompressed block
+// data across the given number of shards (<= 0 means
+// DefaultCacheShards). A maxBytes of 0 disables residency entirely —
+// loads still dedup in-flight, but nothing is kept.
+func NewCache(maxBytes int64, shards int, m *Metrics) *Cache {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	c := &Cache{shards: make([]shard, shards), seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			maxBytes: maxBytes / int64(shards),
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+			inflight: make(map[string]*flight),
+			metrics:  m,
+		}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// GetOrLoad returns the cached block for key, or runs load to produce
+// it. Concurrent calls for the same key wait on a single load.
+func (c *Cache) GetOrLoad(key string, load func() (*Block, error)) (*Block, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		s.mu.Unlock()
+		s.metrics.CacheHits.Add(1)
+		return val, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		// join the in-progress decode: a hit as far as work is concerned
+		s.metrics.CacheHits.Add(1)
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+	s.metrics.CacheMisses.Add(1)
+
+	val, err := load()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.insert(key, val)
+	}
+	s.mu.Unlock()
+	f.val, f.err = val, err
+	close(f.done)
+	return val, err
+}
+
+// insert adds an entry and evicts from the cold end until the shard is
+// back under its byte budget. Called with s.mu held. An entry larger
+// than the whole budget is admitted and immediately evicted again, so
+// the bound holds even for oversized blocks.
+func (s *shard) insert(key string, val *Block) {
+	b := int64(val.Bytes)
+	s.items[key] = s.ll.PushFront(&entry{key: key, val: val, bytes: b})
+	s.bytes += b
+	s.metrics.CacheBytes.Add(b)
+	s.metrics.CacheEntries.Add(1)
+	for s.bytes > s.maxBytes && s.ll.Len() > 0 {
+		back := s.ll.Back()
+		e := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.bytes -= e.bytes
+		s.metrics.CacheBytes.Add(-e.bytes)
+		s.metrics.CacheEntries.Add(-1)
+		s.metrics.CacheEvictions.Add(1)
+	}
+}
+
+// Contains reports whether key is resident (without touching LRU order).
+func (c *Cache) Contains(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[key]
+	return ok
+}
+
+// Bytes returns the total decompressed bytes resident.
+func (c *Cache) Bytes() int64 {
+	var total int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.bytes
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.items)
+		s.mu.Unlock()
+	}
+	return total
+}

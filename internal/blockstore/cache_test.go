@@ -1,0 +1,212 @@
+package blockstore
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"btrblocks"
+)
+
+func waitALittle() { time.Sleep(5 * time.Millisecond) }
+
+// compressTestColumn builds a multi-block int column file.
+func compressTestColumn(t *testing.T, name string, rows, blockSize int) ([]byte, btrblocks.Column) {
+	t.Helper()
+	values := make([]int32, rows)
+	for i := range values {
+		values[i] = int32(i % 911)
+	}
+	col := btrblocks.IntColumn(name, values)
+	data, err := btrblocks.CompressColumn(col, &btrblocks.Options{BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, col
+}
+
+func TestConcurrentGetsDecodeOnce(t *testing.T) {
+	data, _ := compressTestColumn(t, "c", 8000, 2000)
+	tel := btrblocks.NewTelemetry()
+	store, err := NewStore(map[string][]byte{"c.btr": data}, Config{
+		Options: &btrblocks.Options{Telemetry: tel},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	// Many goroutines race for the same block; the singleflight must run
+	// the decode exactly once. The library's decode telemetry is the
+	// ground truth — it is bumped only inside a real block decode.
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blk, err := store.Block("c.btr", 1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if blk.StartRow != 2000 || blk.Rows() != 2000 {
+				errs <- fmt.Errorf("got block [%d,+%d)", blk.StartRow, blk.Rows())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if n := tel.Snapshot().DecodeBlocks; n != 1 {
+		t.Fatalf("%d goroutines caused %d decodes, want exactly 1", goroutines, n)
+	}
+	m := store.Metrics()
+	if got := m.DecodedBlocks.Load(); got != 1 {
+		t.Fatalf("store decoded %d blocks, want 1", got)
+	}
+	if misses := m.CacheMisses.Load(); misses != 1 {
+		t.Fatalf("%d misses, want 1", misses)
+	}
+	if hits := m.CacheHits.Load(); hits != goroutines-1 {
+		t.Fatalf("%d hits, want %d", hits, goroutines-1)
+	}
+}
+
+func TestCacheEvictionHonorsByteBound(t *testing.T) {
+	data, _ := compressTestColumn(t, "c", 16000, 1000) // 16 blocks x 4000 B
+	blockBytes := int64(4 * 1000)
+	// One shard makes the budget exact; room for 3 blocks.
+	store, err := NewStore(map[string][]byte{"c.btr": data}, Config{
+		CacheBytes:  3 * blockBytes,
+		CacheShards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	for b := 0; b < 16; b++ {
+		if _, err := store.Block("c.btr", b); err != nil {
+			t.Fatal(err)
+		}
+		if got := store.Cache().Bytes(); got > 3*blockBytes {
+			t.Fatalf("after block %d: cache holds %d bytes, bound is %d", b, got, 3*blockBytes)
+		}
+	}
+	m := store.Metrics()
+	if ev := m.CacheEvictions.Load(); ev != 13 {
+		t.Fatalf("%d evictions, want 13 (16 inserts into 3 slots)", ev)
+	}
+	if n := store.Cache().Len(); n != 3 {
+		t.Fatalf("%d entries resident, want 3", n)
+	}
+	if got, want := m.CacheBytes.Load(), store.Cache().Bytes(); got != want {
+		t.Fatalf("metrics gauge %d != cache accounting %d", got, want)
+	}
+
+	// LRU order: the three most recent blocks are resident, older ones
+	// are not.
+	for b := 13; b < 16; b++ {
+		if !store.Cache().Contains("c.btr\x00" + strconv.Itoa(b)) {
+			t.Fatalf("block %d should be resident", b)
+		}
+	}
+	if store.Cache().Contains("c.btr\x00" + "0") {
+		t.Fatal("block 0 should have been evicted")
+	}
+}
+
+func TestCacheDisabledStillDedupsInflight(t *testing.T) {
+	// CacheBytes < 0 turns residency off: every request decodes, but
+	// concurrent requests for the same block still share one decode.
+	data, _ := compressTestColumn(t, "c", 4000, 2000)
+	store, err := NewStore(map[string][]byte{"c.btr": data}, Config{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := store.Block("c.btr", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.Metrics().DecodedBlocks.Load(); got != 3 {
+		t.Fatalf("disabled cache decoded %d times for 3 sequential gets, want 3", got)
+	}
+	if got := store.Cache().Len(); got != 0 {
+		t.Fatalf("disabled cache holds %d entries", got)
+	}
+}
+
+func TestCacheLoadErrorsNotCached(t *testing.T) {
+	m := NewMetrics()
+	c := NewCache(1<<20, 1, m)
+	calls := 0
+	boom := fmt.Errorf("boom")
+	load := func() (*Block, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return &Block{Bytes: 8}, nil
+	}
+	if _, err := c.GetOrLoad("k", load); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not poison the key: the next load succeeds.
+	blk, err := c.GetOrLoad("k", load)
+	if err != nil || blk == nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("loader ran %d times, want 2", calls)
+	}
+}
+
+func TestCachePrefetchWarmsFollowingBlocks(t *testing.T) {
+	data, _ := compressTestColumn(t, "c", 8000, 1000) // 8 blocks
+	store, err := NewStore(map[string][]byte{"c.btr": data}, Config{
+		PrefetchBlocks:  3,
+		PrefetchWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	if _, err := store.Block("c.btr", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Readahead is asynchronous; a bounded retry loop lets it land. A
+	// second Block call is not needed — blocks 1..3 arrive on their own.
+	deadline := 200
+	for ; deadline > 0; deadline-- {
+		if store.Cache().Contains("c.btr\x001") &&
+			store.Cache().Contains("c.btr\x002") &&
+			store.Cache().Contains("c.btr\x003") {
+			break
+		}
+		// yield to the workers
+		waitALittle()
+	}
+	if deadline == 0 {
+		t.Fatalf("readahead never landed: scheduled=%d dropped=%d resident=%d",
+			store.Metrics().PrefetchScheduled.Load(),
+			store.Metrics().PrefetchDropped.Load(),
+			store.Cache().Len())
+	}
+	if store.Cache().Contains("c.btr\x004") {
+		t.Fatal("block 4 decoded beyond the readahead window")
+	}
+	if got := store.Metrics().PrefetchScheduled.Load(); got != 3 {
+		t.Fatalf("scheduled %d readaheads, want 3", got)
+	}
+}

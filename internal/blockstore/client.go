@@ -1,0 +1,238 @@
+package blockstore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Client is the Go consumer of a blockstore Server. Zero-allocation it is
+// not — it is the reference implementation of the wire protocol and the
+// engine behind the `btrbench serve` experiment.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). It uses http.DefaultClient's transport, which
+// pools connections per host.
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// get issues a GET and fails on any non-2xx status.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("blockstore: GET %s: %s: %s", path, resp.Status, firstLine(body))
+	}
+	return body, nil
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, err := c.get(ctx, "/healthz")
+	return err
+}
+
+// Files lists the hosted files.
+func (c *Client) Files(ctx context.Context) ([]FileMeta, error) {
+	body, err := c.get(ctx, "/v1/files")
+	if err != nil {
+		return nil, err
+	}
+	var out []FileMeta
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("blockstore: bad /v1/files response: %v", err)
+	}
+	return out, nil
+}
+
+// FileMeta fetches metadata for one file.
+func (c *Client) FileMeta(ctx context.Context, name string) (*FileMeta, error) {
+	body, err := c.get(ctx, "/v1/files?file="+url.QueryEscape(name))
+	if err != nil {
+		return nil, err
+	}
+	var out []FileMeta
+	if err := json.Unmarshal(body, &out); err != nil || len(out) != 1 {
+		return nil, fmt.Errorf("blockstore: bad /v1/files response for %s", name)
+	}
+	return &out[0], nil
+}
+
+// Raw fetches a file's raw compressed bytes.
+func (c *Client) Raw(ctx context.Context, name string) ([]byte, error) {
+	return c.get(ctx, "/v1/raw/"+rawPath(name))
+}
+
+// RawRange fetches length bytes starting at off, via an HTTP Range
+// request — the S3-style access path.
+func (c *Client) RawRange(ctx context.Context, name string, off, length int64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/raw/"+rawPath(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+length-1))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusPartialContent {
+		return nil, fmt.Errorf("blockstore: range GET %s: %s", name, resp.Status)
+	}
+	return body, nil
+}
+
+// rawPath escapes a store-relative name for use under /v1/raw/ while
+// keeping its slashes as path separators.
+func rawPath(name string) string {
+	return (&url.URL{Path: name}).EscapedPath()
+}
+
+// Block fetches one decompressed block in the binary wire format.
+func (c *Client) Block(ctx context.Context, name string, idx int) (*BlockValues, error) {
+	body, err := c.get(ctx, "/v1/block?format=binary&file="+url.QueryEscape(name)+"&block="+strconv.Itoa(idx))
+	if err != nil {
+		return nil, err
+	}
+	blk, err := decodeBlockBinary(name, body)
+	if err != nil {
+		return nil, err
+	}
+	blk.Block = idx
+	return blk, nil
+}
+
+// BlockJSON fetches one decompressed block in the JSON wire format.
+func (c *Client) BlockJSON(ctx context.Context, name string, idx int) (*BlockValues, error) {
+	body, err := c.get(ctx, "/v1/block?format=json&file="+url.QueryEscape(name)+"&block="+strconv.Itoa(idx))
+	if err != nil {
+		return nil, err
+	}
+	var p BlockPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		return nil, fmt.Errorf("blockstore: bad /v1/block response: %v", err)
+	}
+	return p.Values()
+}
+
+// CountEq pushes an equality predicate down to the server.
+func (c *Client) CountEq(ctx context.Context, name, value string) (*CountEqResult, error) {
+	body, err := c.get(ctx, "/v1/count-eq?file="+url.QueryEscape(name)+"&value="+url.QueryEscape(value))
+	if err != nil {
+		return nil, err
+	}
+	out := &CountEqResult{}
+	if err := json.Unmarshal(body, out); err != nil {
+		return nil, fmt.Errorf("blockstore: bad /v1/count-eq response: %v", err)
+	}
+	return out, nil
+}
+
+// Telemetry fetches the server's cache and library telemetry.
+func (c *Client) Telemetry(ctx context.Context) (*TelemetryReport, error) {
+	body, err := c.get(ctx, "/v1/telemetry")
+	if err != nil {
+		return nil, err
+	}
+	out := &TelemetryReport{}
+	if err := json.Unmarshal(body, out); err != nil {
+		return nil, fmt.Errorf("blockstore: bad /v1/telemetry response: %v", err)
+	}
+	return out, nil
+}
+
+// MetricsText fetches the raw Prometheus exposition.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	body, err := c.get(ctx, "/metrics")
+	return string(body), err
+}
+
+// ScanColumn fetches every block of a served column with the given number
+// of concurrent workers (<= 0 means 1) and returns the total rows and
+// decompressed bytes received. Blocks travel in the binary wire format;
+// the first error cancels the remaining fetches.
+func (c *Client) ScanColumn(ctx context.Context, name string, workers int) (rows int, bytes int64, err error) {
+	meta, err := c.FileMeta(ctx, name)
+	if err != nil {
+		return 0, 0, err
+	}
+	if meta.Blocks == 0 {
+		return 0, 0, fmt.Errorf("blockstore: %s has no addressable blocks", name)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > meta.Blocks {
+		workers = meta.Blocks
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		gotRows  atomic.Int64
+		gotBytes atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= meta.Blocks || ctx.Err() != nil {
+					return
+				}
+				blk, err := c.Block(ctx, name, idx)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+				gotRows.Add(int64(blk.Rows))
+				gotBytes.Add(int64(blk.UncompressedBytes()))
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	return int(gotRows.Load()), gotBytes.Load(), nil
+}

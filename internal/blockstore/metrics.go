@@ -1,0 +1,167 @@
+package blockstore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the blockstore's operational counters: cache behavior,
+// decode work, prefetch activity, and per-endpoint request counts with
+// latency histograms. All fields are updated with atomics, so one Metrics
+// is shared by the store, the cache and the HTTP server without locking
+// on the hot path. Rendered as Prometheus text exposition by WriteTo.
+type Metrics struct {
+	CacheHits         atomic.Int64
+	CacheMisses       atomic.Int64
+	CacheEvictions    atomic.Int64
+	CacheBytes        atomic.Int64 // gauge: decompressed bytes resident
+	CacheEntries      atomic.Int64 // gauge
+	DecodedBlocks     atomic.Int64
+	DecodedBytes      atomic.Int64 // decompressed (in-memory) bytes produced
+	PrefetchScheduled atomic.Int64
+	PrefetchDropped   atomic.Int64
+	InFlight          atomic.Int64 // gauge: HTTP requests being served
+
+	mu        sync.Mutex
+	endpoints map[string]*EndpointMetrics
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*EndpointMetrics)}
+}
+
+// Endpoint returns (creating on first use) the counters for one route.
+func (m *Metrics) Endpoint(route string) *EndpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoints[route]
+	if ep == nil {
+		ep = &EndpointMetrics{}
+		m.endpoints[route] = ep
+	}
+	return ep
+}
+
+// EndpointMetrics counts one route's requests, errors (non-2xx) and
+// latency distribution.
+type EndpointMetrics struct {
+	Requests atomic.Int64
+	Errors   atomic.Int64
+	Latency  LatencyHistogram
+}
+
+// latencyBuckets are the histogram's upper bounds in seconds; a final
+// +Inf bucket is implicit.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// LatencyHistogram is a fixed-bucket latency histogram with atomic
+// counters, exposition-compatible with Prometheus (cumulative buckets,
+// sum and count derived at render time).
+type LatencyHistogram struct {
+	counts   [len(latencyBuckets) + 1]atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// Observe records one duration.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	h.sumNanos.Add(d.Nanoseconds())
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(latencyBuckets)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *LatencyHistogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("btrserved_cache_hits_total", "Block cache hits (including singleflight joins).", m.CacheHits.Load())
+	counter("btrserved_cache_misses_total", "Block cache misses that triggered a decode.", m.CacheMisses.Load())
+	counter("btrserved_cache_evictions_total", "Blocks evicted to stay under the byte bound.", m.CacheEvictions.Load())
+	gauge("btrserved_cache_bytes", "Decompressed bytes resident in the block cache.", m.CacheBytes.Load())
+	gauge("btrserved_cache_entries", "Blocks resident in the block cache.", m.CacheEntries.Load())
+	counter("btrserved_decoded_blocks_total", "Blocks decompressed by the store.", m.DecodedBlocks.Load())
+	counter("btrserved_decoded_bytes_total", "Decompressed bytes produced by the store.", m.DecodedBytes.Load())
+	counter("btrserved_prefetch_scheduled_total", "Blocks scheduled for readahead decode.", m.PrefetchScheduled.Load())
+	counter("btrserved_prefetch_dropped_total", "Readahead blocks dropped because the queue was full.", m.PrefetchDropped.Load())
+	gauge("btrserved_inflight_requests", "HTTP requests currently being served.", m.InFlight.Load())
+
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.endpoints))
+	for r := range m.endpoints {
+		routes = append(routes, r)
+	}
+	eps := make(map[string]*EndpointMetrics, len(routes))
+	for r, ep := range m.endpoints {
+		eps[r] = ep
+	}
+	m.mu.Unlock()
+	sort.Strings(routes)
+
+	fmt.Fprintf(cw, "# HELP btrserved_http_requests_total HTTP requests by route.\n# TYPE btrserved_http_requests_total counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(cw, "btrserved_http_requests_total{route=%q} %d\n", r, eps[r].Requests.Load())
+	}
+	fmt.Fprintf(cw, "# HELP btrserved_http_errors_total Non-2xx HTTP responses by route.\n# TYPE btrserved_http_errors_total counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(cw, "btrserved_http_errors_total{route=%q} %d\n", r, eps[r].Errors.Load())
+	}
+	fmt.Fprintf(cw, "# HELP btrserved_http_request_duration_seconds Request latency by route.\n# TYPE btrserved_http_request_duration_seconds histogram\n")
+	for _, r := range routes {
+		h := &eps[r].Latency
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(cw, "btrserved_http_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				r, fmt.Sprintf("%g", ub), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(cw, "btrserved_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
+		fmt.Fprintf(cw, "btrserved_http_request_duration_seconds_sum{route=%q} %g\n",
+			r, float64(h.sumNanos.Load())/1e9)
+		fmt.Fprintf(cw, "btrserved_http_request_duration_seconds_count{route=%q} %d\n", r, cum)
+	}
+	return cw.n, cw.err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,231 @@
+package blockstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server is the HTTP surface of a Store:
+//
+//	GET /healthz                          liveness
+//	GET /v1/files[?file=NAME]             hosted-file metadata (JSON)
+//	GET /v1/raw/NAME                      raw file bytes; honors Range
+//	GET /v1/block?file=N&block=I          decompressed block
+//	    [&format=json|binary]             (default json; binary = BTBK)
+//	GET /v1/count-eq?file=N&value=V       pushed-down equality predicate
+//	GET /v1/telemetry                     cache + library telemetry (JSON)
+//	GET /metrics                          Prometheus text exposition
+//
+// The raw endpoint is the S3-style path: compute nodes that want to run
+// their own decoder fetch byte ranges, exactly as against an object
+// store. The block endpoint moves decompression server-side, through the
+// block cache. The count-eq endpoint pushes the predicate all the way
+// down: OneValue/RLE/Dict blocks are answered without decompression via
+// the scan fast paths.
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.handle("/healthz", s.handleHealthz)
+	s.handle("/v1/files", s.handleFiles)
+	s.handle("/v1/raw/", s.handleRaw)
+	s.handle("/v1/block", s.handleBlock)
+	s.handle("/v1/count-eq", s.handleCountEq)
+	s.handle("/v1/telemetry", s.handleTelemetry)
+	s.handle("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers a route with the metrics middleware: in-flight gauge,
+// request/error counters and the latency histogram, all per route.
+func (s *Server) handle(route string, h http.HandlerFunc) {
+	m := s.store.Metrics()
+	ep := m.Endpoint(route)
+	s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		m.InFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		ep.Latency.Observe(time.Since(start))
+		ep.Requests.Add(1)
+		if sw.status/100 != 2 && sw.status != http.StatusPartialContent &&
+			sw.status != http.StatusNotModified {
+			ep.Errors.Add(1)
+		}
+		m.InFlight.Add(-1)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// fail maps a store error to an HTTP status.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case IsNotFound(err):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func fileMeta(f *File) FileMeta {
+	meta := FileMeta{
+		Name:  f.Name,
+		Bytes: len(f.Data),
+		Kind:  f.Kind,
+		Rows:  f.Rows,
+	}
+	if f.Index != nil {
+		meta.Type = f.Index.Type.String()
+		meta.Blocks = len(f.Index.Blocks)
+	}
+	return meta
+}
+
+func (s *Server) handleFiles(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("file"); name != "" {
+		f := s.store.File(name)
+		if f == nil {
+			s.fail(w, errNotFound)
+			return
+		}
+		writeJSON(w, []FileMeta{fileMeta(f)})
+		return
+	}
+	files := s.store.Files()
+	out := make([]FileMeta, len(files))
+	for i, f := range files {
+		out[i] = fileMeta(f)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/raw/")
+	f := s.store.File(name)
+	if f == nil {
+		s.fail(w, errNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// ServeContent provides Range (206), If-Modified-Since and HEAD.
+	http.ServeContent(w, r, "", s.store.ModTime(), bytes.NewReader(f.Data))
+}
+
+func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("file")
+	if name == "" {
+		http.Error(w, "missing file parameter", http.StatusBadRequest)
+		return
+	}
+	idx, err := strconv.Atoi(q.Get("block"))
+	if err != nil {
+		http.Error(w, "missing or bad block parameter", http.StatusBadRequest)
+		return
+	}
+	blk, err := s.store.Block(name, idx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	switch q.Get("format") {
+	case "", "json":
+		writeJSON(w, blockPayload(blk))
+	case "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(encodeBlockBinary(blk))
+	default:
+		http.Error(w, "format must be json or binary", http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleCountEq(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("file")
+	if name == "" {
+		http.Error(w, "missing file parameter", http.StatusBadRequest)
+		return
+	}
+	if !q.Has("value") {
+		http.Error(w, "missing value parameter", http.StatusBadRequest)
+		return
+	}
+	value := q.Get("value")
+	start := time.Now()
+	count, typ, err := s.store.CountEqual(name, value)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, CountEqResult{
+		File:  name,
+		Type:  typ.String(),
+		Value: value,
+		Count: count,
+		Nanos: time.Since(start).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	m := s.store.Metrics()
+	report := TelemetryReport{Cache: CacheStats{
+		Hits:              m.CacheHits.Load(),
+		Misses:            m.CacheMisses.Load(),
+		Evictions:         m.CacheEvictions.Load(),
+		Bytes:             m.CacheBytes.Load(),
+		Entries:           m.CacheEntries.Load(),
+		DecodedBlocks:     m.DecodedBlocks.Load(),
+		DecodedBytes:      m.DecodedBytes.Load(),
+		PrefetchScheduled: m.PrefetchScheduled.Load(),
+		PrefetchDropped:   m.PrefetchDropped.Load(),
+		InFlight:          m.InFlight.Load(),
+	}}
+	if opt := s.store.Options(); opt != nil && opt.Telemetry.Enabled() {
+		snap := opt.Telemetry.Snapshot()
+		snap.Events = nil // bound the payload; aggregates carry the story
+		report.Telemetry = &snap
+	}
+	writeJSON(w, report)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.store.Metrics().WriteTo(w)
+}

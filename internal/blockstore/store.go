@@ -1,0 +1,364 @@
+// Package blockstore is the serving layer of the repository: it hosts a
+// set of BtrBlocks files and hands them out over HTTP at three
+// granularities — raw byte ranges (the S3-style path), decompressed
+// blocks (JSON or binary), and pushed-down equality predicates answered
+// from the compressed representation. It is the measured counterpart of
+// internal/s3sim: where s3sim models a network in front of the decoder,
+// blockstore puts a real HTTP server there and serves real bytes.
+//
+// The pieces: Store loads and indexes the files and decodes blocks
+// through a sharded, byte-bounded LRU Cache with singleflight dedup, so
+// concurrent requests for one block decode it exactly once; a worker-pool
+// prefetcher decodes ahead of sequential scans; Metrics counts cache and
+// request behavior and renders Prometheus text; Server is the HTTP
+// surface and Client its Go consumer.
+package blockstore
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"btrblocks"
+)
+
+// Config tunes a Store.
+type Config struct {
+	// CacheBytes bounds the decompressed-block cache (default 256 MiB).
+	// Negative disables caching entirely.
+	CacheBytes int64
+	// CacheShards is the cache shard count (default DefaultCacheShards).
+	CacheShards int
+	// PrefetchBlocks is how many blocks past a requested one the store
+	// decodes ahead for sequential scans (0 disables prefetch).
+	PrefetchBlocks int
+	// PrefetchWorkers is the readahead worker-pool size (default 2 when
+	// prefetching is enabled).
+	PrefetchWorkers int
+	// Options configures decompression and predicate evaluation. When
+	// Options.Telemetry is set, every block decode is counted on it.
+	Options *btrblocks.Options
+}
+
+func (c Config) cacheBytes() int64 {
+	if c.CacheBytes < 0 {
+		return 0
+	}
+	if c.CacheBytes == 0 {
+		return 256 << 20
+	}
+	return c.CacheBytes
+}
+
+func (c Config) prefetchWorkers() int {
+	if c.PrefetchWorkers > 0 {
+		return c.PrefetchWorkers
+	}
+	return 2
+}
+
+// File is one hosted file.
+type File struct {
+	// Name is the store-relative, slash-separated path.
+	Name string
+	// Data is the raw compressed file.
+	Data []byte
+	// Kind is the detected container format ("column", "chunk",
+	// "stream"), or "raw" when the file is not a BtrBlocks container.
+	Kind string
+	// Rows is the total row count (0 for raw files).
+	Rows int
+	// Index is the block directory; non-nil only for column files, which
+	// are the kind served at block and predicate granularity.
+	Index *btrblocks.ColumnIndex
+}
+
+// Blocks returns the number of addressable blocks (0 unless a column).
+func (f *File) Blocks() int {
+	if f.Index == nil {
+		return 0
+	}
+	return len(f.Index.Blocks)
+}
+
+// Block is one decompressed column block as held by the cache.
+type Block struct {
+	File     string
+	Index    int
+	StartRow int
+	// Col holds the decoded values; its NULL mask is rebased to the
+	// block (position 0 = StartRow).
+	Col btrblocks.Column
+	// Bytes is the decompressed in-memory size, the unit of cache
+	// accounting.
+	Bytes int
+}
+
+// Rows returns the block's row count.
+func (b *Block) Rows() int { return b.Col.Len() }
+
+type prefetchTask struct {
+	name  string
+	block int
+}
+
+// Store hosts a set of files and serves decompressed blocks through the
+// cache. Safe for concurrent use. Close stops the prefetch workers.
+type Store struct {
+	cfg     Config
+	files   map[string]*File
+	names   []string
+	cache   *Cache
+	metrics *Metrics
+	loaded  time.Time
+
+	prefetchCh chan prefetchTask
+	quit       chan struct{}
+	wg         sync.WaitGroup
+	closed     atomic.Bool
+}
+
+// NewStore builds a store from in-memory file contents, keyed by
+// store-relative name. Every file is classified by its magic bytes;
+// column files additionally get a block index. Unparseable files are
+// kept and served raw — a data lake directory can hold anything.
+func NewStore(contents map[string][]byte, cfg Config) (*Store, error) {
+	s := &Store{
+		cfg:     cfg,
+		files:   make(map[string]*File, len(contents)),
+		metrics: NewMetrics(),
+		loaded:  time.Now(),
+	}
+	s.cache = NewCache(cfg.cacheBytes(), cfg.CacheShards, s.metrics)
+	for name, data := range contents {
+		f := &File{Name: name, Data: data, Kind: "raw"}
+		if info, err := btrblocks.Inspect(data); err == nil {
+			f.Kind = info.Kind.String()
+			f.Rows = info.Rows()
+		}
+		if ix, err := btrblocks.ParseColumnIndex(data); err == nil {
+			f.Index = ix
+			f.Rows = ix.Rows
+		}
+		s.files[name] = f
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+
+	if cfg.PrefetchBlocks > 0 {
+		s.prefetchCh = make(chan prefetchTask, 256)
+		s.quit = make(chan struct{})
+		for w := 0; w < cfg.prefetchWorkers(); w++ {
+			s.wg.Add(1)
+			go s.prefetchWorker()
+		}
+	}
+	return s, nil
+}
+
+// Open loads every regular file under dir into a store. Names are
+// slash-separated paths relative to dir.
+func Open(dir string, cfg Config) (*Store, error) {
+	contents := make(map[string][]byte)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		contents[filepath.ToSlash(rel)] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(contents) == 0 {
+		return nil, fmt.Errorf("blockstore: no files under %s", dir)
+	}
+	return NewStore(contents, cfg)
+}
+
+// Close stops the prefetch workers. The store must not be used after
+// concurrent requests have drained; Block calls during Close are safe
+// (their readahead is simply dropped).
+func (s *Store) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if s.quit != nil {
+		close(s.quit)
+		s.wg.Wait()
+	}
+}
+
+// Files returns the hosted files sorted by name.
+func (s *Store) Files() []*File {
+	out := make([]*File, len(s.names))
+	for i, name := range s.names {
+		out[i] = s.files[name]
+	}
+	return out
+}
+
+// File returns one file, or nil if absent.
+func (s *Store) File(name string) *File { return s.files[name] }
+
+// Metrics returns the store's counters (shared with its servers).
+func (s *Store) Metrics() *Metrics { return s.metrics }
+
+// Cache returns the block cache (exposed for tests and telemetry).
+func (s *Store) Cache() *Cache { return s.cache }
+
+// ModTime returns the load time, used for HTTP caching headers.
+func (s *Store) ModTime() time.Time { return s.loaded }
+
+// Options returns the store's decompression options.
+func (s *Store) Options() *btrblocks.Options { return s.cfg.Options }
+
+// Block returns block idx of the named column file, decoding it through
+// the cache, and schedules readahead of the following blocks.
+func (s *Store) Block(name string, idx int) (*Block, error) {
+	blk, err := s.cachedBlock(name, idx)
+	if err != nil {
+		return nil, err
+	}
+	s.schedulePrefetch(name, idx)
+	return blk, nil
+}
+
+// ErrNotFound is reported (via error string) for absent files; the HTTP
+// layer maps it to 404.
+var errNotFound = fmt.Errorf("blockstore: file not found")
+
+// IsNotFound reports whether err means the file does not exist.
+func IsNotFound(err error) bool { return err == errNotFound }
+
+func (s *Store) cachedBlock(name string, idx int) (*Block, error) {
+	f := s.files[name]
+	if f == nil {
+		return nil, errNotFound
+	}
+	if f.Index == nil {
+		return nil, fmt.Errorf("blockstore: %s is a %s file, not a column", name, f.Kind)
+	}
+	if idx < 0 || idx >= len(f.Index.Blocks) {
+		return nil, fmt.Errorf("blockstore: %s block %d out of range [0,%d)", name, idx, len(f.Index.Blocks))
+	}
+	key := name + "\x00" + strconv.Itoa(idx)
+	return s.cache.GetOrLoad(key, func() (*Block, error) {
+		return s.decodeBlock(f, idx)
+	})
+}
+
+func (s *Store) decodeBlock(f *File, idx int) (*Block, error) {
+	col, err := f.Index.DecompressBlock(f.Data, idx, s.cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{
+		File:     f.Name,
+		Index:    idx,
+		StartRow: f.Index.Blocks[idx].StartRow,
+		Col:      col,
+		// NULL positions ride along in the cache but are small; the value
+		// payload dominates.
+		Bytes: col.UncompressedBytes(),
+	}
+	s.metrics.DecodedBlocks.Add(1)
+	s.metrics.DecodedBytes.Add(int64(blk.Bytes))
+	return blk, nil
+}
+
+// schedulePrefetch enqueues readahead of the blocks following idx.
+// Non-blocking: a full queue drops tasks rather than stalling the
+// request that triggered them.
+func (s *Store) schedulePrefetch(name string, idx int) {
+	if s.prefetchCh == nil || s.closed.Load() {
+		return
+	}
+	f := s.files[name]
+	last := idx + s.cfg.PrefetchBlocks
+	if max := len(f.Index.Blocks) - 1; last > max {
+		last = max
+	}
+	for b := idx + 1; b <= last; b++ {
+		select {
+		case s.prefetchCh <- prefetchTask{name: name, block: b}:
+			s.metrics.PrefetchScheduled.Add(1)
+		default:
+			s.metrics.PrefetchDropped.Add(1)
+		}
+	}
+}
+
+func (s *Store) prefetchWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case t := <-s.prefetchCh:
+			// Readahead decodes through the same cache (and therefore
+			// dedups against foreground requests) but does not itself
+			// schedule further readahead — no cascades.
+			_, _ = s.cachedBlock(t.name, t.block)
+		}
+	}
+}
+
+// CountEqual answers an equality predicate on a column file from its
+// compressed bytes, routed through the type-appropriate fast path. The
+// probe value is parsed according to the column type: base-10 integers
+// for int columns, a Go float literal for doubles, and the raw string
+// otherwise. It returns the match count and the column type.
+func (s *Store) CountEqual(name, value string) (int, btrblocks.Type, error) {
+	f := s.files[name]
+	if f == nil {
+		return 0, 0, errNotFound
+	}
+	if f.Index == nil {
+		return 0, 0, fmt.Errorf("blockstore: %s is a %s file, not a column", name, f.Kind)
+	}
+	opt := s.cfg.Options
+	switch f.Index.Type {
+	case btrblocks.TypeInt:
+		v, err := strconv.ParseInt(value, 10, 32)
+		if err != nil {
+			return 0, f.Index.Type, fmt.Errorf("blockstore: bad int32 probe %q: %v", value, err)
+		}
+		n, err := btrblocks.CountEqualInt32(f.Data, int32(v), opt)
+		return n, f.Index.Type, err
+	case btrblocks.TypeInt64:
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return 0, f.Index.Type, fmt.Errorf("blockstore: bad int64 probe %q: %v", value, err)
+		}
+		n, err := btrblocks.CountEqualInt64(f.Data, v, opt)
+		return n, f.Index.Type, err
+	case btrblocks.TypeDouble:
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return 0, f.Index.Type, fmt.Errorf("blockstore: bad double probe %q: %v", value, err)
+		}
+		n, err := btrblocks.CountEqualDouble(f.Data, v, opt)
+		return n, f.Index.Type, err
+	default:
+		n, err := btrblocks.CountEqualString(f.Data, value, opt)
+		return n, f.Index.Type, err
+	}
+}

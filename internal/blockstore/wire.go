@@ -1,0 +1,311 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+
+	"btrblocks"
+	"btrblocks/coldata"
+)
+
+// This file defines the wire representations shared by Server and
+// Client: the JSON DTOs and the binary block encoding.
+//
+// The binary block format ("BTBK") is the throughput path — raw
+// little-endian values with no per-value framing:
+//
+//	block  := "BTBK" version:u8 type:u8 startRow:u32 rows:u32
+//	          nullCount:u32 nullPos:u32* payload
+//	payload(int)    := rows × i32
+//	payload(bigint) := rows × i64
+//	payload(double) := rows × float64 bits (bit-exact, NaN payloads kept)
+//	payload(string) := (rows+1) × u32 offsets, then data bytes
+//
+// The JSON form carries doubles as strconv 'g/-1' strings because JSON
+// cannot represent NaN/Inf and loses float precision in some decoders;
+// ParseFloat round-trips every finite value exactly. The binary form is
+// always bit-exact.
+
+const (
+	blockWireMagic   = "BTBK"
+	blockWireVersion = 1
+)
+
+// FileMeta describes one hosted file in /v1/files.
+type FileMeta struct {
+	Name   string `json:"name"`
+	Bytes  int    `json:"bytes"`
+	Kind   string `json:"kind"`
+	Type   string `json:"type,omitempty"`
+	Rows   int    `json:"rows"`
+	Blocks int    `json:"blocks,omitempty"`
+}
+
+// BlockPayload is the JSON form of a decompressed block. Exactly one of
+// the value slices is set, matching Type.
+type BlockPayload struct {
+	File     string   `json:"file"`
+	Block    int      `json:"block"`
+	StartRow int      `json:"start_row"`
+	Rows     int      `json:"rows"`
+	Type     string   `json:"type"`
+	Ints     []int32  `json:"ints,omitempty"`
+	Ints64   []int64  `json:"ints64,omitempty"`
+	Doubles  []string `json:"doubles,omitempty"`
+	Strings  []string `json:"strings,omitempty"`
+	Nulls    []int    `json:"nulls,omitempty"`
+}
+
+// CountEqResult is the /v1/count-eq response.
+type CountEqResult struct {
+	File  string `json:"file"`
+	Type  string `json:"type"`
+	Value string `json:"value"`
+	Count int    `json:"count"`
+	Nanos int64  `json:"nanos"`
+}
+
+// CacheStats is the cache section of /v1/telemetry.
+type CacheStats struct {
+	Hits              int64 `json:"hits"`
+	Misses            int64 `json:"misses"`
+	Evictions         int64 `json:"evictions"`
+	Bytes             int64 `json:"bytes"`
+	Entries           int64 `json:"entries"`
+	DecodedBlocks     int64 `json:"decoded_blocks"`
+	DecodedBytes      int64 `json:"decoded_bytes"`
+	PrefetchScheduled int64 `json:"prefetch_scheduled"`
+	PrefetchDropped   int64 `json:"prefetch_dropped"`
+	InFlight          int64 `json:"inflight"`
+}
+
+// TelemetryReport is the /v1/telemetry response: the serving-side cache
+// counters plus the library's compression/decode telemetry snapshot
+// (present when the store's Options carry a recorder; per-block events
+// are stripped to keep the payload bounded).
+type TelemetryReport struct {
+	Cache     CacheStats                   `json:"cache"`
+	Telemetry *btrblocks.TelemetrySnapshot `json:"telemetry,omitempty"`
+}
+
+// BlockValues is the client-side decoded form of a block, whichever wire
+// format carried it.
+type BlockValues struct {
+	File     string
+	Block    int
+	StartRow int
+	Rows     int
+	Type     string
+	Ints     []int32
+	Ints64   []int64
+	Doubles  []float64
+	Strings  []string
+	// Nulls lists NULL positions, block-relative, ascending.
+	Nulls []int
+}
+
+// UncompressedBytes returns the block's in-memory size under the same
+// accounting as Column.UncompressedBytes.
+func (b *BlockValues) UncompressedBytes() int {
+	switch {
+	case b.Ints != nil:
+		return 4 * len(b.Ints)
+	case b.Ints64 != nil:
+		return 8 * len(b.Ints64)
+	case b.Doubles != nil:
+		return 8 * len(b.Doubles)
+	default:
+		n := 4 * len(b.Strings)
+		for _, s := range b.Strings {
+			n += len(s)
+		}
+		return n
+	}
+}
+
+// nullPositions flattens a block's NULL mask.
+func nullPositions(blk *Block) []int {
+	if blk.Col.Nulls.NullCount() == 0 {
+		return nil
+	}
+	out := make([]int, 0, blk.Col.Nulls.NullCount())
+	blk.Col.Nulls.ForEachNull(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// blockPayload builds the JSON DTO for a decoded block.
+func blockPayload(blk *Block) *BlockPayload {
+	p := &BlockPayload{
+		File:     blk.File,
+		Block:    blk.Index,
+		StartRow: blk.StartRow,
+		Rows:     blk.Rows(),
+		Type:     blk.Col.Type.String(),
+		Nulls:    nullPositions(blk),
+	}
+	switch blk.Col.Type {
+	case btrblocks.TypeInt:
+		p.Ints = blk.Col.Ints
+	case btrblocks.TypeInt64:
+		p.Ints64 = blk.Col.Ints64
+	case btrblocks.TypeDouble:
+		p.Doubles = make([]string, len(blk.Col.Doubles))
+		for i, v := range blk.Col.Doubles {
+			p.Doubles[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+	case btrblocks.TypeString:
+		p.Strings = make([]string, blk.Col.Strings.Len())
+		for i := range p.Strings {
+			p.Strings[i] = blk.Col.Strings.At(i)
+		}
+	}
+	return p
+}
+
+// Values converts the JSON DTO to BlockValues, parsing doubles back.
+func (p *BlockPayload) Values() (*BlockValues, error) {
+	out := &BlockValues{
+		File:     p.File,
+		Block:    p.Block,
+		StartRow: p.StartRow,
+		Rows:     p.Rows,
+		Type:     p.Type,
+		Ints:     p.Ints,
+		Ints64:   p.Ints64,
+		Strings:  p.Strings,
+		Nulls:    p.Nulls,
+	}
+	if p.Doubles != nil {
+		out.Doubles = make([]float64, len(p.Doubles))
+		for i, s := range p.Doubles {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("blockstore: bad double %q at %d: %v", s, i, err)
+			}
+			out.Doubles[i] = v
+		}
+	}
+	return out, nil
+}
+
+// encodeBlockBinary renders a decoded block in the BTBK wire format.
+func encodeBlockBinary(blk *Block) []byte {
+	nulls := nullPositions(blk)
+	out := make([]byte, 0, 18+4*len(nulls)+blk.Bytes)
+	out = append(out, blockWireMagic...)
+	out = append(out, blockWireVersion, byte(blk.Col.Type))
+	out = binary.LittleEndian.AppendUint32(out, uint32(blk.StartRow))
+	out = binary.LittleEndian.AppendUint32(out, uint32(blk.Rows()))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(nulls)))
+	for _, p := range nulls {
+		out = binary.LittleEndian.AppendUint32(out, uint32(p))
+	}
+	switch blk.Col.Type {
+	case btrblocks.TypeInt:
+		for _, v := range blk.Col.Ints {
+			out = binary.LittleEndian.AppendUint32(out, uint32(v))
+		}
+	case btrblocks.TypeInt64:
+		for _, v := range blk.Col.Ints64 {
+			out = binary.LittleEndian.AppendUint64(out, uint64(v))
+		}
+	case btrblocks.TypeDouble:
+		for _, v := range blk.Col.Doubles {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	case btrblocks.TypeString:
+		s := blk.Col.Strings
+		out = binary.LittleEndian.AppendUint32(out, 0)
+		for i := 0; i < s.Len(); i++ {
+			out = binary.LittleEndian.AppendUint32(out, s.Offsets[i+1])
+		}
+		out = append(out, s.Data...)
+	}
+	return out
+}
+
+// decodeBlockBinary parses the BTBK wire format.
+func decodeBlockBinary(file string, data []byte) (*BlockValues, error) {
+	if len(data) < 18 || string(data[:4]) != blockWireMagic || data[4] != blockWireVersion {
+		return nil, fmt.Errorf("blockstore: bad block wire header")
+	}
+	t := btrblocks.Type(data[5])
+	out := &BlockValues{
+		File:     file,
+		StartRow: int(binary.LittleEndian.Uint32(data[6:])),
+		Rows:     int(binary.LittleEndian.Uint32(data[10:])),
+		Type:     t.String(),
+	}
+	nullCount := int(binary.LittleEndian.Uint32(data[14:]))
+	pos := 18
+	if nullCount < 0 || len(data) < pos+4*nullCount {
+		return nil, fmt.Errorf("blockstore: truncated null list")
+	}
+	if nullCount > 0 {
+		out.Nulls = make([]int, nullCount)
+		for i := range out.Nulls {
+			out.Nulls[i] = int(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+		}
+	}
+	rows := out.Rows
+	switch t {
+	case btrblocks.TypeInt:
+		if len(data) != pos+4*rows {
+			return nil, fmt.Errorf("blockstore: int payload size mismatch")
+		}
+		out.Ints = make([]int32, rows)
+		for i := range out.Ints {
+			out.Ints[i] = int32(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+		}
+	case btrblocks.TypeInt64:
+		if len(data) != pos+8*rows {
+			return nil, fmt.Errorf("blockstore: int64 payload size mismatch")
+		}
+		out.Ints64 = make([]int64, rows)
+		for i := range out.Ints64 {
+			out.Ints64[i] = int64(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		}
+	case btrblocks.TypeDouble:
+		if len(data) != pos+8*rows {
+			return nil, fmt.Errorf("blockstore: double payload size mismatch")
+		}
+		out.Doubles = make([]float64, rows)
+		for i := range out.Doubles {
+			out.Doubles[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		}
+	case btrblocks.TypeString:
+		if len(data) < pos+4*(rows+1) {
+			return nil, fmt.Errorf("blockstore: truncated string offsets")
+		}
+		offsets := make([]uint32, rows+1)
+		for i := range offsets {
+			offsets[i] = binary.LittleEndian.Uint32(data[pos:])
+			pos += 4
+		}
+		payload := data[pos:]
+		if int(offsets[rows]) != len(payload) {
+			return nil, fmt.Errorf("blockstore: string payload size mismatch")
+		}
+		s := coldata.Strings{Offsets: offsets, Data: payload}
+		out.Strings = make([]string, rows)
+		for i := range out.Strings {
+			prev := offsets[i]
+			if offsets[i+1] < prev {
+				return nil, fmt.Errorf("blockstore: string offsets not monotonic")
+			}
+			out.Strings[i] = s.At(i)
+		}
+	default:
+		return nil, fmt.Errorf("blockstore: unknown block type %d", t)
+	}
+	return out, nil
+}

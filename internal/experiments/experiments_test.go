@@ -38,6 +38,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		{"colscan", ColumnScan},
 		{"scalar", Scalar},
 		{"selection", SelectionOverhead},
+		{"serve", Serve},
 	} {
 		exp := exp
 		t.Run(exp.name, func(t *testing.T) {

@@ -138,6 +138,12 @@ type Recorder struct {
 	cascadePicks map[string]map[string]int
 	depthHist    map[int]int
 	ratioHist    RatioHistogram
+
+	// decode-side counters (RecordDecode)
+	decodeBlocks int64
+	decodeValues int64
+	decodeBytes  int64
+	decodeNanos  int64
 }
 
 // New returns an empty enabled recorder.
@@ -183,6 +189,24 @@ func bump(m map[string]map[string]int, outer, inner string) {
 	mm[inner]++
 }
 
+// RecordDecode adds decode-side counters: blocks decoded, values
+// produced, compressed payload bytes consumed, and decode wall time.
+// The file layer calls it once per decompressed block, so decoders of
+// served columns can be audited (e.g. a block cache proving that
+// concurrent requests for one block decoded it exactly once). Safe for
+// concurrent use; a no-op on a nil receiver.
+func (r *Recorder) RecordDecode(blocks, values, compressedBytes int, nanos int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.decodeBlocks += int64(blocks)
+	r.decodeValues += int64(values)
+	r.decodeBytes += int64(compressedBytes)
+	r.decodeNanos += nanos
+}
+
 // Reset discards all recorded data.
 func (r *Recorder) Reset() {
 	if r == nil {
@@ -196,6 +220,7 @@ func (r *Recorder) Reset() {
 	r.sampleNanos, r.compressNanos = 0, 0
 	r.rootPicks, r.cascadePicks, r.depthHist = nil, nil, nil
 	r.ratioHist = RatioHistogram{}
+	r.decodeBlocks, r.decodeValues, r.decodeBytes, r.decodeNanos = 0, 0, 0, 0
 }
 
 // Snapshot is an immutable copy of a Recorder's state.
@@ -218,6 +243,13 @@ type Snapshot struct {
 	DepthHist map[int]int
 	// RatioHist buckets blocks by achieved compression ratio.
 	RatioHist RatioHistogram
+	// DecodeBlocks, DecodeValues, DecodeBytes and DecodeNanos are the
+	// decode-side counters: blocks decompressed, values produced,
+	// compressed payload bytes consumed and decode wall time.
+	DecodeBlocks int64
+	DecodeValues int64
+	DecodeBytes  int64
+	DecodeNanos  int64
 	// Events holds every block event, ordered by (column, block).
 	Events []BlockEvent
 }
@@ -241,6 +273,10 @@ func (r *Recorder) Snapshot() Snapshot {
 		CascadePicks:  copyCounts(r.cascadePicks),
 		DepthHist:     make(map[int]int, len(r.depthHist)),
 		RatioHist:     r.ratioHist,
+		DecodeBlocks:  r.decodeBlocks,
+		DecodeValues:  r.decodeValues,
+		DecodeBytes:   r.decodeBytes,
+		DecodeNanos:   r.decodeNanos,
 		Events:        append([]BlockEvent(nil), r.events...),
 	}
 	for d, c := range r.depthHist {
@@ -294,6 +330,10 @@ func (s *Snapshot) Report() string {
 	if s.CompressNanos > 0 {
 		fmt.Fprintf(&b, "compress time: %v (%.1f%% scheme selection)\n",
 			time.Duration(s.CompressNanos), 100*s.SampleFraction())
+	}
+	if s.DecodeBlocks > 0 {
+		fmt.Fprintf(&b, "decoded: %d blocks, %d values, %d compressed bytes in %v\n",
+			s.DecodeBlocks, s.DecodeValues, s.DecodeBytes, time.Duration(s.DecodeNanos))
 	}
 	writePickTable(&b, "root scheme picks (blocks)", s.RootPicks)
 	writePickTable(&b, "cascade scheme picks (streams, all levels)", s.CascadePicks)

@@ -1,8 +1,8 @@
 package btrblocks
 
 import (
-	"encoding/binary"
 	"math"
+	"time"
 
 	"btrblocks/internal/core"
 	"btrblocks/internal/roaring"
@@ -104,10 +104,14 @@ func CountEqualString(data []byte, v string, opt *Options) (int, error) {
 		})
 }
 
-// countEqualColumn walks a column file's blocks. Blocks without NULLs use
-// the compressed-data fast path; blocks with NULLs must decode, because
-// the compressor rewrites NULL slots (their content is unspecified) and a
-// rewritten slot could spuriously match.
+// countEqualColumn walks a column file's blocks via its ColumnIndex.
+// Blocks without NULLs use the compressed-data fast path; blocks with
+// NULLs must decode, because the compressor rewrites NULL slots (their
+// content is unspecified) and a rewritten slot could spuriously match.
+// Only the decoding slow path counts against Options.Telemetry's decode
+// counters — a fast-path-only scan records zero block decodes, which is
+// how tests (and the block server's telemetry endpoint) can prove a
+// predicate was answered from the compressed representation.
 func countEqualColumn(
 	data []byte,
 	opt *Options,
@@ -115,74 +119,46 @@ func countEqualColumn(
 	fast func(stream []byte, cfg *core.Config) (int, int, error),
 	slow func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error),
 ) (int, error) {
-	cfg := opt.coreConfig()
-	if len(data) < 12 || string(data[:4]) != columnMagic || data[4] != formatVersion {
-		return 0, ErrCorrupt
+	ix, err := ParseColumnIndex(data)
+	if err != nil {
+		return 0, err
 	}
-	if Type(data[5]) != want {
+	if ix.Type != want {
 		return 0, ErrTypeMismatch
 	}
-	nameLen := int(binary.LittleEndian.Uint16(data[6:]))
-	pos := 8 + nameLen
-	if len(data) < pos+4 {
-		return 0, ErrCorrupt
-	}
-	blockCount := int(binary.LittleEndian.Uint32(data[pos:]))
-	pos += 4
-
+	cfg := opt.coreConfig()
+	rec := opt.telemetryRecorder()
 	total := 0
-	for b := 0; b < blockCount; b++ {
-		if len(data) < pos+8 {
-			return 0, ErrCorrupt
-		}
-		rows := int(binary.LittleEndian.Uint32(data[pos:]))
-		nullLen := int(binary.LittleEndian.Uint32(data[pos+4:]))
-		pos += 8
-		if rows > core.MaxBlockValues {
-			return 0, ErrCorrupt
-		}
-		cfg.MaxDecodedValues = rows
-		var nulls *roaring.Bitmap
-		if nullLen > 0 {
-			if len(data) < pos+nullLen {
-				return 0, ErrCorrupt
-			}
-			bm, used, err := roaring.FromBytes(data[pos : pos+nullLen])
-			if err != nil || used != nullLen {
-				return 0, ErrCorrupt
-			}
-			nulls = bm
-			pos += nullLen
-		}
-		if len(data) < pos+4 {
-			return 0, ErrCorrupt
-		}
-		dataLen := int(binary.LittleEndian.Uint32(data[pos:]))
-		pos += 4
-		if dataLen < 0 || len(data) < pos+dataLen {
-			return 0, ErrCorrupt
-		}
-		stream := data[pos : pos+dataLen]
-		if nulls == nil {
+	for _, ref := range ix.Blocks {
+		cfg.MaxDecodedValues = ref.Rows
+		stream := data[ref.DataOffset():ref.End()]
+		if ref.NullBytes == 0 {
 			count, used, err := fast(stream, cfg)
 			if err != nil {
 				return 0, err
 			}
-			if used != dataLen {
+			if used != ref.DataBytes {
 				return 0, ErrCorrupt
 			}
 			total += count
-		} else {
-			count, err := slow(stream, nulls, cfg)
-			if err != nil {
-				return 0, err
-			}
-			total += count
+			continue
 		}
-		pos += dataLen
-	}
-	if pos != len(data) {
-		return 0, ErrCorrupt
+		nulls, used, err := roaring.FromBytes(data[ref.NullOffset() : ref.NullOffset()+ref.NullBytes])
+		if err != nil || used != ref.NullBytes {
+			return 0, ErrCorrupt
+		}
+		var start time.Time
+		if rec != nil {
+			start = time.Now()
+		}
+		count, err := slow(stream, nulls, cfg)
+		if err != nil {
+			return 0, err
+		}
+		if rec != nil {
+			rec.RecordDecode(1, ref.Rows, ref.DataBytes, time.Since(start).Nanoseconds())
+		}
+		total += count
 	}
 	return total, nil
 }

@@ -275,3 +275,210 @@ func TestCountEqualQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCountEqualStringDictMissNoDecode(t *testing.T) {
+	// A probe absent from a Dict block's dictionary is decided by the
+	// dictionary probe alone; the compressed codes are never decoded. The
+	// decode telemetry counter is the witness: it is bumped only where
+	// values are actually materialized.
+	rng := rand.New(rand.NewSource(11))
+	vals := []string{"PHOENIX", "RALEIGH", "ATHENS", "CURITIBA"}
+	values := make([]string, 30000)
+	for i := range values {
+		values[i] = vals[rng.Intn(len(vals))]
+	}
+	opt := &Options{Telemetry: NewTelemetry()}
+	data, err := CompressColumn(StringColumn("c", values), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Telemetry.Reset()
+
+	got, err := CountEqualString(data, "no-such-city", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("dict miss counted %d matches", got)
+	}
+	if snap := opt.Telemetry.Snapshot(); snap.DecodeBlocks != 0 {
+		t.Fatalf("dict-miss probe decoded %d blocks; want 0", snap.DecodeBlocks)
+	}
+
+	// The same scan for a present value must still be exact — and still
+	// decode-free on the fast path (the column has no NULLs).
+	want := 0
+	for _, x := range values {
+		if x == "ATHENS" {
+			want++
+		}
+	}
+	got, err = CountEqualString(data, "ATHENS", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("dict hit: got %d, want %d", got, want)
+	}
+	if snap := opt.Telemetry.Snapshot(); snap.DecodeBlocks != 0 {
+		t.Fatalf("NULL-free scan decoded %d blocks; want 0", snap.DecodeBlocks)
+	}
+}
+
+func TestCountEqualNullsExcludedEverySchemePath(t *testing.T) {
+	// Every scheme's slow path must exclude NULL rows. Each sub-test pins
+	// the scheme pool and plants NULL slots whose garbage value equals the
+	// probe, so any path that forgets the mask overcounts.
+	const n = 12000
+	nulls := NewNullMask()
+	for i := 0; i < n; i += 3 {
+		nulls.SetNull(i)
+	}
+	rng := rand.New(rand.NewSource(12))
+
+	t.Run("int", func(t *testing.T) {
+		for _, tc := range []struct {
+			scheme string
+			pool   []Scheme
+			mk     func(i int) int32
+		}{
+			{"uncompressed", []Scheme{}, func(i int) int32 { return rng.Int31() }},
+			{"onevalue", []Scheme{SchemeOneValue}, func(i int) int32 { return 7 }},
+			{"rle", []Scheme{SchemeRLE}, func(i int) int32 { return int32(i / 500) }},
+			{"dict", []Scheme{SchemeDict}, func(i int) int32 { return int32(rng.Intn(5)) * 1000 }},
+			{"frequency", []Scheme{SchemeFrequency}, func(i int) int32 {
+				if rng.Float64() < 0.95 {
+					return 7
+				}
+				return rng.Int31()
+			}},
+			{"fastbp", []Scheme{SchemeFastBP}, func(i int) int32 { return int32(rng.Intn(1000)) }},
+			{"fastpfor", []Scheme{SchemeFastPFOR}, func(i int) int32 {
+				v := int32(rng.Intn(64))
+				if i%97 == 0 {
+					v = 1 << 28
+				}
+				return v
+			}},
+		} {
+			values := make([]int32, n)
+			for i := range values {
+				values[i] = tc.mk(i)
+			}
+			probe := values[1] // a real value; NULL slots get the same one
+			for i := 0; i < n; i += 3 {
+				values[i] = probe // garbage in NULL slots, equal to probe
+			}
+			col := IntColumn("c", values)
+			col.Nulls = nulls
+			opt := &Options{IntSchemes: tc.pool}
+			data, err := CompressColumn(col, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.scheme, err)
+			}
+			got, err := CountEqualInt32(data, probe, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.scheme, err)
+			}
+			if want := countRefInt(col, probe); got != want {
+				t.Errorf("%s: got %d, want %d (NULL rows leaked into the count)", tc.scheme, got, want)
+			}
+		}
+	})
+
+	t.Run("double", func(t *testing.T) {
+		for _, tc := range []struct {
+			scheme string
+			pool   []Scheme
+			mk     func(i int) float64
+		}{
+			{"uncompressed", []Scheme{}, func(i int) float64 { return rng.NormFloat64() }},
+			{"onevalue", []Scheme{SchemeOneValue}, func(i int) float64 { return 2.5 }},
+			{"rle", []Scheme{SchemeRLE}, func(i int) float64 { return float64(i / 500) }},
+			{"dict", []Scheme{SchemeDict}, func(i int) float64 { return float64(rng.Intn(4)) + 0.5 }},
+			{"frequency", []Scheme{SchemeFrequency}, func(i int) float64 {
+				if rng.Float64() < 0.95 {
+					return 99.99
+				}
+				return rng.NormFloat64()
+			}},
+			{"pde", []Scheme{SchemePDE}, func(i int) float64 { return float64(rng.Intn(50000)) / 100 }},
+		} {
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = tc.mk(i)
+			}
+			probe := values[1]
+			for i := 0; i < n; i += 3 {
+				values[i] = probe
+			}
+			col := DoubleColumn("c", values)
+			col.Nulls = nulls
+			opt := &Options{DoubleSchemes: tc.pool}
+			data, err := CompressColumn(col, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.scheme, err)
+			}
+			got, err := CountEqualDouble(data, probe, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.scheme, err)
+			}
+			want := 0
+			pb := math.Float64bits(probe)
+			for i, x := range values {
+				if math.Float64bits(x) == pb && !nulls.IsNull(i) {
+					want++
+				}
+			}
+			if got != want {
+				t.Errorf("%s: got %d, want %d (NULL rows leaked into the count)", tc.scheme, got, want)
+			}
+		}
+	})
+
+	t.Run("string", func(t *testing.T) {
+		for _, tc := range []struct {
+			scheme string
+			pool   []Scheme
+			mk     func(i int) string
+		}{
+			{"uncompressed", []Scheme{}, func(i int) string { return fmt.Sprintf("row-%d", rng.Intn(1<<20)) }},
+			{"onevalue", []Scheme{SchemeOneValue}, func(i int) string { return "CABLE" }},
+			{"dict", []Scheme{SchemeDict}, func(i int) string {
+				return []string{"PHOENIX", "RALEIGH", "ATHENS"}[rng.Intn(3)]
+			}},
+			{"fsst", []Scheme{SchemeFSST}, func(i int) string {
+				return fmt.Sprintf("https://example.com/products/item-%d", rng.Intn(1000))
+			}},
+		} {
+			values := make([]string, n)
+			for i := range values {
+				values[i] = tc.mk(i)
+			}
+			probe := values[1]
+			for i := 0; i < n; i += 3 {
+				values[i] = probe
+			}
+			col := StringColumn("c", values)
+			col.Nulls = nulls
+			opt := &Options{StringSchemes: tc.pool}
+			data, err := CompressColumn(col, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.scheme, err)
+			}
+			got, err := CountEqualString(data, probe, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.scheme, err)
+			}
+			want := 0
+			for i, x := range values {
+				if x == probe && !nulls.IsNull(i) {
+					want++
+				}
+			}
+			if got != want {
+				t.Errorf("%s: got %d, want %d (NULL rows leaked into the count)", tc.scheme, got, want)
+			}
+		}
+	})
+}

@@ -3,8 +3,19 @@ package btrblocks
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+)
+
+// Sentinel errors of the stream writer, in the style of ErrCorrupt:
+// returned wrapped with context, so test with errors.Is.
+var (
+	// ErrSchemaMismatch is returned by Writer.WriteChunk when the chunk's
+	// columns do not match the stream schema in count, name or type.
+	ErrSchemaMismatch = errors.New("btrblocks: chunk does not match stream schema")
+	// ErrWriterClosed is returned by Writer.WriteChunk after Close.
+	ErrWriterClosed = errors.New("btrblocks: write after Close")
 )
 
 // This file implements a streaming table format on top of the chunk
@@ -57,16 +68,17 @@ func NewWriter(w io.Writer, schema []Column, opt *Options) (*Writer, error) {
 // match the writer's schema in order, name and type.
 func (w *Writer) WriteChunk(chunk *Chunk) error {
 	if w.finished {
-		return fmt.Errorf("btrblocks: write after Close")
+		return ErrWriterClosed
 	}
 	if len(chunk.Columns) != len(w.schema) {
-		return fmt.Errorf("btrblocks: chunk has %d columns, schema has %d",
-			len(chunk.Columns), len(w.schema))
+		return fmt.Errorf("%w: chunk has %d columns, schema has %d",
+			ErrSchemaMismatch, len(chunk.Columns), len(w.schema))
 	}
 	for i := range chunk.Columns {
 		if chunk.Columns[i].Name != w.schema[i].Name || chunk.Columns[i].Type != w.schema[i].Type {
-			return fmt.Errorf("btrblocks: column %d (%s %s) does not match schema (%s %s)",
-				i, chunk.Columns[i].Name, chunk.Columns[i].Type, w.schema[i].Name, w.schema[i].Type)
+			return fmt.Errorf("%w: column %d (%s %s) does not match schema (%s %s)",
+				ErrSchemaMismatch, i, chunk.Columns[i].Name, chunk.Columns[i].Type,
+				w.schema[i].Name, w.schema[i].Type)
 		}
 	}
 	cc, err := CompressChunk(chunk, w.opt)
@@ -91,7 +103,8 @@ func (w *Writer) WriteChunk(chunk *Chunk) error {
 }
 
 // Close writes the footer and flushes. It does not close the underlying
-// writer.
+// writer. Close is idempotent: calls after the first return nil without
+// writing a second footer.
 func (w *Writer) Close() error {
 	if w.finished {
 		return nil

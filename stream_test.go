@@ -2,6 +2,7 @@ package btrblocks
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -128,6 +129,80 @@ func TestStreamSchemaEnforcement(t *testing.T) {
 	}
 	if err := w.WriteChunk(streamChunk(10, 1)); err == nil {
 		t.Fatal("write after close accepted")
+	}
+}
+
+func TestStreamSchemaMismatchSentinel(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, streamSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every mismatch flavor must wrap ErrSchemaMismatch.
+	cases := map[string]*Chunk{
+		"count": {Columns: []Column{IntColumn("id", nil)}},
+	}
+	badType := streamChunk(10, 1)
+	badType.Columns[1] = IntColumn("price", make([]int32, 10))
+	cases["type"] = badType
+	badName := streamChunk(10, 1)
+	badName.Columns[0].Name = "identifier"
+	cases["name"] = badName
+	for name, chunk := range cases {
+		err := w.WriteChunk(chunk)
+		if !errors.Is(err, ErrSchemaMismatch) {
+			t.Errorf("%s mismatch: err = %v, want ErrSchemaMismatch", name, err)
+		}
+		if errors.Is(err, ErrWriterClosed) {
+			t.Errorf("%s mismatch wrongly reports writer closed", name)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(streamChunk(10, 1)); !errors.Is(err, ErrWriterClosed) {
+		t.Fatalf("write after Close: err = %v, want ErrWriterClosed", err)
+	}
+}
+
+func TestStreamCloseIdempotent(t *testing.T) {
+	// A second Close must be a no-op: same bytes, no duplicate footer.
+	var once, twice bytes.Buffer
+	for _, buf := range []*bytes.Buffer{&once, &twice} {
+		w, err := NewWriter(buf, streamSchema(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteChunk(streamChunk(50, 4)); err != nil {
+			t.Fatal(err)
+		}
+		closes := 1
+		if buf == &twice {
+			closes = 3
+		}
+		for i := 0; i < closes; i++ {
+			if err := w.Close(); err != nil {
+				t.Fatalf("Close #%d: %v", i+1, err)
+			}
+		}
+	}
+	if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+		t.Fatalf("repeated Close changed output: %d vs %d bytes", once.Len(), twice.Len())
+	}
+	// and the tripled-close stream still parses to the footer
+	r, err := NewReader(bytes.NewReader(twice.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Chunks() != 1 {
+		t.Fatalf("chunks = %d, want 1", r.Chunks())
 	}
 }
 
