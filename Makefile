@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench ci serve-smoke
+.PHONY: all build test race vet fmt check bench ci serve-smoke trace-smoke
 
 all: build
 
@@ -24,14 +24,22 @@ fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# serve-smoke starts btrserved on a generated corpus and verifies every
-# endpoint against direct in-process decompression.
+# serve-smoke starts btrserved on a generated corpus (debug server
+# included) and verifies every endpoint against direct in-process
+# decompression.
 serve-smoke:
 	$(GO) run ./cmd/btrserved -smoke
 
-# check is the tier-1 gate: format, vet, build, tests (incl. race),
-# and the end-to-end serving smoke test.
-check: fmt vet build test race serve-smoke
+# trace-smoke runs the decision-trace CLI on the checked-in testdata and
+# validates the output against the schema documented in OBSERVABILITY.md.
+trace-smoke:
+	$(GO) run ./cmd/btrblocks trace -schema int,int64,double,string -block 800 -validate testdata/trace_smoke.csv > /dev/null
+	@echo "trace smoke: OK"
+
+# check is the full gate: format, vet, build, tests (incl. race), and
+# the end-to-end smoke tests. ci.sh splits the same steps into a fast
+# tier 1 (fmt, build, test) and a deep tier 2 (vet, race, smokes).
+check: fmt vet build test race serve-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -114,6 +114,14 @@ type Options struct {
 	// share across concurrent compressions and decompressions; read it
 	// with Snapshot.
 	Telemetry *Telemetry
+	// Trace, when non-nil, records a full cascade decision trace per
+	// compressed block: every candidate scheme the picker scored, its
+	// sample-estimated ratio, the winner, and the cascade tree. Heavier
+	// than Telemetry (it keeps per-candidate detail), meant for debugging
+	// scheme selection rather than steady-state monitoring. nil disables
+	// tracing with no overhead. Safe to share across concurrent
+	// compressions; read it with Snapshot.
+	Trace *Tracer
 }
 
 // DefaultOptions returns the paper's default configuration.

@@ -1,33 +1,63 @@
 #!/bin/sh
-# Tier-1 gate: formatting, vet, build, tests, race tests.
+# CI gate. Usage: ci.sh [tier1|tier2|all]
+#
+#   tier1  fast gate: formatting, build, tests
+#   tier2  deep gate: vet, race tests, end-to-end smokes
+#   all    both (default)
 set -eu
 
-echo "== gofmt =="
-out="$(gofmt -l .)"
-if [ -n "$out" ]; then
-	echo "gofmt needed:"
-	echo "$out"
-	exit 1
-fi
+tier="${1:-all}"
 
-echo "== go vet =="
-go vet ./...
+run_tier1() {
+	echo "== gofmt =="
+	out="$(gofmt -l .)"
+	if [ -n "$out" ]; then
+		echo "gofmt needed:"
+		echo "$out"
+		exit 1
+	fi
 
-echo "== go build =="
-go build ./...
+	echo "== go build =="
+	go build ./...
 
-echo "== go test =="
-go test ./...
+	echo "== go test =="
+	go test ./...
+}
 
-echo "== go test -race =="
-# -short skips the full experiments sweep, which re-runs library code
-# the other packages already race-test but takes most of an hour under
-# the race detector.
-go test -race -short -timeout 30m ./...
+run_tier2() {
+	echo "== go vet =="
+	go vet ./...
 
-echo "== serve smoke =="
-# End-to-end: btrserved serves a generated corpus on a loopback port and
-# every endpoint is verified against direct in-process decompression.
-go run ./cmd/btrserved -smoke
+	echo "== go test -race =="
+	# -short skips the full experiments sweep, which re-runs library code
+	# the other packages already race-test but takes most of an hour under
+	# the race detector.
+	go test -race -short -timeout 30m ./...
 
-echo "ci: all checks passed"
+	echo "== serve smoke =="
+	# End-to-end: btrserved serves a generated corpus on a loopback port
+	# (debug/pprof server included) and every endpoint — blocks,
+	# predicates, traces, metrics — is verified against direct in-process
+	# decompression.
+	go run ./cmd/btrserved -smoke
+
+	echo "== trace smoke =="
+	# The decision-trace CLI must emit a schema-valid trace for the
+	# checked-in testdata (see OBSERVABILITY.md for the schema).
+	make trace-smoke
+}
+
+case "$tier" in
+tier1) run_tier1 ;;
+tier2) run_tier2 ;;
+all)
+	run_tier1
+	run_tier2
+	;;
+*)
+	echo "usage: ci.sh [tier1|tier2|all]" >&2
+	exit 2
+	;;
+esac
+
+echo "ci: $tier checks passed"

@@ -8,6 +8,7 @@
 //	btrblocks decompress <in.btr> <out.csv>
 //	btrblocks inspect    <in.btr>
 //	btrblocks stats      <in.btr>
+//	btrblocks trace      -schema int,int64,double,string [-block N] [-format json|tree] [-validate] <in.csv>
 //
 // inspect prints the full layout tree of a column, chunk, or stream file
 // (see FORMAT.md): container framing, per-block NULL bitmap and data
@@ -15,11 +16,19 @@
 // prints aggregate counters over the same layout: where the bytes went
 // and which schemes were chosen how often. Both read only headers —
 // payloads are never decompressed.
+//
+// trace compresses a CSV with the cascade decision tracer attached and
+// prints, per block, every candidate scheme the picker scored with its
+// sample-estimated ratio, the winner, and the cascade tree — as JSON
+// (schema in OBSERVABILITY.md) or a human-readable tree. -validate
+// checks the trace against the schema and fails on any violation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -42,6 +51,8 @@ func main() {
 		err = inspect(os.Args[2:])
 	case "stats":
 		err = stats(os.Args[2:])
+	case "trace":
+		err = trace(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -58,6 +69,7 @@ func usage() {
   btrblocks decompress <in.btr> <out.csv>
   btrblocks inspect    <in.btr>
   btrblocks stats      <in.btr>
+  btrblocks trace      -schema int,int64,double,string [-block N] [-format json|tree] [-validate] <in.csv>
 `)
 }
 
@@ -72,13 +84,9 @@ func compress(args []string) error {
 	if fs.NArg() != 2 || *schema == "" {
 		return fmt.Errorf("compress needs -schema and <in.csv> <out.btr>")
 	}
-	var types []btrblocks.Type
-	for _, s := range strings.Split(*schema, ",") {
-		t, err := csvconv.ParseType(s)
-		if err != nil {
-			return err
-		}
-		types = append(types, t)
+	types, err := parseSchema(*schema)
+	if err != nil {
+		return err
 	}
 	in, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -113,6 +121,70 @@ func compress(args []string) error {
 		fmt.Print(snap.Report())
 	}
 	return nil
+}
+
+// parseSchema parses the -schema flag into column types.
+func parseSchema(schema string) ([]btrblocks.Type, error) {
+	var types []btrblocks.Type
+	for _, s := range strings.Split(schema, ",") {
+		t, err := csvconv.ParseType(s)
+		if err != nil {
+			return nil, err
+		}
+		types = append(types, t)
+	}
+	return types, nil
+}
+
+func trace(args []string) error { return runTrace(args, os.Stdout) }
+
+func runTrace(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	schema := fs.String("schema", "", "comma-separated column types (int|int64|double|string)")
+	block := fs.Int("block", btrblocks.DefaultBlockSize, "values per block")
+	format := fs.String("format", "json", "output format: json or tree")
+	validate := fs.Bool("validate", false, "validate the trace against the documented schema")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *schema == "" {
+		return fmt.Errorf("trace needs -schema and <in.csv>")
+	}
+	types, err := parseSchema(*schema)
+	if err != nil {
+		return err
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	chunk, err := csvconv.ReadChunk(in, types)
+	if err != nil {
+		return err
+	}
+	tracer := btrblocks.NewTracer()
+	opt := &btrblocks.Options{BlockSize: *block, Trace: tracer}
+	if _, err := btrblocks.CompressChunk(chunk, opt); err != nil {
+		return err
+	}
+	tr := tracer.Snapshot()
+	if *validate {
+		if err := tr.Validate(); err != nil {
+			return err
+		}
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tr)
+	case "tree":
+		tr.RenderTree(w)
+		return nil
+	default:
+		return fmt.Errorf("format must be json or tree")
+	}
 }
 
 func decompress(args []string) error {

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+
+	"btrblocks"
+	"btrblocks/internal/csvconv"
+)
+
+const traceCSV = "../../testdata/trace_smoke.csv"
+const traceSchema = "int,int64,double,string"
+const traceBlock = "800"
+
+// TestTraceSubcommandJSON is the acceptance gate for `btrblocks trace`:
+// on the testdata CSV it must emit a valid JSON decision trace in which
+// at least one block shows two or more candidate schemes with estimates,
+// and every traced winner matches the scheme an untraced Compress run
+// actually chooses for that block.
+func TestTraceSubcommandJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := runTrace([]string{"-schema", traceSchema, "-block", traceBlock, "-validate", traceCSV}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr btrblocks.DecisionTrace
+	if err := json.Unmarshal(out.Bytes(), &tr); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks) == 0 {
+		t.Fatal("empty trace")
+	}
+	multi := 0
+	for _, b := range tr.Blocks {
+		if len(b.Root.Candidates) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no block shows >= 2 candidate schemes")
+	}
+
+	// Compress the same CSV without a tracer and compare root schemes
+	// block by block: the trace must describe the real choices, not a
+	// parallel universe.
+	in, err := os.Open(traceCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	types, err := parseSchema(traceSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk, err := csvconv.ReadChunk(in, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := btrblocks.CompressChunk(chunk, &btrblocks.Options{BlockSize: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string) // "col/block" -> scheme
+	for _, st := range cc.Stats {
+		for b, s := range st.BlockSchemes {
+			want[key(st.Name, b)] = s.String()
+		}
+	}
+	if len(tr.Blocks) != len(want) {
+		t.Fatalf("trace has %d blocks, compression produced %d", len(tr.Blocks), len(want))
+	}
+	for _, bt := range tr.Blocks {
+		if got, w := bt.Root.Scheme, want[key(bt.Column, bt.Block)]; got != w {
+			t.Errorf("%s block %d: traced winner %s, Compress chose %s", bt.Column, bt.Block, got, w)
+		}
+	}
+}
+
+func key(col string, block int) string {
+	return col + "/" + strconv.Itoa(block)
+}
+
+// TestTraceSubcommandTree checks the human-readable rendering carries
+// the winner markers.
+func TestTraceSubcommandTree(t *testing.T) {
+	var out bytes.Buffer
+	err := runTrace([]string{"-schema", traceSchema, "-block", traceBlock, "-format", "tree", traceCSV}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !bytes.Contains(out.Bytes(), []byte("*")) {
+		t.Fatalf("tree output has no winner markers:\n%s", s)
+	}
+}

@@ -1,48 +1,63 @@
 // Command btrserved serves a directory of BtrBlocks files over HTTP:
 // raw byte ranges for clients that bring their own decoder, decompressed
 // blocks (JSON or binary) through a byte-bounded block cache with
-// readahead, and pushed-down equality predicates answered from the
-// compressed representation. Prometheus metrics at /metrics, cache and
-// decode telemetry at /v1/telemetry.
+// readahead, pushed-down equality predicates answered from the
+// compressed representation, and cascade decision traces at
+// /v1/trace/NAME. Prometheus metrics at /metrics, cache and decode
+// telemetry at /v1/telemetry. Requests are logged as JSON slog records
+// with per-request IDs; -debug-addr exposes pprof and expvar on a
+// second listener, SIGQUIT dumps a telemetry snapshot without exiting,
+// and SIGINT/SIGTERM shut down gracefully with a summary log.
 //
 // Usage:
 //
-//	btrserved -dir DATA [-addr HOST:PORT] [-cache-mb N] [-prefetch N] [-workers N]
+//	btrserved -dir DATA [-addr HOST:PORT] [-cache-mb N] [-prefetch N]
+//	          [-workers N] [-debug-addr HOST:PORT] [-log-level LEVEL]
 //	btrserved -smoke
 //
-// -smoke generates a temporary corpus, serves it on a loopback port, and
-// verifies every endpoint against direct in-process decompression; it
-// exits non-zero on any mismatch. CI runs it as an end-to-end gate.
+// -smoke generates a temporary corpus, serves it on a loopback port
+// (debug server included), and verifies every endpoint against direct
+// in-process decompression; it exits non-zero on any mismatch. CI runs
+// it as an end-to-end gate.
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"btrblocks"
 	"btrblocks/internal/blockstore"
+	"btrblocks/internal/obs"
 	"btrblocks/internal/pbi"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "listen address for pprof + expvar (empty disables)")
 	dir := flag.String("dir", "", "directory of BtrBlocks files to serve")
 	cacheMB := flag.Int("cache-mb", 256, "block cache size in MiB (negative disables)")
 	prefetch := flag.Int("prefetch", 4, "blocks of readahead per request (0 disables)")
 	workers := flag.Int("workers", 2, "readahead worker pool size")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	smoke := flag.Bool("smoke", false, "self-test: serve a generated corpus and verify every endpoint")
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel))
 	if *smoke {
 		if err := runSmoke(*cacheMB, *prefetch, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "btrserved smoke: FAIL:", err)
@@ -59,15 +74,148 @@ func main() {
 	}
 	store, err := blockstore.Open(*dir, storeConfig(*cacheMB, *prefetch, *workers))
 	if err != nil {
-		log.Fatalf("btrserved: %v", err)
+		logger.Error("open", "dir", *dir, "err", err.Error())
+		os.Exit(1)
 	}
 	defer store.Close()
 	for _, f := range store.Files() {
-		log.Printf("serving %s (%s, %d bytes, %d rows, %d blocks)",
-			f.Name, f.Kind, len(f.Data), f.Rows, f.Blocks())
+		logger.Info("serving",
+			"file", f.Name, "kind", f.Kind, "bytes", len(f.Data),
+			"rows", f.Rows, "blocks", f.Blocks())
 	}
-	log.Printf("listening on http://%s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, blockstore.NewServer(store)))
+
+	if err := serve(store, *addr, *debugAddr, logger); err != nil {
+		logger.Error("serve", "err", err.Error())
+		os.Exit(1)
+	}
+}
+
+// serve runs the HTTP server (and the optional debug server) until
+// SIGINT/SIGTERM, then shuts down gracefully and logs a summary of the
+// run. SIGQUIT dumps a telemetry snapshot to the log without exiting.
+func serve(store *blockstore.Store, addr, debugAddr string, logger *slog.Logger) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: blockstore.NewServer(store, blockstore.WithLogger(logger)),
+	}
+	errCh := make(chan error, 2)
+	go func() {
+		logger.Info("listening", "addr", "http://"+addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	var debug *http.Server
+	if debugAddr != "" {
+		debug = &http.Server{Addr: debugAddr, Handler: debugMux(store)}
+		go func() {
+			logger.Info("debug listening", "addr", "http://"+debugAddr,
+				"endpoints", "/debug/pprof/, /debug/vars")
+			if err := debug.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errCh <- err
+			}
+		}()
+	}
+
+	// SIGQUIT: operator-triggered snapshot, serving continues.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	defer signal.Stop(quitCh)
+	go func() {
+		for range quitCh {
+			dumpSnapshot(store, logger)
+		}
+	}()
+
+	start := time.Now()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutCtx)
+	if debug != nil {
+		_ = debug.Shutdown(shutCtx)
+	}
+	store.Close()
+	logSummary(store, logger, time.Since(start))
+	return err
+}
+
+func parseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// debugMux builds the -debug-addr handler: pprof profiles, expvar (Go
+// runtime vars plus a btrserved section with live cache and per-route
+// stats), kept off the data listener so profiling access can be firewall
+// scoped separately.
+func debugMux(store *blockstore.Store) *http.ServeMux {
+	expvar.Publish("btrserved", expvar.Func(func() any {
+		return map[string]any{
+			"cache":     store.Metrics().Cache(),
+			"endpoints": store.Metrics().Endpoints(),
+		}
+	}))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// dumpSnapshot logs the current cache, route and library-telemetry state.
+func dumpSnapshot(store *blockstore.Store, logger *slog.Logger) {
+	m := store.Metrics()
+	logger.Info("snapshot", "cache", m.Cache())
+	for _, ep := range m.Endpoints() {
+		logger.Info("snapshot endpoint",
+			"route", ep.Route, "requests", ep.Requests, "errors", ep.Errors,
+			"latency", ep.Latency.String())
+	}
+	if opt := store.Options(); opt != nil && opt.Telemetry.Enabled() {
+		snap := opt.Telemetry.Snapshot()
+		logger.Info("snapshot telemetry",
+			"blocks_compressed", snap.Blocks,
+			"blocks_decoded", snap.DecodeBlocks,
+			"decode_latency", snap.DecodeLatency.String())
+	}
+}
+
+// logSummary emits the shutdown summary: uptime, cache behavior, and
+// per-route request totals with latency quantiles.
+func logSummary(store *blockstore.Store, logger *slog.Logger, uptime time.Duration) {
+	m := store.Metrics()
+	c := m.Cache()
+	logger.Info("summary",
+		"uptime", uptime.Round(time.Millisecond).String(),
+		"cache_hits", c.Hits, "cache_misses", c.Misses,
+		"decoded_blocks", c.DecodedBlocks, "decoded_bytes", c.DecodedBytes)
+	for _, ep := range m.Endpoints() {
+		logger.Info("summary endpoint",
+			"route", ep.Route, "requests", ep.Requests, "errors", ep.Errors,
+			"latency", ep.Latency.String())
+	}
 }
 
 func storeConfig(cacheMB, prefetch, workers int) blockstore.Config {
@@ -135,9 +283,20 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: blockstore.NewServer(store)}
+	logger := obs.NewLogger(os.Stderr, slog.LevelWarn)
+	srv := &http.Server{Handler: blockstore.NewServer(store, blockstore.WithLogger(logger))}
 	go srv.Serve(ln)
 	defer srv.Close()
+
+	// Debug server, as a deployment would run it: pprof + expvar on a
+	// separate loopback listener.
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	dsrv := &http.Server{Handler: debugMux(store)}
+	go dsrv.Serve(dln)
+	defer dsrv.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -182,9 +341,57 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 			return fmt.Errorf("/metrics missing %s", want)
 		}
 	}
+
+	// Decision traces: the re-derived trace must be valid per the schema
+	// and agree with the scheme the stored block actually uses.
+	tr, err := cl.Trace(ctx, columns[0].name, 0)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	if len(tr.Blocks) != 1 || tr.Blocks[0].Root == nil {
+		return fmt.Errorf("/v1/trace returned %d blocks", len(tr.Blocks))
+	}
+
+	// Debug server: pprof index and expvar must answer, and expvar must
+	// carry the live btrserved section.
+	dbase := "http://" + dln.Addr().String()
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		body, err := httpGet(ctx, dbase+path)
+		if err != nil {
+			return fmt.Errorf("debug %s: %v", path, err)
+		}
+		if path == "/debug/vars" && !strings.Contains(body, `"btrserved"`) {
+			return fmt.Errorf("debug /debug/vars missing btrserved section")
+		}
+	}
+
 	fmt.Printf("smoke: %d files, cache hits=%d misses=%d decoded=%d blocks\n",
 		len(columns), rep.Cache.Hits, rep.Cache.Misses, rep.Cache.DecodedBlocks)
 	return nil
+}
+
+// httpGet fetches a URL and returns the body, failing on non-200.
+func httpGet(ctx context.Context, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return buf.String(), nil
 }
 
 // smokeFile checks every access granularity of one served column against

@@ -49,6 +49,7 @@ func compressColumnBlocks(col Column, opt *Options) ([][]byte, error) {
 	}
 	cfg := opt.coreConfig()
 	rec := opt.telemetryRecorder()
+	tracer := opt.tracer()
 	bs := opt.blockSize()
 	n := col.Len()
 	numBlocks := (n + bs - 1) / bs
@@ -59,18 +60,18 @@ func compressColumnBlocks(col Column, opt *Options) ([][]byte, error) {
 		if hi > n {
 			hi = n
 		}
-		blocks[b] = compressBlock(&col, b, lo, hi, cfg, rec)
+		blocks[b] = compressBlock(&col, b, lo, hi, cfg, rec, tracer)
 	}
 	return blocks, nil
 }
 
-// compressBlock encodes one block, routing through the telemetry path
-// when a recorder is set.
-func compressBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetry.Recorder) []byte {
-	if rec == nil {
+// compressBlock encodes one block, routing through the observed path
+// when a telemetry recorder or a decision tracer is set.
+func compressBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetry.Recorder, tracer *Tracer) []byte {
+	if rec == nil && tracer == nil {
 		return encodeBlock(col, lo, hi, cfg)
 	}
-	return recordBlock(col, block, lo, hi, cfg, rec)
+	return recordBlock(col, block, lo, hi, cfg, rec, tracer)
 }
 
 // encodeBlock encodes rows [lo, hi) of col as:
@@ -428,6 +429,7 @@ func CompressChunk(chunk *Chunk, opt *Options) (*CompressedChunk, error) {
 
 	cfg := opt.coreConfig()
 	rec := opt.telemetryRecorder()
+	tracer := opt.tracer()
 	workers := parallelism(opt)
 	var wg sync.WaitGroup
 	taskCh := make(chan task)
@@ -442,7 +444,7 @@ func CompressChunk(chunk *Chunk, opt *Options) (*CompressedChunk, error) {
 				if hi > col.Len() {
 					hi = col.Len()
 				}
-				blockBufs[t.col][t.block] = compressBlock(col, t.block, lo, hi, cfg, rec)
+				blockBufs[t.col][t.block] = compressBlock(col, t.block, lo, hi, cfg, rec, tracer)
 			}
 		}()
 	}

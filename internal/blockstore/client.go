@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"btrblocks"
 )
 
 // Client is the Go consumer of a blockstore Server. Zero-allocation it is
@@ -159,6 +161,24 @@ func (c *Client) CountEq(ctx context.Context, name, value string) (*CountEqResul
 	out := &CountEqResult{}
 	if err := json.Unmarshal(body, out); err != nil {
 		return nil, fmt.Errorf("blockstore: bad /v1/count-eq response: %v", err)
+	}
+	return out, nil
+}
+
+// Trace fetches the cascade decision trace of one block (or the whole
+// column when block < 0).
+func (c *Client) Trace(ctx context.Context, name string, block int) (*btrblocks.DecisionTrace, error) {
+	path := "/v1/trace/" + rawPath(name)
+	if block >= 0 {
+		path += "?block=" + strconv.Itoa(block)
+	}
+	body, err := c.get(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	out := &btrblocks.DecisionTrace{}
+	if err := json.Unmarshal(body, out); err != nil {
+		return nil, fmt.Errorf("blockstore: bad /v1/trace response: %v", err)
 	}
 	return out, nil
 }

@@ -6,7 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"btrblocks/internal/obs"
 )
 
 // Metrics holds the blockstore's operational counters: cache behavior,
@@ -48,48 +49,68 @@ func (m *Metrics) Endpoint(route string) *EndpointMetrics {
 }
 
 // EndpointMetrics counts one route's requests, errors (non-2xx) and
-// latency distribution.
+// latency distribution. The histogram is the shared obs log-scale type,
+// so the route series in /metrics carry the same bucket layout as the
+// library's compress/decode histograms.
 type EndpointMetrics struct {
 	Requests atomic.Int64
 	Errors   atomic.Int64
-	Latency  LatencyHistogram
+	Latency  obs.Histogram
 }
 
-// latencyBuckets are the histogram's upper bounds in seconds; a final
-// +Inf bucket is implicit.
-var latencyBuckets = [...]float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+// EndpointSnapshot is a point-in-time summary of one route, used by the
+// JSON telemetry report and the btrserved shutdown summary.
+type EndpointSnapshot struct {
+	Route    string                `json:"route"`
+	Requests int64                 `json:"requests"`
+	Errors   int64                 `json:"errors"`
+	Latency  obs.HistogramSnapshot `json:"latency"`
 }
 
-// LatencyHistogram is a fixed-bucket latency histogram with atomic
-// counters, exposition-compatible with Prometheus (cumulative buckets,
-// sum and count derived at render time).
-type LatencyHistogram struct {
-	counts   [len(latencyBuckets) + 1]atomic.Int64
-	sumNanos atomic.Int64
+// endpointsSorted returns the routes and their metrics, sorted by route.
+func (m *Metrics) endpointsSorted() ([]string, map[string]*EndpointMetrics) {
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.endpoints))
+	eps := make(map[string]*EndpointMetrics, len(m.endpoints))
+	for r, ep := range m.endpoints {
+		routes = append(routes, r)
+		eps[r] = ep
+	}
+	m.mu.Unlock()
+	sort.Strings(routes)
+	return routes, eps
 }
 
-// Observe records one duration.
-func (h *LatencyHistogram) Observe(d time.Duration) {
-	h.sumNanos.Add(d.Nanoseconds())
-	s := d.Seconds()
-	for i, ub := range latencyBuckets {
-		if s <= ub {
-			h.counts[i].Add(1)
-			return
+// Endpoints summarizes every route, sorted by route name.
+func (m *Metrics) Endpoints() []EndpointSnapshot {
+	routes, eps := m.endpointsSorted()
+	out := make([]EndpointSnapshot, len(routes))
+	for i, r := range routes {
+		ep := eps[r]
+		out[i] = EndpointSnapshot{
+			Route:    r,
+			Requests: ep.Requests.Load(),
+			Errors:   ep.Errors.Load(),
+			Latency:  ep.Latency.Snapshot(),
 		}
 	}
-	h.counts[len(latencyBuckets)].Add(1)
+	return out
 }
 
-// Count returns the number of observations.
-func (h *LatencyHistogram) Count() int64 {
-	var n int64
-	for i := range h.counts {
-		n += h.counts[i].Load()
+// Cache summarizes the cache and decode counters.
+func (m *Metrics) Cache() CacheStats {
+	return CacheStats{
+		Hits:              m.CacheHits.Load(),
+		Misses:            m.CacheMisses.Load(),
+		Evictions:         m.CacheEvictions.Load(),
+		Bytes:             m.CacheBytes.Load(),
+		Entries:           m.CacheEntries.Load(),
+		DecodedBlocks:     m.DecodedBlocks.Load(),
+		DecodedBytes:      m.DecodedBytes.Load(),
+		PrefetchScheduled: m.PrefetchScheduled.Load(),
+		PrefetchDropped:   m.PrefetchDropped.Load(),
+		InFlight:          m.InFlight.Load(),
 	}
-	return n
 }
 
 // WriteTo renders the metrics in Prometheus text exposition format.
@@ -112,17 +133,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("btrserved_prefetch_dropped_total", "Readahead blocks dropped because the queue was full.", m.PrefetchDropped.Load())
 	gauge("btrserved_inflight_requests", "HTTP requests currently being served.", m.InFlight.Load())
 
-	m.mu.Lock()
-	routes := make([]string, 0, len(m.endpoints))
-	for r := range m.endpoints {
-		routes = append(routes, r)
-	}
-	eps := make(map[string]*EndpointMetrics, len(routes))
-	for r, ep := range m.endpoints {
-		eps[r] = ep
-	}
-	m.mu.Unlock()
-	sort.Strings(routes)
+	routes, eps := m.endpointsSorted()
 
 	fmt.Fprintf(cw, "# HELP btrserved_http_requests_total HTTP requests by route.\n# TYPE btrserved_http_requests_total counter\n")
 	for _, r := range routes {
@@ -134,18 +145,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	fmt.Fprintf(cw, "# HELP btrserved_http_request_duration_seconds Request latency by route.\n# TYPE btrserved_http_request_duration_seconds histogram\n")
 	for _, r := range routes {
-		h := &eps[r].Latency
-		var cum int64
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(cw, "btrserved_http_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
-				r, fmt.Sprintf("%g", ub), cum)
-		}
-		cum += h.counts[len(latencyBuckets)].Load()
-		fmt.Fprintf(cw, "btrserved_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
-		fmt.Fprintf(cw, "btrserved_http_request_duration_seconds_sum{route=%q} %g\n",
-			r, float64(h.sumNanos.Load())/1e9)
-		fmt.Fprintf(cw, "btrserved_http_request_duration_seconds_count{route=%q} %d\n", r, cum)
+		eps[r].Latency.WritePromLines(cw, "btrserved_http_request_duration_seconds",
+			fmt.Sprintf("route=%q", r))
 	}
 	return cw.n, cw.err
 }

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
+
+	"btrblocks/internal/obs"
 )
 
 // Server is the HTTP surface of a Store:
@@ -18,6 +21,7 @@ import (
 //	GET /v1/block?file=N&block=I          decompressed block
 //	    [&format=json|binary]             (default json; binary = BTBK)
 //	GET /v1/count-eq?file=N&value=V       pushed-down equality predicate
+//	GET /v1/trace/NAME[?block=I]          cascade decision trace (JSON)
 //	GET /v1/telemetry                     cache + library telemetry (JSON)
 //	GET /metrics                          Prometheus text exposition
 //
@@ -26,20 +30,36 @@ import (
 // store. The block endpoint moves decompression server-side, through the
 // block cache. The count-eq endpoint pushes the predicate all the way
 // down: OneValue/RLE/Dict blocks are answered without decompression via
-// the scan fast paths.
+// the scan fast paths. The trace endpoint re-derives the scheme
+// selection of a served column, block by block, for debugging.
 type Server struct {
 	store *Store
 	mux   *http.ServeMux
+	log   *slog.Logger
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLogger installs a structured request logger: one slog record per
+// request with the request ID, route, status, and duration. nil (the
+// default) disables request logging.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.log = l }
 }
 
 // NewServer wraps a store.
-func NewServer(store *Store) *Server {
+func NewServer(store *Store, opts ...ServerOption) *Server {
 	s := &Server{store: store, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.handle("/healthz", s.handleHealthz)
 	s.handle("/v1/files", s.handleFiles)
 	s.handle("/v1/raw/", s.handleRaw)
 	s.handle("/v1/block", s.handleBlock)
 	s.handle("/v1/count-eq", s.handleCountEq)
+	s.handle("/v1/trace/", s.handleTrace)
 	s.handle("/v1/telemetry", s.handleTelemetry)
 	s.handle("/metrics", s.handleMetrics)
 	return s
@@ -59,8 +79,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// handle registers a route with the metrics middleware: in-flight gauge,
-// request/error counters and the latency histogram, all per route.
+// handle registers a route with the observability middleware: in-flight
+// gauge, request/error counters, the latency histogram (all per route),
+// a request ID issued per request and echoed as X-Request-ID, and — when
+// a logger is installed — one structured log record per request.
 func (s *Server) handle(route string, h http.HandlerFunc) {
 	m := s.store.Metrics()
 	ep := m.Endpoint(route)
@@ -69,17 +91,34 @@ func (s *Server) handle(route string, h http.HandlerFunc) {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(obs.WithRequestID(r.Context(), rid))
 		m.InFlight.Add(1)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		ep.Latency.Observe(time.Since(start))
+		elapsed := time.Since(start)
+		ep.Latency.Observe(elapsed)
 		ep.Requests.Add(1)
 		if sw.status/100 != 2 && sw.status != http.StatusPartialContent &&
 			sw.status != http.StatusNotModified {
 			ep.Errors.Add(1)
 		}
 		m.InFlight.Add(-1)
+		if s.log != nil {
+			s.log.Info("request",
+				"request_id", rid,
+				"route", route,
+				"method", r.Method,
+				"path", r.URL.RequestURI(),
+				"status", sw.status,
+				"duration_us", elapsed.Microseconds(),
+			)
+		}
 	})
 }
 
@@ -203,20 +242,34 @@ func (s *Server) handleCountEq(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTrace serves /v1/trace/NAME[?block=I]: the cascade decision
+// trace of one block, or of every block when the parameter is absent.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if name == "" {
+		http.Error(w, "missing file name", http.StatusBadRequest)
+		return
+	}
+	idx := -1
+	if v := r.URL.Query().Get("block"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad block parameter", http.StatusBadRequest)
+			return
+		}
+		idx = n
+	}
+	tr, err := s.store.Trace(name, idx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, tr)
+}
+
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	m := s.store.Metrics()
-	report := TelemetryReport{Cache: CacheStats{
-		Hits:              m.CacheHits.Load(),
-		Misses:            m.CacheMisses.Load(),
-		Evictions:         m.CacheEvictions.Load(),
-		Bytes:             m.CacheBytes.Load(),
-		Entries:           m.CacheEntries.Load(),
-		DecodedBlocks:     m.DecodedBlocks.Load(),
-		DecodedBytes:      m.DecodedBytes.Load(),
-		PrefetchScheduled: m.PrefetchScheduled.Load(),
-		PrefetchDropped:   m.PrefetchDropped.Load(),
-		InFlight:          m.InFlight.Load(),
-	}}
+	report := TelemetryReport{Cache: m.Cache(), Endpoints: m.Endpoints()}
 	if opt := s.store.Options(); opt != nil && opt.Telemetry.Enabled() {
 		snap := opt.Telemetry.Snapshot()
 		snap.Events = nil // bound the payload; aggregates carry the story

@@ -321,6 +321,54 @@ func (s *Store) prefetchWorker() {
 	}
 }
 
+// Trace re-derives the cascade decision trace for one block (or every
+// block when idx < 0) of a column file. The block is decoded through the
+// cache, then re-compressed with a decision tracer attached; because
+// sampling is seeded per block and NULL densification is idempotent, the
+// re-compression reproduces the choice the stored block embodies, now
+// with the full candidate slate the picker scored. CPU-heavier than a
+// plain block fetch — this is a debugging endpoint, not a scan path.
+func (s *Store) Trace(name string, idx int) (*btrblocks.DecisionTrace, error) {
+	f := s.files[name]
+	if f == nil {
+		return nil, errNotFound
+	}
+	if f.Index == nil {
+		return nil, fmt.Errorf("blockstore: %s is a %s file, not a column", name, f.Kind)
+	}
+	first, last := idx, idx
+	if idx < 0 {
+		first, last = 0, len(f.Index.Blocks)-1
+	}
+	tracer := btrblocks.NewTracer()
+	var opt btrblocks.Options
+	if s.cfg.Options != nil {
+		opt = *s.cfg.Options
+	}
+	opt.Telemetry = nil
+	opt.Trace = tracer
+	out := &btrblocks.DecisionTrace{Version: btrblocks.TraceVersion}
+	for b := first; b <= last; b++ {
+		blk, err := s.cachedBlock(name, b)
+		if err != nil {
+			return nil, err
+		}
+		tracer.Reset()
+		opt.BlockSize = blk.Rows()
+		if _, err := btrblocks.CompressColumn(blk.Col, &opt); err != nil {
+			return nil, err
+		}
+		tr := tracer.Snapshot()
+		for i := range tr.Blocks {
+			// The re-compression sees a one-block column; restore the
+			// block's real index within the file.
+			tr.Blocks[i].Block = b
+			out.Blocks = append(out.Blocks, tr.Blocks[i])
+		}
+	}
+	return out, nil
+}
+
 // CountEqual answers an equality predicate on a column file from its
 // compressed bytes, routed through the type-appropriate fast path. The
 // probe value is parsed according to the column type: base-10 integers

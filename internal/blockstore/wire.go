@@ -82,11 +82,13 @@ type CacheStats struct {
 }
 
 // TelemetryReport is the /v1/telemetry response: the serving-side cache
-// counters plus the library's compression/decode telemetry snapshot
-// (present when the store's Options carry a recorder; per-block events
-// are stripped to keep the payload bounded).
+// counters, per-route request summaries with latency quantiles, plus the
+// library's compression/decode telemetry snapshot (present when the
+// store's Options carry a recorder; per-block events are stripped to
+// keep the payload bounded).
 type TelemetryReport struct {
 	Cache     CacheStats                   `json:"cache"`
+	Endpoints []EndpointSnapshot           `json:"endpoints,omitempty"`
 	Telemetry *btrblocks.TelemetrySnapshot `json:"telemetry,omitempty"`
 }
 

@@ -96,6 +96,22 @@ func (k Kind) String() string {
 	return "invalid"
 }
 
+// CandidateEstimate records one scheme the picker considered for a
+// stream: the sample-based compression-ratio estimate it scored and the
+// encoded size of the sample trial. The implicit Uncompressed baseline
+// is reported with ratio 1. Candidates are only collected when
+// Config.OnDecision is set; the default path allocates nothing.
+type CandidateEstimate struct {
+	// Code is the candidate scheme.
+	Code Code
+	// EstimatedRatio is the sample-based compression-ratio estimate
+	// (sample raw bytes / trial-encoded bytes).
+	EstimatedRatio float64
+	// SampleBytes is the trial encoding's size in bytes (0 when the
+	// candidate was scored without a trial, e.g. the OneValue fast path).
+	SampleBytes int
+}
+
 // Decision describes one scheme-selection outcome: the scheme chosen for
 // one stream (the block root or a cascade sub-stream) and what it did.
 // Decisions are delivered to Config.OnDecision in post-order — a
@@ -121,6 +137,11 @@ type Decision struct {
 	// PickNanos is the time spent selecting the scheme: statistics,
 	// sampling, and trial-encoding every viable candidate.
 	PickNanos int64
+	// Candidates lists every scheme the picker scored for this stream
+	// (the statistics-viable pool plus the Uncompressed baseline), in
+	// evaluation order. Empty on the depth-0 fallthrough, where no
+	// selection ran.
+	Candidates []CandidateEstimate
 }
 
 // ErrCorrupt is returned by the decompressors for malformed streams.

@@ -30,23 +30,24 @@ func CompressDouble(dst []byte, src []float64, cfg *Config) []byte {
 // and its estimated ratio.
 func ChooseDouble(src []float64, cfg *Config) (Code, float64) {
 	c := cfg.normalized()
-	return pickDouble(src, &c, c.MaxCascadeDepth, c.rng())
+	code, est, _ := pickDouble(src, &c, c.MaxCascadeDepth, c.rng())
+	return code, est
 }
 
 func compressDouble(dst []byte, src []float64, cfg *Config, depth int, rng *rand.Rand) []byte {
 	if cfg.OnDecision == nil {
-		code, _ := pickDouble(src, cfg, depth, rng)
+		code, _, _ := pickDouble(src, cfg, depth, rng)
 		return encodeDoubleAs(dst, src, code, cfg, depth, rng)
 	}
 	t0 := time.Now()
-	code, est := pickDouble(src, cfg, depth, rng)
+	code, est, cands := pickDouble(src, cfg, depth, rng)
 	pickNanos := time.Since(t0).Nanoseconds()
 	before := len(dst)
 	dst = encodeDoubleAs(dst, src, code, cfg, depth, rng)
 	cfg.OnDecision(Decision{
 		Kind: KindDouble, Level: cfg.MaxCascadeDepth - depth, Code: code,
 		Values: len(src), InputBytes: 8 * len(src), OutputBytes: len(dst) - before,
-		EstimatedRatio: est, PickNanos: pickNanos,
+		EstimatedRatio: est, PickNanos: pickNanos, Candidates: cands,
 	})
 	return dst
 }
@@ -57,28 +58,42 @@ func EstimateOnlyDouble(src []float64, cfg *Config) {
 	pickDouble(src, &c, c.MaxCascadeDepth, c.rng())
 }
 
-func pickDouble(src []float64, cfg *Config, depth int, rng *rand.Rand) (Code, float64) {
+func pickDouble(src []float64, cfg *Config, depth int, rng *rand.Rand) (Code, float64, []CandidateEstimate) {
 	if depth <= 0 || len(src) == 0 {
-		return CodeUncompressed, 1
+		return CodeUncompressed, 1, nil
 	}
+	collect := cfg.OnDecision != nil
 	cfg = quiet(cfg)
 	st := stats.ComputeDouble(src)
 	if st.Distinct == 1 && cfg.doubleEnabled(CodeOneValue) {
-		return CodeOneValue, float64(len(src)*8) / 13
+		est := float64(len(src)*8) / 13
+		var cands []CandidateEstimate
+		if collect {
+			cands = []CandidateEstimate{{Code: CodeOneValue, EstimatedRatio: est}}
+		}
+		return CodeOneValue, est, cands
 	}
 	smp := sample.Doubles(src, cfg.Sample, rng)
 	rawBytes := float64(len(smp) * 8)
 	best, bestRatio := CodeUncompressed, 1.0
+	var cands []CandidateEstimate
+	if collect {
+		cands = append(cands, CandidateEstimate{Code: CodeUncompressed, EstimatedRatio: 1, SampleBytes: 5 + 8*len(smp)})
+	}
 	for _, code := range doublePoolOrder {
 		if !cfg.doubleEnabled(code) || !doubleViable(code, &st) {
 			continue
 		}
 		enc := encodeDoubleAs(nil, smp, code, cfg, depth, rng)
-		if ratio := rawBytes / float64(len(enc)); ratio > bestRatio {
+		ratio := rawBytes / float64(len(enc))
+		if collect {
+			cands = append(cands, CandidateEstimate{Code: code, EstimatedRatio: ratio, SampleBytes: len(enc)})
+		}
+		if ratio > bestRatio {
 			best, bestRatio = code, ratio
 		}
 	}
-	return best, bestRatio
+	return best, bestRatio, cands
 }
 
 // doubleViable applies the §3/§4.2 statistics filters. Pseudodecimal is

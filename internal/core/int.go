@@ -39,23 +39,24 @@ func CompressInt(dst []byte, src []int32, cfg *Config) []byte {
 // src and the estimated compression ratio, without compressing the block.
 func ChooseInt(src []int32, cfg *Config) (Code, float64) {
 	c := cfg.normalized()
-	return pickInt(src, &c, c.MaxCascadeDepth, c.rng())
+	code, est, _ := pickInt(src, &c, c.MaxCascadeDepth, c.rng())
+	return code, est
 }
 
 func compressInt(dst []byte, src []int32, cfg *Config, depth int, rng *rand.Rand) []byte {
 	if cfg.OnDecision == nil {
-		code, _ := pickInt(src, cfg, depth, rng)
+		code, _, _ := pickInt(src, cfg, depth, rng)
 		return encodeIntAs(dst, src, code, cfg, depth, rng)
 	}
 	t0 := time.Now()
-	code, est := pickInt(src, cfg, depth, rng)
+	code, est, cands := pickInt(src, cfg, depth, rng)
 	pickNanos := time.Since(t0).Nanoseconds()
 	before := len(dst)
 	dst = encodeIntAs(dst, src, code, cfg, depth, rng)
 	cfg.OnDecision(Decision{
 		Kind: KindInt, Level: cfg.MaxCascadeDepth - depth, Code: code,
 		Values: len(src), InputBytes: 4 * len(src), OutputBytes: len(dst) - before,
-		EstimatedRatio: est, PickNanos: pickNanos,
+		EstimatedRatio: est, PickNanos: pickNanos, Candidates: cands,
 	})
 	return dst
 }
@@ -70,29 +71,45 @@ func EstimateOnlyInt(src []int32, cfg *Config) {
 
 // pickInt is the scheme-picking algorithm of Listing 1: filter by
 // statistics, estimate each viable scheme's ratio on a sample, take the
-// best. Depth 0 always yields Uncompressed.
-func pickInt(src []int32, cfg *Config, depth int, rng *rand.Rand) (Code, float64) {
+// best. Depth 0 always yields Uncompressed. Candidate estimates are
+// collected only when the caller's decision hook is set, so the default
+// path allocates nothing extra.
+func pickInt(src []int32, cfg *Config, depth int, rng *rand.Rand) (Code, float64, []CandidateEstimate) {
 	if depth <= 0 || len(src) == 0 {
-		return CodeUncompressed, 1
+		return CodeUncompressed, 1, nil
 	}
+	collect := cfg.OnDecision != nil
 	cfg = quiet(cfg)
 	st := stats.ComputeInt(src)
 	if st.Distinct == 1 && cfg.intEnabled(CodeOneValue) {
-		return CodeOneValue, float64(len(src)*4) / 9
+		est := float64(len(src)*4) / 9
+		var cands []CandidateEstimate
+		if collect {
+			cands = []CandidateEstimate{{Code: CodeOneValue, EstimatedRatio: est}}
+		}
+		return CodeOneValue, est, cands
 	}
 	smp := sample.Ints(src, cfg.Sample, rng)
 	rawBytes := float64(len(smp) * 4)
 	best, bestRatio := CodeUncompressed, 1.0
+	var cands []CandidateEstimate
+	if collect {
+		cands = append(cands, CandidateEstimate{Code: CodeUncompressed, EstimatedRatio: 1, SampleBytes: 5 + 4*len(smp)})
+	}
 	for _, code := range intPoolOrder {
 		if !cfg.intEnabled(code) || !intViable(code, &st) {
 			continue
 		}
 		enc := encodeIntAs(nil, smp, code, cfg, depth, rng)
-		if ratio := rawBytes / float64(len(enc)); ratio > bestRatio {
+		ratio := rawBytes / float64(len(enc))
+		if collect {
+			cands = append(cands, CandidateEstimate{Code: code, EstimatedRatio: ratio, SampleBytes: len(enc)})
+		}
+		if ratio > bestRatio {
 			best, bestRatio = code, ratio
 		}
 	}
-	return best, bestRatio
+	return best, bestRatio, cands
 }
 
 // intViable applies the statistics-based filters of §3 (step 2): e.g. RLE

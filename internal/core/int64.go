@@ -28,7 +28,8 @@ func CompressInt64(dst []byte, src []int64, cfg *Config) []byte {
 // ChooseInt64 reports the scheme the selection algorithm picks for src.
 func ChooseInt64(src []int64, cfg *Config) (Code, float64) {
 	c := cfg.normalized()
-	return pickInt64(src, &c, c.MaxCascadeDepth, c.rng())
+	code, est, _ := pickInt64(src, &c, c.MaxCascadeDepth, c.rng())
+	return code, est
 }
 
 // EstimateOnlyInt64 mirrors EstimateOnlyInt for int64 blocks.
@@ -39,44 +40,58 @@ func EstimateOnlyInt64(src []int64, cfg *Config) {
 
 func compressInt64(dst []byte, src []int64, cfg *Config, depth int, rng *rand.Rand) []byte {
 	if cfg.OnDecision == nil {
-		code, _ := pickInt64(src, cfg, depth, rng)
+		code, _, _ := pickInt64(src, cfg, depth, rng)
 		return encodeInt64As(dst, src, code, cfg, depth, rng)
 	}
 	t0 := time.Now()
-	code, est := pickInt64(src, cfg, depth, rng)
+	code, est, cands := pickInt64(src, cfg, depth, rng)
 	pickNanos := time.Since(t0).Nanoseconds()
 	before := len(dst)
 	dst = encodeInt64As(dst, src, code, cfg, depth, rng)
 	cfg.OnDecision(Decision{
 		Kind: KindInt64, Level: cfg.MaxCascadeDepth - depth, Code: code,
 		Values: len(src), InputBytes: 8 * len(src), OutputBytes: len(dst) - before,
-		EstimatedRatio: est, PickNanos: pickNanos,
+		EstimatedRatio: est, PickNanos: pickNanos, Candidates: cands,
 	})
 	return dst
 }
 
-func pickInt64(src []int64, cfg *Config, depth int, rng *rand.Rand) (Code, float64) {
+func pickInt64(src []int64, cfg *Config, depth int, rng *rand.Rand) (Code, float64, []CandidateEstimate) {
 	if depth <= 0 || len(src) == 0 {
-		return CodeUncompressed, 1
+		return CodeUncompressed, 1, nil
 	}
+	collect := cfg.OnDecision != nil
 	cfg = quiet(cfg)
 	st := stats.ComputeInt64(src)
 	if st.Distinct == 1 && cfg.intEnabled(CodeOneValue) {
-		return CodeOneValue, float64(len(src)*8) / 13
+		est := float64(len(src)*8) / 13
+		var cands []CandidateEstimate
+		if collect {
+			cands = []CandidateEstimate{{Code: CodeOneValue, EstimatedRatio: est}}
+		}
+		return CodeOneValue, est, cands
 	}
 	smp := sample.Ints64(src, cfg.Sample, rng)
 	rawBytes := float64(len(smp) * 8)
 	best, bestRatio := CodeUncompressed, 1.0
+	var cands []CandidateEstimate
+	if collect {
+		cands = append(cands, CandidateEstimate{Code: CodeUncompressed, EstimatedRatio: 1, SampleBytes: 5 + 8*len(smp)})
+	}
 	for _, code := range int64PoolOrder {
 		if !cfg.intEnabled(code) || !int64Viable(code, &st) {
 			continue
 		}
 		enc := encodeInt64As(nil, smp, code, cfg, depth, rng)
-		if ratio := rawBytes / float64(len(enc)); ratio > bestRatio {
+		ratio := rawBytes / float64(len(enc))
+		if collect {
+			cands = append(cands, CandidateEstimate{Code: code, EstimatedRatio: ratio, SampleBytes: len(enc)})
+		}
+		if ratio > bestRatio {
 			best, bestRatio = code, ratio
 		}
 	}
-	return best, bestRatio
+	return best, bestRatio, cands
 }
 
 func int64Viable(code Code, st *stats.Int64) bool {

@@ -34,23 +34,24 @@ func CompressString(dst []byte, src coldata.Strings, cfg *Config) []byte {
 // and its estimated ratio.
 func ChooseString(src coldata.Strings, cfg *Config) (Code, float64) {
 	c := cfg.normalized()
-	return pickString(src, &c, c.MaxCascadeDepth, c.rng())
+	code, est, _ := pickString(src, &c, c.MaxCascadeDepth, c.rng())
+	return code, est
 }
 
 func compressString(dst []byte, src coldata.Strings, cfg *Config, depth int, rng *rand.Rand) []byte {
 	if cfg.OnDecision == nil {
-		code, _ := pickString(src, cfg, depth, rng)
+		code, _, _ := pickString(src, cfg, depth, rng)
 		return encodeStringAs(dst, src, code, cfg, depth, rng)
 	}
 	t0 := time.Now()
-	code, est := pickString(src, cfg, depth, rng)
+	code, est, cands := pickString(src, cfg, depth, rng)
 	pickNanos := time.Since(t0).Nanoseconds()
 	before := len(dst)
 	dst = encodeStringAs(dst, src, code, cfg, depth, rng)
 	cfg.OnDecision(Decision{
 		Kind: KindString, Level: cfg.MaxCascadeDepth - depth, Code: code,
 		Values: src.Len(), InputBytes: src.TotalBytes(), OutputBytes: len(dst) - before,
-		EstimatedRatio: est, PickNanos: pickNanos,
+		EstimatedRatio: est, PickNanos: pickNanos, Candidates: cands,
 	})
 	return dst
 }
@@ -61,28 +62,42 @@ func EstimateOnlyString(src coldata.Strings, cfg *Config) {
 	pickString(src, &c, c.MaxCascadeDepth, c.rng())
 }
 
-func pickString(src coldata.Strings, cfg *Config, depth int, rng *rand.Rand) (Code, float64) {
+func pickString(src coldata.Strings, cfg *Config, depth int, rng *rand.Rand) (Code, float64, []CandidateEstimate) {
 	if depth <= 0 || src.Len() == 0 {
-		return CodeUncompressed, 1
+		return CodeUncompressed, 1, nil
 	}
+	collect := cfg.OnDecision != nil
 	cfg = quiet(cfg)
 	st := stats.ComputeString(src)
 	if st.Distinct == 1 && cfg.stringEnabled(CodeOneValue) {
-		return CodeOneValue, float64(src.TotalBytes()) / float64(9+st.MaxLen)
+		est := float64(src.TotalBytes()) / float64(9+st.MaxLen)
+		var cands []CandidateEstimate
+		if collect {
+			cands = []CandidateEstimate{{Code: CodeOneValue, EstimatedRatio: est}}
+		}
+		return CodeOneValue, est, cands
 	}
 	smp := sample.Strings(src, cfg.Sample, rng)
 	rawBytes := float64(smp.TotalBytes())
 	best, bestRatio := CodeUncompressed, 1.0
+	var cands []CandidateEstimate
+	if collect {
+		cands = append(cands, CandidateEstimate{Code: CodeUncompressed, EstimatedRatio: 1, SampleBytes: 5 + smp.TotalBytes()})
+	}
 	for _, code := range stringPoolOrder {
 		if !cfg.stringEnabled(code) || !stringViable(code, &st) {
 			continue
 		}
 		enc := encodeStringAs(nil, smp, code, cfg, depth, rng)
-		if ratio := rawBytes / float64(len(enc)); ratio > bestRatio {
+		ratio := rawBytes / float64(len(enc))
+		if collect {
+			cands = append(cands, CandidateEstimate{Code: code, EstimatedRatio: ratio, SampleBytes: len(enc)})
+		}
+		if ratio > bestRatio {
 			best, bestRatio = code, ratio
 		}
 	}
-	return best, bestRatio
+	return best, bestRatio, cands
 }
 
 func stringViable(code Code, st *stats.String) bool {

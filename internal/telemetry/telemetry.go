@@ -20,7 +20,22 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"btrblocks/internal/obs"
 )
+
+// Candidate is one scheme the picker scored for a stream, with its
+// sample-based compression-ratio estimate — the "why" behind a Level's
+// chosen scheme.
+type Candidate struct {
+	// Scheme is the candidate's name.
+	Scheme string
+	// EstimatedRatio is the sample-based ratio estimate it scored.
+	EstimatedRatio float64
+	// SampleBytes is the trial encoding's size (0 when scored without a
+	// trial, e.g. the OneValue fast path).
+	SampleBytes int
+}
 
 // Level records one scheme-selection decision inside a block: the scheme
 // chosen for one stream of the cascade and what it did to that stream.
@@ -46,6 +61,9 @@ type Level struct {
 	// PickNanos is the time spent deciding: statistics, sampling and
 	// trial-encoding the candidate schemes.
 	PickNanos int64
+	// Candidates lists every scheme the picker scored for the stream, in
+	// evaluation order (the chosen scheme included).
+	Candidates []Candidate
 }
 
 // BlockEvent is the telemetry record for one compressed block.
@@ -144,6 +162,12 @@ type Recorder struct {
 	decodeValues int64
 	decodeBytes  int64
 	decodeNanos  int64
+
+	// Per-block latency distributions: sums alone hide tail behavior, so
+	// compress and decode wall times also feed shared log-scale
+	// histograms (p50/p95/p99 in Snapshot).
+	compressHist obs.Histogram
+	decodeHist   obs.Histogram
 }
 
 // New returns an empty enabled recorder.
@@ -178,6 +202,7 @@ func (r *Recorder) RecordBlock(ev BlockEvent) {
 	}
 	r.depthHist[ev.CascadeDepth]++
 	r.ratioHist.add(ev.ActualRatio)
+	r.compressHist.Observe(time.Duration(ev.CompressNanos))
 }
 
 func bump(m map[string]map[string]int, outer, inner string) {
@@ -205,6 +230,7 @@ func (r *Recorder) RecordDecode(blocks, values, compressedBytes int, nanos int64
 	r.decodeValues += int64(values)
 	r.decodeBytes += int64(compressedBytes)
 	r.decodeNanos += nanos
+	r.decodeHist.Observe(time.Duration(nanos))
 }
 
 // Reset discards all recorded data.
@@ -221,6 +247,8 @@ func (r *Recorder) Reset() {
 	r.rootPicks, r.cascadePicks, r.depthHist = nil, nil, nil
 	r.ratioHist = RatioHistogram{}
 	r.decodeBlocks, r.decodeValues, r.decodeBytes, r.decodeNanos = 0, 0, 0, 0
+	r.compressHist.Reset()
+	r.decodeHist.Reset()
 }
 
 // Snapshot is an immutable copy of a Recorder's state.
@@ -250,6 +278,10 @@ type Snapshot struct {
 	DecodeValues int64
 	DecodeBytes  int64
 	DecodeNanos  int64
+	// CompressLatency and DecodeLatency summarize the per-block wall-time
+	// distributions (count, sum, estimated p50/p95/p99).
+	CompressLatency obs.HistogramSnapshot
+	DecodeLatency   obs.HistogramSnapshot
 	// Events holds every block event, ordered by (column, block).
 	Events []BlockEvent
 }
@@ -264,20 +296,22 @@ func (r *Recorder) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		Blocks:        r.blocks,
-		InputBytes:    r.inputBytes,
-		OutputBytes:   r.outputBytes,
-		SampleNanos:   r.sampleNanos,
-		CompressNanos: r.compressNanos,
-		RootPicks:     copyCounts(r.rootPicks),
-		CascadePicks:  copyCounts(r.cascadePicks),
-		DepthHist:     make(map[int]int, len(r.depthHist)),
-		RatioHist:     r.ratioHist,
-		DecodeBlocks:  r.decodeBlocks,
-		DecodeValues:  r.decodeValues,
-		DecodeBytes:   r.decodeBytes,
-		DecodeNanos:   r.decodeNanos,
-		Events:        append([]BlockEvent(nil), r.events...),
+		Blocks:          r.blocks,
+		InputBytes:      r.inputBytes,
+		OutputBytes:     r.outputBytes,
+		SampleNanos:     r.sampleNanos,
+		CompressNanos:   r.compressNanos,
+		RootPicks:       copyCounts(r.rootPicks),
+		CascadePicks:    copyCounts(r.cascadePicks),
+		DepthHist:       make(map[int]int, len(r.depthHist)),
+		RatioHist:       r.ratioHist,
+		DecodeBlocks:    r.decodeBlocks,
+		DecodeValues:    r.decodeValues,
+		DecodeBytes:     r.decodeBytes,
+		DecodeNanos:     r.decodeNanos,
+		CompressLatency: r.compressHist.Snapshot(),
+		DecodeLatency:   r.decodeHist.Snapshot(),
+		Events:          append([]BlockEvent(nil), r.events...),
 	}
 	for d, c := range r.depthHist {
 		s.DepthHist[d] = c
@@ -331,9 +365,15 @@ func (s *Snapshot) Report() string {
 		fmt.Fprintf(&b, "compress time: %v (%.1f%% scheme selection)\n",
 			time.Duration(s.CompressNanos), 100*s.SampleFraction())
 	}
+	if s.CompressLatency.Count > 0 {
+		fmt.Fprintf(&b, "compress per block: %s\n", s.CompressLatency)
+	}
 	if s.DecodeBlocks > 0 {
 		fmt.Fprintf(&b, "decoded: %d blocks, %d values, %d compressed bytes in %v\n",
 			s.DecodeBlocks, s.DecodeValues, s.DecodeBytes, time.Duration(s.DecodeNanos))
+	}
+	if s.DecodeLatency.Count > 0 {
+		fmt.Fprintf(&b, "decode per block: %s\n", s.DecodeLatency)
 	}
 	writePickTable(&b, "root scheme picks (blocks)", s.RootPicks)
 	writePickTable(&b, "cascade scheme picks (streams, all levels)", s.CascadePicks)

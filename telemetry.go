@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"btrblocks/internal/core"
+	"btrblocks/internal/obs"
 	"btrblocks/internal/telemetry"
 )
 
@@ -39,11 +40,12 @@ func (o *Options) telemetryRecorder() *telemetry.Recorder {
 }
 
 // recordBlock compresses rows [lo, hi) of col with the decision hook
-// installed, assembles a BlockEvent from the decision trail, and records
-// it. Only called when a recorder is set: the per-block Config copy and
-// the timing calls are the telemetry path's cost, not the default
-// path's.
-func recordBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetry.Recorder) []byte {
+// installed and feeds the decision trail to whichever sinks are set: the
+// telemetry recorder gets a flat BlockEvent, the tracer gets the full
+// cascade tree with candidate estimates. Only called when at least one
+// sink is set: the per-block Config copy and the timing calls are the
+// observed path's cost, not the default path's.
+func recordBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetry.Recorder, tracer *Tracer) []byte {
 	var decisions []core.Decision
 	tcfg := *cfg
 	tcfg.OnDecision = func(d core.Decision) { decisions = append(decisions, d) }
@@ -51,6 +53,18 @@ func recordBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetr
 	out := encodeBlock(col, lo, hi, &tcfg)
 	elapsed := time.Since(start)
 
+	if rec != nil {
+		rec.RecordBlock(blockEvent(col, block, lo, hi, elapsed, decisions))
+	}
+	if tracer != nil {
+		tracer.Record(obs.BlockTraceFromDecisions(
+			col.Name, block, col.Type.String(), hi-lo, elapsed.Nanoseconds(), decisions))
+	}
+	return out
+}
+
+// blockEvent assembles the flat telemetry record from a decision trail.
+func blockEvent(col *Column, block, lo, hi int, elapsed time.Duration, decisions []core.Decision) telemetry.BlockEvent {
 	ev := telemetry.BlockEvent{
 		Column:        col.Name,
 		Block:         block,
@@ -63,7 +77,7 @@ func recordBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetr
 		if d.Level+1 > ev.CascadeDepth {
 			ev.CascadeDepth = d.Level + 1
 		}
-		ev.Levels = append(ev.Levels, telemetry.Level{
+		lv := telemetry.Level{
 			Depth:          d.Level,
 			Kind:           d.Kind.String(),
 			Scheme:         d.Code.String(),
@@ -72,7 +86,15 @@ func recordBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetr
 			OutputBytes:    d.OutputBytes,
 			EstimatedRatio: d.EstimatedRatio,
 			PickNanos:      d.PickNanos,
-		})
+		}
+		for _, c := range d.Candidates {
+			lv.Candidates = append(lv.Candidates, telemetry.Candidate{
+				Scheme:         c.Code.String(),
+				EstimatedRatio: c.EstimatedRatio,
+				SampleBytes:    c.SampleBytes,
+			})
+		}
+		ev.Levels = append(ev.Levels, lv)
 	}
 	// Decisions arrive post-order, so the block's root decision is last.
 	if n := len(decisions); n > 0 {
@@ -85,6 +107,5 @@ func recordBlock(col *Column, block, lo, hi int, cfg *core.Config, rec *telemetr
 			ev.ActualRatio = float64(root.InputBytes) / float64(root.OutputBytes)
 		}
 	}
-	rec.RecordBlock(ev)
-	return out
+	return ev
 }

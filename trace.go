@@ -1,0 +1,49 @@
+package btrblocks
+
+import (
+	"btrblocks/internal/obs"
+)
+
+// This file connects the compression pipeline to the cascade decision
+// tracer: Options.Trace, when set, receives one BlockTrace per
+// compressed block describing every candidate scheme the picker scored,
+// the sample estimates, the winner, and the full cascade tree. Where
+// Options.Telemetry answers "what was chosen, how often", Options.Trace
+// answers "why was it chosen over the alternatives" — the data needed to
+// debug scheme-pool ablations (paper §3, Figure 8).
+
+// Tracer is a thread-safe sink for per-block cascade decision traces.
+// Create one with NewTracer, set it on Options.Trace, and read it back
+// with Snapshot. A nil *Tracer is valid and records nothing.
+type Tracer = obs.Tracer
+
+// DecisionTrace is the exported decision-trace document: one BlockTrace
+// per block, ordered by (column, block), with a schema version. Its JSON
+// encoding is specified in OBSERVABILITY.md; Validate checks a document
+// against that schema and RenderTree prints it for humans.
+type DecisionTrace = obs.Trace
+
+// BlockTrace is the decision trace of one compressed block: the cascade
+// tree of scheme selections, each with its candidate estimates.
+type BlockTrace = obs.BlockTrace
+
+// TraceNode is one scheme-selection decision in a block's cascade tree.
+type TraceNode = obs.Node
+
+// TraceCandidate is one scheme the picker scored for a stream.
+type TraceCandidate = obs.Candidate
+
+// TraceVersion is the decision-trace JSON schema version (see
+// OBSERVABILITY.md).
+const TraceVersion = obs.TraceVersion
+
+// NewTracer returns an empty decision tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// tracer returns the configured tracer, or nil when tracing is off.
+func (o *Options) tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
