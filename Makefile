@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench ci serve-smoke trace-smoke
+.PHONY: all build test race vet fmt check bench ci serve-smoke trace-smoke chaos fuzz-smoke
 
 all: build
 
@@ -36,10 +36,33 @@ trace-smoke:
 	$(GO) run ./cmd/btrblocks trace -schema int,int64,double,string -block 800 -validate testdata/trace_smoke.csv > /dev/null
 	@echo "trace smoke: OK"
 
+# chaos is the fault-injection gate: seeded single-byte corruption of
+# every container format must be detected (the v2 checksum story), the
+# faultfs injectors must behave deterministically, and the blockstore's
+# quarantine/retry/partial-scan degradation paths must hold.
+chaos:
+	$(GO) test -run 'Chaos|Corruption|Truncation|LegacyV1' .
+	$(GO) test ./internal/faultfs/
+	$(GO) test -run 'Quarantine|ClientRetr|ClientDoes|AttemptTimeout|RawFetchDetects' ./internal/blockstore/
+	@echo "chaos gate: OK"
+
+# fuzz-smoke runs every fuzz target for a short fixed budget on top of
+# the committed seed corpora in testdata/fuzz/. Continuous fuzzing uses
+# the same targets without the -fuzztime bound.
+FUZZ_TARGETS = FuzzDecompressColumn FuzzDecompressIntStream FuzzDecompressStringStream FuzzCompressIntRoundTrip FuzzStreamReader
+FUZZ_TIME ?= 10s
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZ_TIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZ_TIME) . || exit 1; \
+	done
+	@echo "fuzz smoke: OK"
+
 # check is the full gate: format, vet, build, tests (incl. race), and
 # the end-to-end smoke tests. ci.sh splits the same steps into a fast
-# tier 1 (fmt, build, test) and a deep tier 2 (vet, race, smokes).
-check: fmt vet build test race serve-smoke trace-smoke
+# tier 1 (fmt, build, test, race) and a deep tier 2 (vet, fuzz smoke,
+# chaos gate, smokes).
+check: fmt vet build test race chaos fuzz-smoke serve-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

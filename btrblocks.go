@@ -104,6 +104,12 @@ type Options struct {
 	// Parallelism is the number of worker goroutines for whole-chunk
 	// (de)compression; <= 0 means GOMAXPROCS.
 	Parallelism int
+	// FormatVersion selects the on-disk format version for newly written
+	// files: 0 (the default) writes the current version (2, with per-block
+	// and whole-file CRC32C checksums); 1 writes the legacy checksum-free
+	// layout for consumers that predate the integrity layer. Reading
+	// always accepts both versions.
+	FormatVersion int
 	// Seed makes sampling deterministic (default 42).
 	Seed int64
 	// Telemetry, when non-nil, records per-block compression telemetry

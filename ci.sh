@@ -1,8 +1,8 @@
 #!/bin/sh
 # CI gate. Usage: ci.sh [tier1|tier2|all]
 #
-#   tier1  fast gate: formatting, build, tests
-#   tier2  deep gate: vet, race tests, end-to-end smokes
+#   tier1  fast gate: formatting, build, tests, race tests
+#   tier2  deep gate: vet, fuzz smoke, chaos gate, end-to-end smokes
 #   all    both (default)
 set -eu
 
@@ -22,17 +22,29 @@ run_tier1() {
 
 	echo "== go test =="
 	go test ./...
+
+	echo "== go test -race =="
+	# Promoted from tier 2: the blockstore's retry/quarantine paths and
+	# the cache are concurrency-heavy, so races gate every change. -short
+	# skips only the full experiments sweep, which re-runs library code
+	# the other packages already race-test but takes most of an hour under
+	# the race detector.
+	go test -race -short -timeout 30m ./...
 }
 
 run_tier2() {
 	echo "== go vet =="
 	go vet ./...
 
-	echo "== go test -race =="
-	# -short skips the full experiments sweep, which re-runs library code
-	# the other packages already race-test but takes most of an hour under
-	# the race detector.
-	go test -race -short -timeout 30m ./...
+	echo "== fuzz smoke =="
+	# Each fuzz target runs for a fixed short budget on top of the
+	# committed seed corpora in testdata/fuzz/.
+	make fuzz-smoke
+
+	echo "== chaos gate =="
+	# Fault-injection suite: seeded corruption of every container format
+	# must be detected, and the served degradation paths must hold.
+	make chaos
 
 	echo "== serve smoke =="
 	# End-to-end: btrserved serves a generated corpus on a loopback port

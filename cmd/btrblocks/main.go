@@ -9,6 +9,7 @@
 //	btrblocks inspect    <in.btr>
 //	btrblocks stats      <in.btr>
 //	btrblocks trace      -schema int,int64,double,string [-block N] [-format json|tree] [-validate] <in.csv>
+//	btrblocks verify     [-json] [-deep] [-q] <path>...
 //
 // inspect prints the full layout tree of a column, chunk, or stream file
 // (see FORMAT.md): container framing, per-block NULL bitmap and data
@@ -22,6 +23,13 @@
 // sample-estimated ratio, the winner, and the cascade tree — as JSON
 // (schema in OBSERVABILITY.md) or a human-readable tree. -validate
 // checks the trace against the schema and fails on any violation.
+//
+// verify is the fsck of the format: it walks files (or directories of
+// files), checks every per-block and container CRC32C of v2 files, and
+// prints per-block verdicts as text or JSON, exiting nonzero when any
+// file is damaged. -deep additionally decodes every block, which is the
+// only corruption check available for legacy v1 files; -q prints only
+// damaged files.
 package main
 
 import (
@@ -53,6 +61,8 @@ func main() {
 		err = stats(os.Args[2:])
 	case "trace":
 		err = trace(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -70,6 +80,7 @@ func usage() {
   btrblocks inspect    <in.btr>
   btrblocks stats      <in.btr>
   btrblocks trace      -schema int,int64,double,string [-block N] [-format json|tree] [-validate] <in.csv>
+  btrblocks verify     [-json] [-deep] [-q] <path>...
 `)
 }
 

@@ -231,6 +231,14 @@ func storeConfig(cacheMB, prefetch, workers int) blockstore.Config {
 	}
 }
 
+// smokeColumn is one generated column of the smoke corpus: its served
+// name, the compressed file bytes, and the in-memory ground truth.
+type smokeColumn struct {
+	name string
+	data []byte
+	col  btrblocks.Column
+}
+
 // runSmoke is the end-to-end self-test: write a generated corpus to a
 // temp directory, serve it from disk on a loopback port, and check every
 // endpoint against direct decompression of the same bytes.
@@ -249,12 +257,7 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 	// miniature. Small blocks so multi-block paths (readahead, per-block
 	// endpoints) actually exercise.
 	opt := &btrblocks.Options{BlockSize: 4096}
-	type local struct {
-		name string
-		data []byte
-		col  btrblocks.Column
-	}
-	var columns []local
+	var columns []smokeColumn
 	for _, ds := range pbi.Corpus(rows, seed) {
 		for _, col := range ds.Chunk.Columns {
 			data, err := btrblocks.CompressColumn(col, opt)
@@ -269,7 +272,7 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 			if err := os.WriteFile(path, data, 0o644); err != nil {
 				return err
 			}
-			columns = append(columns, local{name: name, data: data, col: col})
+			columns = append(columns, smokeColumn{name: name, data: data, col: col})
 		}
 	}
 
@@ -368,9 +371,106 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 		}
 	}
 
+	// Degraded serving: corrupt one block of a multi-block column on disk,
+	// serve it from a fresh store, and check the full failure story —
+	// detection, quarantine, partial scan, and the corruption metrics.
+	if err := smokeDegraded(ctx, dir, columns, cacheMB, prefetch, workers); err != nil {
+		return fmt.Errorf("degraded serving: %v", err)
+	}
+
 	fmt.Printf("smoke: %d files, cache hits=%d misses=%d decoded=%d blocks\n",
 		len(columns), rep.Cache.Hits, rep.Cache.Misses, rep.Cache.DecodedBlocks)
 	return nil
+}
+
+// smokeDegraded damages one served block and verifies graceful
+// degradation: the corrupt block is refused (422) and quarantined (410),
+// a partial scan still returns every healthy block, and the corruption
+// counters reach /metrics.
+func smokeDegraded(ctx context.Context, dir string, columns []smokeColumn, cacheMB, prefetch, workers int) error {
+	// Pick a multi-block column and flip one byte inside a middle block's
+	// compressed stream on disk.
+	victim := -1
+	var ix *btrblocks.ColumnIndex
+	for i, c := range columns {
+		parsed, err := btrblocks.ParseColumnIndex(c.data)
+		if err != nil {
+			return err
+		}
+		if len(parsed.Blocks) >= 2 {
+			victim, ix = i, parsed
+			break
+		}
+	}
+	if victim < 0 {
+		return fmt.Errorf("no multi-block column in the corpus")
+	}
+	name := columns[victim].name
+	badBlock := len(ix.Blocks) / 2
+	damaged := append([]byte(nil), columns[victim].data...)
+	damaged[ix.Blocks[badBlock].DataOffset()] ^= 0xFF
+	path := filepath.Join(dir, filepath.FromSlash(name))
+	if err := os.WriteFile(path, damaged, 0o644); err != nil {
+		return err
+	}
+	defer os.WriteFile(path, columns[victim].data, 0o644)
+
+	cfg := storeConfig(cacheMB, prefetch, workers)
+	cfg.QuarantineThreshold = 1
+	store, err := blockstore.Open(dir, cfg)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: blockstore.NewServer(store)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	cl := blockstore.NewClient("http://"+ln.Addr().String(),
+		blockstore.WithBackoff(time.Millisecond, 4*time.Millisecond))
+
+	// First touch detects the corruption; the threshold-1 store
+	// quarantines immediately, so the second touch is fenced.
+	if _, err := cl.Block(ctx, name, badBlock); !blockstore.IsBlockDamage(err) {
+		return fmt.Errorf("corrupt block served without damage error: %v", err)
+	}
+	if _, err := cl.Block(ctx, name, badBlock); !blockstore.IsBlockDamage(err) {
+		return fmt.Errorf("quarantined block served without damage error: %v", err)
+	}
+	if _, err := cl.Block(ctx, name, (badBlock+1)%len(ix.Blocks)); err != nil {
+		return fmt.Errorf("healthy block of damaged column: %v", err)
+	}
+
+	res, err := cl.ScanColumnPartial(ctx, name, 2)
+	if err != nil {
+		return err
+	}
+	wantRows := columns[victim].col.Len() - ix.Blocks[badBlock].Rows
+	if !res.Partial || res.Rows != wantRows || len(res.FailedBlocks) != 1 || res.FailedBlocks[0] != badBlock {
+		return fmt.Errorf("partial scan: %+v (want partial, %d rows, failed block %d)", res, wantRows, badBlock)
+	}
+
+	metrics, err := cl.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(metrics, "btrserved_quarantined_blocks 1") {
+		return fmt.Errorf("/metrics missing quarantine gauge")
+	}
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "btrserved_corrupt_blocks_total ") {
+			if strings.TrimPrefix(line, "btrserved_corrupt_blocks_total ") == "0" {
+				return fmt.Errorf("corruption counter is zero after serving a corrupt block")
+			}
+			fmt.Printf("smoke degraded: block %d of %s refused and quarantined, partial scan rows=%d, %s\n",
+				badBlock, name, res.Rows, line)
+			return nil
+		}
+	}
+	return fmt.Errorf("/metrics missing btrserved_corrupt_blocks_total")
 }
 
 // httpGet fetches a URL and returns the body, failing on non-200.

@@ -22,9 +22,15 @@ var (
 )
 
 const (
-	columnMagic   = "BTRC"
-	fileMagic     = "BTRB"
-	formatVersion = 1
+	columnMagic = "BTRC"
+	fileMagic   = "BTRB"
+	// formatVersion1 is the original checksum-free layout; formatVersion2
+	// adds a CRC32C after every block and at the end of every container.
+	formatVersion1 = 1
+	formatVersion2 = 2
+	// formatVersion is the version new files are written with unless
+	// Options.FormatVersion overrides it.
+	formatVersion = formatVersion2
 )
 
 // CompressColumn compresses one column into a self-contained column file:
@@ -32,11 +38,15 @@ const (
 // opt.BlockSize values, each carrying its NULL bitmap and compressed data
 // stream. This is the one-file-per-column layout §6.7 uses on S3.
 func CompressColumn(col Column, opt *Options) ([]byte, error) {
+	ver, err := opt.formatVersionOf()
+	if err != nil {
+		return nil, err
+	}
 	blocks, err := compressColumnBlocks(col, opt)
 	if err != nil {
 		return nil, err
 	}
-	return assembleColumnFile(col, blocks), nil
+	return assembleColumnFile(col, blocks, ver), nil
 }
 
 // compressColumnBlocks produces the per-block payloads of a column.
@@ -194,15 +204,21 @@ func densifyStrings(src coldata.Strings, nulls *roaring.Bitmap) coldata.Strings 
 	return out
 }
 
-func assembleColumnFile(col Column, blocks [][]byte) []byte {
+func assembleColumnFile(col Column, blocks [][]byte, ver byte) []byte {
 	var out []byte
 	out = append(out, columnMagic...)
-	out = append(out, formatVersion, byte(col.Type))
+	out = append(out, ver, byte(col.Type))
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(col.Name)))
 	out = append(out, col.Name...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(blocks)))
 	for _, b := range blocks {
 		out = append(out, b...)
+		if checksummedVersion(ver) {
+			out = binary.LittleEndian.AppendUint32(out, crc32c(b))
+		}
+	}
+	if checksummedVersion(ver) {
+		out = appendCRC32C(out)
 	}
 	return out
 }
@@ -259,8 +275,17 @@ func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews,
 	if len(data) < 12 || string(data[:4]) != columnMagic {
 		return col, nil, ErrCorrupt
 	}
-	if data[4] != formatVersion {
+	if !supportedVersion(data[4]) {
 		return col, nil, fmt.Errorf("btrblocks: unsupported version %d", data[4])
+	}
+	checksummed := checksummedVersion(data[4])
+	bodyEnd := len(data)
+	if checksummed {
+		// The last four bytes are the whole-file CRC; blocks end before it.
+		bodyEnd -= crcBytes
+		if bodyEnd < 12 {
+			return col, nil, ErrTruncatedFile
+		}
 	}
 	col.Type = Type(data[5])
 	if col.Type > maxType {
@@ -268,8 +293,8 @@ func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews,
 	}
 	nameLen := int(binary.LittleEndian.Uint16(data[6:]))
 	pos := 8
-	if len(data) < pos+nameLen+4 {
-		return col, nil, ErrCorrupt
+	if bodyEnd < pos+nameLen+4 {
+		return col, nil, ErrTruncatedFile
 	}
 	col.Name = string(data[pos : pos+nameLen])
 	pos += nameLen
@@ -279,14 +304,29 @@ func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews,
 	var viewBlocks []coldata.StringViews
 	rowBase := 0
 	for b := 0; b < blockCount; b++ {
-		if len(data) < pos+8 {
-			return col, nil, ErrCorrupt
+		blockStart := pos
+		if bodyEnd < pos+8 {
+			return col, nil, ErrTruncatedFile
 		}
 		rows := int(binary.LittleEndian.Uint32(data[pos:]))
 		nullLen := int(binary.LittleEndian.Uint32(data[pos+4:]))
 		pos += 8
-		if rows > core.MaxBlockValues || nullLen < 0 || len(data) < pos+nullLen+4 {
-			return col, nil, ErrCorrupt
+		if rows > core.MaxBlockValues || nullLen < 0 || bodyEnd < pos+nullLen+4 {
+			return col, nil, ErrTruncatedFile
+		}
+		if checksummed {
+			// Verify the block's CRC over its full extent before decoding
+			// anything from it — NULL bitmap included.
+			dataLen := int(binary.LittleEndian.Uint32(data[pos+nullLen:]))
+			blockEnd := pos + nullLen + 4 + dataLen
+			if dataLen < 0 || blockEnd+crcBytes > bodyEnd {
+				return col, nil, ErrTruncatedFile
+			}
+			stored := binary.LittleEndian.Uint32(data[blockEnd:])
+			if got := crc32c(data[blockStart:blockEnd]); got != stored {
+				rec.RecordCorruption(1)
+				return col, nil, fmt.Errorf("%w: column %q block %d", ErrChecksumMismatch, col.Name, b)
+			}
 		}
 		if nullLen > 0 {
 			bm, used, err := roaring.FromBytes(data[pos : pos+nullLen])
@@ -312,8 +352,8 @@ func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews,
 		}
 		dataLen := int(binary.LittleEndian.Uint32(data[pos:]))
 		pos += 4
-		if dataLen < 0 || len(data) < pos+dataLen {
-			return col, nil, ErrCorrupt
+		if dataLen < 0 || bodyEnd < pos+dataLen {
+			return col, nil, ErrTruncatedFile
 		}
 		stream := data[pos : pos+dataLen]
 		// Cap decoded value counts at the block's declared row count so a
@@ -362,10 +402,19 @@ func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews,
 			rec.RecordDecode(1, rows, dataLen, time.Since(start).Nanoseconds())
 		}
 		pos += dataLen
+		if checksummed {
+			pos += crcBytes // block CRC, verified above
+		}
 		rowBase += rows
 	}
-	if pos != len(data) {
+	if pos != bodyEnd {
 		return col, nil, ErrCorrupt
+	}
+	if checksummed {
+		if err := verifyTrailingCRC(data, "column file"); err != nil {
+			rec.RecordCorruption(1)
+			return col, nil, err
+		}
 	}
 	return col, viewBlocks, nil
 }
@@ -409,6 +458,10 @@ func (c *CompressedChunk) CompressedBytes() int {
 func CompressChunk(chunk *Chunk, opt *Options) (*CompressedChunk, error) {
 	if opt != nil && opt.BlockSize > core.MaxBlockValues {
 		return nil, fmt.Errorf("btrblocks: block size %d exceeds maximum %d", opt.BlockSize, core.MaxBlockValues)
+	}
+	ver, err := opt.formatVersionOf()
+	if err != nil {
+		return nil, err
 	}
 	type task struct {
 		col   int
@@ -463,7 +516,7 @@ func CompressChunk(chunk *Chunk, opt *Options) (*CompressedChunk, error) {
 		if len(col.Name) > math.MaxUint16 {
 			return nil, fmt.Errorf("btrblocks: column name too long (%d bytes)", len(col.Name))
 		}
-		out.Columns[ci] = assembleColumnFile(*col, blockBufs[ci])
+		out.Columns[ci] = assembleColumnFile(*col, blockBufs[ci], ver)
 		st := ColumnStats{
 			Name:              col.Name,
 			Type:              col.Type,
@@ -527,11 +580,18 @@ func parallelism(opt *Options) int {
 }
 
 // EncodeFile bundles a compressed chunk into a single byte stream:
-// magic, version, column count, column file lengths, column files.
+// magic, version, column count, column file lengths, column files, and —
+// for v2 chunks — a trailing CRC32C over everything before it. The
+// container version follows the embedded column files (they carry the
+// version the chunk was compressed with).
 func (c *CompressedChunk) EncodeFile() []byte {
+	ver := byte(formatVersion)
+	if len(c.Columns) > 0 && len(c.Columns[0]) >= 5 {
+		ver = c.Columns[0][4]
+	}
 	var out []byte
 	out = append(out, fileMagic...)
-	out = append(out, formatVersion)
+	out = append(out, ver)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(c.Columns)))
 	for _, col := range c.Columns {
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(col)))
@@ -539,21 +599,33 @@ func (c *CompressedChunk) EncodeFile() []byte {
 	for _, col := range c.Columns {
 		out = append(out, col...)
 	}
+	if checksummedVersion(ver) {
+		out = appendCRC32C(out)
+	}
 	return out
 }
 
-// DecodeFile parses a stream produced by EncodeFile.
+// DecodeFile parses a stream produced by EncodeFile. For v2 files the
+// container checksum is verified here; the per-block checksums inside
+// the column files are verified when the columns are decompressed.
 func DecodeFile(data []byte) (*CompressedChunk, error) {
 	if len(data) < 7 || string(data[:4]) != fileMagic {
 		return nil, ErrCorrupt
 	}
-	if data[4] != formatVersion {
+	if !supportedVersion(data[4]) {
 		return nil, fmt.Errorf("btrblocks: unsupported version %d", data[4])
+	}
+	bodyEnd := len(data)
+	if checksummedVersion(data[4]) {
+		if err := verifyTrailingCRC(data, "chunk file"); err != nil {
+			return nil, err
+		}
+		bodyEnd -= crcBytes
 	}
 	nCols := int(binary.LittleEndian.Uint16(data[5:]))
 	pos := 7
-	if len(data) < pos+4*nCols {
-		return nil, ErrCorrupt
+	if bodyEnd < pos+4*nCols {
+		return nil, ErrTruncatedFile
 	}
 	lengths := make([]int, nCols)
 	for i := range lengths {
@@ -562,13 +634,13 @@ func DecodeFile(data []byte) (*CompressedChunk, error) {
 	}
 	out := &CompressedChunk{Columns: make([][]byte, nCols)}
 	for i, l := range lengths {
-		if l < 0 || len(data) < pos+l {
-			return nil, ErrCorrupt
+		if l < 0 || bodyEnd < pos+l {
+			return nil, ErrTruncatedFile
 		}
 		out.Columns[i] = data[pos : pos+l]
 		pos += l
 	}
-	if pos != len(data) {
+	if pos != bodyEnd {
 		return nil, ErrCorrupt
 	}
 	return out, nil

@@ -28,7 +28,7 @@ func ExampleCompressColumn() {
 	fmt.Printf("%d rows -> %d bytes\n", got.Len(), len(data))
 	fmt.Printf("round trip ok: %v\n", got.Ints[9999] == values[9999])
 	// Output:
-	// 10000 rows -> 146 bytes
+	// 10000 rows -> 154 bytes
 	// round trip ok: true
 }
 
@@ -54,7 +54,7 @@ func ExampleInspect() {
 	fmt.Printf("root scheme: %s, cascade depth %d\n",
 		col.Blocks[0].Data.Code, col.Blocks[0].Data.MaxDepth()+1)
 	// Output:
-	// column file, 146 bytes, accounted 146
+	// column file, 154 bytes, accounted 154
 	// column "sensor": 10000 rows in 1 block(s)
 	// root scheme: RLE, cascade depth 3
 }

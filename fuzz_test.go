@@ -3,6 +3,9 @@ package btrblocks
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"btrblocks/coldata"
@@ -70,6 +73,93 @@ func FuzzCompressIntRoundTrip(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpora under
+// testdata/fuzz/ when WRITE_FUZZ_CORPUS=1 is set. The corpora give the
+// fuzzers structurally valid starting points (both format versions,
+// every column type, damaged and truncated variants) so short CI fuzz
+// budgets spend their time mutating deep states instead of rediscovering
+// the magic bytes. Without the env var this test is a no-op, so plain
+// `go test` never rewrites testdata.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz seed corpora")
+	}
+	write := func(target, name string, data []byte) {
+		t.Helper()
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt := func(data []byte, off int) []byte {
+		bad := append([]byte(nil), data...)
+		bad[off%len(bad)] ^= 0xA5
+		return bad
+	}
+
+	v2 := DefaultOptions()
+	v2.BlockSize = 2000
+	v1 := DefaultOptions()
+	v1.BlockSize = 2000
+	v1.FormatVersion = 1
+
+	cols := chaosColumns(5000, 7)
+	for _, col := range cols {
+		d2, err := CompressColumn(col, v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := CompressColumn(col, v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write("FuzzDecompressColumn", "v2_"+col.Name, d2)
+		write("FuzzDecompressColumn", "v1_"+col.Name, d1)
+		write("FuzzDecompressColumn", "v2_"+col.Name+"_flip", corrupt(d2, len(d2)/2))
+		write("FuzzDecompressColumn", "v2_"+col.Name+"_trunc", d2[:len(d2)*3/4])
+	}
+
+	cfg := core.DefaultConfig()
+	write("FuzzDecompressIntStream", "rle", core.CompressInt(nil, []int32{5, 5, 5, 5, 900, -1, -1}, cfg))
+	write("FuzzDecompressIntStream", "zeros", core.CompressInt(nil, make([]int32, 4000), cfg))
+	ramp := make([]int32, 3000)
+	for i := range ramp {
+		ramp[i] = int32(i * 3)
+	}
+	write("FuzzDecompressIntStream", "ramp", core.CompressInt(nil, ramp, cfg))
+	write("FuzzDecompressStringStream", "dict",
+		core.CompressString(nil, coldata.MakeStrings([]string{"x", "x", "yz", "x", "longer-value", "yz"}), cfg))
+	write("FuzzCompressIntRoundTrip", "mixed", []byte{1, 2, 3, 4, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})
+
+	streamFor := func(opt *Options) []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, []Column{
+			{Name: "i", Type: TypeInt}, {Name: "d", Type: TypeDouble},
+		}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if err := w.WriteChunk(&Chunk{Columns: []Column{cols[0], cols[2]}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	s2 := streamFor(v2)
+	write("FuzzStreamReader", "v2_stream", s2)
+	write("FuzzStreamReader", "v1_stream", streamFor(v1))
+	write("FuzzStreamReader", "v2_stream_flip", corrupt(s2, len(s2)/3))
+	write("FuzzStreamReader", "v2_stream_trunc", s2[:len(s2)/2])
 }
 
 func FuzzStreamReader(f *testing.F) {

@@ -32,6 +32,10 @@ type BlockRef struct {
 	DataBytes int
 	// Scheme is the block's root encoding scheme.
 	Scheme Scheme
+	// Checksum is the stored CRC32C over the block's bytes (header, NULL
+	// bitmap and data stream). Zero and meaningless for v1 files — check
+	// ColumnIndex.Checksummed.
+	Checksum uint32
 }
 
 // NullOffset returns the offset of the block's NULL bitmap (meaningless
@@ -52,58 +56,124 @@ func (b BlockRef) CompressedBytes() int { return b.End() - b.Offset }
 type ColumnIndex struct {
 	Name string
 	Type Type
+	// Version is the file's format version (1 = legacy, 2 = checksummed).
+	Version int
 	// Rows is the column's total row count (sum over blocks).
 	Rows int
 	// Blocks lists the column's blocks in order.
 	Blocks []BlockRef
 }
 
+// Checksummed reports whether the file carries per-block and whole-file
+// CRC32C checksums (format v2).
+func (ix *ColumnIndex) Checksummed() bool { return checksummedVersion(byte(ix.Version)) }
+
+// VerifyBlock recomputes block b's CRC32C over data — the same buffer the
+// index was parsed from — and compares it against the stored checksum.
+// It returns nil for v1 files (nothing to verify) and an error wrapping
+// ErrChecksumMismatch when the block's bytes no longer match.
+func (ix *ColumnIndex) VerifyBlock(data []byte, b int) error {
+	if !ix.Checksummed() {
+		return nil
+	}
+	if b < 0 || b >= len(ix.Blocks) {
+		return fmt.Errorf("btrblocks: block %d out of range [0,%d)", b, len(ix.Blocks))
+	}
+	ref := ix.Blocks[b]
+	if ref.End() > len(data) {
+		return ErrTruncatedFile
+	}
+	if got := crc32c(data[ref.Offset:ref.End()]); got != ref.Checksum {
+		return fmt.Errorf("%w: column %q block %d: computed %08x, stored %08x",
+			ErrChecksumMismatch, ix.Name, b, got, ref.Checksum)
+	}
+	return nil
+}
+
+// VerifyFile verifies every block checksum and the whole-file checksum of
+// the column file the index was parsed from. Nil for v1 files.
+func (ix *ColumnIndex) VerifyFile(data []byte) error {
+	if !ix.Checksummed() {
+		return nil
+	}
+	for b := range ix.Blocks {
+		if err := ix.VerifyBlock(data, b); err != nil {
+			return err
+		}
+	}
+	return verifyTrailingCRC(data, "column file")
+}
+
 // ParseColumnIndex walks a column file's framing and returns its block
 // directory without decompressing any payload. Like Inspect, it verifies
 // that the framing accounts for every byte of the file.
 func ParseColumnIndex(data []byte) (*ColumnIndex, error) {
-	if len(data) < 12 || string(data[:4]) != columnMagic || data[4] != formatVersion {
+	if len(data) < 12 || string(data[:4]) != columnMagic {
 		return nil, ErrCorrupt
+	}
+	if !supportedVersion(data[4]) {
+		return nil, fmt.Errorf("btrblocks: unsupported column file version %d", data[4])
 	}
 	t := Type(data[5])
 	if t > maxType {
 		return nil, ErrCorrupt
 	}
+	checksummed := checksummedVersion(data[4])
+	bodyEnd := len(data)
+	if checksummed {
+		if len(data) < 12+crcBytes {
+			return nil, ErrTruncatedFile
+		}
+		bodyEnd -= crcBytes
+	}
 	nameLen := int(binary.LittleEndian.Uint16(data[6:]))
 	pos := 8
-	if len(data) < pos+nameLen+4 {
-		return nil, ErrCorrupt
+	if bodyEnd < pos+nameLen+4 {
+		return nil, ErrTruncatedFile
 	}
-	ix := &ColumnIndex{Name: string(data[pos : pos+nameLen]), Type: t}
+	ix := &ColumnIndex{Name: string(data[pos : pos+nameLen]), Type: t, Version: int(data[4])}
 	pos += nameLen
 	blockCount := int(binary.LittleEndian.Uint32(data[pos:]))
 	pos += 4
 	if blockCount < 0 || blockCount > len(data) {
 		return nil, ErrCorrupt
 	}
-	ix.Blocks = make([]BlockRef, 0, blockCount)
+	// Cap the pre-allocation: every block needs ≥ 12 bytes of framing, so a
+	// declared count beyond len(data)/12 is a lie and would over-allocate.
+	prealloc := blockCount
+	if max := len(data) / 12; prealloc > max {
+		prealloc = max
+	}
+	ix.Blocks = make([]BlockRef, 0, prealloc)
 	for b := 0; b < blockCount; b++ {
-		if len(data) < pos+8 {
-			return nil, ErrCorrupt
+		if bodyEnd < pos+8 {
+			return nil, ErrTruncatedFile
 		}
 		rows := int(binary.LittleEndian.Uint32(data[pos:]))
 		nullLen := int(binary.LittleEndian.Uint32(data[pos+4:]))
-		if rows > core.MaxBlockValues || nullLen < 0 || len(data) < pos+8+nullLen+4 {
+		if rows > core.MaxBlockValues || nullLen < 0 || bodyEnd < pos+8+nullLen+4 {
 			return nil, ErrCorrupt
 		}
 		ref := BlockRef{Offset: pos, StartRow: ix.Rows, Rows: rows, NullBytes: nullLen}
 		ref.DataBytes = int(binary.LittleEndian.Uint32(data[pos+8+nullLen:]))
-		if ref.DataBytes < 0 || ref.End() > len(data) {
+		if ref.DataBytes < 0 || ref.End() > bodyEnd {
 			return nil, ErrCorrupt
 		}
 		if ref.DataBytes > 0 {
 			ref.Scheme = Scheme(data[ref.DataOffset()])
 		}
+		pos = ref.End()
+		if checksummed {
+			if pos+crcBytes > bodyEnd {
+				return nil, ErrTruncatedFile
+			}
+			ref.Checksum = binary.LittleEndian.Uint32(data[pos:])
+			pos += crcBytes
+		}
 		ix.Blocks = append(ix.Blocks, ref)
 		ix.Rows += rows
-		pos = ref.End()
 	}
-	if pos != len(data) {
+	if pos != bodyEnd {
 		return nil, ErrCorrupt
 	}
 	return ix, nil
@@ -120,7 +190,11 @@ func (ix *ColumnIndex) DecompressBlock(data []byte, b int, opt *Options) (Column
 	}
 	ref := ix.Blocks[b]
 	if ref.End() > len(data) {
-		return Column{}, ErrCorrupt
+		return Column{}, ErrTruncatedFile
+	}
+	if err := ix.VerifyBlock(data, b); err != nil {
+		opt.telemetryRecorder().RecordCorruption(1)
+		return Column{}, err
 	}
 	col := Column{Name: ix.Name, Type: ix.Type}
 	if ref.NullBytes > 0 {

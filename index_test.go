@@ -70,8 +70,10 @@ func TestParseColumnIndexShape(t *testing.T) {
 				t.Fatalf("%s block %d: expected a NULL bitmap", col.Name, b)
 			}
 		}
-		if ix.Blocks[3].End() != len(data) {
-			t.Fatalf("%s: last block ends at %d, file has %d", col.Name, ix.Blocks[3].End(), len(data))
+		// In format v2 the last block is followed by its 4-byte block CRC
+		// and the whole-file CRC.
+		if want := len(data) - 2*4; ix.Blocks[3].End() != want {
+			t.Fatalf("%s: last block ends at %d, want %d (file has %d)", col.Name, ix.Blocks[3].End(), want, len(data))
 		}
 	}
 }

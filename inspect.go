@@ -69,6 +69,9 @@ type BlockInfo struct {
 	// Data is that stream's cascade layout tree.
 	DataBytes int
 	Data      *SchemeNode
+	// ChecksumBytes is the trailing per-block CRC32C (4 in format v2,
+	// 0 in v1), included in Size. Inspect verifies it.
+	ChecksumBytes int
 }
 
 // blockHeaderBytes is the fixed per-block framing: rows:u32 nullLen:u32
@@ -90,6 +93,9 @@ type ColumnInfo struct {
 	Rows      int
 	NullCount int
 	Blocks    []*BlockInfo
+	// ChecksumBytes is the column file's trailing whole-file CRC32C
+	// (4 in format v2, 0 in v1), included in Size. Inspect verifies it.
+	ChecksumBytes int
 }
 
 // ChunkInfo describes one chunk of a stream file.
@@ -102,7 +108,10 @@ type ChunkInfo struct {
 	Size        int
 	FrameBytes  int
 	HeaderBytes int
-	Columns     []*ColumnInfo
+	// ChecksumBytes is the embedded chunk file's trailing CRC32C
+	// (4 in format v2, 0 in v1).
+	ChecksumBytes int
+	Columns       []*ColumnInfo
 }
 
 // FileInfo is the parsed layout of a compressed file.
@@ -117,6 +126,13 @@ type FileInfo struct {
 	// a stream file. FooterBytes is the stream footer (0 otherwise).
 	HeaderBytes int
 	FooterBytes int
+	// Version is the container's format version (1 = legacy, 2 =
+	// checksummed).
+	Version int
+	// ChecksumBytes is the container-level trailing CRC32C: 4 for a v2
+	// chunk or stream file, 0 otherwise (a column file's CRC is counted
+	// on its ColumnInfo). Inspect verifies it.
+	ChecksumBytes int
 	// Columns holds the file's columns: exactly one for a column file,
 	// all columns for a chunk file, nil for a stream file (see Chunks).
 	Columns []*ColumnInfo
@@ -143,7 +159,8 @@ func Inspect(data []byte) (*FileInfo, error) {
 		if col.Size != len(data) {
 			return nil, ErrCorrupt
 		}
-		return &FileInfo{Kind: FileKindColumn, Size: len(data), Columns: []*ColumnInfo{col}}, nil
+		return &FileInfo{Kind: FileKindColumn, Size: len(data), Version: int(data[4]),
+			Columns: []*ColumnInfo{col}}, nil
 	case fileMagic:
 		return inspectChunkFile(data)
 	case streamMagic:
@@ -158,9 +175,10 @@ func inspectColumn(data []byte, base int) (*ColumnInfo, error) {
 	if len(data) < 12 || string(data[:4]) != columnMagic {
 		return nil, ErrCorrupt
 	}
-	if data[4] != formatVersion {
+	if !supportedVersion(data[4]) {
 		return nil, fmt.Errorf("btrblocks: unsupported version %d", data[4])
 	}
+	checksummed := checksummedVersion(data[4])
 	ci := &ColumnInfo{Offset: base, Type: Type(data[5])}
 	if ci.Type > maxType {
 		return nil, ErrCorrupt
@@ -176,7 +194,7 @@ func inspectColumn(data []byte, base int) (*ColumnInfo, error) {
 	pos += 4
 	ci.HeaderBytes = pos
 	for b := 0; b < blockCount; b++ {
-		bi, err := inspectBlock(data, pos, base, ci.Type)
+		bi, err := inspectBlock(data, pos, base, ci.Type, checksummed)
 		if err != nil {
 			return nil, err
 		}
@@ -185,14 +203,25 @@ func inspectColumn(data []byte, base int) (*ColumnInfo, error) {
 		ci.NullCount += bi.NullCount
 		ci.Blocks = append(ci.Blocks, bi)
 	}
+	if checksummed {
+		if len(data) < pos+crcBytes {
+			return nil, ErrTruncatedFile
+		}
+		if err := verifyTrailingCRC(data[:pos+crcBytes], "column file"); err != nil {
+			return nil, err
+		}
+		ci.ChecksumBytes = crcBytes
+		pos += crcBytes
+	}
 	ci.Size = pos
 	return ci, nil
 }
 
 // inspectBlock parses one block at data[pos]; offsets are reported
 // relative to base.
-func inspectBlock(data []byte, pos, base int, t Type) (*BlockInfo, error) {
+func inspectBlock(data []byte, pos, base int, t Type, checksummed bool) (*BlockInfo, error) {
 	bi := &BlockInfo{Offset: base + pos}
+	blockStart := pos
 	if len(data) < pos+8 {
 		return nil, ErrCorrupt
 	}
@@ -224,6 +253,19 @@ func inspectBlock(data []byte, pos, base int, t Type) (*BlockInfo, error) {
 	}
 	bi.Data = node
 	bi.Size = blockHeaderBytes + bi.NullBytes + bi.DataBytes
+	if checksummed {
+		blockEnd := blockStart + bi.Size
+		if len(data) < blockEnd+crcBytes {
+			return nil, ErrTruncatedFile
+		}
+		stored := binary.LittleEndian.Uint32(data[blockEnd:])
+		if got := crc32c(data[blockStart:blockEnd]); got != stored {
+			return nil, fmt.Errorf("%w: block at offset %d: computed %08x, stored %08x",
+				ErrChecksumMismatch, bi.Offset, got, stored)
+		}
+		bi.ChecksumBytes = crcBytes
+		bi.Size += crcBytes
+	}
 	return bi, nil
 }
 
@@ -242,14 +284,15 @@ func streamKind(t Type) core.Kind {
 }
 
 func inspectChunkFile(data []byte) (*FileInfo, error) {
-	fi := &FileInfo{Kind: FileKindChunk, Size: len(data)}
-	cols, headerBytes, err := inspectChunkBody(data, 0)
+	fi := &FileInfo{Kind: FileKindChunk, Size: len(data), Version: int(data[4])}
+	cols, headerBytes, csumBytes, err := inspectChunkBody(data, 0)
 	if err != nil {
 		return nil, err
 	}
 	fi.Columns = cols
 	fi.HeaderBytes = headerBytes
-	total := headerBytes
+	fi.ChecksumBytes = csumBytes
+	total := headerBytes + csumBytes
 	for _, c := range cols {
 		total += c.Size
 	}
@@ -260,18 +303,32 @@ func inspectChunkFile(data []byte) (*FileInfo, error) {
 }
 
 // inspectChunkBody parses a chunk file ("BTRB") located at data[0],
-// returning its columns and header size; base offsets the Offset fields.
-func inspectChunkBody(data []byte, base int) ([]*ColumnInfo, int, error) {
+// returning its columns, header size, and trailing-checksum size (4 for a
+// v2 chunk, 0 for v1); base offsets the Offset fields.
+func inspectChunkBody(data []byte, base int) ([]*ColumnInfo, int, int, error) {
 	if len(data) < 7 || string(data[:4]) != fileMagic {
-		return nil, 0, ErrCorrupt
+		return nil, 0, 0, ErrCorrupt
 	}
-	if data[4] != formatVersion {
-		return nil, 0, fmt.Errorf("btrblocks: unsupported version %d", data[4])
+	if !supportedVersion(data[4]) {
+		return nil, 0, 0, fmt.Errorf("btrblocks: unsupported version %d", data[4])
+	}
+	checksummed := checksummedVersion(data[4])
+	bodyEnd := len(data)
+	csumBytes := 0
+	if checksummed {
+		if len(data) < 7+crcBytes {
+			return nil, 0, 0, ErrTruncatedFile
+		}
+		if err := verifyTrailingCRC(data, "chunk file"); err != nil {
+			return nil, 0, 0, err
+		}
+		csumBytes = crcBytes
+		bodyEnd -= crcBytes
 	}
 	nCols := int(binary.LittleEndian.Uint16(data[5:]))
 	pos := 7
-	if len(data) < pos+4*nCols {
-		return nil, 0, ErrCorrupt
+	if bodyEnd < pos+4*nCols {
+		return nil, 0, 0, ErrCorrupt
 	}
 	lengths := make([]int, nCols)
 	for i := range lengths {
@@ -281,26 +338,39 @@ func inspectChunkBody(data []byte, base int) ([]*ColumnInfo, int, error) {
 	headerBytes := pos
 	cols := make([]*ColumnInfo, nCols)
 	for i, l := range lengths {
-		if l < 0 || len(data) < pos+l {
-			return nil, 0, ErrCorrupt
+		if l < 0 || bodyEnd < pos+l {
+			return nil, 0, 0, ErrCorrupt
 		}
 		ci, err := inspectColumn(data[pos:pos+l], base+pos)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		if ci.Size != l {
-			return nil, 0, ErrCorrupt
+			return nil, 0, 0, ErrCorrupt
 		}
 		cols[i] = ci
 		pos += l
 	}
-	return cols, headerBytes, nil
+	if pos != bodyEnd {
+		return nil, 0, 0, ErrCorrupt
+	}
+	return cols, headerBytes, csumBytes, nil
 }
 
 func inspectStreamFile(data []byte) (*FileInfo, error) {
 	fi := &FileInfo{Kind: FileKindStream, Size: len(data)}
-	if len(data) < 7 || string(data[:4]) != streamMagic || data[4] != formatVersion {
+	if len(data) < 7 || string(data[:4]) != streamMagic {
 		return nil, ErrCorrupt
+	}
+	if !supportedVersion(data[4]) {
+		return nil, fmt.Errorf("btrblocks: unsupported version %d", data[4])
+	}
+	fi.Version = int(data[4])
+	checksummed := checksummedVersion(data[4])
+	if checksummed {
+		if err := verifyTrailingCRC(data, "stream file"); err != nil {
+			return nil, err
+		}
 	}
 	nCols := int(binary.LittleEndian.Uint16(data[5:]))
 	pos := 7
@@ -334,11 +404,11 @@ func inspectStreamFile(data []byte) (*FileInfo, error) {
 			if payloadLen < 0 || len(data) < pos+5+payloadLen {
 				return nil, ErrCorrupt
 			}
-			cols, headerBytes, err := inspectChunkBody(data[pos+5:pos+5+payloadLen], pos+5)
+			cols, headerBytes, csumBytes, err := inspectChunkBody(data[pos+5:pos+5+payloadLen], pos+5)
 			if err != nil {
 				return nil, err
 			}
-			total := headerBytes
+			total := headerBytes + csumBytes
 			for _, c := range cols {
 				total += c.Size
 			}
@@ -347,11 +417,16 @@ func inspectStreamFile(data []byte) (*FileInfo, error) {
 			}
 			fi.Chunks = append(fi.Chunks, &ChunkInfo{
 				Offset: pos, Size: 5 + payloadLen, FrameBytes: 5,
-				HeaderBytes: headerBytes, Columns: cols,
+				HeaderBytes: headerBytes, ChecksumBytes: csumBytes, Columns: cols,
 			})
 			pos += 5 + payloadLen
 		case 'E':
-			if len(data) != pos+13 {
+			want := pos + 13
+			if checksummed {
+				want += crcBytes
+				fi.ChecksumBytes = crcBytes
+			}
+			if len(data) != want {
 				return nil, ErrCorrupt
 			}
 			fi.FooterBytes = 13
@@ -368,12 +443,12 @@ func inspectStreamFile(data []byte) (*FileInfo, error) {
 // AccountedBytes() == Size; Inspect guarantees it for the layouts it
 // returns.
 func (f *FileInfo) AccountedBytes() int {
-	total := f.HeaderBytes + f.FooterBytes
+	total := f.HeaderBytes + f.FooterBytes + f.ChecksumBytes
 	for _, c := range f.Columns {
 		total += columnAccountedBytes(c)
 	}
 	for _, ch := range f.Chunks {
-		total += ch.FrameBytes + ch.HeaderBytes
+		total += ch.FrameBytes + ch.HeaderBytes + ch.ChecksumBytes
 		for _, c := range ch.Columns {
 			total += columnAccountedBytes(c)
 		}
@@ -382,9 +457,9 @@ func (f *FileInfo) AccountedBytes() int {
 }
 
 func columnAccountedBytes(c *ColumnInfo) int {
-	total := c.HeaderBytes
+	total := c.HeaderBytes + c.ChecksumBytes
 	for _, b := range c.Blocks {
-		total += blockHeaderBytes + b.NullBytes
+		total += blockHeaderBytes + b.NullBytes + b.ChecksumBytes
 		b.Data.Walk(func(n *SchemeNode, _ int) {
 			total += n.HeaderBytes + n.PayloadBytes
 		})
@@ -497,10 +572,12 @@ type FileStats struct {
 	Blocks  int
 	Nulls   int
 	// FramingBytes counts container/column/block headers and footers;
-	// NullBytes the serialized NULL bitmaps; SchemeHeaderBytes and
+	// NullBytes the serialized NULL bitmaps; ChecksumBytes the CRC32C
+	// trailers (0 for v1 files); SchemeHeaderBytes and
 	// SchemePayloadBytes the scheme-node breakdown.
 	FramingBytes       int
 	NullBytes          int
+	ChecksumBytes      int
 	SchemeHeaderBytes  int
 	SchemePayloadBytes int
 	// RootSchemes counts blocks by column type and root scheme
@@ -519,21 +596,25 @@ func (f *FileInfo) Stats() *FileStats {
 		Rows:              f.Rows(),
 		Chunks:            len(f.Chunks),
 		FramingBytes:      f.HeaderBytes + f.FooterBytes,
+		ChecksumBytes:     f.ChecksumBytes,
 		RootSchemes:       make(map[string]map[string]int),
 		StreamSchemes:     make(map[string]map[string]int),
 		StreamSchemeBytes: make(map[string]map[string]int),
 	}
 	for _, ch := range f.Chunks {
 		s.FramingBytes += ch.FrameBytes + ch.HeaderBytes
+		s.ChecksumBytes += ch.ChecksumBytes
 	}
 	f.eachColumn(func(c *ColumnInfo) {
 		s.Columns++
 		s.Nulls += c.NullCount
 		s.FramingBytes += c.HeaderBytes
+		s.ChecksumBytes += c.ChecksumBytes
 		for _, b := range c.Blocks {
 			s.Blocks++
 			s.FramingBytes += blockHeaderBytes
 			s.NullBytes += b.NullBytes
+			s.ChecksumBytes += b.ChecksumBytes
 			statsBump(s.RootSchemes, c.Type.String(), b.Data.Code.String(), 1)
 			b.Data.Walk(func(n *SchemeNode, _ int) {
 				s.SchemeHeaderBytes += n.HeaderBytes
@@ -565,8 +646,8 @@ func (s *FileStats) Render(w io.Writer) {
 		fmt.Fprintf(w, ", %d nulls", s.Nulls)
 	}
 	fmt.Fprintf(w, "\n")
-	fmt.Fprintf(w, "byte breakdown: framing %d, null bitmaps %d, scheme headers %d, payloads %d\n",
-		s.FramingBytes, s.NullBytes, s.SchemeHeaderBytes, s.SchemePayloadBytes)
+	fmt.Fprintf(w, "byte breakdown: framing %d, null bitmaps %d, checksums %d, scheme headers %d, payloads %d\n",
+		s.FramingBytes, s.NullBytes, s.ChecksumBytes, s.SchemeHeaderBytes, s.SchemePayloadBytes)
 	renderCountTable(w, "root schemes (blocks, by column type)", s.RootSchemes, nil)
 	renderCountTable(w, "cascade streams (count and bytes, by stream kind)", s.StreamSchemes, s.StreamSchemeBytes)
 }

@@ -22,7 +22,7 @@ func checkAccounting(t *testing.T, data []byte) *FileInfo {
 	}
 	// Every scheme node must satisfy the tree invariant too.
 	info.eachColumn(func(c *ColumnInfo) {
-		colTotal := c.HeaderBytes
+		colTotal := c.HeaderBytes + c.ChecksumBytes
 		for _, b := range c.Blocks {
 			if b.Data.Bytes != b.DataBytes {
 				t.Fatalf("block %d of %q: root node %d bytes, data stream %d",
@@ -128,8 +128,8 @@ func TestInspectEmptyColumn(t *testing.T) {
 	if len(ci.Blocks) != 0 || ci.Rows != 0 {
 		t.Fatalf("%d blocks, %d rows", len(ci.Blocks), ci.Rows)
 	}
-	if ci.HeaderBytes != len(data) {
-		t.Fatalf("header %d bytes, file %d", ci.HeaderBytes, len(data))
+	if ci.HeaderBytes+ci.ChecksumBytes != len(data) {
+		t.Fatalf("header %d + checksum %d bytes, file %d", ci.HeaderBytes, ci.ChecksumBytes, len(data))
 	}
 }
 
@@ -236,7 +236,7 @@ func TestInspectRenderAndStats(t *testing.T) {
 	if st.Blocks != 6 || st.Columns != 3 || st.Rows != 70000 {
 		t.Fatalf("stats: %+v", st)
 	}
-	total := st.FramingBytes + st.NullBytes + st.SchemeHeaderBytes + st.SchemePayloadBytes
+	total := st.FramingBytes + st.NullBytes + st.ChecksumBytes + st.SchemeHeaderBytes + st.SchemePayloadBytes
 	if total != st.Size {
 		t.Fatalf("stats byte breakdown sums to %d, file is %d", total, st.Size)
 	}

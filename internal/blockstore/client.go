@@ -3,34 +3,185 @@ package blockstore
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"btrblocks"
+	"btrblocks/internal/obs"
 )
 
 // Client is the Go consumer of a blockstore Server. Zero-allocation it is
 // not — it is the reference implementation of the wire protocol and the
 // engine behind the `btrbench serve` experiment.
+//
+// The client is fault-tolerant by default: transport errors, truncated
+// bodies and 5xx responses are retried with capped exponential backoff
+// and jitter up to a per-request retry budget, while 4xx responses —
+// including the damage statuses 422 (corrupt) and 410 (quarantined) —
+// fail immediately, because retrying damaged bytes cannot help. Backoff
+// sleeps respect the request context.
 type Client struct {
-	base string
-	http *http.Client
+	base        string
+	http        *http.Client
+	maxRetries  int           // retries after the first attempt
+	backoffBase time.Duration // first backoff step
+	backoffMax  time.Duration // cap per step
+	reqTimeout  time.Duration // per-attempt deadline (0 = none)
+
+	retries  atomic.Int64
+	backoffs obs.Histogram // distribution of backoff sleeps
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (e.g. to install a
+// fault-injecting transport).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetries sets the per-request retry budget: how many times a failed
+// attempt is retried (default 3; negative disables retrying).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) {
+		if n < 0 {
+			n = 0
+		}
+		c.maxRetries = n
+	}
+}
+
+// WithBackoff sets the exponential backoff schedule: base doubles per
+// retry up to max, each step jittered by up to 50%. The defaults are
+// 20ms base, 1s cap.
+func WithBackoff(base, max time.Duration) ClientOption {
+	return func(c *Client) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithAttemptTimeout bounds each individual attempt (the caller's
+// context still bounds the whole request including backoff sleeps).
+func WithAttemptTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.reqTimeout = d }
 }
 
 // NewClient returns a client for the server at base (e.g.
 // "http://127.0.0.1:8080"). It uses http.DefaultClient's transport, which
 // pools connections per host.
-func NewClient(base string) *Client {
-	return &Client{base: base, http: &http.Client{}}
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:        base,
+		http:        &http.Client{},
+		maxRetries:  3,
+		backoffBase: 20 * time.Millisecond,
+		backoffMax:  time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// get issues a GET and fails on any non-2xx status.
+// ClientStats reports the client's fault-handling counters.
+type ClientStats struct {
+	// Retries is the total number of retried attempts.
+	Retries int64 `json:"retries"`
+	// Backoff is the distribution of backoff sleeps.
+	Backoff obs.HistogramSnapshot `json:"backoff"`
+}
+
+// Stats returns a snapshot of the client's retry behavior.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{Retries: c.retries.Load(), Backoff: c.backoffs.Snapshot()}
+}
+
+// HTTPError is a non-2xx response, preserved with its status code so
+// callers can classify failures (e.g. 422 corrupt, 410 quarantined).
+type HTTPError struct {
+	Status int
+	Path   string
+	Msg    string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("blockstore: GET %s: %d: %s", e.Path, e.Status, e.Msg)
+}
+
+// IsBlockDamage reports whether err is the server saying a specific
+// block's bytes are unusable (422 corrupt or 410 quarantined) — the
+// failures a degraded scan skips rather than aborts on.
+func IsBlockDamage(err error) bool {
+	var he *HTTPError
+	return errors.As(err, &he) &&
+		(he.Status == http.StatusUnprocessableEntity || he.Status == http.StatusGone)
+}
+
+// retryable reports whether an attempt's failure may be transient:
+// transport errors and 5xx responses are; context cancellation and 4xx
+// (the request itself is wrong, or the data is damaged) are not.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status >= 500
+	}
+	return true // transport-level failure
+}
+
+// backoffDelay returns the jittered exponential delay for retry attempt
+// n (0-based).
+func (c *Client) backoffDelay(n int) time.Duration {
+	d := c.backoffBase << n
+	if d <= 0 || d > c.backoffMax {
+		d = c.backoffMax
+	}
+	// Up to 50% jitter decorrelates clients hammering a recovering server.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// get issues a GET and fails on any non-2xx status, retrying transient
+// failures within the retry budget.
 func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		body, err := c.getOnce(ctx, path)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if attempt >= c.maxRetries || !retryable(err) {
+			break
+		}
+		delay := c.backoffDelay(attempt)
+		c.retries.Add(1)
+		c.backoffs.Observe(delay)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// getOnce is a single attempt, bounded by the per-attempt timeout.
+func (c *Client) getOnce(ctx context.Context, path string) ([]byte, error) {
+	if c.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, err
@@ -45,7 +196,7 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("blockstore: GET %s: %s: %s", path, resp.Status, firstLine(body))
+		return nil, &HTTPError{Status: resp.StatusCode, Path: path, Msg: firstLine(body)}
 	}
 	return body, nil
 }
@@ -202,17 +353,50 @@ func (c *Client) MetricsText(ctx context.Context) (string, error) {
 	return string(body), err
 }
 
+// ScanResult is the outcome of a column scan that degrades gracefully:
+// damaged blocks are skipped and reported instead of aborting the scan.
+type ScanResult struct {
+	// Rows and Bytes sum over the healthy blocks received.
+	Rows  int
+	Bytes int64
+	// Blocks is the number of healthy blocks received.
+	Blocks int
+	// FailedBlocks lists the indices the server refused as damaged (422
+	// corrupt or 410 quarantined), in ascending order.
+	FailedBlocks []int
+	// Partial reports whether any block was lost: the row total covers
+	// only part of the column.
+	Partial bool
+}
+
 // ScanColumn fetches every block of a served column with the given number
 // of concurrent workers (<= 0 means 1) and returns the total rows and
 // decompressed bytes received. Blocks travel in the binary wire format;
-// the first error cancels the remaining fetches.
+// the first error — including block damage — fails the scan. Use
+// ScanColumnPartial to skip damaged blocks instead.
 func (c *Client) ScanColumn(ctx context.Context, name string, workers int) (rows int, bytes int64, err error) {
-	meta, err := c.FileMeta(ctx, name)
+	res, err := c.scanColumn(ctx, name, workers, false)
 	if err != nil {
 		return 0, 0, err
 	}
+	return res.Rows, res.Bytes, nil
+}
+
+// ScanColumnPartial fetches every block of a served column, skipping
+// blocks the server reports as damaged (corrupt or quarantined) and
+// marking the result partial — graceful degradation for scans over
+// columns with localized damage. Any other failure aborts the scan.
+func (c *Client) ScanColumnPartial(ctx context.Context, name string, workers int) (*ScanResult, error) {
+	return c.scanColumn(ctx, name, workers, true)
+}
+
+func (c *Client) scanColumn(ctx context.Context, name string, workers int, skipDamage bool) (*ScanResult, error) {
+	meta, err := c.FileMeta(ctx, name)
+	if err != nil {
+		return nil, err
+	}
 	if meta.Blocks == 0 {
-		return 0, 0, fmt.Errorf("blockstore: %s has no addressable blocks", name)
+		return nil, fmt.Errorf("blockstore: %s has no addressable blocks", name)
 	}
 	if workers <= 0 {
 		workers = 1
@@ -227,6 +411,9 @@ func (c *Client) ScanColumn(ctx context.Context, name string, workers int) (rows
 		next     atomic.Int64
 		gotRows  atomic.Int64
 		gotBytes atomic.Int64
+		gotBlks  atomic.Int64
+		failedMu sync.Mutex
+		failed   []int
 		firstErr error
 		errOnce  sync.Once
 		wg       sync.WaitGroup
@@ -242,17 +429,31 @@ func (c *Client) ScanColumn(ctx context.Context, name string, workers int) (rows
 				}
 				blk, err := c.Block(ctx, name, idx)
 				if err != nil {
+					if skipDamage && IsBlockDamage(err) {
+						failedMu.Lock()
+						failed = append(failed, idx)
+						failedMu.Unlock()
+						continue
+					}
 					errOnce.Do(func() { firstErr = err; cancel() })
 					return
 				}
 				gotRows.Add(int64(blk.Rows))
 				gotBytes.Add(int64(blk.UncompressedBytes()))
+				gotBlks.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return 0, 0, firstErr
+		return nil, firstErr
 	}
-	return int(gotRows.Load()), gotBytes.Load(), nil
+	sort.Ints(failed)
+	return &ScanResult{
+		Rows:         int(gotRows.Load()),
+		Bytes:        gotBytes.Load(),
+		Blocks:       int(gotBlks.Load()),
+		FailedBlocks: failed,
+		Partial:      len(failed) > 0,
+	}, nil
 }

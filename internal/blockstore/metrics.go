@@ -26,6 +26,8 @@ type Metrics struct {
 	PrefetchScheduled atomic.Int64
 	PrefetchDropped   atomic.Int64
 	InFlight          atomic.Int64 // gauge: HTTP requests being served
+	CorruptBlocks     atomic.Int64 // decode attempts that failed with corruption
+	QuarantinedBlocks atomic.Int64 // gauge: blocks currently quarantined
 
 	mu        sync.Mutex
 	endpoints map[string]*EndpointMetrics
@@ -110,6 +112,8 @@ func (m *Metrics) Cache() CacheStats {
 		PrefetchScheduled: m.PrefetchScheduled.Load(),
 		PrefetchDropped:   m.PrefetchDropped.Load(),
 		InFlight:          m.InFlight.Load(),
+		CorruptBlocks:     m.CorruptBlocks.Load(),
+		QuarantinedBlocks: m.QuarantinedBlocks.Load(),
 	}
 }
 
@@ -132,6 +136,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("btrserved_prefetch_scheduled_total", "Blocks scheduled for readahead decode.", m.PrefetchScheduled.Load())
 	counter("btrserved_prefetch_dropped_total", "Readahead blocks dropped because the queue was full.", m.PrefetchDropped.Load())
 	gauge("btrserved_inflight_requests", "HTTP requests currently being served.", m.InFlight.Load())
+	counter("btrserved_corrupt_blocks_total", "Block decode attempts that failed with corruption (checksum mismatch, truncation, decoder rejection).", m.CorruptBlocks.Load())
+	gauge("btrserved_quarantined_blocks", "Blocks currently quarantined after repeated corrupt decodes.", m.QuarantinedBlocks.Load())
 
 	routes, eps := m.endpointsSorted()
 

@@ -33,9 +33,11 @@ import (
 // the scan fast paths. The trace endpoint re-derives the scheme
 // selection of a served column, block by block, for debugging.
 type Server struct {
-	store *Store
-	mux   *http.ServeMux
-	log   *slog.Logger
+	store   *Store
+	mux     *http.ServeMux
+	handler http.Handler
+	log     *slog.Logger
+	timeout time.Duration
 }
 
 // ServerOption configures a Server.
@@ -46,6 +48,14 @@ type ServerOption func(*Server)
 // default) disables request logging.
 func WithLogger(l *slog.Logger) ServerOption {
 	return func(s *Server) { s.log = l }
+}
+
+// WithRequestTimeout bounds every request: handlers that exceed d are
+// cut off with 503 Service Unavailable (via http.TimeoutHandler) and
+// their request context is canceled. Zero (the default) disables the
+// bound.
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.timeout = d }
 }
 
 // NewServer wraps a store.
@@ -62,11 +72,15 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	s.handle("/v1/trace/", s.handleTrace)
 	s.handle("/v1/telemetry", s.handleTelemetry)
 	s.handle("/metrics", s.handleMetrics)
+	s.handler = s.mux
+	if s.timeout > 0 {
+		s.handler = http.TimeoutHandler(s.mux, s.timeout, "request timed out")
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // statusWriter captures the response code for metrics.
 type statusWriter struct {
@@ -128,11 +142,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-// fail maps a store error to an HTTP status.
+// fail maps a store error to an HTTP status. The damage statuses are
+// distinct so clients can tell block-level loss (422 corrupt, 410
+// quarantined — skip the block, keep scanning) from request errors.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case IsNotFound(err):
 		http.Error(w, err.Error(), http.StatusNotFound)
+	case IsQuarantined(err):
+		http.Error(w, err.Error(), http.StatusGone)
+	case IsCorrupt(err):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}

@@ -15,6 +15,7 @@
 package blockstore
 
 import (
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
@@ -41,6 +42,16 @@ type Config struct {
 	// PrefetchWorkers is the readahead worker-pool size (default 2 when
 	// prefetching is enabled).
 	PrefetchWorkers int
+	// QuarantineThreshold is how many corrupt decode failures a block
+	// accumulates before the store quarantines it and stops retrying
+	// (default 3; negative disables quarantining). Only corruption
+	// (errors.Is ErrCorrupt — checksum mismatches, truncation, decoder
+	// rejections) counts; not-found and bad-request errors do not.
+	QuarantineThreshold int
+	// QuarantineTTL, when positive, lets a quarantined block be re-probed
+	// after the TTL elapses — self-healing for transient media errors.
+	// Zero means quarantine is permanent for the store's lifetime.
+	QuarantineTTL time.Duration
 	// Options configures decompression and predicate evaluation. When
 	// Options.Telemetry is set, every block decode is counted on it.
 	Options *btrblocks.Options
@@ -61,6 +72,16 @@ func (c Config) prefetchWorkers() int {
 		return c.PrefetchWorkers
 	}
 	return 2
+}
+
+func (c Config) quarantineThreshold() int {
+	if c.QuarantineThreshold < 0 {
+		return 0 // disabled
+	}
+	if c.QuarantineThreshold == 0 {
+		return 3
+	}
+	return c.QuarantineThreshold
 }
 
 // File is one hosted file.
@@ -122,6 +143,13 @@ type Store struct {
 	quit       chan struct{}
 	wg         sync.WaitGroup
 	closed     atomic.Bool
+
+	// Quarantine state: blocks whose decode keeps failing with corruption
+	// are fenced off so scans degrade gracefully instead of re-decoding
+	// (and re-failing on) the same damaged bytes forever.
+	quarMu      sync.Mutex
+	failures    map[string]int       // cache key -> consecutive corrupt failures
+	quarantined map[string]time.Time // cache key -> when quarantined
 }
 
 // NewStore builds a store from in-memory file contents, keyed by
@@ -130,10 +158,12 @@ type Store struct {
 // kept and served raw — a data lake directory can hold anything.
 func NewStore(contents map[string][]byte, cfg Config) (*Store, error) {
 	s := &Store{
-		cfg:     cfg,
-		files:   make(map[string]*File, len(contents)),
-		metrics: NewMetrics(),
-		loaded:  time.Now(),
+		cfg:         cfg,
+		files:       make(map[string]*File, len(contents)),
+		metrics:     NewMetrics(),
+		loaded:      time.Now(),
+		failures:    make(map[string]int),
+		quarantined: make(map[string]time.Time),
 	}
 	s.cache = NewCache(cfg.cacheBytes(), cfg.CacheShards, s.metrics)
 	for name, data := range contents {
@@ -248,6 +278,18 @@ var errNotFound = fmt.Errorf("blockstore: file not found")
 // IsNotFound reports whether err means the file does not exist.
 func IsNotFound(err error) bool { return err == errNotFound }
 
+// errQuarantined marks a block the store has fenced off after repeated
+// corrupt decodes; the HTTP layer maps it to 410 Gone.
+var errQuarantined = errors.New("blockstore: block quarantined after repeated corruption")
+
+// IsQuarantined reports whether err means the block is quarantined.
+func IsQuarantined(err error) bool { return errors.Is(err, errQuarantined) }
+
+// IsCorrupt reports whether err means the block's bytes are damaged
+// (checksum mismatch, truncation, or decoder rejection); the HTTP layer
+// maps it to 422 Unprocessable Entity.
+func IsCorrupt(err error) bool { return errors.Is(err, btrblocks.ErrCorrupt) }
+
 func (s *Store) cachedBlock(name string, idx int) (*Block, error) {
 	f := s.files[name]
 	if f == nil {
@@ -260,9 +302,74 @@ func (s *Store) cachedBlock(name string, idx int) (*Block, error) {
 		return nil, fmt.Errorf("blockstore: %s block %d out of range [0,%d)", name, idx, len(f.Index.Blocks))
 	}
 	key := name + "\x00" + strconv.Itoa(idx)
-	return s.cache.GetOrLoad(key, func() (*Block, error) {
+	if err := s.checkQuarantine(key, name, idx); err != nil {
+		return nil, err
+	}
+	blk, err := s.cache.GetOrLoad(key, func() (*Block, error) {
 		return s.decodeBlock(f, idx)
 	})
+	s.recordOutcome(key, err)
+	return blk, err
+}
+
+// checkQuarantine fails fast for quarantined blocks. An expired
+// QuarantineTTL lifts the fence so the block gets one fresh probe —
+// self-healing when the damage was transient (e.g. the file was
+// re-uploaded and the store reloaded it).
+func (s *Store) checkQuarantine(key, name string, idx int) error {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	since, ok := s.quarantined[key]
+	if !ok {
+		return nil
+	}
+	if ttl := s.cfg.QuarantineTTL; ttl > 0 && time.Since(since) > ttl {
+		delete(s.quarantined, key)
+		s.failures[key] = 0
+		s.metrics.QuarantinedBlocks.Add(-1)
+		return nil
+	}
+	return fmt.Errorf("%w: %s block %d", errQuarantined, name, idx)
+}
+
+// recordOutcome updates the failure ledger after a decode attempt:
+// corruption counts toward quarantine, success clears the slate, and
+// other errors (cancellations, not-found) are ignored.
+func (s *Store) recordOutcome(key string, err error) {
+	threshold := s.cfg.quarantineThreshold()
+	switch {
+	case err == nil:
+		s.quarMu.Lock()
+		delete(s.failures, key)
+		s.quarMu.Unlock()
+	case IsCorrupt(err):
+		s.metrics.CorruptBlocks.Add(1)
+		if threshold == 0 {
+			return
+		}
+		s.quarMu.Lock()
+		s.failures[key]++
+		if s.failures[key] >= threshold {
+			if _, already := s.quarantined[key]; !already {
+				s.quarantined[key] = time.Now()
+				s.metrics.QuarantinedBlocks.Add(1)
+			}
+		}
+		s.quarMu.Unlock()
+	}
+}
+
+// Quarantined returns the quarantined block keys ("name\x00idx"), for
+// telemetry and tests.
+func (s *Store) Quarantined() []string {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	out := make([]string, 0, len(s.quarantined))
+	for k := range s.quarantined {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (s *Store) decodeBlock(f *File, idx int) (*Block, error) {

@@ -79,6 +79,8 @@ type CacheStats struct {
 	PrefetchScheduled int64 `json:"prefetch_scheduled"`
 	PrefetchDropped   int64 `json:"prefetch_dropped"`
 	InFlight          int64 `json:"inflight"`
+	CorruptBlocks     int64 `json:"corrupt_blocks"`
+	QuarantinedBlocks int64 `json:"quarantined_blocks"`
 }
 
 // TelemetryReport is the /v1/telemetry response: the serving-side cache

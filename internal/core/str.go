@@ -345,7 +345,10 @@ func decodeStringDict(src []byte, cfg *Config) (coldata.StringViews, int, error)
 		rawLen := int(binary.LittleEndian.Uint32(src[pos:]))
 		encLen := int(binary.LittleEndian.Uint32(src[pos+4:]))
 		pos += 8
-		if rawLen < 0 || encLen < 0 || len(src) < pos+encLen {
+		if rawLen < 0 || encLen < 0 || len(src) < pos+encLen || rawLen > 8*encLen {
+			// rawLen > 8*encLen is structurally impossible (an FSST code
+			// expands to at most 8 bytes), so don't let a corrupt header
+			// size the allocation.
 			return out, 0, ErrCorrupt
 		}
 		pool, err = table.Decode(make([]byte, 0, rawLen), src[pos:pos+encLen])
@@ -471,7 +474,9 @@ func decodeStringFSST(src []byte, cfg *Config) (coldata.StringViews, int, error)
 	rawLen := int(binary.LittleEndian.Uint32(src[pos:]))
 	encLen := int(binary.LittleEndian.Uint32(src[pos+4:]))
 	pos += 8
-	if rawLen < 0 || encLen < 0 || len(src) < pos+encLen {
+	if rawLen < 0 || encLen < 0 || len(src) < pos+encLen || rawLen > 8*encLen {
+		// See decodeStringDict: cap the decode buffer by FSST's maximum
+		// 8x expansion before allocating.
 		return out, 0, ErrCorrupt
 	}
 	// One decode call over the whole block payload (§5: pass the first
@@ -552,7 +557,7 @@ func decodeStringDictViews(body []byte, cfg *Config) (dictHeaderViews, error) {
 		rawLen := int(binary.LittleEndian.Uint32(body[pos:]))
 		encLen := int(binary.LittleEndian.Uint32(body[pos+4:]))
 		pos += 8
-		if rawLen < 0 || encLen < 0 || len(body) < pos+encLen {
+		if rawLen < 0 || encLen < 0 || len(body) < pos+encLen || rawLen > 8*encLen {
 			return out, ErrCorrupt
 		}
 		pool, err = table.Decode(make([]byte, 0, rawLen), body[pos:pos+encLen])

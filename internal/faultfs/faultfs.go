@@ -1,0 +1,265 @@
+// Package faultfs provides seeded, deterministic fault injection for
+// integrity testing: wrappers around io.ReaderAt, io.Writer and
+// http.RoundTripper that flip bits, truncate data, return short reads,
+// inject errors, and add latency at configurable rates. The same seed
+// always produces the same fault sequence, so chaos tests are
+// reproducible bit for bit.
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error returned by injected failures. Test with
+// errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Config sets per-operation fault rates. All probabilities are in
+// [0, 1]; zero disables that fault class. The zero Config injects
+// nothing and adds no latency.
+type Config struct {
+	// Seed makes the fault sequence deterministic. Two wrappers built
+	// with the same seed and config inject identical faults.
+	Seed int64
+	// BitFlip is the probability that an operation's data has one
+	// random bit flipped.
+	BitFlip float64
+	// Truncate is the probability that an operation's data is cut short
+	// at a random point (reads then return io.ErrUnexpectedEOF; writes
+	// silently drop the tail, as a torn write would).
+	Truncate float64
+	// ShortRead is the probability that a read returns fewer bytes than
+	// requested with io.ErrUnexpectedEOF, as an interrupted read would.
+	ShortRead float64
+	// Err is the probability that an operation fails outright with
+	// ErrInjected.
+	Err float64
+	// Latency is added to every operation.
+	Latency time.Duration
+}
+
+// Stats counts the faults a wrapper has injected.
+type Stats struct {
+	Ops         int64
+	BitFlips    int64
+	Truncations int64
+	ShortReads  int64
+	Errors      int64
+}
+
+// injector is the shared seeded fault source behind every wrapper.
+type injector struct {
+	cfg   Config
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+func newInjector(cfg Config) *injector {
+	return &injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// decide rolls the dice for one operation and returns the faults to
+// apply. All randomness happens here, under the lock, so concurrent
+// callers still consume a single deterministic sequence.
+type decision struct {
+	err      bool
+	bitFlip  bool
+	truncate bool
+	short    bool
+	// cut is the fraction (0,1) at which truncation/short read cuts the
+	// data; flipByte/flipBit locate the bit flip.
+	cut      float64
+	flipByte float64
+	flipBit  uint
+}
+
+func (in *injector) decide() decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Ops++
+	d := decision{
+		cut:      in.rng.Float64(),
+		flipByte: in.rng.Float64(),
+		flipBit:  uint(in.rng.Intn(8)),
+	}
+	if in.cfg.Err > 0 && in.rng.Float64() < in.cfg.Err {
+		d.err = true
+		in.stats.Errors++
+		return d
+	}
+	if in.cfg.BitFlip > 0 && in.rng.Float64() < in.cfg.BitFlip {
+		d.bitFlip = true
+		in.stats.BitFlips++
+	}
+	if in.cfg.Truncate > 0 && in.rng.Float64() < in.cfg.Truncate {
+		d.truncate = true
+		in.stats.Truncations++
+	}
+	if in.cfg.ShortRead > 0 && in.rng.Float64() < in.cfg.ShortRead {
+		d.short = true
+		in.stats.ShortReads++
+	}
+	return d
+}
+
+func (in *injector) sleep() {
+	if in.cfg.Latency > 0 {
+		time.Sleep(in.cfg.Latency)
+	}
+}
+
+// Stats returns a snapshot of the faults injected so far.
+func (in *injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// apply mutates p in place according to the decision and returns the
+// usable length (≤ len(p)) and the error to surface.
+func (d decision) apply(p []byte, short bool) (int, error) {
+	n := len(p)
+	if d.bitFlip && n > 0 {
+		i := int(d.flipByte * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		p[i] ^= 1 << d.flipBit
+	}
+	if d.truncate && n > 0 {
+		n = int(d.cut * float64(n))
+		return n, io.ErrUnexpectedEOF
+	}
+	if short && d.short && n > 0 {
+		n = int(d.cut * float64(n))
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+// ReaderAt wraps an io.ReaderAt with fault injection.
+type ReaderAt struct {
+	r io.ReaderAt
+	*injector
+}
+
+// NewReaderAt wraps r.
+func NewReaderAt(r io.ReaderAt, cfg Config) *ReaderAt {
+	return &ReaderAt{r: r, injector: newInjector(cfg)}
+}
+
+// ReadAt reads from the underlying reader, then applies the configured
+// faults to the returned bytes.
+func (f *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	f.sleep()
+	d := f.decide()
+	if d.err {
+		return 0, fmt.Errorf("%w: read at %d", ErrInjected, off)
+	}
+	n, err := f.r.ReadAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	return d.apply(p[:n], true)
+}
+
+// Writer wraps an io.Writer with fault injection: written bytes may be
+// bit-flipped or silently truncated (a torn write), and whole writes may
+// fail with ErrInjected.
+type Writer struct {
+	w io.Writer
+	*injector
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer, cfg Config) *Writer {
+	return &Writer{w: w, injector: newInjector(cfg)}
+}
+
+// Write applies the configured faults to p's copy and forwards it. A
+// truncating fault still reports len(p) written — like a torn write, the
+// caller does not find out.
+func (f *Writer) Write(p []byte) (int, error) {
+	f.sleep()
+	d := f.decide()
+	if d.err {
+		return 0, fmt.Errorf("%w: write of %d bytes", ErrInjected, len(p))
+	}
+	buf := append([]byte(nil), p...)
+	n, _ := d.apply(buf, false)
+	if _, err := f.w.Write(buf[:n]); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// RoundTripper wraps an http.RoundTripper with fault injection on the
+// response path: whole requests may fail with ErrInjected, responses may
+// arrive late, and response bodies may be bit-flipped or truncated —
+// exactly what a block-serving client has to survive.
+type RoundTripper struct {
+	rt http.RoundTripper
+	*injector
+}
+
+// NewRoundTripper wraps rt (http.DefaultTransport if nil).
+func NewRoundTripper(rt http.RoundTripper, cfg Config) *RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &RoundTripper{rt: rt, injector: newInjector(cfg)}
+}
+
+// RoundTrip forwards the request and applies the configured faults to
+// the response body.
+func (f *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.sleep()
+	d := f.decide()
+	if d.err {
+		return nil, fmt.Errorf("%w: %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	resp, err := f.rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Body == nil || (!d.bitFlip && !d.truncate) {
+		return resp, nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	n, _ := d.apply(body, false)
+	resp.Body = io.NopCloser(bytes.NewReader(body[:n]))
+	// Keep Content-Length honest for truncations so the client's HTTP
+	// layer doesn't mask the fault; a checksum must catch the flip.
+	resp.ContentLength = int64(n)
+	resp.Header.Set("Content-Length", fmt.Sprint(n))
+	return resp, nil
+}
+
+// CorruptOneByte flips one random nonzero bit pattern in one random byte
+// of data[lo:hi), using rng, and returns the offset it damaged. It is
+// the shared helper behind "flip exactly one byte and assert detection"
+// chaos tests.
+func CorruptOneByte(data []byte, lo, hi int, rng *rand.Rand) int {
+	if hi > len(data) {
+		hi = len(data)
+	}
+	if lo < 0 || lo >= hi {
+		return -1
+	}
+	off := lo + rng.Intn(hi-lo)
+	mask := byte(1 + rng.Intn(255)) // never zero: the byte always changes
+	data[off] ^= mask
+	return off
+}

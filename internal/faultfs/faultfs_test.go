@@ -1,0 +1,147 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestReaderAtDeterministic(t *testing.T) {
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	cfg := Config{Seed: 7, BitFlip: 0.5, Truncate: 0.2, Err: 0.1}
+	run := func() ([][]byte, []error) {
+		r := NewReaderAt(bytes.NewReader(src), cfg)
+		var outs [][]byte
+		var errs []error
+		for i := 0; i < 50; i++ {
+			buf := make([]byte, 128)
+			n, err := r.ReadAt(buf, int64(i*64))
+			outs = append(outs, append([]byte(nil), buf[:n]...))
+			errs = append(errs, err)
+		}
+		return outs, errs
+	}
+	o1, e1 := run()
+	o2, e2 := run()
+	for i := range o1 {
+		if !bytes.Equal(o1[i], o2[i]) {
+			t.Fatalf("op %d: outputs differ between identically-seeded runs", i)
+		}
+		if (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("op %d: errors differ: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestReaderAtInjectsEachFaultClass(t *testing.T) {
+	src := make([]byte, 1024)
+	r := NewReaderAt(bytes.NewReader(src), Config{Seed: 1, BitFlip: 0.3, Truncate: 0.2, ShortRead: 0.2, Err: 0.2})
+	sawErr, sawFlip, sawShort := false, false, false
+	for i := 0; i < 200; i++ {
+		buf := make([]byte, 256)
+		n, err := r.ReadAt(buf, 0)
+		switch {
+		case errors.Is(err, ErrInjected):
+			sawErr = true
+		case err == io.ErrUnexpectedEOF && n < len(buf):
+			sawShort = true
+		case err == nil:
+			for _, b := range buf[:n] {
+				if b != 0 {
+					sawFlip = true
+				}
+			}
+		}
+	}
+	if !sawErr || !sawFlip || !sawShort {
+		t.Fatalf("fault classes seen: err=%v flip=%v short=%v", sawErr, sawFlip, sawShort)
+	}
+	st := r.Stats()
+	if st.Ops != 200 || st.BitFlips == 0 || st.Errors == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReaderAtZeroConfigIsTransparent(t *testing.T) {
+	src := []byte("hello, world")
+	r := NewReaderAt(bytes.NewReader(src), Config{})
+	buf := make([]byte, len(src))
+	n, err := r.ReadAt(buf, 0)
+	if err != nil || n != len(src) || !bytes.Equal(buf, src) {
+		t.Fatalf("n=%d err=%v buf=%q", n, err, buf)
+	}
+}
+
+func TestWriterTornWrite(t *testing.T) {
+	var out bytes.Buffer
+	w := NewWriter(&out, Config{Seed: 3, Truncate: 1})
+	payload := make([]byte, 1000)
+	n, err := w.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("torn write must report success: n=%d err=%v", n, err)
+	}
+	if out.Len() >= len(payload) {
+		t.Fatalf("expected dropped tail, underlying got %d bytes", out.Len())
+	}
+}
+
+func TestRoundTripperFlipsBody(t *testing.T) {
+	const body = "0123456789abcdef0123456789abcdef"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: NewRoundTripper(srv.Client().Transport, Config{Seed: 5, BitFlip: 1})}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == body {
+		t.Fatal("body arrived intact despite BitFlip=1")
+	}
+	if len(got) != len(body) {
+		t.Fatalf("flip must not change length: got %d, want %d", len(got), len(body))
+	}
+}
+
+func TestRoundTripperErrRate(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	client := &http.Client{Transport: NewRoundTripper(srv.Client().Transport, Config{Seed: 9, Err: 1})}
+	_, err := client.Get(srv.URL)
+	if err == nil || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+}
+
+func TestCorruptOneByteAlwaysChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 256)
+	for i := 0; i < 1000; i++ {
+		orig := append([]byte(nil), data...)
+		off := CorruptOneByte(data, 10, 200, rng)
+		if off < 10 || off >= 200 {
+			t.Fatalf("offset %d outside [10,200)", off)
+		}
+		if data[off] == orig[off] {
+			t.Fatalf("byte at %d unchanged", off)
+		}
+		copy(data, orig)
+	}
+	if CorruptOneByte(data, 5, 5, rng) != -1 {
+		t.Fatal("empty range must return -1")
+	}
+}

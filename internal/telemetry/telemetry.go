@@ -162,6 +162,9 @@ type Recorder struct {
 	decodeValues int64
 	decodeBytes  int64
 	decodeNanos  int64
+	// corruption counter (RecordCorruption): blocks or containers whose
+	// checksum verification failed on a decode path
+	corruptBlocks int64
 
 	// Per-block latency distributions: sums alone hide tail behavior, so
 	// compress and decode wall times also feed shared log-scale
@@ -233,6 +236,19 @@ func (r *Recorder) RecordDecode(blocks, values, compressedBytes int, nanos int64
 	r.decodeHist.Observe(time.Duration(nanos))
 }
 
+// RecordCorruption counts blocks (or containers) that failed checksum
+// verification on a decode path. Damage is thereby observable on the
+// same recorder that watches the healthy traffic. Safe for concurrent
+// use; a no-op on a nil receiver.
+func (r *Recorder) RecordCorruption(blocks int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.corruptBlocks += int64(blocks)
+}
+
 // Reset discards all recorded data.
 func (r *Recorder) Reset() {
 	if r == nil {
@@ -247,6 +263,7 @@ func (r *Recorder) Reset() {
 	r.rootPicks, r.cascadePicks, r.depthHist = nil, nil, nil
 	r.ratioHist = RatioHistogram{}
 	r.decodeBlocks, r.decodeValues, r.decodeBytes, r.decodeNanos = 0, 0, 0, 0
+	r.corruptBlocks = 0
 	r.compressHist.Reset()
 	r.decodeHist.Reset()
 }
@@ -278,6 +295,9 @@ type Snapshot struct {
 	DecodeValues int64
 	DecodeBytes  int64
 	DecodeNanos  int64
+	// CorruptBlocks counts checksum-verification failures seen on decode
+	// paths (RecordCorruption).
+	CorruptBlocks int64
 	// CompressLatency and DecodeLatency summarize the per-block wall-time
 	// distributions (count, sum, estimated p50/p95/p99).
 	CompressLatency obs.HistogramSnapshot
@@ -309,6 +329,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		DecodeValues:    r.decodeValues,
 		DecodeBytes:     r.decodeBytes,
 		DecodeNanos:     r.decodeNanos,
+		CorruptBlocks:   r.corruptBlocks,
 		CompressLatency: r.compressHist.Snapshot(),
 		DecodeLatency:   r.decodeHist.Snapshot(),
 		Events:          append([]BlockEvent(nil), r.events...),
@@ -374,6 +395,9 @@ func (s *Snapshot) Report() string {
 	}
 	if s.DecodeLatency.Count > 0 {
 		fmt.Fprintf(&b, "decode per block: %s\n", s.DecodeLatency)
+	}
+	if s.CorruptBlocks > 0 {
+		fmt.Fprintf(&b, "corrupt blocks detected: %d\n", s.CorruptBlocks)
 	}
 	writePickTable(&b, "root scheme picks (blocks)", s.RootPicks)
 	writePickTable(&b, "cascade scheme picks (streams, all levels)", s.CascadePicks)

@@ -129,7 +129,11 @@ func countEqualColumn(
 	cfg := opt.coreConfig()
 	rec := opt.telemetryRecorder()
 	total := 0
-	for _, ref := range ix.Blocks {
+	for b, ref := range ix.Blocks {
+		if err := ix.VerifyBlock(data, b); err != nil {
+			rec.RecordCorruption(1)
+			return 0, err
+		}
 		cfg.MaxDecodedValues = ref.Rows
 		stream := data[ref.DataOffset():ref.End()]
 		if ref.NullBytes == 0 {

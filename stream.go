@@ -2,9 +2,11 @@ package btrblocks
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -24,10 +26,13 @@ var (
 // tables larger than memory round-trip through ordinary io.Writer /
 // io.Reader plumbing.
 //
-//	stream  := magic "BTRS" version:u8 schema chunk* footer
+//	stream  := magic "BTRS" version:u8 schema chunk* footer [streamCRC:u32]
 //	schema  := colCount:u16 (type:u8 nameLen:u16 name)*
 //	chunk   := 'C' chunkLen:u32 <CompressedChunk file bytes>
 //	footer  := 'E' chunkCount:u32 rowCount:u64
+//
+// In format v2 the stream ends with a CRC32C over every preceding byte
+// (magic through footer inclusive); v1 streams have no trailing checksum.
 
 const streamMagic = "BTRS"
 
@@ -36,32 +41,49 @@ type Writer struct {
 	w        *bufio.Writer
 	opt      *Options
 	schema   []Column // names/types only
+	ver      byte
+	sum      uint32 // running CRC32C over all bytes written (v2 only)
 	chunks   int
 	rows     uint64
 	finished bool
 }
 
+// writeBytes writes b and, for checksummed streams, folds it into the
+// running stream CRC. All stream bytes must go through here (or
+// writeByte) so the footer checksum covers everything.
+func (w *Writer) writeBytes(b []byte) error {
+	if checksummedVersion(w.ver) {
+		w.sum = crc32.Update(w.sum, castagnoli, b)
+	}
+	_, err := w.w.Write(b)
+	return err
+}
+
+func (w *Writer) writeByte(b byte) error {
+	return w.writeBytes([]byte{b})
+}
+
 // NewWriter starts a stream with the schema taken from the given columns
 // (their data is ignored; only Name and Type matter).
 func NewWriter(w io.Writer, schema []Column, opt *Options) (*Writer, error) {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(streamMagic); err != nil {
+	ver, err := opt.formatVersionOf()
+	if err != nil {
 		return nil, err
 	}
-	if err := bw.WriteByte(formatVersion); err != nil {
-		return nil, err
-	}
+	sw := &Writer{w: bufio.NewWriter(w), opt: opt, schema: schema, ver: ver}
 	var hdr []byte
+	hdr = append(hdr, streamMagic...)
+	hdr = append(hdr, ver)
 	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(schema)))
 	for _, col := range schema {
 		hdr = append(hdr, byte(col.Type))
 		hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(col.Name)))
 		hdr = append(hdr, col.Name...)
 	}
-	if _, err := bw.Write(hdr); err != nil {
+	if err := sw.writeBytes(hdr); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw, opt: opt, schema: schema}, nil
+	return sw, nil
 }
 
 // WriteChunk compresses and appends one chunk. The chunk's columns must
@@ -86,15 +108,15 @@ func (w *Writer) WriteChunk(chunk *Chunk) error {
 		return err
 	}
 	payload := cc.EncodeFile()
-	if err := w.w.WriteByte('C'); err != nil {
+	if err := w.writeByte('C'); err != nil {
 		return err
 	}
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
-	if _, err := w.w.Write(lenBuf[:]); err != nil {
+	if err := w.writeBytes(lenBuf[:]); err != nil {
 		return err
 	}
-	if _, err := w.w.Write(payload); err != nil {
+	if err := w.writeBytes(payload); err != nil {
 		return err
 	}
 	w.chunks++
@@ -110,14 +132,21 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.finished = true
-	if err := w.w.WriteByte('E'); err != nil {
+	if err := w.writeByte('E'); err != nil {
 		return err
 	}
 	var buf [12]byte
 	binary.LittleEndian.PutUint32(buf[:4], uint32(w.chunks))
 	binary.LittleEndian.PutUint64(buf[4:], w.rows)
-	if _, err := w.w.Write(buf[:]); err != nil {
+	if err := w.writeBytes(buf[:]); err != nil {
 		return err
+	}
+	if checksummedVersion(w.ver) {
+		var crcBuf [crcBytes]byte
+		binary.LittleEndian.PutUint32(crcBuf[:], w.sum)
+		if _, err := w.w.Write(crcBuf[:]); err != nil {
+			return err
+		}
 	}
 	return w.w.Flush()
 }
@@ -127,31 +156,53 @@ type Reader struct {
 	r      *bufio.Reader
 	opt    *Options
 	schema []Column
+	ver    byte
+	sum    uint32 // running CRC32C over all bytes consumed (v2 only)
 	chunks int
 	rows   uint64
 	done   bool
 }
 
+// readFull fills buf from the stream and folds the consumed bytes into
+// the running CRC. Hashing happens here — at the parse layer, not on the
+// underlying reader — so bufio's readahead does not poison the sum.
+func (r *Reader) readFull(buf []byte) error {
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return err
+	}
+	if checksummedVersion(r.ver) {
+		r.sum = crc32.Update(r.sum, castagnoli, buf)
+	}
+	return nil
+}
+
 // NewReader parses the stream header and returns a Reader positioned at
 // the first chunk.
 func NewReader(r io.Reader, opt *Options) (*Reader, error) {
-	br := bufio.NewReader(r)
+	sr := &Reader{r: bufio.NewReader(r), opt: opt}
 	var magic [5]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	if _, err := io.ReadFull(sr.r, magic[:]); err != nil {
 		return nil, ErrCorrupt
 	}
-	if string(magic[:4]) != streamMagic || magic[4] != formatVersion {
+	if string(magic[:4]) != streamMagic {
 		return nil, ErrCorrupt
+	}
+	if !supportedVersion(magic[4]) {
+		return nil, fmt.Errorf("btrblocks: unsupported stream version %d", magic[4])
+	}
+	sr.ver = magic[4]
+	if checksummedVersion(sr.ver) {
+		sr.sum = crc32.Update(0, castagnoli, magic[:])
 	}
 	var cnt [2]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+	if err := sr.readFull(cnt[:]); err != nil {
 		return nil, ErrCorrupt
 	}
 	n := int(binary.LittleEndian.Uint16(cnt[:]))
 	schema := make([]Column, n)
 	for i := range schema {
 		var hdr [3]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err := sr.readFull(hdr[:]); err != nil {
 			return nil, ErrCorrupt
 		}
 		schema[i].Type = Type(hdr[0])
@@ -160,12 +211,13 @@ func NewReader(r io.Reader, opt *Options) (*Reader, error) {
 		}
 		nameLen := int(binary.LittleEndian.Uint16(hdr[1:]))
 		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
+		if err := sr.readFull(name); err != nil {
 			return nil, ErrCorrupt
 		}
 		schema[i].Name = string(name)
 	}
-	return &Reader{r: br, opt: opt, schema: schema}, nil
+	sr.schema = schema
+	return sr, nil
 }
 
 // Schema returns the stream's column names and types.
@@ -177,23 +229,32 @@ func (r *Reader) Next() (*Chunk, error) {
 	if r.done {
 		return nil, io.EOF
 	}
-	tag, err := r.r.ReadByte()
-	if err != nil {
+	var tagBuf [1]byte
+	if err := r.readFull(tagBuf[:]); err != nil {
 		return nil, ErrCorrupt
 	}
-	switch tag {
+	switch tagBuf[0] {
 	case 'C':
 		var lenBuf [4]byte
-		if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+		if err := r.readFull(lenBuf[:]); err != nil {
 			return nil, ErrCorrupt
 		}
-		payloadLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
-		if payloadLen < 0 || payloadLen > 1<<31 {
+		payloadLen := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		if payloadLen > 1<<31 {
 			return nil, ErrCorrupt
 		}
-		payload := make([]byte, payloadLen)
-		if _, err := io.ReadFull(r.r, payload); err != nil {
-			return nil, ErrCorrupt
+		// Grow the payload buffer only as bytes actually arrive: a corrupt
+		// length field must not trigger a giant up-front allocation.
+		var payloadBuf bytes.Buffer
+		if payloadLen < 1<<20 {
+			payloadBuf.Grow(int(payloadLen))
+		}
+		if n, err := io.CopyN(&payloadBuf, r.r, payloadLen); err != nil || n != payloadLen {
+			return nil, fmt.Errorf("%w: chunk payload", ErrTruncatedFile)
+		}
+		payload := payloadBuf.Bytes()
+		if checksummedVersion(r.ver) {
+			r.sum = crc32.Update(r.sum, castagnoli, payload)
 		}
 		cc, err := DecodeFile(payload)
 		if err != nil {
@@ -209,16 +270,27 @@ func (r *Reader) Next() (*Chunk, error) {
 		return chunk, nil
 	case 'E':
 		var buf [12]byte
-		if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if err := r.readFull(buf[:]); err != nil {
 			return nil, ErrCorrupt
 		}
 		r.chunks = int(binary.LittleEndian.Uint32(buf[:4]))
 		r.rows = binary.LittleEndian.Uint64(buf[4:])
+		if checksummedVersion(r.ver) {
+			var crcBuf [crcBytes]byte
+			if _, err := io.ReadFull(r.r, crcBuf[:]); err != nil {
+				return nil, fmt.Errorf("%w: stream checksum", ErrTruncatedFile)
+			}
+			stored := binary.LittleEndian.Uint32(crcBuf[:])
+			if stored != r.sum {
+				r.opt.telemetryRecorder().RecordCorruption(1)
+				return nil, fmt.Errorf("%w: stream checksum %08x, stored %08x",
+					ErrChecksumMismatch, r.sum, stored)
+			}
+		}
 		r.done = true
 		return nil, io.EOF
-	default:
-		return nil, ErrCorrupt
 	}
+	return nil, ErrCorrupt
 }
 
 // Rows returns the footer's total row count; valid after Next returned
