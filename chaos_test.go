@@ -328,3 +328,46 @@ func TestChaosChunkFileDetection(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyMagicOnlyFile is a regression test: a file truncated to
+// exactly its 4-byte magic must produce a failing report, not a panic
+// (the version byte at data[4] is missing).
+func TestVerifyMagicOnlyFile(t *testing.T) {
+	for _, magic := range []string{columnMagic, fileMagic, streamMagic} {
+		rep := Verify([]byte(magic), nil)
+		if rep.OK {
+			t.Fatalf("%q: magic-only file verified OK", magic)
+		}
+		if len(rep.Errors) == 0 {
+			t.Fatalf("%q: no error recorded for truncated header", magic)
+		}
+	}
+}
+
+// TestEncodeFileVersionMatchesChunk proves the container version comes
+// from the chunk's resolved format version, not from sniffing column
+// bytes: a v1 chunk — even one with zero columns — encodes as a v1
+// container, and DecodeFile preserves the version across a re-encode.
+func TestEncodeFileVersionMatchesChunk(t *testing.T) {
+	opt := &Options{BlockSize: 2000, FormatVersion: 1}
+	for _, cols := range [][]Column{chaosColumns(100, 51), nil} {
+		cc, err := CompressChunk(&Chunk{Columns: cols}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := cc.EncodeFile()
+		if data[4] != formatVersion1 {
+			t.Fatalf("%d-column v1 chunk encoded as container version %d", len(cols), data[4])
+		}
+		dec, err := DecodeFile(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Version != formatVersion1 {
+			t.Fatalf("DecodeFile version = %d, want %d", dec.Version, formatVersion1)
+		}
+		if re := dec.EncodeFile(); !bytes.Equal(re, data) {
+			t.Fatalf("%d-column chunk: re-encode changed bytes", len(cols))
+		}
+	}
+}

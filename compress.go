@@ -442,6 +442,10 @@ func (s ColumnStats) Ratio() float64 {
 type CompressedChunk struct {
 	Columns [][]byte
 	Stats   []ColumnStats
+	// Version is the on-disk format version the chunk was compressed
+	// with; CompressChunk and DecodeFile set it, and EncodeFile writes it
+	// as the container version. Zero means "current" (formatVersion).
+	Version byte
 }
 
 // CompressedBytes sums the column file sizes.
@@ -510,6 +514,7 @@ func CompressChunk(chunk *Chunk, opt *Options) (*CompressedChunk, error) {
 	out := &CompressedChunk{
 		Columns: make([][]byte, nCols),
 		Stats:   make([]ColumnStats, nCols),
+		Version: ver,
 	}
 	for ci := range chunk.Columns {
 		col := &chunk.Columns[ci]
@@ -582,12 +587,13 @@ func parallelism(opt *Options) int {
 // EncodeFile bundles a compressed chunk into a single byte stream:
 // magic, version, column count, column file lengths, column files, and —
 // for v2 chunks — a trailing CRC32C over everything before it. The
-// container version follows the embedded column files (they carry the
-// version the chunk was compressed with).
+// container version is the chunk's Version (the version it was
+// compressed with), so the container always matches the embedded
+// column files; a zero Version encodes as the current formatVersion.
 func (c *CompressedChunk) EncodeFile() []byte {
-	ver := byte(formatVersion)
-	if len(c.Columns) > 0 && len(c.Columns[0]) >= 5 {
-		ver = c.Columns[0][4]
+	ver := c.Version
+	if ver == 0 {
+		ver = formatVersion
 	}
 	var out []byte
 	out = append(out, fileMagic...)
@@ -632,7 +638,7 @@ func DecodeFile(data []byte) (*CompressedChunk, error) {
 		lengths[i] = int(binary.LittleEndian.Uint32(data[pos:]))
 		pos += 4
 	}
-	out := &CompressedChunk{Columns: make([][]byte, nCols)}
+	out := &CompressedChunk{Columns: make([][]byte, nCols), Version: data[4]}
 	for i, l := range lengths {
 		if l < 0 || bodyEnd < pos+l {
 			return nil, ErrTruncatedFile

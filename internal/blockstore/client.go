@@ -126,17 +126,21 @@ func IsBlockDamage(err error) bool {
 }
 
 // retryable reports whether an attempt's failure may be transient:
-// transport errors and 5xx responses are; context cancellation and 4xx
-// (the request itself is wrong, or the data is damaged) are not.
+// transport errors and 5xx responses are; 4xx responses (the request
+// itself is wrong, or the data is damaged) are not. Deadline and
+// cancellation errors count as transient here because they may come
+// from the per-attempt WithAttemptTimeout deadline — the exact failure
+// retries exist for; get() separately stops retrying once the caller's
+// own context is done.
 func retryable(err error) bool {
-	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if err == nil {
 		return false
 	}
 	var he *HTTPError
 	if errors.As(err, &he) {
 		return he.Status >= 500
 	}
-	return true // transport-level failure
+	return true // transport-level failure, including attempt timeouts
 }
 
 // backoffDelay returns the jittered exponential delay for retry attempt
@@ -160,7 +164,10 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 			return body, nil
 		}
 		lastErr = err
-		if attempt >= c.maxRetries || !retryable(err) {
+		// ctx here is the caller's context: when it is done the whole
+		// request is over, but an attempt that failed on its own child
+		// deadline (WithAttemptTimeout) is still worth retrying.
+		if attempt >= c.maxRetries || ctx.Err() != nil || !retryable(err) {
 			break
 		}
 		delay := c.backoffDelay(attempt)

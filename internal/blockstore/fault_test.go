@@ -276,6 +276,40 @@ func TestAttemptTimeout(t *testing.T) {
 	}
 }
 
+// TestAttemptTimeoutIsRetried is a regression test: an attempt that
+// hangs into its WithAttemptTimeout deadline is a transient failure and
+// must be retried — a later, responsive attempt succeeds. (Previously
+// the child deadline's context.DeadlineExceeded was classified as
+// caller cancellation and never retried.)
+func TestAttemptTimeoutIsRetried(t *testing.T) {
+	var hits atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// First attempt hangs until the test ends.
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	cl := NewClient(srv.URL, WithRetries(2), WithAttemptTimeout(20*time.Millisecond),
+		WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err := cl.Healthz(context.Background()); err != nil {
+		t.Fatalf("hung first attempt was not retried: %v", err)
+	}
+	if hits.Load() < 2 {
+		t.Fatalf("server saw %d attempts, want >= 2", hits.Load())
+	}
+	if st := cl.Stats(); st.Retries == 0 {
+		t.Fatal("expected the attempt timeout to be recorded as a retry")
+	}
+}
+
 // TestServerRequestTimeout proves WithRequestTimeout cuts off a slow
 // handler with 503.
 func TestServerRequestTimeout(t *testing.T) {

@@ -305,10 +305,14 @@ func (s *Store) cachedBlock(name string, idx int) (*Block, error) {
 	if err := s.checkQuarantine(key, name, idx); err != nil {
 		return nil, err
 	}
+	// The outcome is recorded inside the load closure so that waiters
+	// sharing one singleflight decode don't each count the same failure:
+	// quarantineThreshold counts actual corrupt decodes, not callers.
 	blk, err := s.cache.GetOrLoad(key, func() (*Block, error) {
-		return s.decodeBlock(f, idx)
+		b, err := s.decodeBlock(f, idx)
+		s.recordOutcome(key, err)
+		return b, err
 	})
-	s.recordOutcome(key, err)
 	return blk, err
 }
 

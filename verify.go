@@ -99,6 +99,10 @@ func Verify(data []byte, vo *VerifyOptions) *VerifyReport {
 		return rep
 	}
 	rep.Kind = kind.String()
+	if len(data) < 5 {
+		rep.fail("truncated header: %d bytes, version byte missing", len(data))
+		return rep
+	}
 	if !supportedVersion(data[4]) {
 		rep.fail("unsupported format version %d", data[4])
 		return rep
