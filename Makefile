@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench ci serve-smoke trace-smoke chaos fuzz-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke ci serve-smoke trace-smoke chaos fuzz-smoke
 
 all: build
 
@@ -66,5 +66,11 @@ check: fmt vet build test race chaos fuzz-smoke serve-smoke trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke compiles and single-shots the parallel decode benchmarks
+# (§6.4 scaling curve) so CI catches bit-rot without timing anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'DecompressParallel|ScanParallel' -benchtime 1x .
+	@echo "bench smoke: OK"
 
 ci: check

@@ -553,6 +553,92 @@ func BenchmarkCountEqual_Ablation(b *testing.B) {
 	})
 }
 
+// --- §6.4: parallel decode engine ---
+
+// BenchmarkDecompressParallel measures whole-chunk decompression at
+// 1/2/4/8 workers — the §6.4 scaling curve at benchmark scale. On an
+// N-core host the workers>1 runs show the parallel decode engine's
+// speedup; throughput is the uncompressed bytes produced per second.
+func BenchmarkDecompressParallel(b *testing.B) {
+	pbiC, _ := corpora()
+	type cchunk struct {
+		cc  *btrblocks.CompressedChunk
+		unc int
+	}
+	var chunks []cchunk
+	total := 0
+	for _, ds := range pbiC {
+		chunk := ds.Chunk
+		cc, err := btrblocks.CompressChunk(&chunk, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unc := ds.Chunk.UncompressedBytes()
+		chunks = append(chunks, cchunk{cc, unc})
+		total += unc
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := &btrblocks.Options{Parallelism: workers}
+			b.SetBytes(int64(total))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, c := range chunks {
+					if _, err := btrblocks.DecompressChunk(c.cc, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanParallel measures compressed-predicate scans over every
+// integer column of the corpus at 1/2/4/8 workers (per-block predicate
+// evaluation with ordered count merge).
+func BenchmarkScanParallel(b *testing.B) {
+	pbiC, _ := corpora()
+	type icol struct {
+		data []byte
+		unc  int
+	}
+	var cols []icol
+	total := 0
+	for _, ds := range pbiC {
+		for _, col := range ds.Chunk.Columns {
+			if col.Type != btrblocks.TypeInt {
+				continue
+			}
+			data, err := btrblocks.CompressColumn(col, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			unc := col.UncompressedBytes()
+			cols = append(cols, icol{data, unc})
+			total += unc
+		}
+	}
+	if len(cols) == 0 {
+		b.Skip("corpus has no integer columns")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := &btrblocks.Options{Parallelism: workers}
+			b.SetBytes(int64(total))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, c := range cols {
+					if _, err := btrblocks.CountEqualInt32(c.data, 7, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- Telemetry overhead ---
 
 // BenchmarkTelemetryOverhead compares block compression with telemetry

@@ -41,6 +41,11 @@ run_tier2() {
 	# committed seed corpora in testdata/fuzz/.
 	make fuzz-smoke
 
+	echo "== bench smoke =="
+	# Compile-and-single-shot the parallel decode benchmarks so the §6.4
+	# scaling harness cannot bit-rot (nothing is timed).
+	make bench-smoke
+
 	echo "== chaos gate =="
 	# Fault-injection suite: seeded corruption of every container format
 	# must be detected, and the served degradation paths must hold.

@@ -7,7 +7,7 @@
 //	btrbench [-rows N] [-seed S] [-threads T] [-reps R] <experiment>...
 //
 // Experiments: fig1 table2 schemes fig4 fig5 fig6 fig7 compspeed table3
-// pde-pool fig8 table4 table5 colscan scalar selection serve all
+// pde-pool fig8 table4 table5 colscan scalar selection threads serve all
 package main
 
 import (
@@ -37,13 +37,14 @@ var registry = map[string]func(*experiments.Config) error{
 	"selection": experiments.SelectionOverhead,
 	"schemes":   experiments.Schemes,
 	"serve":     experiments.Serve,
+	"threads":   experiments.Threads,
 }
 
 // order keeps `all` output in the paper's presentation order.
 var order = []string{
 	"fig1", "table2", "schemes", "fig4", "fig5", "fig6", "selection", "fig7",
 	"compspeed", "table3", "pde-pool", "fig8", "table4", "table5",
-	"colscan", "scalar", "serve",
+	"colscan", "scalar", "threads", "serve",
 }
 
 func main() {

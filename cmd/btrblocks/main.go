@@ -9,7 +9,7 @@
 //	btrblocks inspect    <in.btr>
 //	btrblocks stats      <in.btr>
 //	btrblocks trace      -schema int,int64,double,string [-block N] [-format json|tree] [-validate] <in.csv>
-//	btrblocks verify     [-json] [-deep] [-q] <path>...
+//	btrblocks verify     [-json] [-deep] [-parallel N] [-q] <path>...
 //
 // inspect prints the full layout tree of a column, chunk, or stream file
 // (see FORMAT.md): container framing, per-block NULL bitmap and data
@@ -80,7 +80,7 @@ func usage() {
   btrblocks inspect    <in.btr>
   btrblocks stats      <in.btr>
   btrblocks trace      -schema int,int64,double,string [-block N] [-format json|tree] [-validate] <in.csv>
-  btrblocks verify     [-json] [-deep] [-q] <path>...
+  btrblocks verify     [-json] [-deep] [-parallel N] [-q] <path>...
 `)
 }
 

@@ -19,6 +19,7 @@ func verify(args []string) error {
 	fsName := flag.NewFlagSet("verify", flag.ExitOnError)
 	jsonOut := fsName.Bool("json", false, "print reports as a JSON array")
 	deep := fsName.Bool("deep", false, "additionally decode every block (catches corruption in v1 files)")
+	par := fsName.Int("parallel", 0, "worker goroutines per file walk (0 = one per CPU, 1 = serial)")
 	quiet := fsName.Bool("q", false, "print only damaged files")
 	if err := fsName.Parse(args); err != nil {
 		return err
@@ -32,8 +33,9 @@ func verify(args []string) error {
 		if err != nil {
 			return err
 		}
+		vopt := &btrblocks.VerifyOptions{Deep: *deep, Parallelism: *par}
 		if !st.IsDir() {
-			rep, err := verifyOne(path, *deep)
+			rep, err := verifyOne(path, vopt)
 			if err != nil {
 				return err
 			}
@@ -51,7 +53,7 @@ func verify(args []string) error {
 			if _, ok := btrblocks.SniffKind(data); !ok {
 				return nil // not a btrblocks file; skip silently
 			}
-			rep := btrblocks.Verify(data, &btrblocks.VerifyOptions{Deep: *deep})
+			rep := btrblocks.Verify(data, vopt)
 			rep.Path = p
 			reports = append(reports, rep)
 			return nil
@@ -84,12 +86,12 @@ func verify(args []string) error {
 	return nil
 }
 
-func verifyOne(path string, deep bool) (*btrblocks.VerifyReport, error) {
+func verifyOne(path string, vopt *btrblocks.VerifyOptions) (*btrblocks.VerifyReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	rep := btrblocks.Verify(data, &btrblocks.VerifyOptions{Deep: deep})
+	rep := btrblocks.Verify(data, vopt)
 	rep.Path = path
 	return rep, nil
 }

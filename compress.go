@@ -1,16 +1,17 @@
 package btrblocks
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"time"
 
 	"btrblocks/coldata"
 	"btrblocks/internal/core"
+	"btrblocks/internal/parallel"
 	"btrblocks/internal/roaring"
 	"btrblocks/internal/telemetry"
 )
@@ -32,6 +33,27 @@ const (
 	// Options.FormatVersion overrides it.
 	formatVersion = formatVersion2
 )
+
+// Parallel-path names the worker-pool engine reports to telemetry
+// (Recorder.RecordWorkers / ObserveQueueWait).
+const (
+	pathCompressChunk    = "compress_chunk"
+	pathCompressColumn   = "compress_column"
+	pathDecompressChunk  = "decompress_chunk"
+	pathDecompressColumn = "decompress_column"
+	pathScan             = "scan"
+	pathVerify           = "verify"
+	pathStreamAhead      = "stream_ahead"
+)
+
+// observerOf adapts an optional telemetry recorder to the pool's
+// Observer interface without handing it a typed nil.
+func observerOf(rec *telemetry.Recorder) parallel.Observer {
+	if rec == nil {
+		return nil
+	}
+	return rec
+}
 
 // CompressColumn compresses one column into a self-contained column file:
 // a header followed by independently decompressible blocks of
@@ -64,14 +86,18 @@ func compressColumnBlocks(col Column, opt *Options) ([][]byte, error) {
 	n := col.Len()
 	numBlocks := (n + bs - 1) / bs
 	blocks := make([][]byte, numBlocks)
-	for b := 0; b < numBlocks; b++ {
+	// Blocks are independent; encode them on the shared pool. Output
+	// lands in per-block slots, so the file bytes are identical at every
+	// worker count.
+	_ = parallel.Observed(context.Background(), numBlocks, parallelism(opt), pathCompressColumn, observerOf(rec), func(b int) error {
 		lo := b * bs
 		hi := lo + bs
 		if hi > n {
 			hi = n
 		}
 		blocks[b] = compressBlock(&col, b, lo, hi, cfg, rec, tracer)
-	}
+		return nil
+	})
 	return blocks, nil
 }
 
@@ -268,154 +294,165 @@ func concatViews(views []coldata.StringViews) coldata.Strings {
 	return out
 }
 
-func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews, error) {
-	cfg := opt.coreConfig()
-	rec := opt.telemetryRecorder()
-	var col Column
-	if len(data) < 12 || string(data[:4]) != columnMagic {
-		return col, nil, ErrCorrupt
-	}
-	if !supportedVersion(data[4]) {
-		return col, nil, fmt.Errorf("btrblocks: unsupported version %d", data[4])
-	}
-	checksummed := checksummedVersion(data[4])
-	bodyEnd := len(data)
-	if checksummed {
-		// The last four bytes are the whole-file CRC; blocks end before it.
-		bodyEnd -= crcBytes
-		if bodyEnd < 12 {
-			return col, nil, ErrTruncatedFile
-		}
-	}
-	col.Type = Type(data[5])
-	if col.Type > maxType {
-		return col, nil, ErrCorrupt
-	}
-	nameLen := int(binary.LittleEndian.Uint16(data[6:]))
-	pos := 8
-	if bodyEnd < pos+nameLen+4 {
-		return col, nil, ErrTruncatedFile
-	}
-	col.Name = string(data[pos : pos+nameLen])
-	pos += nameLen
-	blockCount := int(binary.LittleEndian.Uint32(data[pos:]))
-	pos += 4
+// blockVectors is the decoded payload of one block, still block-local:
+// NULL positions are relative to the block's first row and string views
+// are not yet materialized. Workers fill these into per-block slots so
+// ordered assembly is independent of decode completion order.
+type blockVectors struct {
+	ints    []int32
+	ints64  []int64
+	doubles []float64
+	views   coldata.StringViews
+	nulls   *roaring.Bitmap
+}
 
+// decodeBlockVectors verifies and decodes block b of an indexed column
+// file. It is the single per-block decoder behind every decode path —
+// serial and parallel modes run exactly this function per block, which
+// is what makes their outputs identical by construction. base is copied
+// per call, so concurrent workers can share one config.
+func decodeBlockVectors(ix *ColumnIndex, data []byte, b int, base *core.Config, rec *telemetry.Recorder) (blockVectors, error) {
+	var out blockVectors
+	ref := ix.Blocks[b]
+	if ref.End() > len(data) {
+		return out, ErrTruncatedFile
+	}
+	if err := ix.VerifyBlock(data, b); err != nil {
+		rec.RecordCorruption(1)
+		return out, err
+	}
+	if ref.NullBytes > 0 {
+		bm, used, err := roaring.FromBytes(data[ref.NullOffset() : ref.NullOffset()+ref.NullBytes])
+		if err != nil || used != ref.NullBytes {
+			return out, ErrCorrupt
+		}
+		ok := true
+		bm.ForEach(func(v uint32) bool {
+			if int(v) >= ref.Rows {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return out, ErrCorrupt
+		}
+		out.nulls = bm
+	}
+	// Cap decoded value counts at the block's declared row count so a
+	// corrupt stream header cannot force a huge allocation.
+	cfg := *base
+	cfg.MaxDecodedValues = ref.Rows
+	stream := data[ref.DataOffset():ref.End()]
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
+	var used int
+	var err error
+	switch ix.Type {
+	case TypeInt:
+		out.ints, used, err = core.DecompressInt(nil, stream, &cfg)
+		if err == nil && len(out.ints) != ref.Rows {
+			err = ErrCorrupt
+		}
+	case TypeInt64:
+		out.ints64, used, err = core.DecompressInt64(nil, stream, &cfg)
+		if err == nil && len(out.ints64) != ref.Rows {
+			err = ErrCorrupt
+		}
+	case TypeDouble:
+		out.doubles, used, err = core.DecompressDouble(nil, stream, &cfg)
+		if err == nil && len(out.doubles) != ref.Rows {
+			err = ErrCorrupt
+		}
+	case TypeString:
+		out.views, used, err = core.DecompressString(stream, &cfg)
+		if err == nil && out.views.Len() != ref.Rows {
+			err = ErrCorrupt
+		}
+	}
+	if err != nil {
+		return out, err
+	}
+	if used != ref.DataBytes {
+		return out, ErrCorrupt
+	}
+	if rec != nil {
+		rec.RecordDecode(1, ref.Rows, ref.DataBytes, time.Since(start).Nanoseconds())
+	}
+	return out, nil
+}
+
+// assembleColumn concatenates per-block decode results in block order:
+// value vectors are appended block by block and NULL positions rebased
+// by each block's start row. String blocks stay as views; the caller
+// materializes or keeps them as needed.
+func assembleColumn(ix *ColumnIndex, results []blockVectors) (Column, []coldata.StringViews) {
+	col := Column{Name: ix.Name, Type: ix.Type}
+	if ix.Rows > 0 {
+		switch ix.Type {
+		case TypeInt:
+			col.Ints = make([]int32, 0, ix.Rows)
+		case TypeInt64:
+			col.Ints64 = make([]int64, 0, ix.Rows)
+		case TypeDouble:
+			col.Doubles = make([]float64, 0, ix.Rows)
+		}
+	}
 	var viewBlocks []coldata.StringViews
-	rowBase := 0
-	for b := 0; b < blockCount; b++ {
-		blockStart := pos
-		if bodyEnd < pos+8 {
-			return col, nil, ErrTruncatedFile
+	for b := range results {
+		r := &results[b]
+		switch ix.Type {
+		case TypeInt:
+			col.Ints = append(col.Ints, r.ints...)
+		case TypeInt64:
+			col.Ints64 = append(col.Ints64, r.ints64...)
+		case TypeDouble:
+			col.Doubles = append(col.Doubles, r.doubles...)
+		case TypeString:
+			viewBlocks = append(viewBlocks, r.views)
 		}
-		rows := int(binary.LittleEndian.Uint32(data[pos:]))
-		nullLen := int(binary.LittleEndian.Uint32(data[pos+4:]))
-		pos += 8
-		if rows > core.MaxBlockValues || nullLen < 0 || bodyEnd < pos+nullLen+4 {
-			return col, nil, ErrTruncatedFile
-		}
-		if checksummed {
-			// Verify the block's CRC over its full extent before decoding
-			// anything from it — NULL bitmap included.
-			dataLen := int(binary.LittleEndian.Uint32(data[pos+nullLen:]))
-			blockEnd := pos + nullLen + 4 + dataLen
-			if dataLen < 0 || blockEnd+crcBytes > bodyEnd {
-				return col, nil, ErrTruncatedFile
-			}
-			stored := binary.LittleEndian.Uint32(data[blockEnd:])
-			if got := crc32c(data[blockStart:blockEnd]); got != stored {
-				rec.RecordCorruption(1)
-				return col, nil, fmt.Errorf("%w: column %q block %d", ErrChecksumMismatch, col.Name, b)
-			}
-		}
-		if nullLen > 0 {
-			bm, used, err := roaring.FromBytes(data[pos : pos+nullLen])
-			if err != nil || used != nullLen {
-				return col, nil, ErrCorrupt
-			}
+		if r.nulls != nil {
 			if col.Nulls == nil {
 				col.Nulls = NewNullMask()
 			}
-			ok := true
-			bm.ForEach(func(v uint32) bool {
-				if int(v) >= rows {
-					ok = false
-					return false
-				}
-				col.Nulls.SetNull(rowBase + int(v))
+			start := ix.Blocks[b].StartRow
+			r.nulls.ForEach(func(v uint32) bool {
+				col.Nulls.SetNull(start + int(v))
 				return true
 			})
-			if !ok {
-				return col, nil, ErrCorrupt
-			}
-			pos += nullLen
 		}
-		dataLen := int(binary.LittleEndian.Uint32(data[pos:]))
-		pos += 4
-		if dataLen < 0 || bodyEnd < pos+dataLen {
-			return col, nil, ErrTruncatedFile
-		}
-		stream := data[pos : pos+dataLen]
-		// Cap decoded value counts at the block's declared row count so a
-		// corrupt stream header cannot force a huge allocation.
-		cfg.MaxDecodedValues = rows
-		var start time.Time
-		if rec != nil {
-			start = time.Now()
-		}
-		var used int
-		var err error
-		switch col.Type {
-		case TypeInt:
-			before := len(col.Ints)
-			col.Ints, used, err = core.DecompressInt(col.Ints, stream, cfg)
-			if err == nil && len(col.Ints)-before != rows {
-				err = ErrCorrupt
-			}
-		case TypeInt64:
-			before := len(col.Ints64)
-			col.Ints64, used, err = core.DecompressInt64(col.Ints64, stream, cfg)
-			if err == nil && len(col.Ints64)-before != rows {
-				err = ErrCorrupt
-			}
-		case TypeDouble:
-			before := len(col.Doubles)
-			col.Doubles, used, err = core.DecompressDouble(col.Doubles, stream, cfg)
-			if err == nil && len(col.Doubles)-before != rows {
-				err = ErrCorrupt
-			}
-		case TypeString:
-			var views coldata.StringViews
-			views, used, err = core.DecompressString(stream, cfg)
-			if err == nil && views.Len() != rows {
-				err = ErrCorrupt
-			}
-			viewBlocks = append(viewBlocks, views)
-		}
+	}
+	return col, viewBlocks
+}
+
+func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews, error) {
+	ix, err := ParseColumnIndex(data)
+	if err != nil {
+		return Column{}, nil, err
+	}
+	base := opt.coreConfig()
+	rec := opt.telemetryRecorder()
+	results := make([]blockVectors, len(ix.Blocks))
+	err = parallel.Observed(context.Background(), len(ix.Blocks), parallelism(opt), pathDecompressColumn, observerOf(rec), func(b int) error {
+		bv, err := decodeBlockVectors(ix, data, b, base, rec)
 		if err != nil {
-			return col, nil, err
+			return err
 		}
-		if used != dataLen {
-			return col, nil, ErrCorrupt
-		}
-		if rec != nil {
-			rec.RecordDecode(1, rows, dataLen, time.Since(start).Nanoseconds())
-		}
-		pos += dataLen
-		if checksummed {
-			pos += crcBytes // block CRC, verified above
-		}
-		rowBase += rows
+		results[b] = bv
+		return nil
+	})
+	if err != nil {
+		return Column{}, nil, err
 	}
-	if pos != bodyEnd {
-		return col, nil, ErrCorrupt
-	}
-	if checksummed {
+	if ix.Checksummed() {
 		if err := verifyTrailingCRC(data, "column file"); err != nil {
 			rec.RecordCorruption(1)
-			return col, nil, err
+			return Column{}, nil, err
 		}
 	}
+	col, viewBlocks := assembleColumn(ix, results)
 	return col, viewBlocks, nil
 }
 
@@ -487,29 +524,17 @@ func CompressChunk(chunk *Chunk, opt *Options) (*CompressedChunk, error) {
 	cfg := opt.coreConfig()
 	rec := opt.telemetryRecorder()
 	tracer := opt.tracer()
-	workers := parallelism(opt)
-	var wg sync.WaitGroup
-	taskCh := make(chan task)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range taskCh {
-				col := &chunk.Columns[t.col]
-				lo := t.block * bs
-				hi := lo + bs
-				if hi > col.Len() {
-					hi = col.Len()
-				}
-				blockBufs[t.col][t.block] = compressBlock(col, t.block, lo, hi, cfg, rec, tracer)
-			}
-		}()
-	}
-	for _, t := range tasks {
-		taskCh <- t
-	}
-	close(taskCh)
-	wg.Wait()
+	_ = parallel.Observed(context.Background(), len(tasks), parallelism(opt), pathCompressChunk, observerOf(rec), func(i int) error {
+		t := tasks[i]
+		col := &chunk.Columns[t.col]
+		lo := t.block * bs
+		hi := lo + bs
+		if hi > col.Len() {
+			hi = col.Len()
+		}
+		blockBufs[t.col][t.block] = compressBlock(col, t.block, lo, hi, cfg, rec, tracer)
+		return nil
+	})
 
 	out := &CompressedChunk{
 		Columns: make([][]byte, nCols),
@@ -551,28 +576,56 @@ func blockRootScheme(block []byte) Scheme {
 	return Scheme(block[p])
 }
 
-// DecompressChunk decodes a compressed chunk, parallelizing across
-// columns.
+// DecompressChunk decodes a compressed chunk, fanning out across every
+// (column, block) pair — the same task granularity CompressChunk uses —
+// and reassembling columns in block order. Output and errors are
+// identical at every worker count: a flat task list claimed in index
+// order means the pool's minimum-index error is exactly the error a
+// column-by-column serial walk would hit first.
 func DecompressChunk(cc *CompressedChunk, opt *Options) (*Chunk, error) {
-	cols := make([]Column, len(cc.Columns))
-	errs := make([]error, len(cc.Columns))
-	workers := parallelism(opt)
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := range cc.Columns {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cols[i], errs[i] = DecompressColumn(cc.Columns[i], opt)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	nCols := len(cc.Columns)
+	ixs := make([]*ColumnIndex, nCols)
+	results := make([][]blockVectors, nCols)
+	type blockTask struct{ col, block int }
+	var tasks []blockTask
+	for ci, data := range cc.Columns {
+		ix, err := ParseColumnIndex(data)
 		if err != nil {
 			return nil, err
 		}
+		ixs[ci] = ix
+		results[ci] = make([]blockVectors, len(ix.Blocks))
+		for b := range ix.Blocks {
+			tasks = append(tasks, blockTask{ci, b})
+		}
+	}
+	base := opt.coreConfig()
+	rec := opt.telemetryRecorder()
+	err := parallel.Observed(context.Background(), len(tasks), parallelism(opt), pathDecompressChunk, observerOf(rec), func(i int) error {
+		t := tasks[i]
+		bv, err := decodeBlockVectors(ixs[t.col], cc.Columns[t.col], t.block, base, rec)
+		if err != nil {
+			return err
+		}
+		results[t.col][t.block] = bv
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]Column, nCols)
+	for ci, ix := range ixs {
+		if ix.Checksummed() {
+			if err := verifyTrailingCRC(cc.Columns[ci], "column file"); err != nil {
+				rec.RecordCorruption(1)
+				return nil, err
+			}
+		}
+		col, viewBlocks := assembleColumn(ix, results[ci])
+		if ix.Type == TypeString {
+			col.Strings = concatViews(viewBlocks)
+		}
+		cols[ci] = col
 	}
 	return &Chunk{Columns: cols}, nil
 }

@@ -1,0 +1,111 @@
+// Golden determinism test: the committed testdata corpus, compressed at
+// workers 1 and N, must produce byte-identical v2 files and identical
+// Verify reports. This is the harness's cross-machine anchor — any
+// worker-count dependence sneaking into the compressor shows up as a
+// diff against the serial bytes, and any drift in the format itself
+// shows up against the pinned digest below.
+package btrblocks_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"btrblocks"
+	"btrblocks/internal/csvconv"
+)
+
+// goldenChunkSHA256 pins the v2 chunk container bytes for
+// testdata/trace_smoke.csv compressed with BlockSize 800 at any worker
+// count. Regenerate it (and justify the format change in FORMAT.md) if
+// the encoding legitimately changes.
+const goldenChunkSHA256 = "c3db257376aa06c9d9a8d8dabbc0dc5d6b199897013cc7ddd9b12ec87017cc43"
+
+func goldenCorpus(t *testing.T) *btrblocks.Chunk {
+	t.Helper()
+	f, err := os.Open("testdata/trace_smoke.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	types := []btrblocks.Type{
+		btrblocks.TypeInt, btrblocks.TypeInt64, btrblocks.TypeDouble, btrblocks.TypeString,
+	}
+	chunk, err := csvconv.ReadChunk(f, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chunk
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	chunk := goldenCorpus(t)
+
+	encode := func(workers int) []byte {
+		opt := &btrblocks.Options{BlockSize: 800, Parallelism: workers}
+		cc, err := btrblocks.CompressChunk(chunk, opt)
+		if err != nil {
+			t.Fatalf("compress at %d workers: %v", workers, err)
+		}
+		return cc.EncodeFile()
+	}
+
+	serial := encode(1)
+	for _, workers := range []int{2, 8} {
+		if got := encode(workers); !bytes.Equal(serial, got) {
+			t.Fatalf("chunk file bytes at %d workers differ from serial", workers)
+		}
+	}
+
+	sum := sha256.Sum256(serial)
+	if got := hex.EncodeToString(sum[:]); got != goldenChunkSHA256 {
+		t.Fatalf("golden corpus digest drifted:\n got  %s\n want %s\n"+
+			"(a deliberate format change must update goldenChunkSHA256)", got, goldenChunkSHA256)
+	}
+
+	// The deep Verify report over the golden bytes is identical at every
+	// worker count — down to the JSON encoding.
+	var report []byte
+	for _, workers := range []int{1, 2, 8} {
+		rep := btrblocks.Verify(serial, &btrblocks.VerifyOptions{Deep: true, Parallelism: workers})
+		if !rep.OK {
+			t.Fatalf("golden corpus fails verify at %d workers", workers)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report == nil {
+			report = js
+		} else if !bytes.Equal(report, js) {
+			t.Fatalf("verify report at %d workers differs from serial", workers)
+		}
+	}
+
+	// And the golden bytes round-trip: every column decodes back to the
+	// CSV corpus at both worker counts.
+	cc, err := btrblocks.DecodeFile(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := btrblocks.DecompressChunk(cc, &btrblocks.Options{BlockSize: 800, Parallelism: workers})
+		if err != nil {
+			t.Fatalf("decompress at %d workers: %v", workers, err)
+		}
+		if got.NumRows() != chunk.NumRows() {
+			t.Fatalf("rows %d != %d", got.NumRows(), chunk.NumRows())
+		}
+		for ci := range chunk.Columns {
+			want, have := chunk.Columns[ci], got.Columns[ci]
+			for i := 0; i < want.Len(); i++ {
+				if want.Nulls.IsNull(i) != have.Nulls.IsNull(i) {
+					t.Fatalf("col %s row %d: NULL mismatch", want.Name, i)
+				}
+			}
+		}
+	}
+}

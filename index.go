@@ -3,11 +3,8 @@ package btrblocks
 import (
 	"encoding/binary"
 	"fmt"
-	"time"
 
-	"btrblocks/coldata"
 	"btrblocks/internal/core"
-	"btrblocks/internal/roaring"
 )
 
 // This file exposes block-granular access to column files. A ColumnIndex
@@ -188,78 +185,26 @@ func (ix *ColumnIndex) DecompressBlock(data []byte, b int, opt *Options) (Column
 	if b < 0 || b >= len(ix.Blocks) {
 		return Column{}, fmt.Errorf("btrblocks: block %d out of range [0,%d)", b, len(ix.Blocks))
 	}
-	ref := ix.Blocks[b]
-	if ref.End() > len(data) {
-		return Column{}, ErrTruncatedFile
-	}
-	if err := ix.VerifyBlock(data, b); err != nil {
-		opt.telemetryRecorder().RecordCorruption(1)
-		return Column{}, err
-	}
-	col := Column{Name: ix.Name, Type: ix.Type}
-	if ref.NullBytes > 0 {
-		bm, used, err := roaring.FromBytes(data[ref.NullOffset() : ref.NullOffset()+ref.NullBytes])
-		if err != nil || used != ref.NullBytes {
-			return Column{}, ErrCorrupt
-		}
-		col.Nulls = NewNullMask()
-		ok := true
-		bm.ForEach(func(v uint32) bool {
-			if int(v) >= ref.Rows {
-				ok = false
-				return false
-			}
-			col.Nulls.SetNull(int(v))
-			return true
-		})
-		if !ok {
-			return Column{}, ErrCorrupt
-		}
-	}
-	cfg := opt.coreConfig()
-	cfg.MaxDecodedValues = ref.Rows
-	stream := data[ref.DataOffset():ref.End()]
-	rec := opt.telemetryRecorder()
-	var start time.Time
-	if rec != nil {
-		start = time.Now()
-	}
-	var used int
-	var err error
-	switch ix.Type {
-	case TypeInt:
-		col.Ints, used, err = core.DecompressInt(nil, stream, cfg)
-		if err == nil && len(col.Ints) != ref.Rows {
-			err = ErrCorrupt
-		}
-	case TypeInt64:
-		col.Ints64, used, err = core.DecompressInt64(nil, stream, cfg)
-		if err == nil && len(col.Ints64) != ref.Rows {
-			err = ErrCorrupt
-		}
-	case TypeDouble:
-		col.Doubles, used, err = core.DecompressDouble(nil, stream, cfg)
-		if err == nil && len(col.Doubles) != ref.Rows {
-			err = ErrCorrupt
-		}
-	case TypeString:
-		var views coldata.StringViews
-		views, used, err = core.DecompressString(stream, cfg)
-		if err == nil && views.Len() != ref.Rows {
-			err = ErrCorrupt
-		}
-		if err == nil {
-			col.Strings = views.Materialize()
-		}
-	}
+	bv, err := decodeBlockVectors(ix, data, b, opt.coreConfig(), opt.telemetryRecorder())
 	if err != nil {
 		return Column{}, err
 	}
-	if used != ref.DataBytes {
-		return Column{}, ErrCorrupt
+	col := Column{
+		Name:    ix.Name,
+		Type:    ix.Type,
+		Ints:    bv.ints,
+		Ints64:  bv.ints64,
+		Doubles: bv.doubles,
 	}
-	if rec != nil {
-		rec.RecordDecode(1, ref.Rows, ref.DataBytes, time.Since(start).Nanoseconds())
+	if ix.Type == TypeString {
+		col.Strings = bv.views.Materialize()
+	}
+	if bv.nulls != nil {
+		col.Nulls = NewNullMask()
+		bv.nulls.ForEach(func(v uint32) bool {
+			col.Nulls.SetNull(int(v))
+			return true
+		})
 	}
 	return col, nil
 }

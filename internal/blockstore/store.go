@@ -481,7 +481,8 @@ func (s *Store) Trace(name string, idx int) (*btrblocks.DecisionTrace, error) {
 }
 
 // CountEqual answers an equality predicate on a column file from its
-// compressed bytes, routed through the type-appropriate fast path. The
+// compressed bytes, routed through the type-appropriate fast path on
+// the store's already-parsed ColumnIndex (no framing re-parse). The
 // probe value is parsed according to the column type: base-10 integers
 // for int columns, a Go float literal for doubles, and the raw string
 // otherwise. It returns the match count and the column type.
@@ -500,24 +501,24 @@ func (s *Store) CountEqual(name, value string) (int, btrblocks.Type, error) {
 		if err != nil {
 			return 0, f.Index.Type, fmt.Errorf("blockstore: bad int32 probe %q: %v", value, err)
 		}
-		n, err := btrblocks.CountEqualInt32(f.Data, int32(v), opt)
+		n, err := f.Index.CountEqualInt32(f.Data, int32(v), opt)
 		return n, f.Index.Type, err
 	case btrblocks.TypeInt64:
 		v, err := strconv.ParseInt(value, 10, 64)
 		if err != nil {
 			return 0, f.Index.Type, fmt.Errorf("blockstore: bad int64 probe %q: %v", value, err)
 		}
-		n, err := btrblocks.CountEqualInt64(f.Data, v, opt)
+		n, err := f.Index.CountEqualInt64(f.Data, v, opt)
 		return n, f.Index.Type, err
 	case btrblocks.TypeDouble:
 		v, err := strconv.ParseFloat(value, 64)
 		if err != nil {
 			return 0, f.Index.Type, fmt.Errorf("blockstore: bad double probe %q: %v", value, err)
 		}
-		n, err := btrblocks.CountEqualDouble(f.Data, v, opt)
+		n, err := f.Index.CountEqualDouble(f.Data, v, opt)
 		return n, f.Index.Type, err
 	default:
-		n, err := btrblocks.CountEqualString(f.Data, value, opt)
+		n, err := f.Index.CountEqualString(f.Data, value, opt)
 		return n, f.Index.Type, err
 	}
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"btrblocks"
+)
+
+// Threads regenerates the §6.4-style multithreaded decompression scaling
+// curve: the PBI corpus is compressed once, then every chunk is
+// decompressed end to end at 1/2/4/8 workers (Options.Parallelism) and
+// the best-of-reps throughput is reported with the speedup over the
+// single-worker baseline. Per-chunk decompression fans out across
+// (column, block) tasks, so the curve measures the shared parallel
+// decode engine — the knob every decode path honors.
+func Threads(cfg *Config) error {
+	corpus := cfg.pbiCorpus()
+	type compressed struct {
+		name string
+		cc   *btrblocks.CompressedChunk
+	}
+	var chunks []compressed
+	uncompressedBytes := 0
+	compressedBytes := 0
+	for _, ds := range corpus {
+		chunk := ds.Chunk
+		cc, err := btrblocks.CompressChunk(&chunk, nil)
+		if err != nil {
+			return fmt.Errorf("compress %s: %v", ds.Name, err)
+		}
+		chunks = append(chunks, compressed{ds.Name, cc})
+		for _, col := range ds.Chunk.Columns {
+			uncompressedBytes += col.UncompressedBytes()
+		}
+		compressedBytes += cc.CompressedBytes()
+	}
+
+	cfg.printf("multithreaded chunk decompression (§6.4), PBI corpus\n")
+	cfg.printf("datasets: %d, rows/table: %d, uncompressed: %.1f MB, compressed: %.1f MB\n",
+		len(chunks), cfg.rows(), float64(uncompressedBytes)/1e6, float64(compressedBytes)/1e6)
+	cfg.printf("host: GOMAXPROCS=%d — speedups flatten once workers exceed cores\n\n", runtime.GOMAXPROCS(0))
+	cfg.printf("%-8s %10s %10s %9s\n", "workers", "time", "GB/s", "speedup")
+
+	baseline := 0.0
+	for _, workers := range []int{1, 2, 4, 8} {
+		opt := &btrblocks.Options{Parallelism: workers}
+		best := 0.0
+		for rep := 0; rep < cfg.reps(); rep++ {
+			secs := timeSeconds(func() {
+				for _, c := range chunks {
+					if _, err := btrblocks.DecompressChunk(c.cc, opt); err != nil {
+						panic(fmt.Sprintf("decompress %s: %v", c.name, err))
+					}
+				}
+			})
+			if best == 0 || secs < best {
+				best = secs
+			}
+		}
+		if workers == 1 {
+			baseline = best
+		}
+		cfg.printf("%-8d %9.3fs %10.2f %8.2fx\n",
+			workers, best, gbps(uncompressedBytes, best), baseline/best)
+	}
+	return nil
+}

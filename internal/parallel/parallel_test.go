@@ -1,0 +1,247 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSerialRunsInOrder(t *testing.T) {
+	var got []int
+	err := Run(context.Background(), 10, 1, func(i int) error {
+		got = append(got, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial order broken at %d: got %v", i, got)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("ran %d tasks, want 10", len(got))
+	}
+}
+
+func TestParallelRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{2, 3, 8, 100} {
+		n := 137
+		counts := make([]int32, n)
+		err := Run(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestZeroTasks(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+// TestMinIndexErrorDeterminism is the engine's core contract: whatever
+// the worker count and scheduling, the returned error is the one a
+// serial loop would have hit first.
+func TestMinIndexErrorDeterminism(t *testing.T) {
+	n := 64
+	failAt := map[int]bool{17: true, 18: true, 40: true, 63: true}
+	for _, workers := range []int{1, 2, 7, 16} {
+		for trial := 0; trial < 20; trial++ {
+			err := Run(context.Background(), n, workers, func(i int) error {
+				if failAt[i] {
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "task 17 failed" {
+				t.Fatalf("workers=%d trial=%d: got %v, want task 17 failed", workers, trial, err)
+			}
+		}
+	}
+}
+
+// TestTasksBelowErrorComplete checks property 1 of the package contract:
+// when the error at index e is returned, every index < e ran.
+func TestTasksBelowErrorComplete(t *testing.T) {
+	n := 200
+	e := 150
+	for trial := 0; trial < 10; trial++ {
+		var ran sync.Map
+		err := Run(context.Background(), n, 8, func(i int) error {
+			if i == e {
+				return errors.New("boom")
+			}
+			ran.Store(i, true)
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		for i := 0; i < e; i++ {
+			if _, ok := ran.Load(i); !ok {
+				t.Fatalf("trial %d: task %d below error index %d did not run", trial, i, e)
+			}
+		}
+	}
+}
+
+func TestErrorStopsClaiming(t *testing.T) {
+	var ran atomic.Int32
+	n := 10000
+	err := Run(context.Background(), n, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := int(ran.Load()); got == n {
+		t.Fatalf("error did not stop claiming: all %d tasks ran", n)
+	}
+}
+
+func TestContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := Run(ctx, 100, workers, func(int) error { ran.Add(1); return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d tasks ran under a cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	n := 100000
+	err := Run(ctx, n, 4, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := int(ran.Load()); got == n {
+		t.Fatal("cancellation did not stop claiming")
+	}
+}
+
+func TestNilContext(t *testing.T) {
+	var ran atomic.Int32
+	if err := Run(nil, 50, 4, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", ran.Load())
+	}
+}
+
+type testObserver struct {
+	mu      sync.Mutex
+	path    string
+	workers int
+	runs    int
+	waits   int
+}
+
+func (o *testObserver) RecordWorkers(path string, workers int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.path, o.workers = path, workers
+	o.runs++
+}
+
+func (o *testObserver) ObserveQueueWait(path string, wait time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.waits++
+}
+
+func TestObserverSeesWorkersAndWaits(t *testing.T) {
+	o := &testObserver{}
+	n := 32
+	if err := Observed(context.Background(), n, 4, "test_path", o, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if o.path != "test_path" || o.workers != 4 || o.runs != 1 {
+		t.Fatalf("observer saw path=%q workers=%d runs=%d", o.path, o.workers, o.runs)
+	}
+	if o.waits != n {
+		t.Fatalf("observed %d queue waits, want %d", o.waits, n)
+	}
+}
+
+func TestWorkersClampedToTasks(t *testing.T) {
+	o := &testObserver{}
+	if err := Observed(context.Background(), 3, 16, "clamp", o, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if o.workers != 3 {
+		t.Fatalf("recorded %d workers, want clamp to 3 tasks", o.workers)
+	}
+}
+
+func TestWorkersHelper(t *testing.T) {
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestNoGoroutineLeaks runs the pool many times — successful, failing
+// and cancelled — and checks the goroutine count settles back.
+func TestNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 50; trial++ {
+		_ = Run(context.Background(), 64, 8, func(int) error { return nil })
+		_ = Run(context.Background(), 64, 8, func(i int) error {
+			if i == 5 {
+				return errors.New("fail")
+			}
+			return nil
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_ = Run(ctx, 64, 8, func(int) error { return nil })
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}

@@ -171,6 +171,18 @@ type Recorder struct {
 	// histograms (p50/p95/p99 in Snapshot).
 	compressHist obs.Histogram
 	decodeHist   obs.Histogram
+
+	// Parallel-path scheduling stats (RecordWorkers / ObserveQueueWait),
+	// keyed by path name ("decompress_chunk", "scan", …). Histograms
+	// contain atomics, so entries are held by pointer.
+	parallelPaths map[string]*parallelPath
+}
+
+// parallelPath aggregates pool scheduling data for one named path.
+type parallelPath struct {
+	workers   int // worker count of the most recent run
+	runs      int64
+	queueWait obs.Histogram
 }
 
 // New returns an empty enabled recorder.
@@ -249,6 +261,50 @@ func (r *Recorder) RecordCorruption(blocks int) {
 	r.corruptBlocks += int64(blocks)
 }
 
+// RecordWorkers notes one worker-pool run on the named parallel path
+// with the given worker count. Called by the format layer's pool engine
+// once per run; satisfies parallel.Observer. Safe for concurrent use; a
+// no-op on a nil receiver.
+func (r *Recorder) RecordWorkers(path string, workers int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.parallelPath(path)
+	p.workers = workers
+	p.runs++
+}
+
+// ObserveQueueWait records how long one task of the named parallel path
+// waited between pool start and a worker claiming it. Safe for
+// concurrent use; a no-op on a nil receiver.
+func (r *Recorder) ObserveQueueWait(path string, wait time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	p := r.parallelPath(path)
+	r.mu.Unlock()
+	// The histogram is atomic; observing outside the lock keeps the hot
+	// claim path cheap.
+	p.queueWait.Observe(wait)
+}
+
+// parallelPath returns the named path entry, creating it. Caller holds
+// r.mu.
+func (r *Recorder) parallelPath(path string) *parallelPath {
+	if r.parallelPaths == nil {
+		r.parallelPaths = make(map[string]*parallelPath)
+	}
+	p := r.parallelPaths[path]
+	if p == nil {
+		p = &parallelPath{}
+		r.parallelPaths[path] = p
+	}
+	return p
+}
+
 // Reset discards all recorded data.
 func (r *Recorder) Reset() {
 	if r == nil {
@@ -266,6 +322,7 @@ func (r *Recorder) Reset() {
 	r.corruptBlocks = 0
 	r.compressHist.Reset()
 	r.decodeHist.Reset()
+	r.parallelPaths = nil
 }
 
 // Snapshot is an immutable copy of a Recorder's state.
@@ -302,8 +359,20 @@ type Snapshot struct {
 	// distributions (count, sum, estimated p50/p95/p99).
 	CompressLatency obs.HistogramSnapshot
 	DecodeLatency   obs.HistogramSnapshot
+	// Parallel summarizes worker-pool scheduling per parallel path
+	// (path name → workers, runs, queue-wait distribution).
+	Parallel map[string]ParallelPathStats `json:",omitempty"`
 	// Events holds every block event, ordered by (column, block).
 	Events []BlockEvent
+}
+
+// ParallelPathStats summarizes worker-pool scheduling for one parallel
+// path: the most recent worker count, how many pool runs it has seen,
+// and the distribution of task queue-wait times.
+type ParallelPathStats struct {
+	Workers   int
+	Runs      int64
+	QueueWait obs.HistogramSnapshot
 }
 
 // Snapshot returns a copy of the recorder's aggregate state. Events are
@@ -336,6 +405,16 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	for d, c := range r.depthHist {
 		s.DepthHist[d] = c
+	}
+	if len(r.parallelPaths) > 0 {
+		s.Parallel = make(map[string]ParallelPathStats, len(r.parallelPaths))
+		for path, p := range r.parallelPaths {
+			s.Parallel[path] = ParallelPathStats{
+				Workers:   p.workers,
+				Runs:      p.runs,
+				QueueWait: p.queueWait.Snapshot(),
+			}
+		}
 	}
 	sort.SliceStable(s.Events, func(i, j int) bool {
 		if s.Events[i].Column != s.Events[j].Column {
@@ -398,6 +477,22 @@ func (s *Snapshot) Report() string {
 	}
 	if s.CorruptBlocks > 0 {
 		fmt.Fprintf(&b, "corrupt blocks detected: %d\n", s.CorruptBlocks)
+	}
+	if len(s.Parallel) > 0 {
+		b.WriteString("parallel paths:\n")
+		paths := make([]string, 0, len(s.Parallel))
+		for p := range s.Parallel {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			st := s.Parallel[p]
+			fmt.Fprintf(&b, "  %-18s workers=%d runs=%d", p, st.Workers, st.Runs)
+			if st.QueueWait.Count > 0 {
+				fmt.Fprintf(&b, " queue-wait %s", st.QueueWait)
+			}
+			b.WriteByte('\n')
+		}
 	}
 	writePickTable(&b, "root scheme picks (blocks)", s.RootPicks)
 	writePickTable(&b, "cascade scheme picks (streams, all levels)", s.CascadePicks)

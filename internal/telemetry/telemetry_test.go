@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNilRecorderIsSafe(t *testing.T) {
@@ -95,5 +96,65 @@ func TestReset(t *testing.T) {
 	r.Reset()
 	if s := r.Snapshot(); s.Blocks != 0 || len(s.Events) != 0 {
 		t.Fatalf("reset left data: %+v", s)
+	}
+}
+
+func TestParallelPathStats(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.RecordWorkers("x", 4)
+	nilRec.ObserveQueueWait("x", time.Millisecond)
+
+	r := New()
+	r.RecordWorkers("decompress_chunk", 4)
+	r.RecordWorkers("decompress_chunk", 8)
+	r.RecordWorkers("scan", 2)
+	r.ObserveQueueWait("decompress_chunk", 5*time.Microsecond)
+	r.ObserveQueueWait("decompress_chunk", 9*time.Microsecond)
+	s := r.Snapshot()
+	dc, ok := s.Parallel["decompress_chunk"]
+	if !ok {
+		t.Fatalf("snapshot missing decompress_chunk path: %+v", s.Parallel)
+	}
+	if dc.Workers != 8 || dc.Runs != 2 {
+		t.Fatalf("decompress_chunk stats = workers %d runs %d, want 8/2", dc.Workers, dc.Runs)
+	}
+	if dc.QueueWait.Count != 2 {
+		t.Fatalf("queue-wait count = %d, want 2", dc.QueueWait.Count)
+	}
+	if sc := s.Parallel["scan"]; sc.Workers != 2 || sc.Runs != 1 {
+		t.Fatalf("scan stats = %+v", sc)
+	}
+	rep := s.Report()
+	for _, want := range []string{"parallel paths:", "decompress_chunk", "workers=8 runs=2", "queue-wait"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	r.Reset()
+	if s := r.Snapshot(); len(s.Parallel) != 0 {
+		t.Fatalf("reset left parallel stats: %+v", s.Parallel)
+	}
+}
+
+func TestParallelPathConcurrentObserve(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.RecordWorkers("p", 4)
+			for j := 0; j < 100; j++ {
+				r.ObserveQueueWait("p", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Parallel["p"].QueueWait.Count; got != 1600 {
+		t.Fatalf("queue-wait count = %d, want 1600", got)
+	}
+	if got := s.Parallel["p"].Runs; got != 16 {
+		t.Fatalf("runs = %d, want 16", got)
 	}
 }

@@ -1,0 +1,597 @@
+package btrblocks
+
+// Property harness for the parallel decode engine's hard invariant:
+// every parallel path is bit-for-bit equivalent to the serial walk at
+// any worker count. Seeded generators sweep column shapes (type, NULL
+// density, run length, cardinality, sizes straddling block boundaries)
+// and every case asserts three properties:
+//
+//  1. compress→decompress identity (non-NULL slots; NULL slot content
+//     is unspecified by contract),
+//  2. compressed bytes identical across Parallelism ∈ {1, 2, 7, NumCPU},
+//  3. decompressed vectors — including rewritten NULL slots — identical
+//     across the same worker counts.
+//
+// A companion determinism test pins the engine's min-index error
+// contract: with corrupted blocks, the error surfaced at any worker
+// count is the one the serial walk hits first.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// equivWorkerCounts are the Parallelism values every property is checked
+// under: serial, small, a prime that never divides block counts evenly,
+// and whatever the host has.
+func equivWorkerCounts() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// genSpec describes one randomized column shape.
+type genSpec struct {
+	rows        int
+	nullDensity float64 // fraction of rows marked NULL
+	runLen      int     // expected value-run length (1 = no runs)
+	cardinality int     // distinct-value pool size
+}
+
+func (s genSpec) label() string {
+	return fmt.Sprintf("rows=%d/null=%.2f/run=%d/card=%d",
+		s.rows, s.nullDensity, s.runLen, s.cardinality)
+}
+
+// equivSpecs sweeps block-boundary-straddling sizes (the harness
+// compresses with BlockSize 1000) against NULL-density / run-length /
+// cardinality corners.
+func equivSpecs() []genSpec {
+	shapes := []struct {
+		null float64
+		run  int
+		card int
+	}{
+		{0, 1, 1000},  // high-entropy, no NULLs
+		{0, 40, 3},    // long runs, tiny dictionary (RLE/OneValue territory)
+		{0.15, 8, 50}, // sparse NULLs, dictionary-sized pool
+		{0.6, 1, 200}, // NULL-heavy
+	}
+	var specs []genSpec
+	for _, rows := range []int{0, 1, 999, 1000, 1001, 2500} {
+		for _, sh := range shapes {
+			specs = append(specs, genSpec{rows, sh.null, sh.run, sh.card})
+		}
+	}
+	return specs
+}
+
+// applyNulls marks ~nullDensity of the rows NULL. Values at those
+// positions stay whatever the generator produced — the compressor is
+// free to rewrite them.
+func applyNulls(rng *rand.Rand, col *Column, s genSpec) {
+	if s.nullDensity <= 0 {
+		return
+	}
+	for i := 0; i < s.rows; i++ {
+		if rng.Float64() < s.nullDensity {
+			if col.Nulls == nil {
+				col.Nulls = NewNullMask()
+			}
+			col.Nulls.SetNull(i)
+		}
+	}
+}
+
+// runs fills n slots by repeatedly drawing a pool index and holding it
+// for a geometric run, so runLen shapes the data toward RLE.
+func runs(rng *rand.Rand, n int, s genSpec, emit func(i, poolIdx int)) {
+	i := 0
+	for i < n {
+		idx := rng.Intn(s.cardinality)
+		length := 1
+		if s.runLen > 1 {
+			length += rng.Intn(2 * s.runLen)
+		}
+		for j := 0; j < length && i < n; j++ {
+			emit(i, idx)
+			i++
+		}
+	}
+}
+
+func genIntColumnEquiv(rng *rand.Rand, s genSpec) Column {
+	pool := make([]int32, s.cardinality)
+	for i := range pool {
+		pool[i] = int32(rng.Intn(1 << 20))
+	}
+	values := make([]int32, s.rows)
+	runs(rng, s.rows, s, func(i, p int) { values[i] = pool[p] })
+	col := IntColumn("i", values)
+	applyNulls(rng, &col, s)
+	return col
+}
+
+func genInt64ColumnEquiv(rng *rand.Rand, s genSpec) Column {
+	pool := make([]int64, s.cardinality)
+	base := int64(1_600_000_000_000)
+	for i := range pool {
+		pool[i] = base + rng.Int63n(1<<32)
+	}
+	values := make([]int64, s.rows)
+	runs(rng, s.rows, s, func(i, p int) { values[i] = pool[p] })
+	col := Int64Column("l", values)
+	applyNulls(rng, &col, s)
+	return col
+}
+
+func genDoubleColumnEquiv(rng *rand.Rand, s genSpec) Column {
+	pool := make([]float64, s.cardinality)
+	for i := range pool {
+		// Two-decimal prices exercise PDE; a few specials exercise the
+		// bit-exact escape paths.
+		switch i % 7 {
+		case 5:
+			pool[i] = math.Copysign(0, -1)
+		case 6:
+			pool[i] = math.Float64frombits(0x7ff8_0000_dead_beef) // NaN payload
+		default:
+			pool[i] = float64(rng.Intn(1_000_000)) / 100
+		}
+	}
+	values := make([]float64, s.rows)
+	runs(rng, s.rows, s, func(i, p int) { values[i] = pool[p] })
+	col := DoubleColumn("d", values)
+	applyNulls(rng, &col, s)
+	return col
+}
+
+func genStringColumnEquiv(rng *rand.Rand, s genSpec) Column {
+	prefixes := []string{"us-east-", "eu-west-", "ap-", ""}
+	pool := make([]string, s.cardinality)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("%s%d", prefixes[rng.Intn(len(prefixes))], rng.Intn(1<<16))
+	}
+	values := make([]string, s.rows)
+	runs(rng, s.rows, s, func(i, p int) { values[i] = pool[p] })
+	col := StringColumn("s", values)
+	applyNulls(rng, &col, s)
+	return col
+}
+
+func genColumnEquiv(rng *rand.Rand, typ Type, s genSpec) Column {
+	switch typ {
+	case TypeInt:
+		return genIntColumnEquiv(rng, s)
+	case TypeInt64:
+		return genInt64ColumnEquiv(rng, s)
+	case TypeDouble:
+		return genDoubleColumnEquiv(rng, s)
+	default:
+		return genStringColumnEquiv(rng, s)
+	}
+}
+
+func nullPositions(m *NullMask) []int {
+	var out []int
+	m.ForEachNull(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// valueAt renders row i for diagnostics and comparison; doubles compare
+// by bit pattern so -0.0 and NaN payloads count.
+func valueAt(c *Column, i int) string {
+	switch c.Type {
+	case TypeInt:
+		return fmt.Sprint(c.Ints[i])
+	case TypeInt64:
+		return fmt.Sprint(c.Ints64[i])
+	case TypeDouble:
+		return fmt.Sprintf("%016x", math.Float64bits(c.Doubles[i]))
+	default:
+		return c.Strings.At(i)
+	}
+}
+
+// requireIdentical asserts a and b are bit-for-bit the same column,
+// NULL-slot contents included. This is the serial≡parallel check: both
+// decode paths run the same per-block code, so even unspecified slots
+// must agree.
+func requireIdentical(t *testing.T, label string, a, b Column) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: len %d != %d", label, a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if valueAt(&a, i) != valueAt(&b, i) {
+			t.Fatalf("%s: row %d: %q != %q", label, i, valueAt(&a, i), valueAt(&b, i))
+		}
+	}
+	an, bn := nullPositions(a.Nulls), nullPositions(b.Nulls)
+	if len(an) != len(bn) {
+		t.Fatalf("%s: null count %d != %d", label, len(an), len(bn))
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("%s: null position %d != %d", label, an[i], bn[i])
+		}
+	}
+}
+
+// requireRoundTrip asserts got reproduces orig at every non-NULL row and
+// preserves the NULL set exactly.
+func requireRoundTrip(t *testing.T, label string, orig, got Column) {
+	t.Helper()
+	if orig.Len() != got.Len() {
+		t.Fatalf("%s: len %d != %d", label, orig.Len(), got.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if orig.Nulls.IsNull(i) {
+			if !got.Nulls.IsNull(i) {
+				t.Fatalf("%s: row %d lost its NULL", label, i)
+			}
+			continue
+		}
+		if got.Nulls.IsNull(i) {
+			t.Fatalf("%s: row %d gained a NULL", label, i)
+		}
+		if valueAt(&orig, i) != valueAt(&got, i) {
+			t.Fatalf("%s: row %d: %q != %q", label, i, valueAt(&orig, i), valueAt(&got, i))
+		}
+	}
+	if orig.Nulls.NullCount() != got.Nulls.NullCount() {
+		t.Fatalf("%s: null count %d != %d", label, orig.Nulls.NullCount(), got.Nulls.NullCount())
+	}
+}
+
+// TestParallelColumnEquivalenceProperty is the core property sweep:
+// seeded random columns of every type and shape, compressed and
+// decompressed at every worker count.
+func TestParallelColumnEquivalenceProperty(t *testing.T) {
+	for _, typ := range []Type{TypeInt, TypeInt64, TypeDouble, TypeString} {
+		typ := typ
+		t.Run(typ.String(), func(t *testing.T) {
+			t.Parallel()
+			for si, s := range equivSpecs() {
+				rng := rand.New(rand.NewSource(int64(1000*int(typ) + si)))
+				col := genColumnEquiv(rng, typ, s)
+
+				var baseline []byte
+				for _, workers := range equivWorkerCounts() {
+					opt := &Options{BlockSize: 1000, Parallelism: workers}
+					data, err := CompressColumn(col, opt)
+					if err != nil {
+						t.Fatalf("%s: compress P=%d: %v", s.label(), workers, err)
+					}
+					if baseline == nil {
+						baseline = data
+					} else if !bytes.Equal(baseline, data) {
+						t.Fatalf("%s: compressed bytes differ at P=%d", s.label(), workers)
+					}
+				}
+
+				var serial Column
+				for _, workers := range equivWorkerCounts() {
+					opt := &Options{BlockSize: 1000, Parallelism: workers}
+					got, err := DecompressColumn(baseline, opt)
+					if err != nil {
+						t.Fatalf("%s: decompress P=%d: %v", s.label(), workers, err)
+					}
+					if workers == 1 {
+						serial = got
+						requireRoundTrip(t, s.label()+"/roundtrip", col, got)
+					} else {
+						requireIdentical(t, fmt.Sprintf("%s/P=%d", s.label(), workers), serial, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceRestrictedSchemes re-runs the byte-identity
+// property under restricted scheme pools — option variants must not
+// reintroduce worker-count dependence.
+func TestParallelEquivalenceRestrictedSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	col := genIntColumnEquiv(rng, genSpec{rows: 2500, nullDensity: 0.1, runLen: 16, cardinality: 40})
+	pools := [][]Scheme{
+		{SchemeUncompressed},
+		{SchemeUncompressed, SchemeRLE},
+		{SchemeUncompressed, SchemeDict, SchemeFastBP},
+	}
+	for pi, pool := range pools {
+		var baseline []byte
+		for _, workers := range equivWorkerCounts() {
+			opt := &Options{BlockSize: 1000, Parallelism: workers, IntSchemes: pool}
+			data, err := CompressColumn(col, opt)
+			if err != nil {
+				t.Fatalf("pool %d P=%d: %v", pi, workers, err)
+			}
+			if baseline == nil {
+				baseline = data
+			} else if !bytes.Equal(baseline, data) {
+				t.Fatalf("pool %d: compressed bytes differ at P=%d", pi, workers)
+			}
+			if _, err := DecompressColumn(data, opt); err != nil {
+				t.Fatalf("pool %d P=%d decompress: %v", pi, workers, err)
+			}
+		}
+	}
+}
+
+// equivChunk builds a four-type chunk sized to straddle block
+// boundaries at BlockSize 1000.
+func equivChunk(seed int64, rows int) *Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	s := genSpec{rows: rows, nullDensity: 0.2, runLen: 8, cardinality: 64}
+	return &Chunk{Columns: []Column{
+		genIntColumnEquiv(rng, s),
+		genInt64ColumnEquiv(rng, s),
+		genDoubleColumnEquiv(rng, s),
+		genStringColumnEquiv(rng, s),
+	}}
+}
+
+// TestParallelChunkEquivalence checks the whole-chunk paths: compressed
+// container bytes identical across worker counts, decompressed chunks
+// identical to the serial decode.
+func TestParallelChunkEquivalence(t *testing.T) {
+	chunk := equivChunk(11, 2501)
+	var baseline []byte
+	var cc *CompressedChunk
+	for _, workers := range equivWorkerCounts() {
+		opt := &Options{BlockSize: 1000, Parallelism: workers}
+		c, err := CompressChunk(chunk, opt)
+		if err != nil {
+			t.Fatalf("compress P=%d: %v", workers, err)
+		}
+		file := c.EncodeFile()
+		if baseline == nil {
+			baseline, cc = file, c
+		} else if !bytes.Equal(baseline, file) {
+			t.Fatalf("chunk file bytes differ at P=%d", workers)
+		}
+	}
+
+	var serial *Chunk
+	for _, workers := range equivWorkerCounts() {
+		opt := &Options{BlockSize: 1000, Parallelism: workers}
+		got, err := DecompressChunk(cc, opt)
+		if err != nil {
+			t.Fatalf("decompress P=%d: %v", workers, err)
+		}
+		if serial == nil {
+			serial = got
+			for i := range chunk.Columns {
+				requireRoundTrip(t, chunk.Columns[i].Name, chunk.Columns[i], got.Columns[i])
+			}
+			continue
+		}
+		if len(got.Columns) != len(serial.Columns) {
+			t.Fatalf("P=%d: column count %d != %d", workers, len(got.Columns), len(serial.Columns))
+		}
+		for i := range serial.Columns {
+			requireIdentical(t, fmt.Sprintf("P=%d/%s", workers, serial.Columns[i].Name),
+				serial.Columns[i], got.Columns[i])
+		}
+	}
+}
+
+// TestParallelScanEquivalence checks per-block predicate evaluation:
+// counts match a ground truth computed from the original vectors
+// (non-NULL rows only) at every worker count.
+func TestParallelScanEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := genSpec{rows: 3503, nullDensity: 0.25, runLen: 12, cardinality: 20}
+
+	intCol := genIntColumnEquiv(rng, s)
+	int64Col := genInt64ColumnEquiv(rng, s)
+	dblCol := genDoubleColumnEquiv(rng, s)
+	strCol := genStringColumnEquiv(rng, s)
+
+	// Target each column's row 100 so the predicate always has matches.
+	wantInt := intCol.Ints[100]
+	wantInt64 := int64Col.Ints64[100]
+	wantDbl := dblCol.Doubles[100]
+	wantStr := strCol.Strings.At(100)
+
+	truth := func(col *Column, match func(i int) bool) int {
+		n := 0
+		for i := 0; i < col.Len(); i++ {
+			if !col.Nulls.IsNull(i) && match(i) {
+				n++
+			}
+		}
+		return n
+	}
+	truthInt := truth(&intCol, func(i int) bool { return intCol.Ints[i] == wantInt })
+	truthInt64 := truth(&int64Col, func(i int) bool { return int64Col.Ints64[i] == wantInt64 })
+	truthDbl := truth(&dblCol, func(i int) bool {
+		return math.Float64bits(dblCol.Doubles[i]) == math.Float64bits(wantDbl)
+	})
+	truthStr := truth(&strCol, func(i int) bool { return strCol.Strings.At(i) == wantStr })
+
+	copt := &Options{BlockSize: 1000}
+	intData, err := CompressColumn(intCol, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int64Data, err := CompressColumn(int64Col, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dblData, err := CompressColumn(dblCol, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strData, err := CompressColumn(strCol, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range equivWorkerCounts() {
+		opt := &Options{BlockSize: 1000, Parallelism: workers}
+		if got, err := CountEqualInt32(intData, wantInt, opt); err != nil || got != truthInt {
+			t.Fatalf("P=%d int: got %d/%v, want %d", workers, got, err, truthInt)
+		}
+		if got, err := CountEqualInt64(int64Data, wantInt64, opt); err != nil || got != truthInt64 {
+			t.Fatalf("P=%d int64: got %d/%v, want %d", workers, got, err, truthInt64)
+		}
+		if got, err := CountEqualDouble(dblData, wantDbl, opt); err != nil || got != truthDbl {
+			t.Fatalf("P=%d double: got %d/%v, want %d", workers, got, err, truthDbl)
+		}
+		if got, err := CountEqualString(strData, wantStr, opt); err != nil || got != truthStr {
+			t.Fatalf("P=%d string: got %d/%v, want %d", workers, got, err, truthStr)
+		}
+	}
+}
+
+// TestParallelVerifyReportEquality pins Verify's ordered-slot design:
+// the deep-walk JSON report is byte-identical at every worker count,
+// for clean and corrupted files alike.
+func TestParallelVerifyReportEquality(t *testing.T) {
+	chunk := equivChunk(31, 2501)
+	cc, err := CompressChunk(chunk, &Options{BlockSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := cc.EncodeFile()
+
+	// A corrupted variant: flip one payload byte inside the file body so
+	// block verdicts (not just the trailing CRC) diverge.
+	corrupt := append([]byte(nil), clean...)
+	corrupt[len(corrupt)/2] ^= 0x40
+
+	colData, err := CompressColumn(chunk.Columns[0], &Options{BlockSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, data := range map[string][]byte{"chunk": clean, "chunk-corrupt": corrupt, "column": colData} {
+		var baseline []byte
+		for _, workers := range []int{1, 2, 8} {
+			rep := Verify(data, &VerifyOptions{Deep: true, Parallelism: workers})
+			js, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if baseline == nil {
+				baseline = js
+			} else if !bytes.Equal(baseline, js) {
+				t.Fatalf("%s: verify report differs at P=%d:\n%s\nvs\n%s", name, workers, baseline, js)
+			}
+		}
+	}
+}
+
+// TestParallelFirstErrorDeterminism pins the engine's min-index error
+// contract end to end: with multiple corrupted blocks, decompression and
+// scans surface the error the serial walk hits first — the lowest block
+// index — at every worker count, every time.
+func TestParallelFirstErrorDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	col := genIntColumnEquiv(rng, genSpec{rows: 5000, nullDensity: 0, runLen: 1, cardinality: 100000})
+	data, err := CompressColumn(col, &Options{BlockSize: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ParseColumnIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Blocks) != 10 {
+		t.Fatalf("want 10 blocks, got %d", len(ix.Blocks))
+	}
+
+	// Corrupt blocks 3 and 7: the reported error must always be block 3's.
+	corrupt := append([]byte(nil), data...)
+	corrupt[ix.Blocks[3].DataOffset()+2] ^= 0xff
+	corrupt[ix.Blocks[7].DataOffset()+2] ^= 0xff
+
+	var wantDecode, wantScan string
+	for trial := 0; trial < 20; trial++ {
+		for _, workers := range []int{1, 2, 8} {
+			opt := &Options{BlockSize: 500, Parallelism: workers}
+			_, err := DecompressColumn(corrupt, opt)
+			if err == nil {
+				t.Fatalf("trial %d P=%d: corruption not detected", trial, workers)
+			}
+			if wantDecode == "" {
+				wantDecode = err.Error()
+			} else if err.Error() != wantDecode {
+				t.Fatalf("trial %d P=%d: decode error %q, want %q", trial, workers, err, wantDecode)
+			}
+			_, err = CountEqualInt32(corrupt, 1, opt)
+			if err == nil {
+				t.Fatalf("trial %d P=%d: scan missed corruption", trial, workers)
+			}
+			if wantScan == "" {
+				wantScan = err.Error()
+			} else if err.Error() != wantScan {
+				t.Fatalf("trial %d P=%d: scan error %q, want %q", trial, workers, err, wantScan)
+			}
+		}
+	}
+}
+
+// waitForGoroutines polls until the goroutine count settles back to at
+// most base (plus slack for runtime-owned goroutines) or the deadline
+// passes.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > base %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestParallelDecodeNoGoroutineLeaks drives every parallel decode path —
+// chunk decompression, scans, deep verify — at worker counts above the
+// CPU count and checks the pool goroutines are gone afterwards, on both
+// success and error paths.
+func TestParallelDecodeNoGoroutineLeaks(t *testing.T) {
+	chunk := equivChunk(59, 2501)
+	cc, err := CompressChunk(chunk, &Options{BlockSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colData, err := CompressColumn(chunk.Columns[0], &Options{BlockSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), colData...)
+	corrupt[len(corrupt)/2] ^= 1
+
+	base := runtime.NumGoroutine()
+	opt := &Options{BlockSize: 1000, Parallelism: 8}
+	for i := 0; i < 20; i++ {
+		if _, err := DecompressChunk(cc, opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CountEqualInt32(colData, 7, opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecompressColumn(corrupt, opt); err == nil {
+			t.Fatal("corruption not detected")
+		}
+		Verify(cc.EncodeFile(), &VerifyOptions{Deep: true, Parallelism: 8})
+	}
+	waitForGoroutines(t, base)
+}

@@ -1,10 +1,12 @@
 package btrblocks
 
 import (
+	"context"
 	"math"
 	"time"
 
 	"btrblocks/internal/core"
+	"btrblocks/internal/parallel"
 	"btrblocks/internal/roaring"
 )
 
@@ -12,13 +14,19 @@ import (
 // the §7 capability: equality predicates are answered from the compressed
 // representation where the block's scheme permits (OneValue in O(1), RLE
 // by summing run lengths, dictionaries by resolving the value to a code
-// once), falling back to decode-and-compare otherwise.
+// once), falling back to decode-and-compare otherwise. Blocks are
+// evaluated on the shared worker pool and their counts merged in block
+// order, so results (and errors) are identical at every worker count.
 
-// CountEqualInt32 counts non-NULL rows equal to v in a compressed integer
-// column file.
-func CountEqualInt32(data []byte, v int32, opt *Options) (int, error) {
-	return countEqualColumn(data, opt, TypeInt,
-		func(stream []byte, cfg *core.Config) (int, int, error) {
+// fastCountFn counts matches directly on a block's compressed stream,
+// returning (count, bytes consumed, error).
+type fastCountFn func(stream []byte, cfg *core.Config) (int, int, error)
+
+// slowCountFn decodes a block and counts matches among non-NULL rows.
+type slowCountFn func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error)
+
+func int32Preds(v int32) (fastCountFn, slowCountFn) {
+	return func(stream []byte, cfg *core.Config) (int, int, error) {
 			return core.CountEqualInt(stream, v, cfg)
 		},
 		func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error) {
@@ -33,14 +41,11 @@ func CountEqualInt32(data []byte, v int32, opt *Options) (int, error) {
 				}
 			}
 			return count, nil
-		})
+		}
 }
 
-// CountEqualInt64 counts non-NULL rows equal to v in a compressed int64
-// column file.
-func CountEqualInt64(data []byte, v int64, opt *Options) (int, error) {
-	return countEqualColumn(data, opt, TypeInt64,
-		func(stream []byte, cfg *core.Config) (int, int, error) {
+func int64Preds(v int64) (fastCountFn, slowCountFn) {
+	return func(stream []byte, cfg *core.Config) (int, int, error) {
 			return core.CountEqualInt64(stream, v, cfg)
 		},
 		func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error) {
@@ -55,15 +60,12 @@ func CountEqualInt64(data []byte, v int64, opt *Options) (int, error) {
 				}
 			}
 			return count, nil
-		})
+		}
 }
 
-// CountEqualDouble counts non-NULL rows bit-exactly equal to v in a
-// compressed double column file.
-func CountEqualDouble(data []byte, v float64, opt *Options) (int, error) {
+func doublePreds(v float64) (fastCountFn, slowCountFn) {
 	vb := math.Float64bits(v)
-	return countEqualColumn(data, opt, TypeDouble,
-		func(stream []byte, cfg *core.Config) (int, int, error) {
+	return func(stream []byte, cfg *core.Config) (int, int, error) {
 			return core.CountEqualDouble(stream, v, cfg)
 		},
 		func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error) {
@@ -78,15 +80,12 @@ func CountEqualDouble(data []byte, v float64, opt *Options) (int, error) {
 				}
 			}
 			return count, nil
-		})
+		}
 }
 
-// CountEqualString counts non-NULL rows equal to v in a compressed string
-// column file.
-func CountEqualString(data []byte, v string, opt *Options) (int, error) {
+func stringPreds(v string) (fastCountFn, slowCountFn) {
 	vb := []byte(v)
-	return countEqualColumn(data, opt, TypeString,
-		func(stream []byte, cfg *core.Config) (int, int, error) {
+	return func(stream []byte, cfg *core.Config) (int, int, error) {
 			return core.CountEqualString(stream, vb, cfg)
 		},
 		func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error) {
@@ -101,68 +100,147 @@ func CountEqualString(data []byte, v string, opt *Options) (int, error) {
 				}
 			}
 			return count, nil
-		})
+		}
 }
 
-// countEqualColumn walks a column file's blocks via its ColumnIndex.
-// Blocks without NULLs use the compressed-data fast path; blocks with
-// NULLs must decode, because the compressor rewrites NULL slots (their
-// content is unspecified) and a rewritten slot could spuriously match.
-// Only the decoding slow path counts against Options.Telemetry's decode
-// counters — a fast-path-only scan records zero block decodes, which is
-// how tests (and the block server's telemetry endpoint) can prove a
-// predicate was answered from the compressed representation.
-func countEqualColumn(
-	data []byte,
-	opt *Options,
-	want Type,
-	fast func(stream []byte, cfg *core.Config) (int, int, error),
-	slow func(stream []byte, nulls *roaring.Bitmap, cfg *core.Config) (int, error),
-) (int, error) {
+// CountEqualInt32 counts non-NULL rows equal to v in a compressed integer
+// column file.
+func CountEqualInt32(data []byte, v int32, opt *Options) (int, error) {
 	ix, err := ParseColumnIndex(data)
 	if err != nil {
 		return 0, err
 	}
+	return ix.CountEqualInt32(data, v, opt)
+}
+
+// CountEqualInt64 counts non-NULL rows equal to v in a compressed int64
+// column file.
+func CountEqualInt64(data []byte, v int64, opt *Options) (int, error) {
+	ix, err := ParseColumnIndex(data)
+	if err != nil {
+		return 0, err
+	}
+	return ix.CountEqualInt64(data, v, opt)
+}
+
+// CountEqualDouble counts non-NULL rows bit-exactly equal to v in a
+// compressed double column file.
+func CountEqualDouble(data []byte, v float64, opt *Options) (int, error) {
+	ix, err := ParseColumnIndex(data)
+	if err != nil {
+		return 0, err
+	}
+	return ix.CountEqualDouble(data, v, opt)
+}
+
+// CountEqualString counts non-NULL rows equal to v in a compressed string
+// column file.
+func CountEqualString(data []byte, v string, opt *Options) (int, error) {
+	ix, err := ParseColumnIndex(data)
+	if err != nil {
+		return 0, err
+	}
+	return ix.CountEqualString(data, v, opt)
+}
+
+// CountEqualInt32 is CountEqualInt32 on an already-parsed index: callers
+// that hold a ColumnIndex (block servers, caches) skip re-parsing the
+// file framing on every predicate. data must be the buffer the index was
+// parsed from.
+func (ix *ColumnIndex) CountEqualInt32(data []byte, v int32, opt *Options) (int, error) {
+	fast, slow := int32Preds(v)
+	return countEqualIndexed(ix, data, opt, TypeInt, fast, slow)
+}
+
+// CountEqualInt64 is CountEqualInt64 on an already-parsed index.
+func (ix *ColumnIndex) CountEqualInt64(data []byte, v int64, opt *Options) (int, error) {
+	fast, slow := int64Preds(v)
+	return countEqualIndexed(ix, data, opt, TypeInt64, fast, slow)
+}
+
+// CountEqualDouble is CountEqualDouble on an already-parsed index.
+func (ix *ColumnIndex) CountEqualDouble(data []byte, v float64, opt *Options) (int, error) {
+	fast, slow := doublePreds(v)
+	return countEqualIndexed(ix, data, opt, TypeDouble, fast, slow)
+}
+
+// CountEqualString is CountEqualString on an already-parsed index.
+func (ix *ColumnIndex) CountEqualString(data []byte, v string, opt *Options) (int, error) {
+	fast, slow := stringPreds(v)
+	return countEqualIndexed(ix, data, opt, TypeString, fast, slow)
+}
+
+// countEqualIndexed evaluates an equality predicate over a column's
+// blocks on the worker pool. Blocks without NULLs use the compressed-data
+// fast path; blocks with NULLs must decode, because the compressor
+// rewrites NULL slots (their content is unspecified) and a rewritten
+// slot could spuriously match. Only the decoding slow path counts
+// against Options.Telemetry's decode counters — a fast-path-only scan
+// records zero block decodes, which is how tests (and the block server's
+// telemetry endpoint) can prove a predicate was answered from the
+// compressed representation. Per-block counts land in ordered slots and
+// are summed in block order.
+func countEqualIndexed(
+	ix *ColumnIndex,
+	data []byte,
+	opt *Options,
+	want Type,
+	fast fastCountFn,
+	slow slowCountFn,
+) (int, error) {
 	if ix.Type != want {
 		return 0, ErrTypeMismatch
 	}
-	cfg := opt.coreConfig()
+	base := opt.coreConfig()
 	rec := opt.telemetryRecorder()
-	total := 0
-	for b, ref := range ix.Blocks {
+	counts := make([]int, len(ix.Blocks))
+	err := parallel.Observed(context.Background(), len(ix.Blocks), parallelism(opt), pathScan, observerOf(rec), func(b int) error {
+		ref := ix.Blocks[b]
+		if ref.End() > len(data) {
+			return ErrTruncatedFile
+		}
 		if err := ix.VerifyBlock(data, b); err != nil {
 			rec.RecordCorruption(1)
-			return 0, err
+			return err
 		}
+		cfg := *base
 		cfg.MaxDecodedValues = ref.Rows
 		stream := data[ref.DataOffset():ref.End()]
 		if ref.NullBytes == 0 {
-			count, used, err := fast(stream, cfg)
+			count, used, err := fast(stream, &cfg)
 			if err != nil {
-				return 0, err
+				return err
 			}
 			if used != ref.DataBytes {
-				return 0, ErrCorrupt
+				return ErrCorrupt
 			}
-			total += count
-			continue
+			counts[b] = count
+			return nil
 		}
 		nulls, used, err := roaring.FromBytes(data[ref.NullOffset() : ref.NullOffset()+ref.NullBytes])
 		if err != nil || used != ref.NullBytes {
-			return 0, ErrCorrupt
+			return ErrCorrupt
 		}
 		var start time.Time
 		if rec != nil {
 			start = time.Now()
 		}
-		count, err := slow(stream, nulls, cfg)
+		count, err := slow(stream, nulls, &cfg)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		if rec != nil {
 			rec.RecordDecode(1, ref.Rows, ref.DataBytes, time.Since(start).Nanoseconds())
 		}
-		total += count
+		counts[b] = count
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
 	}
 	return total, nil
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // Sentinel errors of the stream writer, in the style of ErrCorrupt:
@@ -18,6 +19,8 @@ var (
 	ErrSchemaMismatch = errors.New("btrblocks: chunk does not match stream schema")
 	// ErrWriterClosed is returned by Writer.WriteChunk after Close.
 	ErrWriterClosed = errors.New("btrblocks: write after Close")
+	// ErrReaderClosed is returned by Reader.Next after Close.
+	ErrReaderClosed = errors.New("btrblocks: read after Close")
 )
 
 // This file implements a streaming table format on top of the chunk
@@ -151,7 +154,12 @@ func (w *Writer) Close() error {
 	return w.w.Flush()
 }
 
-// Reader reads a stream written by Writer.
+// Reader reads a stream written by Writer. When Options.Parallelism
+// allows more than one worker, the Reader runs a decode-ahead pipeline:
+// a background goroutine reads and decompresses the next chunks while
+// the caller consumes the current one, with backpressure from a bounded
+// buffer. Call Close to release the pipeline when abandoning a stream
+// before io.EOF; a fully consumed stream needs no Close.
 type Reader struct {
 	r      *bufio.Reader
 	opt    *Options
@@ -161,7 +169,27 @@ type Reader struct {
 	chunks int
 	rows   uint64
 	done   bool
+
+	// Decode-ahead pipeline state. ahead is nil for serial readers.
+	// chunks/rows/done above are producer-owned while the pipeline runs;
+	// the consumer observes them only after the terminal channel send.
+	ahead    chan aheadResult
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	termErr  error // consumer-owned: sticky terminal error after pipeline end
 }
+
+// aheadResult is one decode-ahead pipeline item: a decoded chunk or the
+// terminal error (io.EOF after a clean footer).
+type aheadResult struct {
+	chunk *Chunk
+	err   error
+}
+
+// aheadDepth is how many decoded chunks the pipeline may buffer ahead
+// of the consumer (one more may be in flight inside the goroutine).
+const aheadDepth = 2
 
 // readFull fills buf from the stream and folds the consumed bytes into
 // the running CRC. Hashing happens here — at the parse layer, not on the
@@ -217,6 +245,32 @@ func NewReader(r io.Reader, opt *Options) (*Reader, error) {
 		schema[i].Name = string(name)
 	}
 	sr.schema = schema
+	sr.stop = make(chan struct{})
+	if parallelism(opt) > 1 {
+		// Decode-ahead pipeline: one goroutine reads and decompresses
+		// chunks sequentially (stream framing is inherently serial — the
+		// running CRC orders the reads) while DecompressChunk inside it
+		// fans out across blocks. The bounded channel is the backpressure:
+		// at most aheadDepth decoded chunks wait for the consumer.
+		sr.ahead = make(chan aheadResult, aheadDepth)
+		opt.telemetryRecorder().RecordWorkers(pathStreamAhead, aheadDepth)
+		sr.wg.Add(1)
+		go func() {
+			defer sr.wg.Done()
+			defer close(sr.ahead)
+			for {
+				chunk, err := sr.readChunk()
+				select {
+				case sr.ahead <- aheadResult{chunk, err}:
+				case <-sr.stop:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
 	return sr, nil
 }
 
@@ -224,8 +278,52 @@ func NewReader(r io.Reader, opt *Options) (*Reader, error) {
 func (r *Reader) Schema() []Column { return r.schema }
 
 // Next decompresses and returns the next chunk, or io.EOF after the
-// footer has been consumed (Rows/Chunks are then valid).
+// footer has been consumed (Rows/Chunks are then valid). Any non-EOF
+// error is terminal: subsequent calls return it again.
 func (r *Reader) Next() (*Chunk, error) {
+	if r.ahead == nil {
+		if r.termErr != nil {
+			return nil, r.termErr
+		}
+		chunk, err := r.readChunk()
+		if err != nil && err != io.EOF {
+			// Latch the error: resuming the walk after a failed frame would
+			// misparse whatever follows.
+			r.termErr = err
+		}
+		return chunk, err
+	}
+	if r.termErr != nil {
+		return nil, r.termErr
+	}
+	// Check stop first: after Close, a select between the closed stop
+	// channel and a buffered pipeline result would pick randomly — reads
+	// after Close must deterministically fail, not drain leftovers.
+	select {
+	case <-r.stop:
+		return nil, ErrReaderClosed
+	default:
+	}
+	select {
+	case res, ok := <-r.ahead:
+		if !ok {
+			r.termErr = io.EOF
+			return nil, io.EOF
+		}
+		if res.err != nil {
+			r.termErr = res.err
+			return nil, res.err
+		}
+		return res.chunk, nil
+	case <-r.stop:
+		return nil, ErrReaderClosed
+	}
+}
+
+// readChunk reads and decompresses the next chunk frame from the
+// underlying stream — the serial core both the direct path and the
+// decode-ahead goroutine run.
+func (r *Reader) readChunk() (*Chunk, error) {
 	if r.done {
 		return nil, io.EOF
 	}
@@ -291,6 +389,16 @@ func (r *Reader) Next() (*Chunk, error) {
 		return nil, io.EOF
 	}
 	return nil, ErrCorrupt
+}
+
+// Close stops the decode-ahead pipeline and waits for its goroutine to
+// exit. It is idempotent, safe to call on serial readers (a no-op), and
+// unnecessary when the stream was consumed through io.EOF — but always
+// safe. It does not close the underlying reader.
+func (r *Reader) Close() error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	return nil
 }
 
 // Rows returns the footer's total row count; valid after Next returned

@@ -1,0 +1,208 @@
+package btrblocks
+
+// Tests for the stream Reader's decode-ahead pipeline: serial≡parallel
+// chunk equivalence, Close-as-cancellation (including a producer blocked
+// on backpressure), sticky terminal errors, and goroutine hygiene. All
+// run under -race in CI.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// buildStream writes chunks chunks of ~rows rows and returns the encoded
+// stream bytes.
+func buildStream(t *testing.T, chunks, rows int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, streamSchema(), &Options{BlockSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < chunks; i++ {
+		if err := w.WriteChunk(streamChunk(rows+i*37, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drain reads a stream to io.EOF and returns its chunks.
+func drain(t *testing.T, data []byte, opt *Options) ([]*Chunk, *Reader) {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*Chunk
+	for {
+		chunk, err := r.Next()
+		if err == io.EOF {
+			return out, r
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, chunk)
+	}
+}
+
+// TestStreamDecodeAheadEquivalence: the pipelined reader yields the same
+// chunks, in the same order, with the same footer totals, as the serial
+// reader.
+func TestStreamDecodeAheadEquivalence(t *testing.T) {
+	data := buildStream(t, 5, 2500)
+	serialChunks, serialR := drain(t, data, &Options{BlockSize: 1000, Parallelism: 1})
+	aheadChunks, aheadR := drain(t, data, &Options{BlockSize: 1000, Parallelism: 8})
+	defer aheadR.Close()
+
+	if len(serialChunks) != len(aheadChunks) {
+		t.Fatalf("chunk count %d != %d", len(aheadChunks), len(serialChunks))
+	}
+	for i := range serialChunks {
+		for ci := range serialChunks[i].Columns {
+			requireIdentical(t, serialChunks[i].Columns[ci].Name,
+				serialChunks[i].Columns[ci], aheadChunks[i].Columns[ci])
+		}
+	}
+	if serialR.Rows() != aheadR.Rows() || serialR.Chunks() != aheadR.Chunks() {
+		t.Fatalf("footer (%d rows, %d chunks) != (%d rows, %d chunks)",
+			aheadR.Rows(), aheadR.Chunks(), serialR.Rows(), serialR.Chunks())
+	}
+	// EOF is sticky on both.
+	if _, err := aheadR.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+// TestStreamReaderCloseMidStream: Close is the consumer's cancellation —
+// reads after it fail with ErrReaderClosed even when decoded chunks are
+// still buffered, and Close is idempotent.
+func TestStreamReaderCloseMidStream(t *testing.T) {
+	data := buildStream(t, 6, 2000)
+	base := runtime.NumGoroutine()
+	r, err := NewReader(bytes.NewReader(data), &Options{BlockSize: 1000, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); !errors.Is(err, ErrReaderClosed) {
+			t.Fatalf("Next after Close = %v, want ErrReaderClosed", err)
+		}
+	}
+	if err := r.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestStreamReaderAbandonedUnblocksProducer: a consumer that never reads
+// leaves the producer blocked on the bounded channel; Close must unblock
+// it and reap the goroutine.
+func TestStreamReaderAbandonedUnblocksProducer(t *testing.T) {
+	data := buildStream(t, aheadDepth+4, 2000)
+	base := runtime.NumGoroutine()
+	r, err := NewReader(bytes.NewReader(data), &Options{BlockSize: 1000, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestStreamReaderFullConsumptionNoLeak: draining to io.EOF ends the
+// producer on its own; Close is unnecessary (but still safe).
+func TestStreamReaderFullConsumptionNoLeak(t *testing.T) {
+	data := buildStream(t, 4, 2000)
+	base := runtime.NumGoroutine()
+	_, r := drain(t, data, &Options{BlockSize: 1000, Parallelism: 8})
+	waitForGoroutines(t, base)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamDecodeAheadErrorSticky: a mid-stream error surfaces through
+// the pipeline with the same message the serial reader reports, and
+// repeats on every subsequent Next.
+func TestStreamDecodeAheadErrorSticky(t *testing.T) {
+	data := buildStream(t, 3, 2000)
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x20
+
+	readErr := func(parallelism int) string {
+		r, err := NewReader(bytes.NewReader(corrupt), &Options{BlockSize: 1000, Parallelism: parallelism})
+		if err != nil {
+			// Header corruption fails construction identically either way.
+			return "ctor: " + err.Error()
+		}
+		defer r.Close()
+		for {
+			_, err := r.Next()
+			if err == nil {
+				continue
+			}
+			if err == io.EOF {
+				t.Fatal("corrupt stream read to clean EOF")
+			}
+			// Sticky: the same terminal error again.
+			if _, err2 := r.Next(); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("terminal error not sticky: %v then %v", err, err2)
+			}
+			return err.Error()
+		}
+	}
+	serial := readErr(1)
+	for _, p := range []int{2, 8} {
+		if got := readErr(p); got != serial {
+			t.Fatalf("P=%d error %q, want serial's %q", p, got, serial)
+		}
+	}
+}
+
+// TestStreamReaderConcurrentCloseRace drives Next and Close from
+// different goroutines; the race detector owns the assertion, the test
+// only requires a sane terminal outcome.
+func TestStreamReaderConcurrentCloseRace(t *testing.T) {
+	data := buildStream(t, 6, 2000)
+	base := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		r, err := NewReader(bytes.NewReader(data), &Options{BlockSize: 1000, Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Close()
+		}()
+		for {
+			_, err := r.Next()
+			if err == io.EOF || errors.Is(err, ErrReaderClosed) {
+				break
+			}
+			if err != nil {
+				t.Errorf("trial %d: unexpected error %v", trial, err)
+				break
+			}
+		}
+		wg.Wait()
+	}
+	waitForGoroutines(t, base)
+}

@@ -1,8 +1,11 @@
 package btrblocks
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+
+	"btrblocks/internal/parallel"
 )
 
 // This file implements verification (fsck) for compressed files: a
@@ -18,6 +21,19 @@ type VerifyOptions struct {
 	// to catch corruption in v1 files (which carry no checksums), and for
 	// v2 files it also exercises the decoder on top of the CRC check.
 	Deep bool
+	// Parallelism bounds the worker goroutines per file walk (columns
+	// within a chunk, blocks within a column). <= 0 means one worker per
+	// CPU (runtime.GOMAXPROCS); 1 restores the serial walk. The report is
+	// byte-identical at every worker count — verdicts land in ordered
+	// slots and counters are folded in file order.
+	Parallelism int
+}
+
+func (vo *VerifyOptions) workers() int {
+	if vo == nil {
+		return parallel.Workers(0)
+	}
+	return parallel.Workers(vo.Parallelism)
 }
 
 // BlockVerdict is the verification result for one block.
@@ -91,7 +107,6 @@ func SniffKind(data []byte) (FileKind, bool) {
 // does not return an error — problems are recorded in the report.
 func Verify(data []byte, vo *VerifyOptions) *VerifyReport {
 	rep := &VerifyReport{Size: len(data), OK: true}
-	deep := vo != nil && vo.Deep
 	kind, ok := SniffKind(data)
 	if !ok {
 		rep.Kind = "unknown"
@@ -111,30 +126,37 @@ func Verify(data []byte, vo *VerifyOptions) *VerifyReport {
 	rep.Checksummed = checksummedVersion(data[4])
 	switch kind {
 	case FileKindColumn:
-		verifyColumn(rep, data, 0, 0, deep)
+		foldColumn(rep, columnVerdict(data, 0, 0, vo))
 	case FileKindChunk:
-		verifyChunkBody(rep, data, 0, 0, deep)
+		verifyChunkBody(rep, data, 0, 0, vo)
 	case FileKindStream:
-		verifyStream(rep, data, deep)
+		verifyStream(rep, data, vo)
 	}
 	return rep
 }
 
-// verifyColumn verifies one column file located at data[0]; base is its
-// absolute offset in the containing file, chunkIdx the containing stream
-// chunk (0 outside streams).
-func verifyColumn(rep *VerifyReport, data []byte, base, chunkIdx int, deep bool) {
+// columnVerdict verifies one column file located at data[0] and returns
+// its self-contained verdict; base is the column's absolute offset in
+// the containing file, chunkIdx the containing stream chunk (0 outside
+// streams). Blocks are checked on the worker pool into ordered verdict
+// slots, so the verdict is identical at every worker count.
+func columnVerdict(data []byte, base, chunkIdx int, vo *VerifyOptions) ColumnVerdict {
 	cv := ColumnVerdict{Chunk: chunkIdx, OK: true}
-	defer func() { rep.Columns = append(rep.Columns, cv) }()
 	ix, err := ParseColumnIndex(data)
 	if err != nil {
 		cv.OK = false
 		cv.Error = fmt.Sprintf("unparseable column framing: %v", err)
-		rep.OK = false
-		return
+		return cv
 	}
 	cv.Name, cv.Type = ix.Name, ix.Type.String()
-	for b, ref := range ix.Blocks {
+	deep := vo != nil && vo.Deep
+	if len(ix.Blocks) > 0 {
+		cv.Blocks = make([]BlockVerdict, len(ix.Blocks))
+	}
+	// The walk is best-effort by contract — block checks never return an
+	// error to the pool, so damage in one block cannot stop the others.
+	_ = parallel.Run(context.Background(), len(ix.Blocks), vo.workers(), func(b int) error {
+		ref := ix.Blocks[b]
 		bv := BlockVerdict{Block: b, Offset: base + ref.Offset, Size: ref.CompressedBytes(), Rows: ref.Rows, OK: true}
 		if err := ix.VerifyBlock(data, b); err != nil {
 			bv.OK = false
@@ -145,28 +167,45 @@ func verifyColumn(rep *VerifyReport, data []byte, base, chunkIdx int, deep bool)
 				bv.Error = fmt.Sprintf("decode: %v", err)
 			}
 		}
-		if bv.OK {
-			rep.BlocksOK++
-		} else {
-			rep.BlocksBad++
+		cv.Blocks[b] = bv
+		return nil
+	})
+	for _, bv := range cv.Blocks {
+		if !bv.OK {
 			cv.OK = false
-			rep.OK = false
 		}
-		cv.Blocks = append(cv.Blocks, bv)
 	}
 	if ix.Checksummed() {
 		if err := verifyTrailingCRC(data, "column file"); err != nil {
 			cv.OK = false
-			rep.OK = false
 			if cv.Error == "" {
 				cv.Error = err.Error()
 			}
 		}
 	}
+	return cv
+}
+
+// foldColumn merges a column verdict into the report, updating the
+// block counters in file order.
+func foldColumn(rep *VerifyReport, cv ColumnVerdict) {
+	for _, bv := range cv.Blocks {
+		if bv.OK {
+			rep.BlocksOK++
+		} else {
+			rep.BlocksBad++
+		}
+	}
+	if !cv.OK {
+		rep.OK = false
+	}
+	rep.Columns = append(rep.Columns, cv)
 }
 
 // verifyChunkBody verifies a chunk file ("BTRB") located at data[0].
-func verifyChunkBody(rep *VerifyReport, data []byte, base, chunkIdx int, deep bool) {
+// Columns are verified concurrently into ordered slots and folded into
+// the report in file order.
+func verifyChunkBody(rep *VerifyReport, data []byte, base, chunkIdx int, vo *VerifyOptions) {
 	if len(data) < 7 {
 		rep.fail("chunk at offset %d: truncated header", base)
 		return
@@ -192,13 +231,31 @@ func verifyChunkBody(rep *VerifyReport, data []byte, base, chunkIdx int, deep bo
 		lengths[i] = int(binary.LittleEndian.Uint32(data[pos:]))
 		pos += 4
 	}
+	// Pre-walk the length table so every column's extent is known before
+	// the fan-out; like the serial walk, columns after the first overrun
+	// are not reported.
+	offsets := make([]int, 0, nCols)
+	overrun := -1
 	for i, l := range lengths {
 		if l < 0 || bodyEnd < pos+l {
-			rep.fail("chunk at offset %d: column %d length %d overruns file", base, i, l)
-			return
+			overrun = i
+			break
 		}
-		verifyColumn(rep, data[pos:pos+l], base+pos, chunkIdx, deep)
+		offsets = append(offsets, pos)
 		pos += l
+	}
+	verdicts := make([]ColumnVerdict, len(offsets))
+	_ = parallel.Run(context.Background(), len(offsets), vo.workers(), func(i int) error {
+		off := offsets[i]
+		verdicts[i] = columnVerdict(data[off:off+lengths[i]], base+off, chunkIdx, vo)
+		return nil
+	})
+	for _, cv := range verdicts {
+		foldColumn(rep, cv)
+	}
+	if overrun >= 0 {
+		rep.fail("chunk at offset %d: column %d length %d overruns file", base, overrun, lengths[overrun])
+		return
 	}
 	if pos != bodyEnd {
 		rep.fail("chunk at offset %d: %d trailing bytes", base, bodyEnd-pos)
@@ -207,7 +264,7 @@ func verifyChunkBody(rep *VerifyReport, data []byte, base, chunkIdx int, deep bo
 
 // verifyStream verifies a stream file ("BTRS"): header, every chunk, the
 // footer, and the stream checksum.
-func verifyStream(rep *VerifyReport, data []byte, deep bool) {
+func verifyStream(rep *VerifyReport, data []byte, vo *VerifyOptions) {
 	if rep.Checksummed {
 		if err := verifyTrailingCRC(data, "stream file"); err != nil {
 			rep.fail("%v", err)
@@ -248,7 +305,7 @@ func verifyStream(rep *VerifyReport, data []byte, deep bool) {
 				rep.fail("chunk %d: frame length %d overruns file", chunkIdx, payloadLen)
 				return
 			}
-			verifyChunkBody(rep, data[pos+5:pos+5+payloadLen], pos+5, chunkIdx, deep)
+			verifyChunkBody(rep, data[pos+5:pos+5+payloadLen], pos+5, chunkIdx, vo)
 			pos += 5 + payloadLen
 			chunkIdx++
 		case 'E':
