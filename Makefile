@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-smoke ci serve-smoke trace-smoke chaos fuzz-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke bench-baseline bench-compare ci serve-smoke trace-smoke chaos fuzz-smoke
 
 all: build
 
@@ -72,5 +72,17 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'DecompressParallel|ScanParallel' -benchtime 1x .
 	@echo "bench smoke: OK"
+
+# bench-baseline re-measures the single-core decode suites (per-scheme
+# grid + kernel microbenchmarks) and snapshots them to BENCH_decode.json.
+# Run it on the reference host after an intentional perf change and
+# commit the result; PERFORMANCE.md documents the schema and workflow.
+bench-baseline:
+	$(GO) run ./cmd/benchtraj record -o BENCH_decode.json
+
+# bench-compare re-runs the same suites and fails on >10% regression
+# against the committed baseline (override: BTR_BENCH_TOLERANCE=0.25).
+bench-compare:
+	$(GO) run ./cmd/benchtraj compare -baseline BENCH_decode.json
 
 ci: check

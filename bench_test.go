@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"btrblocks"
+	"btrblocks/coldata"
 	"btrblocks/internal/codec"
 	"btrblocks/internal/core"
 	"btrblocks/internal/experiments"
@@ -664,4 +665,196 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		rec := btrblocks.NewTelemetry()
 		run(b, &btrblocks.Options{Telemetry: rec})
 	})
+}
+
+// --- Per-scheme decode baseline (BENCH_decode.json feedstock) ---
+
+// baselineIntData returns a 64k-value int column tailored so the forced
+// scheme is genuinely exercised (runs for RLE, few distinct values for
+// Dict, one dominant value for Frequency, narrow range for FastBP, narrow
+// range plus outliers for FastPFOR).
+func baselineIntData(code core.Code) []int32 {
+	rng := rand.New(rand.NewSource(17))
+	vals := make([]int32, 64000)
+	switch code {
+	case core.CodeRLE:
+		v := int32(0)
+		for i := range vals {
+			if rng.Intn(40) == 0 {
+				v = int32(rng.Intn(1000))
+			}
+			vals[i] = v
+		}
+	case core.CodeDict:
+		for i := range vals {
+			vals[i] = int32(rng.Intn(64)) * 1000003
+		}
+	case core.CodeFrequency:
+		for i := range vals {
+			if rng.Intn(20) == 0 {
+				vals[i] = int32(rng.Intn(1 << 20))
+			} else {
+				vals[i] = 7777
+			}
+		}
+	case core.CodeFastPFOR:
+		for i := range vals {
+			vals[i] = int32(rng.Intn(1 << 10))
+			if rng.Intn(100) == 0 {
+				vals[i] = int32(rng.Intn(1 << 28))
+			}
+		}
+	default: // FastBP and friends: dense narrow range
+		for i := range vals {
+			vals[i] = int32(rng.Intn(1 << 12))
+		}
+	}
+	return vals
+}
+
+// BenchmarkDecodeBaseline is the per-scheme, per-type single-core decode
+// grid recorded in BENCH_decode.json: each sub-benchmark forces one root
+// scheme onto data suited to it and measures decode throughput of the
+// full cascade (MB/s of decoded output). `make bench-baseline` runs this
+// plus the per-kernel microbenchmarks and snapshots the result;
+// `make bench-compare` fails CI tier 2 on >10% regression.
+func BenchmarkDecodeBaseline(b *testing.B) {
+	cfg := core.DefaultConfig()
+
+	for _, code := range []core.Code{core.CodeRLE, core.CodeDict, core.CodeFrequency, core.CodeFastBP, core.CodeFastPFOR} {
+		vals := baselineIntData(code)
+		enc := core.CompressIntAs(nil, vals, code, cfg)
+		if enc == nil {
+			b.Fatalf("int/%v: scheme not applicable to its benchmark data", code)
+		}
+		if got := core.Code(enc[0]); got != code {
+			b.Fatalf("int/%v: stream root is %v", code, got)
+		}
+		b.Run(fmt.Sprintf("int/%v", code), func(b *testing.B) {
+			out := make([]int32, 0, len(vals))
+			b.SetBytes(int64(len(vals) * 4))
+			for i := 0; i < b.N; i++ {
+				var err error
+				if out, _, err = core.DecompressInt(out[:0], enc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(out) != len(vals) {
+				b.Fatalf("decoded %d values, want %d", len(out), len(vals))
+			}
+		})
+	}
+
+	for _, code := range []core.Code{core.CodeRLE, core.CodeDict, core.CodeFastBP} {
+		base := baselineIntData(code)
+		vals := make([]int64, len(base))
+		for i, v := range base {
+			vals[i] = int64(v) * 1000
+		}
+		c := *cfg
+		c.IntSchemes = []core.Code{code}
+		enc := core.CompressInt64(nil, vals, &c)
+		if got := core.Code(enc[0]); got != code {
+			b.Fatalf("int64/%v: stream root is %v", code, got)
+		}
+		b.Run(fmt.Sprintf("int64/%v", code), func(b *testing.B) {
+			out := make([]int64, 0, len(vals))
+			b.SetBytes(int64(len(vals) * 8))
+			for i := 0; i < b.N; i++ {
+				var err error
+				if out, _, err = core.DecompressInt64(out[:0], enc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(out) != len(vals) {
+				b.Fatalf("decoded %d values, want %d", len(out), len(vals))
+			}
+		})
+	}
+
+	doubleData := func(code core.Code) []float64 {
+		rng := rand.New(rand.NewSource(18))
+		vals := make([]float64, 64000)
+		switch code {
+		case core.CodeRLE:
+			v := 0.0
+			for i := range vals {
+				if rng.Intn(40) == 0 {
+					v = float64(rng.Intn(1000)) / 100
+				}
+				vals[i] = v
+			}
+		case core.CodeDict:
+			for i := range vals {
+				vals[i] = float64(rng.Intn(64)) * 1.5
+			}
+		default: // PDE: two-decimal prices
+			for i := range vals {
+				vals[i] = float64(rng.Intn(100000)) / 100
+			}
+		}
+		return vals
+	}
+	for _, code := range []core.Code{core.CodeRLE, core.CodeDict, core.CodePDE} {
+		vals := doubleData(code)
+		enc := core.CompressDoubleAs(nil, vals, code, cfg)
+		if enc == nil {
+			b.Fatalf("double/%v: scheme not applicable to its benchmark data", code)
+		}
+		if got := core.Code(enc[0]); got != code {
+			b.Fatalf("double/%v: stream root is %v", code, got)
+		}
+		b.Run(fmt.Sprintf("double/%v", code), func(b *testing.B) {
+			out := make([]float64, 0, len(vals))
+			b.SetBytes(int64(len(vals) * 8))
+			for i := 0; i < b.N; i++ {
+				var err error
+				if out, _, err = core.DecompressDouble(out[:0], enc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(out) != len(vals) {
+				b.Fatalf("decoded %d values, want %d", len(out), len(vals))
+			}
+		})
+	}
+
+	stringData := func(code core.Code) coldata.Strings {
+		rng := rand.New(rand.NewSource(19))
+		vals := make([]string, 16000)
+		if code == core.CodeDict {
+			cities := []string{"New York", "Los Angeles", "Chicago", "Houston", "Phoenix", "Philadelphia", "San Antonio", "Dallas"}
+			for i := range vals {
+				vals[i] = cities[rng.Intn(len(cities))]
+			}
+		} else {
+			for i := range vals {
+				vals[i] = fmt.Sprintf("http://api.host.internal/v2/users/%d/orders?page=%d", rng.Intn(4000), rng.Intn(9))
+			}
+		}
+		return coldata.MakeStrings(vals)
+	}
+	for _, code := range []core.Code{core.CodeDict, core.CodeFSST} {
+		vals := stringData(code)
+		enc := core.CompressStringAs(nil, vals, code, cfg)
+		if enc == nil {
+			b.Fatalf("string/%v: scheme not applicable to its benchmark data", code)
+		}
+		if got := core.Code(enc[0]); got != code {
+			b.Fatalf("string/%v: stream root is %v", code, got)
+		}
+		raw := len(vals.Data) + 4*vals.Len()
+		b.Run(fmt.Sprintf("string/%v", code), func(b *testing.B) {
+			b.SetBytes(int64(raw))
+			for i := 0; i < b.N; i++ {
+				views, _, err := core.DecompressString(enc, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if views.Len() != vals.Len() {
+					b.Fatalf("decoded %d values, want %d", views.Len(), vals.Len())
+				}
+			}
+		})
+	}
 }

@@ -46,6 +46,17 @@ run_tier2() {
 	# scaling harness cannot bit-rot (nothing is timed).
 	make bench-smoke
 
+	echo "== bench regression gate =="
+	# Re-run the single-core decode suites against the committed
+	# BENCH_decode.json baseline; >10% throughput regression fails.
+	# BTR_BENCH_TOLERANCE=0.25 loosens the gate (fraction), and
+	# BTR_BENCH_SKIP=1 skips it (e.g. on hosts unlike the baseline's).
+	if [ "${BTR_BENCH_SKIP:-0}" = "1" ]; then
+		echo "skipped (BTR_BENCH_SKIP=1)"
+	else
+		make bench-compare
+	fi
+
 	echo "== chaos gate =="
 	# Fault-injection suite: seeded corruption of every container format
 	# must be detected, and the served degradation paths must hold.

@@ -7,7 +7,8 @@
 //	btrbench [-rows N] [-seed S] [-threads T] [-reps R] <experiment>...
 //
 // Experiments: fig1 table2 schemes fig4 fig5 fig6 fig7 compspeed table3
-// pde-pool fig8 table4 table5 colscan scalar selection threads serve all
+// pde-pool fig8 table4 table5 colscan scalar kernels selection threads
+// serve all
 package main
 
 import (
@@ -34,6 +35,7 @@ var registry = map[string]func(*experiments.Config) error{
 	"table5":    experiments.Table5,
 	"colscan":   experiments.ColumnScan,
 	"scalar":    experiments.Scalar,
+	"kernels":   experiments.Kernels,
 	"selection": experiments.SelectionOverhead,
 	"schemes":   experiments.Schemes,
 	"serve":     experiments.Serve,
@@ -44,7 +46,7 @@ var registry = map[string]func(*experiments.Config) error{
 var order = []string{
 	"fig1", "table2", "schemes", "fig4", "fig5", "fig6", "selection", "fig7",
 	"compspeed", "table3", "pde-pool", "fig8", "table4", "table5",
-	"colscan", "scalar", "threads", "serve",
+	"colscan", "scalar", "kernels", "threads", "serve",
 }
 
 func main() {

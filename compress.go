@@ -310,8 +310,10 @@ type blockVectors struct {
 // file. It is the single per-block decoder behind every decode path —
 // serial and parallel modes run exactly this function per block, which
 // is what makes their outputs identical by construction. base is copied
-// per call, so concurrent workers can share one config.
-func decodeBlockVectors(ix *ColumnIndex, data []byte, b int, base *core.Config, rec *telemetry.Recorder) (blockVectors, error) {
+// per call, so concurrent workers can share one config. scr, when
+// non-nil, supplies the worker's private scratch arena for decode
+// temporaries; it must not be shared with a concurrent call.
+func decodeBlockVectors(ix *ColumnIndex, data []byte, b int, base *core.Config, scr *core.Scratch, rec *telemetry.Recorder) (blockVectors, error) {
 	var out blockVectors
 	ref := ix.Blocks[b]
 	if ref.End() > len(data) {
@@ -343,6 +345,7 @@ func decodeBlockVectors(ix *ColumnIndex, data []byte, b int, base *core.Config, 
 	// corrupt stream header cannot force a huge allocation.
 	cfg := *base
 	cfg.MaxDecodedValues = ref.Rows
+	cfg.Scratch = scr
 	stream := data[ref.DataOffset():ref.End()]
 	var start time.Time
 	if rec != nil {
@@ -435,8 +438,12 @@ func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews,
 	base := opt.coreConfig()
 	rec := opt.telemetryRecorder()
 	results := make([]blockVectors, len(ix.Blocks))
-	err = parallel.Observed(context.Background(), len(ix.Blocks), parallelism(opt), pathDecompressColumn, observerOf(rec), func(b int) error {
-		bv, err := decodeBlockVectors(ix, data, b, base, rec)
+	scratches := make([]*core.Scratch, parallel.Workers(parallelism(opt)))
+	err = parallel.ObservedWorkers(context.Background(), len(ix.Blocks), parallelism(opt), pathDecompressColumn, observerOf(rec), func(w, b int) error {
+		if scratches[w] == nil {
+			scratches[w] = new(core.Scratch)
+		}
+		bv, err := decodeBlockVectors(ix, data, b, base, scratches[w], rec)
 		if err != nil {
 			return err
 		}
@@ -601,9 +608,13 @@ func DecompressChunk(cc *CompressedChunk, opt *Options) (*Chunk, error) {
 	}
 	base := opt.coreConfig()
 	rec := opt.telemetryRecorder()
-	err := parallel.Observed(context.Background(), len(tasks), parallelism(opt), pathDecompressChunk, observerOf(rec), func(i int) error {
+	scratches := make([]*core.Scratch, parallel.Workers(parallelism(opt)))
+	err := parallel.ObservedWorkers(context.Background(), len(tasks), parallelism(opt), pathDecompressChunk, observerOf(rec), func(w, i int) error {
+		if scratches[w] == nil {
+			scratches[w] = new(core.Scratch)
+		}
 		t := tasks[i]
-		bv, err := decodeBlockVectors(ixs[t.col], cc.Columns[t.col], t.block, base, rec)
+		bv, err := decodeBlockVectors(ixs[t.col], cc.Columns[t.col], t.block, base, scratches[w], rec)
 		if err != nil {
 			return err
 		}

@@ -185,7 +185,7 @@ func (ix *ColumnIndex) DecompressBlock(data []byte, b int, opt *Options) (Column
 	if b < 0 || b >= len(ix.Blocks) {
 		return Column{}, fmt.Errorf("btrblocks: block %d out of range [0,%d)", b, len(ix.Blocks))
 	}
-	bv, err := decodeBlockVectors(ix, data, b, opt.coreConfig(), opt.telemetryRecorder())
+	bv, err := decodeBlockVectors(ix, data, b, opt.coreConfig(), nil, opt.telemetryRecorder())
 	if err != nil {
 		return Column{}, err
 	}

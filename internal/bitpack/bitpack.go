@@ -4,9 +4,22 @@
 // The layout mirrors the structure of SIMD-FastBP128 from Lemire &
 // Boytsov: values are grouped into blocks of 128, each block stores its
 // own bit width, and within a block all values are packed at that width.
-// The pure-Go kernels below replace the SIMD lane shuffles of the original
-// with word-level packing into 64-bit stripes.
+// Value i of a block occupies bits [i*w, (i+1)*w) of a little-endian
+// stream of 64-bit words, so a full block at width w is exactly 2*w
+// words — block payloads are always word-aligned and a value straddles
+// at most one word boundary.
+//
+// Decoding dispatches on the width through a table of generated,
+// fully unrolled kernels (kernels32_gen.go / kernels64_gen.go, one
+// straight-line function per width covering a whole 128-value block);
+// these replace the SIMD lane shuffles of the original with word-level
+// constant-shift extraction. Partial tail blocks and the §6.8 scalar
+// ablation use the retained accumulator loop ([UnpackGeneric]), which
+// the kernels are tested bit-identical against for every width and
+// tail length.
 package bitpack
+
+//go:generate go run ./gen
 
 import (
 	"encoding/binary"
@@ -72,8 +85,31 @@ func Pack(dst []byte, src []uint32, width uint) []byte {
 }
 
 // Unpack reads n values of `width` bits from src into dst (which must have
-// length >= n) and returns the number of bytes consumed.
+// length >= n) and returns the number of bytes consumed. Full 128-value
+// blocks decode through the width-specialized kernel table; short (tail)
+// blocks fall back to the generic loop.
 func Unpack(dst []uint32, src []byte, n int, width uint) (int, error) {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			dst[i] = 0
+		}
+		return 0, nil
+	}
+	if n == BlockLen && width <= 32 && len(dst) >= BlockLen {
+		nBytes := BlockLen / 8 * int(width) // 2*width words
+		if len(src) < nBytes {
+			return 0, ErrCorrupt
+		}
+		kernels32[width]((*[BlockLen]uint32)(dst), src)
+		return nBytes, nil
+	}
+	return UnpackGeneric(dst, src, n, width)
+}
+
+// UnpackGeneric is the width-generic accumulator-loop decoder: the
+// reference implementation the kernels must match bit for bit, the tail
+// path for partial blocks, and the "scalar" side of the §6.8 ablation.
+func UnpackGeneric(dst []uint32, src []byte, n int, width uint) (int, error) {
 	if width == 0 {
 		for i := 0; i < n; i++ {
 			dst[i] = 0
@@ -166,6 +202,16 @@ func EncodeFOR(dst []byte, src []int32) []byte {
 // values to dst. It returns the extended dst and the number of input bytes
 // consumed.
 func DecodeFOR(dst []int32, src []byte) ([]int32, int, error) {
+	return decodeFOR(dst, src, Unpack)
+}
+
+// DecodeFORGeneric is DecodeFOR on the generic unpack loop — the scalar
+// side of the §6.8 ablation. Output is bit-identical to DecodeFOR.
+func DecodeFORGeneric(dst []int32, src []byte) ([]int32, int, error) {
+	return decodeFOR(dst, src, UnpackGeneric)
+}
+
+func decodeFOR(dst []int32, src []byte, unpack func([]uint32, []byte, int, uint) (int, error)) ([]int32, int, error) {
 	if len(src) < 4 {
 		return dst, 0, ErrCorrupt
 	}
@@ -202,13 +248,16 @@ func DecodeFOR(dst []int32, src []byte) ([]int32, int, error) {
 		if w > 32 {
 			return dst, 0, ErrCorrupt
 		}
-		used, err := Unpack(deltas[:cnt], src[pos:], cnt, w)
+		used, err := unpack(deltas[:cnt], src[pos:], cnt, w)
 		if err != nil {
 			return dst, 0, err
 		}
 		pos += used
-		for i := 0; i < cnt; i++ {
-			dst[out+got+i] = int32(int64(base) + int64(deltas[i]))
+		// base + delta wraps mod 2^32 either way, so int32 addition is
+		// exactly the old widen-add-truncate.
+		blk := dst[out+got : out+got+cnt]
+		for i := range blk {
+			blk[i] = base + int32(deltas[i])
 		}
 	}
 	return dst, pos, nil

@@ -58,8 +58,30 @@ func Pack64(dst []byte, src []uint64, width uint) []byte {
 }
 
 // Unpack64 reads n values of `width` bits from src into dst and returns
-// the number of bytes consumed.
+// the number of bytes consumed. Like Unpack, full 128-value blocks
+// dispatch to the width-specialized kernel table and tails fall back to
+// the generic loop.
 func Unpack64(dst []uint64, src []byte, n int, width uint) (int, error) {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			dst[i] = 0
+		}
+		return 0, nil
+	}
+	if n == BlockLen && width <= 64 && len(dst) >= BlockLen {
+		nBytes := BlockLen / 8 * int(width)
+		if len(src) < nBytes {
+			return 0, ErrCorrupt
+		}
+		kernels64[width]((*[BlockLen]uint64)(dst), src)
+		return nBytes, nil
+	}
+	return Unpack64Generic(dst, src, n, width)
+}
+
+// Unpack64Generic is the width-generic accumulator loop behind Unpack64:
+// reference implementation, tail path, and scalar-ablation decoder.
+func Unpack64Generic(dst []uint64, src []byte, n int, width uint) (int, error) {
 	if width == 0 {
 		for i := 0; i < n; i++ {
 			dst[i] = 0
@@ -133,6 +155,16 @@ func EncodeFOR64(dst []byte, src []int64) []byte {
 // DecodeFOR64 decompresses an EncodeFOR64 stream, appending values to dst
 // and returning the extended dst and bytes consumed.
 func DecodeFOR64(dst []int64, src []byte) ([]int64, int, error) {
+	return decodeFOR64(dst, src, Unpack64)
+}
+
+// DecodeFOR64Generic is DecodeFOR64 on the generic unpack loop (the
+// scalar ablation). Output is bit-identical to DecodeFOR64.
+func DecodeFOR64Generic(dst []int64, src []byte) ([]int64, int, error) {
+	return decodeFOR64(dst, src, Unpack64Generic)
+}
+
+func decodeFOR64(dst []int64, src []byte, unpack func([]uint64, []byte, int, uint) (int, error)) ([]int64, int, error) {
 	if len(src) < 4 {
 		return dst, 0, ErrCorrupt
 	}
@@ -165,7 +197,7 @@ func DecodeFOR64(dst []int64, src []byte) ([]int64, int, error) {
 		if w > 64 {
 			return dst, 0, ErrCorrupt
 		}
-		used, err := Unpack64(deltas[:cnt], src[pos:], cnt, w)
+		used, err := unpack(deltas[:cnt], src[pos:], cnt, w)
 		if err != nil {
 			return dst, 0, err
 		}

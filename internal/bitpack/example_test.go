@@ -1,0 +1,44 @@
+package bitpack_test
+
+import (
+	"fmt"
+
+	"btrblocks/internal/bitpack"
+)
+
+// Pack stores only the low `width` bits of each value; Unpack dispatches
+// to a width-specialized kernel for full 128-value blocks and falls back
+// to the generic loop for the tail.
+func ExampleUnpack() {
+	src := []uint32{1, 5, 2, 7, 0, 3}
+	width := bitpack.MaxWidth(src) // bits needed for the largest value
+
+	packed := bitpack.Pack(nil, src, width)
+	dst := make([]uint32, len(src))
+	if _, err := bitpack.Unpack(dst, packed, len(src), width); err != nil {
+		panic(err)
+	}
+	fmt.Println("width:", width)
+	fmt.Println("decoded:", dst)
+	// Output:
+	// width: 3
+	// decoded: [1 5 2 7 0 3]
+}
+
+// EncodeFOR rebases each 128-value block on its minimum (the frame of
+// reference) so only the small deltas are bit-packed; DecodeFOR undoes
+// both steps.
+func ExampleDecodeFOR() {
+	src := []int32{1000007, 1000003, 1000000, 1000009}
+
+	enc := bitpack.EncodeFOR(nil, src)
+	dec, used, err := bitpack.DecodeFOR(nil, enc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("decoded:", dec)
+	fmt.Println("bytes consumed == len(enc):", used == len(enc))
+	// Output:
+	// decoded: [1000007 1000003 1000000 1000009]
+	// bytes consumed == len(enc): true
+}

@@ -1,0 +1,308 @@
+package bitpack
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// blockPatterns returns the test blocks for one width: all-zeros,
+// all-max (every value at the width's maximum), and seeded random
+// values within the width.
+func blockPatterns(width uint, rng *rand.Rand) [][]uint32 {
+	maxv := mask32(width)
+	zeros := make([]uint32, BlockLen)
+	maxs := make([]uint32, BlockLen)
+	random := make([]uint32, BlockLen)
+	for i := 0; i < BlockLen; i++ {
+		maxs[i] = maxv
+		random[i] = rng.Uint32() & maxv
+	}
+	return [][]uint32{zeros, maxs, random}
+}
+
+func blockPatterns64(width uint, rng *rand.Rand) [][]uint64 {
+	maxv := mask64(width)
+	zeros := make([]uint64, BlockLen)
+	maxs := make([]uint64, BlockLen)
+	random := make([]uint64, BlockLen)
+	for i := 0; i < BlockLen; i++ {
+		maxs[i] = maxv
+		random[i] = rng.Uint64() & maxv
+	}
+	return [][]uint64{zeros, maxs, random}
+}
+
+// TestKernelEquivalence proves that for every width 0..32 the
+// specialized full-block kernel and the generic fallback decode
+// bit-identically, on full blocks and on every partial tail length
+// 1..127 (tails always take the generic path through Unpack, but the
+// sweep also checks the generic loop against the packed source).
+func TestKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for width := uint(0); width <= 32; width++ {
+		for pi, src := range blockPatterns(width, rng) {
+			packed := Pack(nil, src, width)
+			viaKernel := make([]uint32, BlockLen)
+			viaGeneric := make([]uint32, BlockLen)
+			usedK, err := Unpack(viaKernel, packed, BlockLen, width)
+			if err != nil {
+				t.Fatalf("width %d pattern %d: kernel: %v", width, pi, err)
+			}
+			usedG, err := UnpackGeneric(viaGeneric, packed, BlockLen, width)
+			if err != nil {
+				t.Fatalf("width %d pattern %d: generic: %v", width, pi, err)
+			}
+			if usedK != usedG {
+				t.Fatalf("width %d pattern %d: consumed %d (kernel) != %d (generic)", width, pi, usedK, usedG)
+			}
+			for i := range src {
+				if viaKernel[i] != src[i] || viaGeneric[i] != src[i] {
+					t.Fatalf("width %d pattern %d value %d: src %#x kernel %#x generic %#x",
+						width, pi, i, src[i], viaKernel[i], viaGeneric[i])
+				}
+			}
+		}
+		// every tail length 1..127 must round-trip through the generic path
+		full := blockPatterns(width, rng)[2]
+		for n := 1; n < BlockLen; n++ {
+			packed := Pack(nil, full[:n], width)
+			got := make([]uint32, n)
+			if _, err := Unpack(got, packed, n, width); err != nil {
+				t.Fatalf("width %d tail %d: %v", width, n, err)
+			}
+			for i := 0; i < n; i++ {
+				if got[i] != full[i] {
+					t.Fatalf("width %d tail %d value %d: got %#x want %#x", width, n, i, got[i], full[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelEquivalence64 is the 64-bit sweep: widths 0..64, the same
+// patterns and every tail length.
+func TestKernelEquivalence64(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for width := uint(0); width <= 64; width++ {
+		for pi, src := range blockPatterns64(width, rng) {
+			packed := Pack64(nil, src, width)
+			viaKernel := make([]uint64, BlockLen)
+			viaGeneric := make([]uint64, BlockLen)
+			usedK, err := Unpack64(viaKernel, packed, BlockLen, width)
+			if err != nil {
+				t.Fatalf("width %d pattern %d: kernel: %v", width, pi, err)
+			}
+			usedG, err := Unpack64Generic(viaGeneric, packed, BlockLen, width)
+			if err != nil {
+				t.Fatalf("width %d pattern %d: generic: %v", width, pi, err)
+			}
+			if usedK != usedG {
+				t.Fatalf("width %d pattern %d: consumed %d (kernel) != %d (generic)", width, pi, usedK, usedG)
+			}
+			for i := range src {
+				if viaKernel[i] != src[i] || viaGeneric[i] != src[i] {
+					t.Fatalf("width %d pattern %d value %d: src %#x kernel %#x generic %#x",
+						width, pi, i, src[i], viaKernel[i], viaGeneric[i])
+				}
+			}
+		}
+		full := blockPatterns64(width, rng)[2]
+		for n := 1; n < BlockLen; n++ {
+			packed := Pack64(nil, full[:n], width)
+			got := make([]uint64, n)
+			if _, err := Unpack64(got, packed, n, width); err != nil {
+				t.Fatalf("width %d tail %d: %v", width, n, err)
+			}
+			for i := 0; i < n; i++ {
+				if got[i] != full[i] {
+					t.Fatalf("width %d tail %d value %d: got %#x want %#x", width, n, i, got[i], full[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelShortInput verifies the kernel dispatch path rejects inputs
+// shorter than a full block's payload instead of reading out of bounds.
+func TestKernelShortInput(t *testing.T) {
+	for width := uint(1); width <= 32; width++ {
+		need := BlockLen / 8 * int(width)
+		dst := make([]uint32, BlockLen)
+		if _, err := Unpack(dst, make([]byte, need-1), BlockLen, width); err == nil {
+			t.Fatalf("width %d: expected error on %d-byte input", width, need-1)
+		}
+	}
+	for width := uint(1); width <= 64; width++ {
+		need := BlockLen / 8 * int(width)
+		dst := make([]uint64, BlockLen)
+		if _, err := Unpack64(dst, make([]byte, need-1), BlockLen, width); err == nil {
+			t.Fatalf("width %d: expected error on %d-byte input", width, need-1)
+		}
+	}
+}
+
+// TestDecodeFORGenericEquivalence pins DecodeFOR == DecodeFORGeneric on
+// mixed-width multi-block streams including a partial tail block.
+func TestDecodeFORGenericEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, n := range []int{1, 127, 128, 129, 1000, 4096 + 17} {
+		src := make([]int32, n)
+		for i := range src {
+			// vary magnitude per block so block widths differ
+			src[i] = int32(rng.Intn(1 << (uint(i/BlockLen)%30 + 1)))
+			if rng.Intn(7) == 0 {
+				src[i] = -src[i]
+			}
+		}
+		enc := EncodeFOR(nil, src)
+		fast, usedF, err := DecodeFOR(nil, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, usedS, err := DecodeFORGeneric(nil, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if usedF != usedS || len(fast) != len(slow) {
+			t.Fatalf("n=%d: used %d/%d len %d/%d", n, usedF, usedS, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i] != slow[i] || fast[i] != src[i] {
+				t.Fatalf("n=%d value %d: src %d kernel %d generic %d", n, i, src[i], fast[i], slow[i])
+			}
+		}
+	}
+
+	for _, n := range []int{1, 127, 128, 129, 1000, 4096 + 17} {
+		src := make([]int64, n)
+		for i := range src {
+			src[i] = int64(rng.Uint64() >> (uint(i/BlockLen)*7%63 + 1))
+			if rng.Intn(7) == 0 {
+				src[i] = -src[i]
+			}
+		}
+		enc := EncodeFOR64(nil, src)
+		fast, usedF, err := DecodeFOR64(nil, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, usedS, err := DecodeFOR64Generic(nil, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if usedF != usedS || len(fast) != len(slow) {
+			t.Fatalf("n=%d: used %d/%d len %d/%d", n, usedF, usedS, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i] != slow[i] || fast[i] != src[i] {
+				t.Fatalf("n=%d value %d: src %d kernel %d generic %d", n, i, src[i], fast[i], slow[i])
+			}
+		}
+	}
+}
+
+// --- per-kernel microbenchmarks (the BENCH_decode.json feedstock) ---
+
+const benchBlocks = 512 // 64k values per op
+
+func benchSrc32(width uint) ([]byte, []uint32) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]uint32, BlockLen*benchBlocks)
+	for i := range src {
+		src[i] = rng.Uint32() & mask32(width)
+	}
+	var packed []byte
+	for b := 0; b < benchBlocks; b++ {
+		packed = Pack(packed, src[b*BlockLen:(b+1)*BlockLen], width)
+	}
+	return packed, src
+}
+
+// BenchmarkUnpack decodes 512 full blocks per op at each width, kernel
+// vs generic — the ≥2x acceptance gate of the PR 6 trajectory work.
+func BenchmarkUnpack(b *testing.B) {
+	dst := make([]uint32, BlockLen)
+	for _, width := range []uint{1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 27, 32} {
+		packed, src := benchSrc32(width)
+		stride := BlockLen / 8 * int(width)
+		for _, v := range []struct {
+			name   string
+			unpack func([]uint32, []byte, int, uint) (int, error)
+		}{{"kernel", Unpack}, {"generic", UnpackGeneric}} {
+			b.Run(fmt.Sprintf("width=%02d/%s", width, v.name), func(b *testing.B) {
+				b.SetBytes(int64(len(src) * 4))
+				for i := 0; i < b.N; i++ {
+					for blk := 0; blk < benchBlocks; blk++ {
+						if _, err := v.unpack(dst, packed[blk*stride:], BlockLen, width); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func benchSrc64(width uint) ([]byte, []uint64) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]uint64, BlockLen*benchBlocks)
+	for i := range src {
+		src[i] = rng.Uint64() & mask64(width)
+	}
+	var packed []byte
+	for b := 0; b < benchBlocks; b++ {
+		packed = Pack64(packed, src[b*BlockLen:(b+1)*BlockLen], width)
+	}
+	return packed, src
+}
+
+// BenchmarkUnpack64 is the 64-bit kernel curve over a width subset.
+func BenchmarkUnpack64(b *testing.B) {
+	dst := make([]uint64, BlockLen)
+	for _, width := range []uint{2, 4, 8, 16, 24, 33, 48, 64} {
+		packed, src := benchSrc64(width)
+		stride := BlockLen / 8 * int(width)
+		for _, v := range []struct {
+			name   string
+			unpack func([]uint64, []byte, int, uint) (int, error)
+		}{{"kernel", Unpack64}, {"generic", Unpack64Generic}} {
+			b.Run(fmt.Sprintf("width=%02d/%s", width, v.name), func(b *testing.B) {
+				b.SetBytes(int64(len(src) * 8))
+				for i := 0; i < b.N; i++ {
+					for blk := 0; blk < benchBlocks; blk++ {
+						if _, err := v.unpack(dst, packed[blk*stride:], BlockLen, width); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDecodeFOR measures the whole FOR decode (header walk, kernel
+// dispatch, base re-add) end to end at a representative 12-bit width.
+func BenchmarkDecodeFOR(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	src := make([]int32, 64000)
+	for i := range src {
+		src[i] = int32(rng.Intn(1 << 12))
+	}
+	enc := EncodeFOR(nil, src)
+	out := make([]int32, 0, len(src))
+	for _, v := range []struct {
+		name   string
+		decode func([]int32, []byte) ([]int32, int, error)
+	}{{"kernel", DecodeFOR}, {"generic", DecodeFORGeneric}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.SetBytes(int64(len(src) * 4))
+			for i := 0; i < b.N; i++ {
+				var err error
+				if out, _, err = v.decode(out[:0], enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -169,6 +169,12 @@ type Config struct {
 	StringSchemes []Code
 	// Seed makes sampling deterministic.
 	Seed int64
+	// Scratch, when non-nil, supplies reusable buffers for the decoders'
+	// short-lived temporaries (run values/lengths, dictionary codes,
+	// frequency exceptions). A Scratch is single-owner: it must never be
+	// shared between concurrently running decodes — the parallel engine
+	// hands each worker its own. Nil means "allocate per decode".
+	Scratch *Scratch
 	// MaxDecodedValues caps the value count a decoder will accept from a
 	// stream header (0 = MaxBlockValues). The file layer sets it to the
 	// block's declared row count so corrupt streams cannot claim huge

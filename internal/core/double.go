@@ -310,12 +310,14 @@ func decodeDoubleRLE(dst []float64, src []byte, cfg *Config) ([]float64, int, er
 		return dst, 0, ErrCorrupt
 	}
 	pos := 8
-	values, used, err := decompressDouble(nil, src[pos:], cfg)
+	values, used, err := decompressDouble(cfg.Scratch.getFloat64(), src[pos:], cfg)
+	defer cfg.Scratch.putFloat64(values)
 	if err != nil {
 		return dst, 0, err
 	}
 	pos += used
-	lengths, used, err := decompressInt(nil, src[pos:], cfg)
+	lengths, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(lengths)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -400,7 +402,8 @@ func decodeDoubleDict(dst []float64, src []byte, cfg *Config) ([]float64, int, e
 		return dst, 0, ErrCorrupt
 	}
 	pos := 8
-	dict, used, err := decompressDouble(nil, src[pos:], cfg)
+	dict, used, err := decompressDouble(cfg.Scratch.getFloat64(), src[pos:], cfg)
+	defer cfg.Scratch.putFloat64(dict)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -408,7 +411,8 @@ func decodeDoubleDict(dst []float64, src []byte, cfg *Config) ([]float64, int, e
 	if len(dict) != dictN {
 		return dst, 0, ErrCorrupt
 	}
-	codes, used, err := decompressInt(nil, src[pos:], cfg)
+	codes, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(codes)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -465,7 +469,8 @@ func decodeDoubleFrequency(dst []float64, src []byte, cfg *Config) ([]float64, i
 		return dst, 0, ErrCorrupt
 	}
 	pos += used
-	exceptions, used, err := decompressDouble(nil, src[pos:], cfg)
+	exceptions, used, err := decompressDouble(cfg.Scratch.getFloat64(), src[pos:], cfg)
+	defer cfg.Scratch.putFloat64(exceptions)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -513,12 +518,14 @@ func decodeDoublePDE(dst []float64, src []byte, cfg *Config) ([]float64, int, er
 		return dst, 0, ErrCorrupt
 	}
 	pos := 4
-	digits, used, err := decompressInt(nil, src[pos:], cfg)
+	digits, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(digits)
 	if err != nil {
 		return dst, 0, err
 	}
 	pos += used
-	exps, used, err := decompressInt(nil, src[pos:], cfg)
+	exps, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(exps)
 	if err != nil {
 		return dst, 0, err
 	}

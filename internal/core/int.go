@@ -273,13 +273,21 @@ func decompressInt(dst []int32, src []byte, cfg *Config) ([]int32, int, error) {
 		out, used, err := decodeIntFrequency(dst, body, cfg)
 		return out, used + 1, err
 	case CodeFastBP:
-		out, used, err := bitpack.DecodeFOR(dst, body)
+		decode := bitpack.DecodeFOR
+		if cfg.ScalarDecode {
+			decode = bitpack.DecodeFORGeneric
+		}
+		out, used, err := decode(dst, body)
 		if err != nil {
 			return dst, 0, ErrCorrupt
 		}
 		return out, used + 1, nil
 	case CodeFastPFOR:
-		out, used, err := fastpfor.Decode(dst, body)
+		decode := fastpfor.Decode
+		if cfg.ScalarDecode {
+			decode = fastpfor.DecodeGeneric
+		}
+		out, used, err := decode(dst, body)
 		if err != nil {
 			return dst, 0, ErrCorrupt
 		}
@@ -313,12 +321,14 @@ func decodeIntRLE(dst []int32, src []byte, cfg *Config) ([]int32, int, error) {
 		return dst, 0, ErrCorrupt
 	}
 	pos := 8
-	values, used, err := decompressInt(nil, src[pos:], cfg)
+	values, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(values)
 	if err != nil {
 		return dst, 0, err
 	}
 	pos += used
-	lengths, used, err := decompressInt(nil, src[pos:], cfg)
+	lengths, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(lengths)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -410,7 +420,8 @@ func decodeIntDict(dst []int32, src []byte, cfg *Config) ([]int32, int, error) {
 		return dst, 0, ErrCorrupt
 	}
 	pos := 8
-	dict, used, err := decompressInt(nil, src[pos:], cfg)
+	dict, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(dict)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -418,7 +429,8 @@ func decodeIntDict(dst []int32, src []byte, cfg *Config) ([]int32, int, error) {
 	if len(dict) != dictN {
 		return dst, 0, ErrCorrupt
 	}
-	codes, used, err := decompressInt(nil, src[pos:], cfg)
+	codes, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(codes)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -476,7 +488,8 @@ func decodeIntFrequency(dst []int32, src []byte, cfg *Config) ([]int32, int, err
 		return dst, 0, ErrCorrupt
 	}
 	pos += used
-	exceptions, used, err := decompressInt(nil, src[pos:], cfg)
+	exceptions, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(exceptions)
 	if err != nil {
 		return dst, 0, err
 	}

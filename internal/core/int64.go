@@ -249,7 +249,11 @@ func decompressInt64(dst []int64, src []byte, cfg *Config) ([]int64, int, error)
 		out, used, err := decodeInt64Frequency(dst, body, cfg)
 		return out, used + 1, err
 	case CodeFastBP:
-		out, used, err := bitpack.DecodeFOR64(dst, body)
+		decode := bitpack.DecodeFOR64
+		if cfg.ScalarDecode {
+			decode = bitpack.DecodeFOR64Generic
+		}
+		out, used, err := decode(dst, body)
 		if err != nil {
 			return dst, 0, ErrCorrupt
 		}
@@ -269,12 +273,14 @@ func decodeInt64RLE(dst []int64, src []byte, cfg *Config) ([]int64, int, error) 
 		return dst, 0, ErrCorrupt
 	}
 	pos := 8
-	values, used, err := decompressInt64(nil, src[pos:], cfg)
+	values, used, err := decompressInt64(cfg.Scratch.getInt64(), src[pos:], cfg)
+	defer cfg.Scratch.putInt64(values)
 	if err != nil {
 		return dst, 0, err
 	}
 	pos += used
-	lengths, used, err := decompressInt(nil, src[pos:], cfg)
+	lengths, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(lengths)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -321,7 +327,8 @@ func decodeInt64Dict(dst []int64, src []byte, cfg *Config) ([]int64, int, error)
 		return dst, 0, ErrCorrupt
 	}
 	pos := 8
-	dict, used, err := decompressInt64(nil, src[pos:], cfg)
+	dict, used, err := decompressInt64(cfg.Scratch.getInt64(), src[pos:], cfg)
+	defer cfg.Scratch.putInt64(dict)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -329,7 +336,8 @@ func decodeInt64Dict(dst []int64, src []byte, cfg *Config) ([]int64, int, error)
 	if len(dict) != dictN {
 		return dst, 0, ErrCorrupt
 	}
-	codes, used, err := decompressInt(nil, src[pos:], cfg)
+	codes, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(codes)
 	if err != nil {
 		return dst, 0, err
 	}
@@ -364,7 +372,8 @@ func decodeInt64Frequency(dst []int64, src []byte, cfg *Config) ([]int64, int, e
 		return dst, 0, ErrCorrupt
 	}
 	pos += used
-	exceptions, used, err := decompressInt64(nil, src[pos:], cfg)
+	exceptions, used, err := decompressInt64(cfg.Scratch.getInt64(), src[pos:], cfg)
+	defer cfg.Scratch.putInt64(exceptions)
 	if err != nil {
 		return dst, 0, err
 	}

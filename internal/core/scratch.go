@@ -1,0 +1,79 @@
+package core
+
+// Scratch is a per-worker arena of reusable decode buffers. The cascade
+// decoders allocate short-lived temporaries on every block — RLE run
+// values and lengths, dictionary entries and codes, frequency exceptions,
+// string length vectors — and in the parallel engine those allocations
+// dominate the per-block decode path. A Scratch turns them into free-list
+// reuse: decoders take a zero-length slice with retained capacity via
+// getInt32/getInt64/getFloat64 and return it with the matching put once
+// the block is expanded.
+//
+// Ownership rules (see PERFORMANCE.md):
+//
+//   - A Scratch is single-owner state. It is NOT safe for concurrent use;
+//     the parallel engine gives each worker its own instance and a worker
+//     never touches another worker's arena.
+//   - Only temporaries that die before the decoder returns may come from
+//     the arena. Anything that escapes into the decoded output (or into a
+//     cached pool) must be allocated normally.
+//   - A nil *Scratch is valid everywhere and means "allocate as before":
+//     get returns nil (append allocates fresh) and put is a no-op, so the
+//     serial path and external callers pay nothing.
+type Scratch struct {
+	i32 [][]int32
+	i64 [][]int64
+	f64 [][]float64
+}
+
+// maxScratchSlices bounds each free list so a pathological cascade cannot
+// pin an unbounded number of buffers per worker.
+const maxScratchSlices = 16
+
+func (s *Scratch) getInt32() []int32 {
+	if s == nil || len(s.i32) == 0 {
+		return nil
+	}
+	b := s.i32[len(s.i32)-1]
+	s.i32 = s.i32[:len(s.i32)-1]
+	return b[:0]
+}
+
+func (s *Scratch) putInt32(b []int32) {
+	if s == nil || cap(b) == 0 || len(s.i32) >= maxScratchSlices {
+		return
+	}
+	s.i32 = append(s.i32, b[:0])
+}
+
+func (s *Scratch) getInt64() []int64 {
+	if s == nil || len(s.i64) == 0 {
+		return nil
+	}
+	b := s.i64[len(s.i64)-1]
+	s.i64 = s.i64[:len(s.i64)-1]
+	return b[:0]
+}
+
+func (s *Scratch) putInt64(b []int64) {
+	if s == nil || cap(b) == 0 || len(s.i64) >= maxScratchSlices {
+		return
+	}
+	s.i64 = append(s.i64, b[:0])
+}
+
+func (s *Scratch) getFloat64() []float64 {
+	if s == nil || len(s.f64) == 0 {
+		return nil
+	}
+	b := s.f64[len(s.f64)-1]
+	s.f64 = s.f64[:len(s.f64)-1]
+	return b[:0]
+}
+
+func (s *Scratch) putFloat64(b []float64) {
+	if s == nil || cap(b) == 0 || len(s.f64) >= maxScratchSlices {
+		return
+	}
+	s.f64 = append(s.f64, b[:0])
+}

@@ -359,7 +359,8 @@ func decodeStringDict(src []byte, cfg *Config) (coldata.StringViews, int, error)
 	default:
 		return out, 0, ErrCorrupt
 	}
-	lengths, used, err := decompressInt(nil, src[pos:], cfg)
+	lengths, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(lengths)
 	if err != nil {
 		return out, 0, err
 	}
@@ -387,6 +388,8 @@ func decodeStringDict(src []byte, cfg *Config) (coldata.StringViews, int, error)
 		if err != nil {
 			return out, 0, err
 		}
+		defer cfg.Scratch.putInt32(runValues)
+		defer cfg.Scratch.putInt32(runLengths)
 		if n > 0 && len(runValues) > 0 && float64(n)/float64(len(runValues)) > 3 {
 			pos += used
 			o := 0
@@ -408,7 +411,8 @@ func decodeStringDict(src []byte, cfg *Config) (coldata.StringViews, int, error)
 		}
 		// short runs: fall through to the standard two-step decode below
 	}
-	codes, used, err := decompressInt(nil, src[pos:], cfg)
+	codes, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(codes)
 	if err != nil {
 		return out, 0, err
 	}
@@ -437,19 +441,26 @@ func decodeRLEParts(src []byte, cfg *Config) (values, lengths []int32, consumed 
 		return nil, nil, 0, ErrCorrupt
 	}
 	pos := 9
-	values, used, err := decompressInt(nil, src[pos:], cfg)
+	values, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
 	if err != nil {
+		cfg.Scratch.putInt32(values)
 		return nil, nil, 0, err
 	}
 	pos += used
-	lengths, used, err = decompressInt(nil, src[pos:], cfg)
+	lengths, used, err = decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
 	if err != nil {
+		cfg.Scratch.putInt32(values)
+		cfg.Scratch.putInt32(lengths)
 		return nil, nil, 0, err
 	}
 	pos += used
 	if len(values) != runCount || len(lengths) != runCount {
+		cfg.Scratch.putInt32(values)
+		cfg.Scratch.putInt32(lengths)
 		return nil, nil, 0, ErrCorrupt
 	}
+	// On success the returned run arrays are arena-backed: the caller owns
+	// them and returns them with putInt32 when the fused expansion is done.
 	return values, lengths, pos, nil
 }
 
@@ -486,7 +497,8 @@ func decodeStringFSST(src []byte, cfg *Config) (coldata.StringViews, int, error)
 		return out, 0, ErrCorrupt
 	}
 	pos += encLen
-	lengths, used, err := decompressInt(nil, src[pos:], cfg)
+	lengths, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+	defer cfg.Scratch.putInt32(lengths)
 	if err != nil {
 		return out, 0, err
 	}
@@ -568,7 +580,8 @@ func decodeStringDictViews(body []byte, cfg *Config) (dictHeaderViews, error) {
 	default:
 		return out, ErrCorrupt
 	}
-	lengths, used, err := decompressInt(nil, body[pos:], cfg)
+	lengths, used, err := decompressInt(cfg.Scratch.getInt32(), body[pos:], cfg)
+	defer cfg.Scratch.putInt32(lengths)
 	if err != nil {
 		return out, err
 	}

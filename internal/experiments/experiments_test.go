@@ -37,6 +37,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		{"table5", Table5},
 		{"colscan", ColumnScan},
 		{"scalar", Scalar},
+		{"kernels", Kernels},
 		{"selection", SelectionOverhead},
 		{"serve", Serve},
 	} {

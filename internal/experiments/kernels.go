@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"strings"
+
+	"btrblocks/internal/bitpack"
+	"btrblocks/internal/fsst"
+)
+
+// kernelIters is how many times each timed section re-decodes its buffer
+// so wall times are milliseconds, not microseconds.
+const kernelIters = 64
+
+// Kernels regenerates the §6.5 single-core decode trajectory: bit-unpack
+// throughput with the generated width-specialized kernels vs the generic
+// accumulator loop across widths, end-to-end FOR decode both ways, and
+// FSST decode via the jump table vs a per-symbol append loop. These are
+// the same quantities pinned by the committed BENCH_decode.json baseline
+// (see PERFORMANCE.md); this experiment exists so the curve can be
+// re-derived on any host without the benchmark harness.
+func Kernels(cfg *Config) error {
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	n := cfg.rows()
+	n -= n % bitpack.BlockLen // whole blocks: both paths decode the same shape
+
+	cfg.printf("§6.5 decode kernels vs generic loop (single core, MB/s of decoded values)\n")
+	cfg.printf("%-18s %10s %10s %9s\n", "kernel", "generic", "kernel", "speedup")
+
+	src := make([]uint32, n)
+	dst := make([]uint32, n)
+	for _, w := range []uint{1, 2, 3, 4, 8, 12, 16, 24, 32} {
+		mask := uint32(1)<<w - 1
+		if w == 32 {
+			mask = ^uint32(0)
+		}
+		for i := range src {
+			src[i] = rng.Uint32() & mask
+		}
+		packed := bitpack.Pack(nil, src, w)
+		blockBytes := bitpack.BlockLen / 8 * int(w) // 2*w words per block
+		// Unpack is a single-block primitive: the kernel dispatch fires
+		// only for exactly BlockLen values, so walk block by block the
+		// way DecodeFOR does.
+		gen := kernelTime(cfg, func() {
+			for i, off := 0, 0; i < n; i, off = i+bitpack.BlockLen, off+blockBytes {
+				if _, err := bitpack.UnpackGeneric(dst[i:], packed[off:], bitpack.BlockLen, w); err != nil {
+					panic(err)
+				}
+			}
+		})
+		ker := kernelTime(cfg, func() {
+			for i, off := 0, 0; i < n; i, off = i+bitpack.BlockLen, off+blockBytes {
+				if _, err := bitpack.Unpack(dst[i:], packed[off:], bitpack.BlockLen, w); err != nil {
+					panic(err)
+				}
+			}
+		})
+		bytes := kernelIters * n * 4
+		cfg.printf("unpack width=%-5d %10.0f %10.0f %8.1fx\n", w, mbps(bytes, gen), mbps(bytes, ker), gen/ker)
+	}
+
+	ints := make([]int32, n)
+	for i := range ints {
+		ints[i] = 1_000_000 + rng.Int31n(1<<12)
+	}
+	enc := bitpack.EncodeFOR(nil, ints)
+	intDst := make([]int32, 0, n)
+	gen := kernelTime(cfg, func() {
+		if _, _, err := bitpack.DecodeFORGeneric(intDst[:0], enc); err != nil {
+			panic(err)
+		}
+	})
+	ker := kernelTime(cfg, func() {
+		if _, _, err := bitpack.DecodeFOR(intDst[:0], enc); err != nil {
+			panic(err)
+		}
+	})
+	bytes := kernelIters * n * 4
+	cfg.printf("%-18s %10.0f %10.0f %8.1fx\n", "FOR decode", mbps(bytes, gen), mbps(bytes, ker), gen/ker)
+
+	corpus, table := fsstCorpus(rng, 4*n)
+	fenc := table.Encode(nil, corpus)
+	fdst := make([]byte, 0, len(corpus))
+	gen = kernelTime(cfg, func() {
+		var err error
+		if fdst, err = fsstDecodeNaive(table, fdst[:0], fenc); err != nil {
+			panic(err)
+		}
+	})
+	ker = kernelTime(cfg, func() {
+		var err error
+		if fdst, err = table.Decode(fdst[:0], fenc); err != nil {
+			panic(err)
+		}
+	})
+	bytes = kernelIters * len(corpus)
+	cfg.printf("%-18s %10.0f %10.0f %8.1fx\n", "FSST decode", mbps(bytes, gen), mbps(bytes, ker), gen/ker)
+	return nil
+}
+
+// kernelTime returns the best wall seconds over cfg.reps() of running f
+// kernelIters times.
+func kernelTime(cfg *Config, f func()) float64 {
+	best := 0.0
+	for r := 0; r < cfg.reps(); r++ {
+		secs := timeSeconds(func() {
+			for i := 0; i < kernelIters; i++ {
+				f()
+			}
+		})
+		if r == 0 || secs < best {
+			best = secs
+		}
+	}
+	return best
+}
+
+// fsstCorpus builds an FSST-friendly text corpus (URL-ish fragments plus
+// occasional bytes that force escapes) and trains a table on it.
+func fsstCorpus(rng *rand.Rand, n int) ([]byte, *fsst.Table) {
+	words := []string{"http://", "www.", ".com/", "user", "page", "item", "-", "?id="}
+	var sb strings.Builder
+	for sb.Len() < n {
+		sb.WriteString(words[rng.Intn(len(words))])
+		if rng.Intn(13) == 0 {
+			sb.WriteByte(byte(rng.Intn(256)))
+		}
+	}
+	corpus := []byte(sb.String())
+	return corpus, fsst.Train([][]byte{corpus})
+}
+
+// fsstDecodeNaive is the pre-jump-table decoder shape: resolve each code
+// through the symbol table and append its bytes with a length-dependent
+// copy. Kept here as the "before" side of the §6.5 FSST row.
+func fsstDecodeNaive(t *fsst.Table, dst, src []byte) ([]byte, error) {
+	var buf [8]byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == fsst.EscapeCode {
+			i++
+			if i >= len(src) {
+				return dst, fsst.ErrCorrupt
+			}
+			dst = append(dst, src[i])
+			continue
+		}
+		if int(c) >= t.NumSymbols() {
+			return dst, fsst.ErrCorrupt
+		}
+		s := t.SymbolAt(int(c))
+		binary.LittleEndian.PutUint64(buf[:], s.Val)
+		dst = append(dst, buf[:s.Len]...)
+	}
+	return dst, nil
+}

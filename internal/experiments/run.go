@@ -134,6 +134,11 @@ func gbps(bytes int, seconds float64) float64 {
 	return float64(bytes) / 1e9 / seconds
 }
 
+// mbps converts bytes and seconds to MB/s.
+func mbps(bytes int, seconds float64) float64 {
+	return 1000 * gbps(bytes, seconds)
+}
+
 // typeName maps a type to the Table 2 column label.
 func typeName(t btrblocks.Type) string {
 	switch t {

@@ -1,0 +1,31 @@
+package fastpfor_test
+
+import (
+	"fmt"
+
+	"btrblocks/internal/fastpfor"
+)
+
+// FastPFOR packs each 128-value block at a width chosen for the common
+// case; rare outliers ("exceptions") store their high bits out of line
+// instead of inflating the width of the whole block.
+func ExampleDecode() {
+	src := make([]int32, 256)
+	for i := range src {
+		src[i] = int32(i % 16) // fits in 4 bits...
+	}
+	src[100] = 1 << 20 // ...except one outlier, patched as an exception
+
+	enc := fastpfor.Encode(nil, src)
+	dec, used, err := fastpfor.Decode(nil, enc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("roundtrip ok:", len(dec) == len(src) && dec[100] == 1<<20)
+	fmt.Println("bytes consumed == len(enc):", used == len(enc))
+	fmt.Println("compressed smaller than raw:", len(enc) < 4*len(src))
+	// Output:
+	// roundtrip ok: true
+	// bytes consumed == len(enc): true
+	// compressed smaller than raw: true
+}

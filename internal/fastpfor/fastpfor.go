@@ -4,6 +4,13 @@
 // width b chosen per block; the few values that do not fit ("exceptions")
 // store their position and their high bits out of line, so outliers do not
 // inflate the width of the whole block.
+//
+// Blocks reuse the bitpack layout invariants: a full block's low-bits
+// payload is BlockLen*b bits rounded up to whole 64-bit words, so every
+// block starts word-aligned and decodes through the width-specialized
+// kernels in package bitpack. A final partial block (fewer than
+// BlockLen values) and the §6.8 scalar ablation ([DecodeGeneric]) take
+// the generic accumulator path instead.
 package fastpfor
 
 import (
@@ -109,8 +116,20 @@ func lowMask(b uint) uint32 {
 }
 
 // Decode decompresses a stream produced by Encode, appending values to dst.
-// It returns the extended dst and the number of bytes consumed.
+// It returns the extended dst and the number of bytes consumed. Full
+// blocks route through bitpack's width-specialized kernels (both the low
+// bits and the exception high bits are bit-packed streams).
 func Decode(dst []int32, src []byte) ([]int32, int, error) {
+	return decode(dst, src, bitpack.Unpack)
+}
+
+// DecodeGeneric is Decode on the generic unpack loop — the scalar side
+// of the §6.8 ablation. Output is bit-identical to Decode.
+func DecodeGeneric(dst []int32, src []byte) ([]int32, int, error) {
+	return decode(dst, src, bitpack.UnpackGeneric)
+}
+
+func decode(dst []int32, src []byte, unpack func([]uint32, []byte, int, uint) (int, error)) ([]int32, int, error) {
 	if len(src) < 4 {
 		return dst, 0, ErrCorrupt
 	}
@@ -149,7 +168,7 @@ func Decode(dst []int32, src []byte) ([]int32, int, error) {
 		if b > 32 || maxb > 32 || b > maxb || exc > cnt {
 			return dst, 0, ErrCorrupt
 		}
-		used, err := bitpack.Unpack(lows[:cnt], src[pos:], cnt, b)
+		used, err := unpack(lows[:cnt], src[pos:], cnt, b)
 		if err != nil {
 			return dst, 0, err
 		}
@@ -159,7 +178,7 @@ func Decode(dst []int32, src []byte) ([]int32, int, error) {
 		}
 		positions := src[pos : pos+exc]
 		pos += exc
-		used, err = bitpack.Unpack(highs[:exc], src[pos:], exc, maxb-b)
+		used, err = unpack(highs[:exc], src[pos:], exc, maxb-b)
 		if err != nil {
 			return dst, 0, err
 		}
@@ -171,8 +190,11 @@ func Decode(dst []int32, src []byte) ([]int32, int, error) {
 			}
 			lows[p] |= highs[i] << b
 		}
-		for i := 0; i < cnt; i++ {
-			dst[out+got+i] = int32(int64(base) + int64(lows[i]))
+		// base + delta wraps mod 2^32 either way, so int32 addition is
+		// exactly the old widen-add-truncate.
+		blk := dst[out+got : out+got+cnt]
+		for i := range blk {
+			blk[i] = base + int32(lows[i])
 		}
 	}
 	return dst, pos, nil

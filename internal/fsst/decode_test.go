@@ -1,0 +1,162 @@
+package fsst
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// decodeReference is the original per-symbol append decoder, kept as the
+// oracle the jump-table Decode must match byte for byte.
+func (t *Table) decodeReference(dst, src []byte) ([]byte, error) {
+	var buf [8]byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == EscapeCode {
+			i++
+			if i >= len(src) {
+				return dst, ErrCorrupt
+			}
+			dst = append(dst, src[i])
+			continue
+		}
+		if int(c) >= t.n {
+			return dst, ErrCorrupt
+		}
+		s := t.symbols[c]
+		binary.LittleEndian.PutUint64(buf[:], s.Val)
+		dst = append(dst, buf[:s.Len]...)
+	}
+	return dst, nil
+}
+
+func trainedCorpus(seed int64, n int) ([]byte, *Table) {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"http://", "www.", ".com/", "user", "page", "abc", "xyzzy", "-", "?id="}
+	var sb strings.Builder
+	for sb.Len() < n {
+		sb.WriteString(words[rng.Intn(len(words))])
+		if rng.Intn(13) == 0 {
+			sb.WriteByte(byte(rng.Intn(256))) // force escapes
+		}
+	}
+	corpus := []byte(sb.String())
+	return corpus, Train([][]byte{corpus})
+}
+
+// TestDecodeJumpTableEquivalence round-trips corpora through Encode and
+// checks the jump-table Decode against the reference decoder, across
+// pre-sized, undersized, and zero-capacity destination buffers.
+func TestDecodeJumpTableEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		corpus, table := trainedCorpus(seed, 1<<14)
+		enc := table.Encode(nil, corpus)
+		want, err := table.decodeReference(nil, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, corpus) {
+			t.Fatal("reference decoder does not round-trip")
+		}
+		for _, dst := range [][]byte{
+			nil,
+			make([]byte, 0, len(corpus)),     // exact pre-size (the production path)
+			make([]byte, 0, len(corpus)/3),   // undersized: must grow correctly
+			make([]byte, 0, len(corpus)+512), // oversized
+		} {
+			got, err := table.Decode(dst, enc)
+			if err != nil {
+				t.Fatalf("seed %d cap %d: %v", seed, cap(dst), err)
+			}
+			if !bytes.Equal(got, corpus) {
+				t.Fatalf("seed %d cap %d: decode mismatch (%d vs %d bytes)", seed, cap(dst), len(got), len(corpus))
+			}
+		}
+		// appending to an existing prefix must preserve it
+		prefix := []byte("prefix!")
+		got, err := table.Decode(append([]byte(nil), prefix...), enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:len(prefix)], prefix) || !bytes.Equal(got[len(prefix):], corpus) {
+			t.Fatal("decode with prefix corrupted output")
+		}
+	}
+}
+
+// TestDecodeCorruptJumpTable pins the error behavior of the jump-table
+// decoder: out-of-range codes and truncated escapes fail on both the
+// fast loop and the capacity-bounded tail.
+func TestDecodeCorruptJumpTable(t *testing.T) {
+	_, table := trainedCorpus(1, 1<<12)
+	if table.NumSymbols() == MaxSymbols {
+		t.Skip("table full: no unassigned code to test")
+	}
+	bad := byte(table.NumSymbols()) // first unassigned code
+	cases := [][]byte{
+		{bad},
+		{EscapeCode}, // escape with no literal
+		append(bytes.Repeat([]byte{0}, 64), bad),
+		append(bytes.Repeat([]byte{0}, 64), EscapeCode),
+	}
+	for i, enc := range cases {
+		if _, err := table.Decode(nil, enc); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+		// and with a dst sized so the corruption lands in the tail loop
+		sized := make([]byte, 0, 8)
+		if _, err := table.Decode(sized, enc); err == nil {
+			t.Fatalf("case %d (tail): expected error", i)
+		}
+	}
+	// empty input is valid
+	if out, err := table.Decode(nil, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty decode: %v, %d bytes", err, len(out))
+	}
+}
+
+// TestDecodeZeroAlloc is the steady-state allocation regression gate:
+// decoding into a buffer pre-sized from the stored raw length (exactly
+// how the format layer calls Decode) must not allocate.
+func TestDecodeZeroAlloc(t *testing.T) {
+	corpus, table := trainedCorpus(2, 1<<14)
+	enc := table.Encode(nil, corpus)
+	dst := make([]byte, 0, len(corpus))
+	allocs := testing.AllocsPerRun(50, func() {
+		out, err := table.Decode(dst, enc)
+		if err != nil || len(out) != len(corpus) {
+			t.Fatalf("decode: %v (%d bytes)", err, len(out))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Decode allocated %.1f times per pre-sized block decode; want 0", allocs)
+	}
+}
+
+// BenchmarkDecodeJumpTable measures jump-table decode throughput
+// (output MB/s) against the retained reference decoder.
+func BenchmarkDecodeJumpTable(b *testing.B) {
+	corpus, table := trainedCorpus(3, 1<<20)
+	enc := table.Encode(nil, corpus)
+	dst := make([]byte, 0, len(corpus))
+	b.Run("jumptable", func(b *testing.B) {
+		b.SetBytes(int64(len(corpus)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := table.Decode(dst, enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.SetBytes(int64(len(corpus)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := table.decodeReference(dst, enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

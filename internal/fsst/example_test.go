@@ -1,0 +1,35 @@
+package fsst_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"btrblocks/internal/fsst"
+)
+
+// Train builds an immutable symbol table from a sample of the data;
+// Encode replaces covered substrings with 1-byte codes, and Decode
+// expands them back via a flat 256-entry jump table. Pre-sizing dst's
+// capacity to the known decompressed length makes Decode allocation-free.
+func ExampleTrain() {
+	sample := [][]byte{
+		[]byte("http://example.com/a"),
+		[]byte("http://example.com/b"),
+		[]byte("http://example.com/c"),
+	}
+	table := fsst.Train(sample)
+
+	raw := []byte("http://example.com/decode")
+	enc := table.Encode(nil, raw)
+
+	dst := make([]byte, 0, len(raw)) // pre-sized: zero-alloc decode
+	dec, err := table.Decode(dst, enc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("roundtrip ok:", bytes.Equal(dec, raw))
+	fmt.Println("compressed smaller than raw:", len(enc) < len(raw))
+	// Output:
+	// roundtrip ok: true
+	// compressed smaller than raw: true
+}

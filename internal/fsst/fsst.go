@@ -71,6 +71,12 @@ type Table struct {
 	// index buckets candidate codes by first byte, longest symbols first,
 	// for greedy longest-match encoding.
 	index [256][]uint8
+	// decVal/decLen form the flat decode jump table: one unconditional
+	// 8-byte store per code. decLen is 0 for unassigned codes (and for
+	// the escape code, which is handled before the table lookup), which
+	// doubles as the corruption check.
+	decVal [256]uint64
+	decLen [256]uint8
 }
 
 // NumSymbols returns the number of symbols in the table.
@@ -82,6 +88,12 @@ func (t *Table) SymbolAt(i int) Symbol { return t.symbols[i] }
 func (t *Table) buildIndex() {
 	for i := range t.index {
 		t.index[i] = nil
+	}
+	t.decVal = [256]uint64{}
+	t.decLen = [256]uint8{}
+	for i := 0; i < t.n; i++ {
+		t.decVal[i] = t.symbols[i].Val
+		t.decLen[i] = t.symbols[i].Len
 	}
 	// insert longer symbols first so each bucket is sorted by length desc
 	for l := MaxSymbolLen; l >= 1; l-- {
@@ -154,26 +166,73 @@ func (t *Table) EncodedSize(src []byte) int {
 }
 
 // Decode decompresses src (produced by Encode) and appends to dst.
+//
+// The hot loop is one jump-table load and one unconditional 8-byte
+// store per code: a symbol of length l writes all 8 bytes of its value
+// into dst's spare capacity and advances by l, so the next write
+// overwrites the spill. Callers should pre-size dst's capacity to the
+// stored decompressed length (the format records it next to the encoded
+// payload); then the whole decode performs zero allocations — only the
+// last up-to-7 output bytes fall back to the bounded tail loop.
 func (t *Table) Decode(dst, src []byte) ([]byte, error) {
-	var buf [8]byte
-	for i := 0; i < len(src); i++ {
-		c := src[i]
-		if c == EscapeCode {
+	i := 0
+	for {
+		// fast loop: unconditional 8-byte stores while ≥8 bytes of spare
+		// capacity remain past the write position
+		o := len(dst)
+		out := dst[:cap(dst)]
+		lim := cap(dst) - (MaxSymbolLen - 1)
+		for i < len(src) && o < lim {
+			c := src[i]
+			if c == EscapeCode {
+				i++
+				if i >= len(src) {
+					return dst[:o], ErrCorrupt
+				}
+				out[o] = src[i]
+				o++
+				i++
+				continue
+			}
+			l := int(t.decLen[c])
+			if l == 0 {
+				return dst[:o], ErrCorrupt
+			}
+			binary.LittleEndian.PutUint64(out[o:], t.decVal[c])
+			o += l
 			i++
-			if i >= len(src) {
+		}
+		dst = dst[:o]
+		if i >= len(src) {
+			return dst, nil
+		}
+		// tail: spare capacity is nearly exhausted — switch to exact-length
+		// appends (within a pre-sized buffer these never reallocate; an
+		// undersized buffer grows here and re-enters the fast loop)
+		for n := 0; i < len(src) && n < MaxSymbolLen; n++ {
+			c := src[i]
+			if c == EscapeCode {
+				i++
+				if i >= len(src) {
+					return dst, ErrCorrupt
+				}
+				dst = append(dst, src[i])
+				i++
+				continue
+			}
+			l := int(t.decLen[c])
+			if l == 0 {
 				return dst, ErrCorrupt
 			}
-			dst = append(dst, src[i])
-			continue
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], t.decVal[c])
+			dst = append(dst, buf[:l]...)
+			i++
 		}
-		if int(c) >= t.n {
-			return dst, ErrCorrupt
+		if i >= len(src) {
+			return dst, nil
 		}
-		s := t.symbols[c]
-		binary.LittleEndian.PutUint64(buf[:], s.Val)
-		dst = append(dst, buf[:s.Len]...)
 	}
-	return dst, nil
 }
 
 // Train builds a symbol table from sample strings. An empty or tiny sample

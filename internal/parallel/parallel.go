@@ -28,6 +28,12 @@ import (
 // Task is one unit of work, addressed by its index in [0, n).
 type Task func(i int) error
 
+// WorkerTask is a Task that also receives the identity of the worker
+// running it: a stable id in [0, workers). Tasks claimed by the same
+// worker never overlap in time, so per-worker state (scratch arenas,
+// reusable buffers) indexed by the id needs no locking.
+type WorkerTask func(worker, i int) error
+
 // Observer receives scheduling telemetry from Observed runs. It is
 // implemented by *telemetry.Recorder; implementations must be safe for
 // concurrent use.
@@ -60,6 +66,15 @@ func Run(ctx context.Context, n, workers int, fn Task) error {
 // queue-wait times are reported to o under the given path name. A nil
 // Observer (or empty path) disables observation.
 func Observed(ctx context.Context, n, workers int, path string, o Observer, fn Task) error {
+	return ObservedWorkers(ctx, n, workers, path, o, func(_, i int) error { return fn(i) })
+}
+
+// ObservedWorkers is Observed for tasks that need to know which worker
+// runs them. The worker id passed to fn is in [0, effective workers);
+// the serial path (workers <= 1, or n == 1) always passes worker 0.
+// Everything else — determinism contract, telemetry, cancellation — is
+// identical to Observed.
+func ObservedWorkers(ctx context.Context, n, workers int, path string, o Observer, fn WorkerTask) error {
 	if n <= 0 {
 		return ctxErr(ctx)
 	}
@@ -77,7 +92,7 @@ func Observed(ctx context.Context, n, workers int, path string, o Observer, fn T
 			if err := ctxErr(ctx); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -102,7 +117,7 @@ func Observed(ctx context.Context, n, workers int, path string, o Observer, fn T
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				select {
@@ -131,7 +146,7 @@ func Observed(ctx context.Context, n, workers int, path string, o Observer, fn T
 				if o != nil && path != "" {
 					o.ObserveQueueWait(path, time.Since(start))
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					mu.Lock()
 					if minIdx < 0 || i < minIdx {
 						minIdx, minErr = i, err
@@ -141,7 +156,7 @@ func Observed(ctx context.Context, n, workers int, path string, o Observer, fn T
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if minErr != nil {

@@ -1,0 +1,55 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestObservedWorkersIDs checks the worker-id contract: ids are in
+// [0, effective workers), the serial path always reports worker 0, and
+// tasks claimed by the same worker never run concurrently.
+func TestObservedWorkersIDs(t *testing.T) {
+	// serial path: workers <= 1
+	err := ObservedWorkers(context.Background(), 10, 1, "", nil, func(w, i int) error {
+		if w != 0 {
+			t.Errorf("serial task %d got worker %d", i, w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const n = 200
+	var mu sync.Mutex
+	running := make(map[int]bool) // worker id -> currently in a task
+	seen := make(map[int]int)     // worker id -> tasks run
+	err = ObservedWorkers(context.Background(), n, workers, "", nil, func(w, i int) error {
+		if w < 0 || w >= workers {
+			t.Errorf("task %d: worker id %d out of range", i, w)
+		}
+		mu.Lock()
+		if running[w] {
+			t.Errorf("worker %d entered task %d while another of its tasks is running", w, i)
+		}
+		running[w] = true
+		seen[w]++
+		mu.Unlock()
+		mu.Lock()
+		running[w] = false
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range seen {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("ran %d tasks, want %d", total, n)
+	}
+}
