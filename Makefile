@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-smoke bench-baseline bench-compare ci serve-smoke trace-smoke chaos fuzz-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke bench-baseline bench-compare ci serve-smoke trace-smoke ingest-smoke ingest-bench chaos fuzz-smoke
 
 all: build
 
@@ -29,6 +29,20 @@ fmt:
 # decompression.
 serve-smoke:
 	$(GO) run ./cmd/btrserved -smoke
+
+# ingest-smoke is the end-to-end crash-safety gate for the ingestion
+# service: btringest spawns itself as a child on a loopback port, kills
+# it with SIGKILL mid-append, restarts it, and verifies that the
+# published chunks decode to exactly the acknowledged rows.
+ingest-smoke:
+	$(GO) run ./cmd/btringest -smoke
+
+# ingest-bench single-shots the ingestion benchmarks (rows/s vs batch
+# size, group-commit scaling, flush+publish) so the harness cannot
+# bit-rot; nothing is timed.
+ingest-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkAppend|BenchmarkFlushPublish' -benchtime 1x ./internal/ingest/
+	@echo "ingest bench: OK"
 
 # trace-smoke runs the decision-trace CLI on the checked-in testdata and
 # validates the output against the schema documented in OBSERVABILITY.md.
@@ -62,7 +76,7 @@ fuzz-smoke:
 # the end-to-end smoke tests. ci.sh splits the same steps into a fast
 # tier 1 (fmt, build, test, race) and a deep tier 2 (vet, fuzz smoke,
 # chaos gate, smokes).
-check: fmt vet build test race chaos fuzz-smoke serve-smoke trace-smoke
+check: fmt vet build test race chaos fuzz-smoke serve-smoke trace-smoke ingest-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

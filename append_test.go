@@ -1,0 +1,232 @@
+package btrblocks
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendTestSchema() []Column {
+	return []Column{
+		{Name: "id", Type: TypeInt64},
+		{Name: "name", Type: TypeString},
+	}
+}
+
+func appendTestChunk(base int64, n int) *Chunk {
+	ids := make([]int64, n)
+	var names Column
+	names.Name, names.Type = "name", TypeString
+	for i := 0; i < n; i++ {
+		ids[i] = base + int64(i)
+		names.Strings = names.Strings.Append("row")
+	}
+	return &Chunk{Columns: []Column{
+		{Name: "id", Type: TypeInt64, Ints64: ids},
+		names,
+	}}
+}
+
+// writeStreamFile writes a stream with the given chunks and returns its
+// path.
+func writeStreamFile(t *testing.T, opt *Options, chunks ...*Chunk) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.btrs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, appendTestSchema(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks {
+		if err := w.WriteChunk(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// readAllRows decodes every chunk of a stream file and returns the id
+// column values in order.
+func readAllRows(t *testing.T, path string) []int64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := NewReader(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for {
+		chunk, err := r.Next()
+		if err != nil {
+			break
+		}
+		ids = append(ids, chunk.Columns[0].Ints64...)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("reader close: %v", err)
+	}
+	return ids
+}
+
+func TestAppendWriterRoundTrip(t *testing.T) {
+	path := writeStreamFile(t, nil, appendTestChunk(0, 10), appendTestChunk(10, 5))
+
+	// Reopen for append and add two more chunks.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewAppendWriter(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(appendTestChunk(15, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(appendTestChunk(22, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := readAllRows(t, path)
+	if len(ids) != 25 {
+		t.Fatalf("stream has %d rows after append, want 25", len(ids))
+	}
+	for i, v := range ids {
+		if v != int64(i) {
+			t.Fatalf("row %d = %d", i, v)
+		}
+	}
+
+	// The appended stream must be indistinguishable from one written in
+	// a single session, including its trailing checksum.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyTrailingCRC(data, "stream"); err != nil {
+		t.Fatalf("appended stream fails CRC: %v", err)
+	}
+}
+
+func TestAppendWriterEmptyAppend(t *testing.T) {
+	path := writeStreamFile(t, nil, appendTestChunk(0, 4))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewAppendWriter(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	now, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, now) {
+		t.Fatal("open-then-close append rewrote the stream")
+	}
+}
+
+func TestAppendWriterRejectsV1(t *testing.T) {
+	path := writeStreamFile(t, &Options{FormatVersion: 1}, appendTestChunk(0, 4))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := NewAppendWriter(f, nil); !errors.Is(err, ErrAppendVersion) {
+		t.Fatalf("v1 append: err = %v, want ErrAppendVersion", err)
+	}
+}
+
+func TestAppendWriterRejectsDamage(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"trailing garbage": func(b []byte) []byte { return append(b, 0xAA, 0xBB) },
+		"flipped byte": func(b []byte) []byte {
+			b[len(b)/2] ^= 0xFF
+			return b
+		},
+		"truncated footer": func(b []byte) []byte { return b[:len(b)-6] },
+		"not a stream":     func(b []byte) []byte { return []byte("BOGUS DATA") },
+		"empty file":       func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			path := writeStreamFile(t, nil, appendTestChunk(0, 8))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := NewAppendWriter(f, nil); err == nil {
+				t.Fatal("damaged stream accepted for append")
+			}
+		})
+	}
+}
+
+func TestAppendWriterKeepsStreamVersion(t *testing.T) {
+	// A v2 stream appended to with default options stays v2 and remains
+	// verifiable; the options the caller passed are not mutated.
+	opt := &Options{}
+	path := writeStreamFile(t, nil, appendTestChunk(0, 4))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewAppendWriter(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(appendTestChunk(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if opt.FormatVersion != 0 {
+		t.Fatalf("caller options mutated: FormatVersion = %d", opt.FormatVersion)
+	}
+	if got := readAllRows(t, path); len(got) != 8 {
+		t.Fatalf("rows = %d, want 8", len(got))
+	}
+}

@@ -30,6 +30,12 @@ run_tier1() {
 	# the other packages already race-test but takes most of an hour under
 	# the race detector.
 	go test -race -short -timeout 30m ./...
+
+	echo "== ingest smoke =="
+	# End-to-end crash safety: btringest spawns a child server, SIGKILLs
+	# it mid-append, restarts it, and verifies the published chunks hold
+	# exactly the acknowledged rows (WAL replay, no loss, no doubles).
+	make ingest-smoke
 }
 
 run_tier2() {
@@ -73,6 +79,11 @@ run_tier2() {
 	# The decision-trace CLI must emit a schema-valid trace for the
 	# checked-in testdata (see OBSERVABILITY.md for the schema).
 	make trace-smoke
+
+	echo "== ingest bench smoke =="
+	# Single-shot the ingestion benchmarks (rows/s vs batch size,
+	# group-commit scaling) so the harness cannot bit-rot.
+	make ingest-bench
 }
 
 case "$tier" in

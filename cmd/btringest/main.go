@@ -1,0 +1,390 @@
+// Command btringest is the write path of the lake: a crash-safe,
+// high-throughput ingestion server that accepts row appends over HTTP,
+// stages them in a WAL-backed buffer, and publishes compressed BtrBlocks
+// column files into the directory btrserved serves.
+//
+// Usage:
+//
+//	btringest -dir DIR [-addr HOST:PORT] [flags]
+//	btringest -smoke
+//
+// Appends are acknowledged only after their WAL record is fsynced; a
+// kill -9 at any moment loses no acknowledged row — startup replays the
+// WAL, discards torn tails, and re-publishes whatever a crash
+// interrupted. -smoke proves exactly that: it spawns a child server,
+// appends through HTTP, kills the child with SIGKILL mid-append,
+// restarts it, and verifies every acknowledged row survived.
+//
+// With -notify URL, each published or replaced file is reported to a
+// running btrserved instance via POST /v1/invalidate/ so its block cache
+// never serves stale bytes.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"btrblocks"
+	"btrblocks/internal/blockstore"
+	"btrblocks/internal/ingest"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9411", "listen address (host:port; port 0 picks a free port)")
+		dir        = flag.String("dir", "", "store directory to publish into (required unless -smoke)")
+		walDir     = flag.String("wal", "", "WAL directory (default DIR/.wal)")
+		chunkRows  = flag.Int("chunk-rows", btrblocks.DefaultBlockSize, "buffered rows that trigger a flush")
+		flushIvl   = flag.Duration("flush-interval", time.Second, "periodic flush of non-empty buffers (<0 disables)")
+		compactIvl = flag.Duration("compact-interval", 5*time.Second, "background compaction period")
+		compactMin = flag.Int("compact-min-chunks", 4, "small chunks that trigger compaction (<0 disables)")
+		threads    = flag.Int("threads", 0, "compression parallelism (0 = GOMAXPROCS)")
+		notify     = flag.String("notify", "", "btrserved base URL to send cache invalidations to")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		verbose    = flag.Bool("v", false, "log requests and flushes to stderr")
+		smoke      = flag.Bool("smoke", false, "self-test: append, kill -9 a child mid-append, restart, verify no acked row lost")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "btringest smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("btringest smoke: OK")
+		return
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "btringest: -dir is required (or -smoke)")
+		os.Exit(2)
+	}
+
+	logger := slog.New(slog.DiscardHandler)
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	cfg := ingest.Config{
+		Dir:              *dir,
+		WALDir:           *walDir,
+		ChunkRows:        *chunkRows,
+		FlushInterval:    *flushIvl,
+		CompactInterval:  *compactIvl,
+		CompactMinChunks: *compactMin,
+		Options:          &btrblocks.Options{Parallelism: *threads},
+		Logger:           logger,
+	}
+	if *notify != "" {
+		cfg.Invalidator = &remoteInvalidator{cl: blockstore.NewClient(*notify), log: logger}
+	}
+
+	if err := serve(cfg, *addr, *addrFile, logger); err != nil {
+		fmt.Fprintln(os.Stderr, "btringest:", err)
+		os.Exit(1)
+	}
+}
+
+// remoteInvalidator pushes invalidations to a btrserved instance over
+// HTTP. Failures are logged, not fatal: the store directory is the
+// truth, and a restarted btrserved reloads it anyway.
+type remoteInvalidator struct {
+	cl  *blockstore.Client
+	log *slog.Logger
+}
+
+func (ri *remoteInvalidator) Invalidate(name string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := ri.cl.Invalidate(ctx, name); err != nil {
+		ri.log.Warn("invalidate", "file", name, "err", err.Error())
+	}
+}
+
+// serve runs the ingestion server until SIGINT/SIGTERM, then flushes and
+// closes cleanly.
+func serve(cfg ingest.Config, addr, addrFile string, logger *slog.Logger) error {
+	svc, err := ingest.Open(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	if addrFile != "" {
+		// The file is how -smoke (and scripts) learn the bound port: write
+		// to a temp name and rename so a watcher never reads a partial line.
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			return err
+		}
+	}
+	logger.Info("listening", "addr", ln.Addr().String(), "dir", cfg.Dir)
+	fmt.Printf("btringest: serving %s on http://%s\n", cfg.Dir, ln.Addr().String())
+
+	srv := &http.Server{Handler: ingest.NewHandler(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	m := svc.Metrics()
+	fmt.Printf("btringest: shut down: %d appends, %d rows, %d chunks published, %d compactions\n",
+		m.Appends.Load(), m.AppendedRows.Load(), m.Flushes.Load(), m.Compactions.Load())
+	return nil
+}
+
+// --- smoke test -----------------------------------------------------
+
+// smokeRows is how many single-row appends the smoke test issues before
+// and around the kill.
+const smokeRows = 400
+
+// runSmoke is the crash-safety self-test: spawn a child btringest, ack
+// appends over HTTP, SIGKILL the child mid-append, restart it, and
+// verify that after replay every acknowledged row is present exactly
+// once in the published chunks (and that at most the one unacked
+// in-flight batch rode along). Published files must also pass
+// btrblocks.Verify.
+func runSmoke() error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "btringest-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store := filepath.Join(dir, "store")
+
+	// Phase 1: start the child and append until roughly half the rows are
+	// acked, then SIGKILL it while appends are in flight.
+	child, base, err := startChild(self, store, filepath.Join(dir, "addr1"))
+	if err != nil {
+		return err
+	}
+	defer child.Process.Kill()
+
+	acked := make(map[int64]bool)
+	var inFlight []int64
+	killAt := smokeRows / 2
+	for v := int64(1); v <= smokeRows; v++ {
+		line := fmt.Sprintf("events v=%di,shard=%di", v, v%7)
+		if len(acked) < killAt {
+			if err := appendLine(base, line); err != nil {
+				return fmt.Errorf("append before kill: %v", err)
+			}
+			acked[v] = true
+			continue
+		}
+		// Mid-append kill: issue the next append and SIGKILL the child
+		// while the request is in flight. The row may land anywhere between
+		// "never written" and "durable but unacknowledged" — recovery must
+		// keep every acked row and at most this one extra.
+		inFlight = append(inFlight, v)
+		done := make(chan error, 1)
+		go func() { done <- appendLine(base, line) }()
+		time.Sleep(time.Millisecond)
+		if err := child.Process.Kill(); err != nil {
+			return fmt.Errorf("kill child: %v", err)
+		}
+		child.Wait()
+		if err := <-done; err == nil {
+			// The ack beat the kill: the row is simply acked.
+			acked[v] = true
+			inFlight = inFlight[:0]
+		}
+		break
+	}
+	if len(acked) == 0 {
+		return fmt.Errorf("no appends were acknowledged before the kill")
+	}
+
+	// Phase 2: restart over the same directory; the WAL replays every
+	// acked row, then a flush publishes everything.
+	child2, base2, err := startChild(self, store, filepath.Join(dir, "addr2"))
+	if err != nil {
+		return fmt.Errorf("restart: %v", err)
+	}
+	defer func() {
+		child2.Process.Signal(syscall.SIGTERM)
+		child2.Wait()
+	}()
+	if _, err := httpPost(base2+"/v1/flush", "", nil); err != nil {
+		return fmt.Errorf("flush after restart: %v", err)
+	}
+
+	// Phase 3: decode the published chunks straight from disk and check
+	// the multiset: every acked value exactly once; extras only from the
+	// single in-flight batch.
+	got, err := publishedValues(filepath.Join(store, "events"))
+	if err != nil {
+		return err
+	}
+	for v := range acked {
+		if got[v] != 1 {
+			return fmt.Errorf("acked row v=%d appears %d times after recovery (want 1)", v, got[v])
+		}
+	}
+	allowed := make(map[int64]bool, len(inFlight))
+	for _, v := range inFlight {
+		allowed[v] = true
+	}
+	for v, n := range got {
+		if n > 1 {
+			return fmt.Errorf("row v=%d appears %d times (duplicate)", v, n)
+		}
+		if !acked[v] && !allowed[v] {
+			return fmt.Errorf("row v=%d was never sent but is published", v)
+		}
+	}
+	fmt.Printf("smoke: killed child after %d acked appends; recovery republished all of them (%d rows total, %d unacked in-flight allowed)\n",
+		len(acked), len(got), len(inFlight))
+	return nil
+}
+
+// startChild spawns `self -dir store` on a free port and waits for the
+// address file.
+func startChild(self, store, addrFile string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(self,
+		"-dir", store,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-chunk-rows", "64", // small chunks: force several publishes
+		"-flush-interval", "100ms",
+		"-compact-interval", "200ms",
+		"-compact-min-chunks", "3",
+	)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(addrFile); err == nil {
+			base := "http://" + strings.TrimSpace(string(data))
+			if _, err := http.Get(base + "/healthz"); err == nil {
+				return cmd, base, nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, "", fmt.Errorf("child did not come up within 10s")
+}
+
+func appendLine(base, line string) error {
+	_, err := httpPost(base+"/v1/write", line, nil)
+	return err
+}
+
+func httpPost(url, body string, out any) ([]byte, error) {
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("POST %s: %s: %s", url, resp.Status, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// publishedValues decodes every committed chunk of the smoke table and
+// returns the multiset of values in its "v" column, verifying each
+// column file's integrity along the way.
+func publishedValues(tableDir string) (map[int64]int, error) {
+	entries, err := os.ReadDir(tableDir)
+	if err != nil {
+		return nil, fmt.Errorf("read table dir: %v", err)
+	}
+	var markers []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".commit") {
+			markers = append(markers, e.Name())
+		}
+	}
+	sort.Strings(markers)
+	if len(markers) == 0 {
+		return nil, fmt.Errorf("no committed chunks under %s", tableDir)
+	}
+	got := make(map[int64]int)
+	for _, m := range markers {
+		data, err := os.ReadFile(filepath.Join(tableDir, m))
+		if err != nil {
+			return nil, err
+		}
+		var marker struct {
+			Columns []struct {
+				Name string `json:"name"`
+				File string `json:"file"`
+			} `json:"columns"`
+		}
+		if err := json.Unmarshal(data, &marker); err != nil {
+			return nil, fmt.Errorf("%s: %v", m, err)
+		}
+		for _, c := range marker.Columns {
+			if c.Name != "v" {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(tableDir, c.File))
+			if err != nil {
+				return nil, err
+			}
+			if rep := btrblocks.Verify(raw, nil); !rep.OK {
+				return nil, fmt.Errorf("%s: published file fails verification: %s",
+					c.File, strings.Join(rep.Errors, "; "))
+			}
+			col, err := btrblocks.DecompressColumn(raw, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", c.File, err)
+			}
+			for _, v := range col.Ints64 {
+				got[v]++
+			}
+		}
+	}
+	return got, nil
+}

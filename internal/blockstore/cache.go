@@ -128,6 +128,41 @@ func (s *shard) insert(key string, val *Block) {
 	}
 }
 
+// InvalidateFile removes every resident block of the named file (keys
+// are "name\x00idx", so a prefix match covers all block indices) and
+// returns how many entries were dropped. Loads in flight are not
+// interrupted; the store keeps their stale results out of the cache by
+// failing loads whose file was replaced mid-decode.
+func (c *Cache) InvalidateFile(name string) int {
+	prefix := name + "\x00"
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, el := range s.items {
+			if !hasPrefix(key, prefix) {
+				continue
+			}
+			e := el.Value.(*entry)
+			s.ll.Remove(el)
+			delete(s.items, key)
+			s.bytes -= e.bytes
+			s.metrics.CacheBytes.Add(-e.bytes)
+			s.metrics.CacheEntries.Add(-1)
+			dropped++
+		}
+		s.mu.Unlock()
+	}
+	if dropped > 0 {
+		c.shards[0].metrics.InvalidatedBlocks.Add(int64(dropped))
+	}
+	return dropped
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
 // Contains reports whether key is resident (without touching LRU order).
 func (c *Cache) Contains(key string) bool {
 	s := c.shard(key)

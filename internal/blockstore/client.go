@@ -354,6 +354,34 @@ func (c *Client) Telemetry(ctx context.Context) (*TelemetryReport, error) {
 	return out, nil
 }
 
+// Invalidate tells the server to drop cached state for a file and
+// reload it from its backing directory — called by writers (btringest)
+// after atomically replacing a served file. Not retried: invalidation
+// is idempotent but the caller decides whether a failure matters.
+func (c *Client) Invalidate(ctx context.Context, name string) (*InvalidateResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/invalidate/"+rawPath(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, &HTTPError{Status: resp.StatusCode, Path: "/v1/invalidate/" + name, Msg: firstLine(body)}
+	}
+	out := &InvalidateResult{}
+	if err := json.Unmarshal(body, out); err != nil {
+		return nil, fmt.Errorf("blockstore: bad /v1/invalidate response: %v", err)
+	}
+	return out, nil
+}
+
 // MetricsText fetches the raw Prometheus exposition.
 func (c *Client) MetricsText(ctx context.Context) (string, error) {
 	body, err := c.get(ctx, "/metrics")

@@ -1,0 +1,223 @@
+package blockstore
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"btrblocks"
+)
+
+// intColumnFile compresses a constant-valued int column.
+func intColumnFile(t *testing.T, name string, rows int, value int32) []byte {
+	t.Helper()
+	values := make([]int32, rows)
+	for i := range values {
+		values[i] = value
+	}
+	data, err := btrblocks.CompressColumn(btrblocks.IntColumn(name, values),
+		&btrblocks.Options{BlockSize: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func openDiskStore(t *testing.T, files map[string][]byte) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	writeTree(t, dir, files)
+	store, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	return store, dir
+}
+
+func TestInvalidateReloadsReplacedFile(t *testing.T) {
+	store, dir := openDiskStore(t, map[string][]byte{
+		"t/c.btr": intColumnFile(t, "c", 4000, 1),
+	})
+
+	// Decode both blocks so the stale values are cached.
+	for idx := 0; idx < 2; idx++ {
+		blk, err := store.Block("t/c.btr", idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.Col.Ints[0] != 1 {
+			t.Fatalf("block %d: pre-swap value %d", idx, blk.Col.Ints[0])
+		}
+	}
+	if store.Metrics().CacheEntries.Load() == 0 {
+		t.Fatal("nothing cached before the swap")
+	}
+
+	// Atomically replace the file on disk, as btringest's publish does.
+	replacement := intColumnFile(t, "c", 4000, 2)
+	tmp := filepath.Join(dir, "t", "c.btr.tmp")
+	if err := os.WriteFile(tmp, replacement, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "t", "c.btr")); err != nil {
+		t.Fatal(err)
+	}
+
+	before := store.ModTime()
+	store.Invalidate("t/c.btr")
+	if !store.ModTime().After(before) {
+		t.Error("ModTime did not advance on invalidation")
+	}
+	for idx := 0; idx < 2; idx++ {
+		blk, err := store.Block("t/c.btr", idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.Col.Ints[0] != 2 {
+			t.Fatalf("block %d: served stale value %d after invalidation", idx, blk.Col.Ints[0])
+		}
+	}
+	m := store.Metrics()
+	if m.Invalidations.Load() != 1 {
+		t.Errorf("Invalidations = %d, want 1", m.Invalidations.Load())
+	}
+	if m.InvalidatedBlocks.Load() != 2 {
+		t.Errorf("InvalidatedBlocks = %d, want 2", m.InvalidatedBlocks.Load())
+	}
+}
+
+func TestInvalidateRemovesAndAddsFiles(t *testing.T) {
+	store, dir := openDiskStore(t, map[string][]byte{
+		"t/a.btr": intColumnFile(t, "a", 1000, 1),
+		"t/b.btr": intColumnFile(t, "b", 1000, 1),
+	})
+	if _, err := store.Block("t/a.btr", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Removal: delete on disk, invalidate, gone from the file set.
+	if err := os.Remove(filepath.Join(dir, "t", "a.btr")); err != nil {
+		t.Fatal(err)
+	}
+	store.Invalidate("t/a.btr")
+	if store.File("t/a.btr") != nil {
+		t.Fatal("removed file still listed")
+	}
+	if _, err := store.Block("t/a.btr", 0); err == nil {
+		t.Fatal("removed file still serves blocks")
+	}
+	if len(store.Files()) != 1 {
+		t.Fatalf("file set has %d entries, want 1", len(store.Files()))
+	}
+
+	// Addition: a newly published file becomes visible on invalidation.
+	if err := os.WriteFile(filepath.Join(dir, "t", "new.btr"),
+		intColumnFile(t, "new", 1000, 9), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store.Invalidate("t/new.btr")
+	if f := store.File("t/new.btr"); f == nil || f.Kind != "column" {
+		t.Fatalf("new file not picked up: %+v", f)
+	}
+	blk, err := store.Block("t/new.btr", 0)
+	if err != nil || blk.Col.Ints[0] != 9 {
+		t.Fatalf("new file block: %v %+v", err, blk)
+	}
+	names := store.Files()
+	if len(names) != 2 || names[0].Name != "t/b.btr" || names[1].Name != "t/new.btr" {
+		t.Fatalf("file set after add: %v", []string{names[0].Name, names[1].Name})
+	}
+}
+
+func TestInvalidateUnknownNameIsNoop(t *testing.T) {
+	store, _ := openDiskStore(t, map[string][]byte{
+		"t/a.btr": intColumnFile(t, "a", 1000, 1),
+	})
+	store.Invalidate("t/never-existed.btr")
+	if len(store.Files()) != 1 {
+		t.Fatal("no-op invalidation changed the file set")
+	}
+	if store.Metrics().Invalidations.Load() != 1 {
+		t.Fatal("no-op invalidation not counted")
+	}
+}
+
+// TestInvalidateMemoryStoreDropsCacheOnly covers stores built from an
+// in-memory corpus (no backing dir): Invalidate cannot reload bytes but
+// must still purge the cache.
+func TestInvalidateMemoryStoreDropsCacheOnly(t *testing.T) {
+	data, _ := compressTestColumn(t, "c", 4000, 2000)
+	store, err := NewStore(map[string][]byte{"c.btr": data}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := store.Block("c.btr", 0); err != nil {
+		t.Fatal(err)
+	}
+	entries := store.Metrics().CacheEntries.Load()
+	if entries == 0 {
+		t.Fatal("nothing cached")
+	}
+	store.Invalidate("c.btr")
+	if store.File("c.btr") == nil {
+		t.Fatal("memory-backed file dropped by invalidation")
+	}
+	if got := store.Metrics().CacheEntries.Load(); got != 0 {
+		t.Fatalf("cache entries after invalidation = %d, want 0", got)
+	}
+	// The file still serves — a fresh decode repopulates the cache.
+	if _, err := store.Block("c.btr", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidateHTTPRoundTrip(t *testing.T) {
+	contents, _ := testCorpus(t)
+	dir := t.TempDir()
+	writeTree(t, dir, contents)
+	store, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := httptest.NewServer(NewServer(store))
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+	ctx := context.Background()
+
+	// Replace a file on disk, invalidate over HTTP, verify the swap.
+	if err := os.WriteFile(filepath.Join(dir, "t", "i.btr"),
+		intColumnFile(t, "i", 1000, 77), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Invalidate(ctx, "t/i.btr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "reloaded" || res.File != "t/i.btr" {
+		t.Fatalf("invalidate result: %+v", res)
+	}
+	blk, err := store.Block("t/i.btr", 0)
+	if err != nil || blk.Col.Ints[0] != 77 {
+		t.Fatalf("post-invalidate block: %v", err)
+	}
+
+	// Removal over HTTP.
+	if err := os.Remove(filepath.Join(dir, "t", "s.btr")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = cl.Invalidate(ctx, "t/s.btr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "removed" {
+		t.Fatalf("invalidate of deleted file: %+v", res)
+	}
+	if store.File("t/s.btr") != nil {
+		t.Fatal("deleted file still hosted after HTTP invalidation")
+	}
+}

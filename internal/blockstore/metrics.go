@@ -28,6 +28,8 @@ type Metrics struct {
 	InFlight          atomic.Int64 // gauge: HTTP requests being served
 	CorruptBlocks     atomic.Int64 // decode attempts that failed with corruption
 	QuarantinedBlocks atomic.Int64 // gauge: blocks currently quarantined
+	Invalidations     atomic.Int64 // Invalidate calls (file reloads/removals)
+	InvalidatedBlocks atomic.Int64 // cached blocks dropped by invalidation
 
 	mu        sync.Mutex
 	endpoints map[string]*EndpointMetrics
@@ -138,6 +140,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	gauge("btrserved_inflight_requests", "HTTP requests currently being served.", m.InFlight.Load())
 	counter("btrserved_corrupt_blocks_total", "Block decode attempts that failed with corruption (checksum mismatch, truncation, decoder rejection).", m.CorruptBlocks.Load())
 	gauge("btrserved_quarantined_blocks", "Blocks currently quarantined after repeated corrupt decodes.", m.QuarantinedBlocks.Load())
+	counter("btrserved_invalidations_total", "File invalidations (reload, add, or removal of a served file).", m.Invalidations.Load())
+	counter("btrserved_invalidated_blocks_total", "Cached blocks dropped by file invalidation.", m.InvalidatedBlocks.Load())
 
 	routes, eps := m.endpointsSorted()
 

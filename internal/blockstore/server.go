@@ -72,6 +72,7 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	s.handle("/v1/trace/", s.handleTrace)
 	s.handle("/v1/telemetry", s.handleTelemetry)
 	s.handle("/metrics", s.handleMetrics)
+	s.handleWith("/v1/invalidate/", s.handleInvalidate, http.MethodPost)
 	s.handler = s.mux
 	if s.timeout > 0 {
 		s.handler = http.TimeoutHandler(s.mux, s.timeout, "request timed out")
@@ -98,10 +99,20 @@ func (w *statusWriter) WriteHeader(code int) {
 // a request ID issued per request and echoed as X-Request-ID, and — when
 // a logger is installed — one structured log record per request.
 func (s *Server) handle(route string, h http.HandlerFunc) {
+	s.handleWith(route, h, http.MethodGet, http.MethodHead)
+}
+
+// handleWith is handle with an explicit method allowlist; mutating
+// routes (invalidation) use it to accept POST instead of GET.
+func (s *Server) handleWith(route string, h http.HandlerFunc, methods ...string) {
 	m := s.store.Metrics()
 	ep := m.Endpoint(route)
+	allowed := make(map[string]bool, len(methods))
+	for _, meth := range methods {
+		allowed[meth] = true
+	}
 	s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		if !allowed[r.Method] {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
@@ -296,6 +307,26 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		report.Telemetry = &snap
 	}
 	writeJSON(w, report)
+}
+
+// handleInvalidate serves POST /v1/invalidate/NAME: drop cached state
+// for the named file and reload it from the backing directory — the
+// cross-process hook a writer (btringest) calls after atomically
+// replacing a served file. Responds with the file's post-invalidation
+// status: "reloaded" when it is (still) served, "removed" when it no
+// longer exists.
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/invalidate/")
+	if name == "" {
+		http.Error(w, "missing file name", http.StatusBadRequest)
+		return
+	}
+	s.store.Invalidate(name)
+	status := "removed"
+	if s.store.File(name) != nil {
+		status = "reloaded"
+	}
+	writeJSON(w, InvalidateResult{File: name, Status: status})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

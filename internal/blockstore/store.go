@@ -133,11 +133,18 @@ type prefetchTask struct {
 // cache. Safe for concurrent use. Close stops the prefetch workers.
 type Store struct {
 	cfg     Config
-	files   map[string]*File
-	names   []string
 	cache   *Cache
 	metrics *Metrics
-	loaded  time.Time
+
+	// fmu guards the file set, which is mutable: Invalidate reloads or
+	// removes entries while requests are being served. dir is set only by
+	// Open — a store built from in-memory contents has no backing
+	// directory to reload from.
+	fmu    sync.RWMutex
+	dir    string
+	files  map[string]*File
+	names  []string
+	loaded time.Time
 
 	prefetchCh chan prefetchTask
 	quit       chan struct{}
@@ -167,16 +174,7 @@ func NewStore(contents map[string][]byte, cfg Config) (*Store, error) {
 	}
 	s.cache = NewCache(cfg.cacheBytes(), cfg.CacheShards, s.metrics)
 	for name, data := range contents {
-		f := &File{Name: name, Data: data, Kind: "raw"}
-		if info, err := btrblocks.Inspect(data); err == nil {
-			f.Kind = info.Kind.String()
-			f.Rows = info.Rows()
-		}
-		if ix, err := btrblocks.ParseColumnIndex(data); err == nil {
-			f.Index = ix
-			f.Rows = ix.Rows
-		}
-		s.files[name] = f
+		s.files[name] = classifyFile(name, data)
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
@@ -220,7 +218,82 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if len(contents) == 0 {
 		return nil, fmt.Errorf("blockstore: no files under %s", dir)
 	}
-	return NewStore(contents, cfg)
+	s, err := NewStore(contents, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.dir = dir
+	return s, nil
+}
+
+// classifyFile builds a File entry: the format is detected from magic
+// bytes, and column files get a parsed block index. Unparseable files
+// are kept and served raw — a data lake directory can hold anything.
+func classifyFile(name string, data []byte) *File {
+	f := &File{Name: name, Data: data, Kind: "raw"}
+	if info, err := btrblocks.Inspect(data); err == nil {
+		f.Kind = info.Kind.String()
+		f.Rows = info.Rows()
+	}
+	if ix, err := btrblocks.ParseColumnIndex(data); err == nil {
+		f.Index = ix
+		f.Rows = ix.Rows
+	}
+	return f
+}
+
+// Invalidate drops every cached block and quarantine record of the
+// named file and — when the store was opened from a directory — reloads
+// the file's bytes from disk, so a column file atomically replaced (or
+// newly published, or removed) by a writer like btringest is served
+// fresh. A decode racing the swap can not leak stale bytes into the
+// cache: loads whose file entry changed mid-flight are discarded and
+// retried against the new entry. Unknown names are a no-op (drop-only),
+// so writers can invalidate eagerly.
+func (s *Store) Invalidate(name string) {
+	s.fmu.Lock()
+	if s.dir != "" {
+		path := filepath.Join(s.dir, filepath.FromSlash(name))
+		data, err := os.ReadFile(path)
+		switch {
+		case err == nil:
+			if _, known := s.files[name]; !known {
+				s.names = append(s.names, name)
+				sort.Strings(s.names)
+			}
+			s.files[name] = classifyFile(name, data)
+		case os.IsNotExist(err):
+			if _, known := s.files[name]; known {
+				delete(s.files, name)
+				i := sort.SearchStrings(s.names, name)
+				if i < len(s.names) && s.names[i] == name {
+					s.names = append(s.names[:i], s.names[i+1:]...)
+				}
+			}
+		default:
+			// Transient read failure: keep serving the old bytes rather than
+			// dropping the file; the cache purge below still happens.
+		}
+	}
+	s.loaded = time.Now()
+	s.fmu.Unlock()
+
+	s.cache.InvalidateFile(name)
+	prefix := name + "\x00"
+	s.quarMu.Lock()
+	for key := range s.failures {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			delete(s.failures, key)
+		}
+	}
+	for key := range s.quarantined {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			delete(s.quarantined, key)
+			s.metrics.QuarantinedBlocks.Add(-1)
+		}
+	}
+	s.quarMu.Unlock()
+	s.metrics.Invalidations.Add(1)
 }
 
 // Close stops the prefetch workers. The store must not be used after
@@ -238,6 +311,8 @@ func (s *Store) Close() {
 
 // Files returns the hosted files sorted by name.
 func (s *Store) Files() []*File {
+	s.fmu.RLock()
+	defer s.fmu.RUnlock()
 	out := make([]*File, len(s.names))
 	for i, name := range s.names {
 		out[i] = s.files[name]
@@ -246,7 +321,11 @@ func (s *Store) Files() []*File {
 }
 
 // File returns one file, or nil if absent.
-func (s *Store) File(name string) *File { return s.files[name] }
+func (s *Store) File(name string) *File {
+	s.fmu.RLock()
+	defer s.fmu.RUnlock()
+	return s.files[name]
+}
 
 // Metrics returns the store's counters (shared with its servers).
 func (s *Store) Metrics() *Metrics { return s.metrics }
@@ -254,8 +333,13 @@ func (s *Store) Metrics() *Metrics { return s.metrics }
 // Cache returns the block cache (exposed for tests and telemetry).
 func (s *Store) Cache() *Cache { return s.cache }
 
-// ModTime returns the load time, used for HTTP caching headers.
-func (s *Store) ModTime() time.Time { return s.loaded }
+// ModTime returns the time the file set last changed (load or
+// invalidation), used for HTTP caching headers.
+func (s *Store) ModTime() time.Time {
+	s.fmu.RLock()
+	defer s.fmu.RUnlock()
+	return s.loaded
+}
 
 // Options returns the store's decompression options.
 func (s *Store) Options() *btrblocks.Options { return s.cfg.Options }
@@ -290,8 +374,23 @@ func IsQuarantined(err error) bool { return errors.Is(err, errQuarantined) }
 // maps it to 422 Unprocessable Entity.
 func IsCorrupt(err error) bool { return errors.Is(err, btrblocks.ErrCorrupt) }
 
+// errStaleLoad marks a decode whose file entry was replaced by an
+// Invalidate while the decode ran: the result must not be served or
+// cached. Internal — callers retry against the new entry.
+var errStaleLoad = errors.New("blockstore: file replaced during decode")
+
 func (s *Store) cachedBlock(name string, idx int) (*Block, error) {
-	f := s.files[name]
+	for {
+		blk, err := s.cachedBlockOnce(name, idx)
+		if errors.Is(err, errStaleLoad) {
+			continue
+		}
+		return blk, err
+	}
+}
+
+func (s *Store) cachedBlockOnce(name string, idx int) (*Block, error) {
+	f := s.File(name)
 	if f == nil {
 		return nil, errNotFound
 	}
@@ -311,6 +410,11 @@ func (s *Store) cachedBlock(name string, idx int) (*Block, error) {
 	blk, err := s.cache.GetOrLoad(key, func() (*Block, error) {
 		b, err := s.decodeBlock(f, idx)
 		s.recordOutcome(key, err)
+		if err == nil && s.File(name) != f {
+			// Invalidate swapped the file entry mid-decode; errors are never
+			// cached, so the stale block cannot become resident.
+			return nil, errStaleLoad
+		}
 		return b, err
 	})
 	return blk, err
@@ -402,7 +506,10 @@ func (s *Store) schedulePrefetch(name string, idx int) {
 	if s.prefetchCh == nil || s.closed.Load() {
 		return
 	}
-	f := s.files[name]
+	f := s.File(name)
+	if f == nil || f.Index == nil {
+		return
+	}
 	last := idx + s.cfg.PrefetchBlocks
 	if max := len(f.Index.Blocks) - 1; last > max {
 		last = max
@@ -440,7 +547,7 @@ func (s *Store) prefetchWorker() {
 // with the full candidate slate the picker scored. CPU-heavier than a
 // plain block fetch — this is a debugging endpoint, not a scan path.
 func (s *Store) Trace(name string, idx int) (*btrblocks.DecisionTrace, error) {
-	f := s.files[name]
+	f := s.File(name)
 	if f == nil {
 		return nil, errNotFound
 	}
@@ -487,7 +594,7 @@ func (s *Store) Trace(name string, idx int) (*btrblocks.DecisionTrace, error) {
 // for int columns, a Go float literal for doubles, and the raw string
 // otherwise. It returns the match count and the column type.
 func (s *Store) CountEqual(name, value string) (int, btrblocks.Type, error) {
-	f := s.files[name]
+	f := s.File(name)
 	if f == nil {
 		return 0, 0, errNotFound
 	}

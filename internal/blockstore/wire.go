@@ -67,6 +67,14 @@ type CountEqResult struct {
 	Nanos int64  `json:"nanos"`
 }
 
+// InvalidateResult is the POST /v1/invalidate/NAME response.
+type InvalidateResult struct {
+	File string `json:"file"`
+	// Status is "reloaded" when the file is served after invalidation,
+	// "removed" when it no longer exists in the backing directory.
+	Status string `json:"status"`
+}
+
 // CacheStats is the cache section of /v1/telemetry.
 type CacheStats struct {
 	Hits              int64 `json:"hits"`

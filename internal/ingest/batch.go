@@ -1,0 +1,405 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"btrblocks"
+)
+
+// Sentinel errors of the ingest validation layer; returned wrapped with
+// context, so test with errors.Is. The HTTP layer maps them to 400.
+var (
+	// ErrSchema is returned when a batch does not match the table's
+	// registered schema (column set, order, or types).
+	ErrSchema = errors.New("ingest: batch does not match table schema")
+	// ErrBadValue is returned when a row value cannot be represented in
+	// its column's type (e.g. a fractional number in an integer column).
+	ErrBadValue = errors.New("ingest: value does not fit column type")
+	// ErrBadName is returned for table or column names outside
+	// [A-Za-z0-9_.-] — names become file paths, so they are restricted.
+	ErrBadName = errors.New("ingest: invalid table or column name")
+	// ErrEmptyBatch is returned for appends with no rows.
+	ErrEmptyBatch = errors.New("ingest: empty batch")
+)
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// validName reports whether s is safe to embed in a file name.
+func validName(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ColumnSpec is one column of a table schema.
+type ColumnSpec struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// parseType maps the wire type names to btrblocks types.
+func parseType(s string) (btrblocks.Type, error) {
+	switch strings.ToLower(s) {
+	case "int", "int32", "integer":
+		return btrblocks.TypeInt, nil
+	case "int64", "bigint":
+		return btrblocks.TypeInt64, nil
+	case "double", "float", "float64":
+		return btrblocks.TypeDouble, nil
+	case "string", "text":
+		return btrblocks.TypeString, nil
+	}
+	return 0, fmt.Errorf("%w: unknown type %q", ErrSchema, s)
+}
+
+// typeName is the inverse of parseType, used by markers and stats.
+func typeName(t btrblocks.Type) string {
+	switch t {
+	case btrblocks.TypeInt:
+		return "int"
+	case btrblocks.TypeInt64:
+		return "int64"
+	case btrblocks.TypeDouble:
+		return "double"
+	case btrblocks.TypeString:
+		return "string"
+	}
+	return "invalid"
+}
+
+// schemaOf extracts the name/type prototypes of a chunk's columns.
+func schemaOf(chunk *btrblocks.Chunk) []btrblocks.Column {
+	out := make([]btrblocks.Column, len(chunk.Columns))
+	for i := range chunk.Columns {
+		out[i] = btrblocks.Column{Name: chunk.Columns[i].Name, Type: chunk.Columns[i].Type}
+	}
+	return out
+}
+
+// schemaMatches reports whether a batch's columns equal the registered
+// schema in count, order, name and type.
+func schemaMatches(schema []btrblocks.Column, chunk *btrblocks.Chunk) error {
+	if len(chunk.Columns) != len(schema) {
+		return fmt.Errorf("%w: batch has %d columns, table has %d",
+			ErrSchema, len(chunk.Columns), len(schema))
+	}
+	for i := range schema {
+		if chunk.Columns[i].Name != schema[i].Name || chunk.Columns[i].Type != schema[i].Type {
+			return fmt.Errorf("%w: column %d is %s %s, table has %s %s",
+				ErrSchema, i, chunk.Columns[i].Name, chunk.Columns[i].Type,
+				schema[i].Name, schema[i].Type)
+		}
+	}
+	return nil
+}
+
+// appendChunk appends src's rows onto dst (equal schemas assumed
+// validated). dst's columns grow in place; NULL positions are rebased by
+// dst's current row count.
+func appendChunk(dst, src *btrblocks.Chunk) {
+	base := dst.NumRows()
+	rows := src.NumRows()
+	for i := range src.Columns {
+		s := &src.Columns[i]
+		d := &dst.Columns[i]
+		switch s.Type {
+		case btrblocks.TypeInt:
+			d.Ints = append(d.Ints, s.Ints...)
+		case btrblocks.TypeInt64:
+			d.Ints64 = append(d.Ints64, s.Ints64...)
+		case btrblocks.TypeDouble:
+			d.Doubles = append(d.Doubles, s.Doubles...)
+		case btrblocks.TypeString:
+			for r := 0; r < rows; r++ {
+				d.Strings = d.Strings.AppendBytes(s.Strings.View(r))
+			}
+		}
+		s.Nulls.ForEachNull(func(p int) bool {
+			if d.Nulls == nil {
+				d.Nulls = btrblocks.NewNullMask()
+			}
+			d.Nulls.SetNull(base + p)
+			return true
+		})
+	}
+}
+
+// emptyChunkFor builds a zero-row chunk with the given schema, ready to
+// accumulate appends.
+func emptyChunkFor(schema []btrblocks.Column) btrblocks.Chunk {
+	cols := make([]btrblocks.Column, len(schema))
+	for i := range schema {
+		cols[i] = btrblocks.Column{Name: schema[i].Name, Type: schema[i].Type}
+	}
+	return btrblocks.Chunk{Columns: cols}
+}
+
+// jsonAppendRequest is the body of POST /v1/append: row objects keyed by
+// column name. Missing keys become NULL; unknown keys are rejected.
+type jsonAppendRequest struct {
+	Table string                       `json:"table"`
+	Rows  []map[string]json.RawMessage `json:"rows"`
+}
+
+// inferSchemaJSON derives a schema from the first batch for a table that
+// was not explicitly created: column names are the union of row keys in
+// sorted order; types come from the first non-null value per column.
+// Integral JSON numbers infer int64, fractional ones double.
+func inferSchemaJSON(rows []map[string]json.RawMessage) ([]btrblocks.Column, error) {
+	keys := map[string]bool{}
+	for _, row := range rows {
+		for k := range row {
+			keys[k] = true
+		}
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	schema := make([]btrblocks.Column, 0, len(names))
+	for _, name := range names {
+		if !validName(name) {
+			return nil, fmt.Errorf("%w: column %q", ErrBadName, name)
+		}
+		t, err := inferColumnType(rows, name)
+		if err != nil {
+			return nil, err
+		}
+		schema = append(schema, btrblocks.Column{Name: name, Type: t})
+	}
+	return schema, nil
+}
+
+func inferColumnType(rows []map[string]json.RawMessage, name string) (btrblocks.Type, error) {
+	for _, row := range rows {
+		raw, ok := row[name]
+		if !ok || isJSONNull(raw) {
+			continue
+		}
+		s := strings.TrimSpace(string(raw))
+		if len(s) > 0 && s[0] == '"' {
+			return btrblocks.TypeString, nil
+		}
+		if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return btrblocks.TypeInt64, nil
+		}
+		if _, err := strconv.ParseFloat(s, 64); err == nil {
+			return btrblocks.TypeDouble, nil
+		}
+		return 0, fmt.Errorf("%w: column %q value %s", ErrBadValue, name, s)
+	}
+	return 0, fmt.Errorf("%w: column %q has no non-null value to infer a type from (create the table explicitly)", ErrSchema, name)
+}
+
+func isJSONNull(raw json.RawMessage) bool {
+	return len(raw) == 0 || strings.TrimSpace(string(raw)) == "null"
+}
+
+// chunkFromJSONRows converts row objects into a columnar chunk matching
+// schema. Missing keys and explicit nulls set the NULL mask; unknown
+// keys and type mismatches are errors.
+func chunkFromJSONRows(schema []btrblocks.Column, rows []map[string]json.RawMessage) (btrblocks.Chunk, error) {
+	chunk := emptyChunkFor(schema)
+	known := make(map[string]bool, len(schema))
+	for i := range schema {
+		known[schema[i].Name] = true
+	}
+	for r, row := range rows {
+		for k := range row {
+			if !known[k] {
+				return chunk, fmt.Errorf("%w: row %d has unknown column %q", ErrSchema, r, k)
+			}
+		}
+		for i := range chunk.Columns {
+			col := &chunk.Columns[i]
+			raw, ok := row[col.Name]
+			if !ok || isJSONNull(raw) {
+				setNullRow(col, r)
+				continue
+			}
+			if err := appendJSONValue(col, raw); err != nil {
+				return chunk, fmt.Errorf("row %d column %q: %w", r, col.Name, err)
+			}
+		}
+	}
+	return chunk, nil
+}
+
+// setNullRow appends a NULL slot (zero value + mask bit) at row r.
+func setNullRow(col *btrblocks.Column, r int) {
+	switch col.Type {
+	case btrblocks.TypeInt:
+		col.Ints = append(col.Ints, 0)
+	case btrblocks.TypeInt64:
+		col.Ints64 = append(col.Ints64, 0)
+	case btrblocks.TypeDouble:
+		col.Doubles = append(col.Doubles, 0)
+	case btrblocks.TypeString:
+		col.Strings = col.Strings.Append("")
+	}
+	if col.Nulls == nil {
+		col.Nulls = btrblocks.NewNullMask()
+	}
+	col.Nulls.SetNull(r)
+}
+
+func appendJSONValue(col *btrblocks.Column, raw json.RawMessage) error {
+	s := strings.TrimSpace(string(raw))
+	switch col.Type {
+	case btrblocks.TypeInt:
+		v, err := strconv.ParseInt(s, 10, 32)
+		if err != nil {
+			return fmt.Errorf("%w: %s as int32", ErrBadValue, s)
+		}
+		col.Ints = append(col.Ints, int32(v))
+	case btrblocks.TypeInt64:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: %s as int64", ErrBadValue, s)
+		}
+		col.Ints64 = append(col.Ints64, v)
+	case btrblocks.TypeDouble:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("%w: %s as double", ErrBadValue, s)
+		}
+		col.Doubles = append(col.Doubles, v)
+	case btrblocks.TypeString:
+		var v string
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return fmt.Errorf("%w: %s as string", ErrBadValue, s)
+		}
+		col.Strings = col.Strings.Append(v)
+	}
+	return nil
+}
+
+// parseLineProtocol parses the text/plain append format: one row per
+// line, `table field=value,field=value,...`. Value syntax: `123i` is a
+// 64-bit integer, a bare number is a double, and `"..."` (with \" and
+// \\ escapes) is a string. Blank lines and #-comments are skipped.
+// All lines must target the same table (one batch, one WAL record).
+func parseLineProtocol(body string) (table string, rows []map[string]json.RawMessage, err error) {
+	for ln, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp <= 0 {
+			return "", nil, fmt.Errorf("line %d: want `table field=value,...`", ln+1)
+		}
+		t := line[:sp]
+		if table == "" {
+			table = t
+		} else if t != table {
+			return "", nil, fmt.Errorf("line %d: mixed tables %q and %q in one batch", ln+1, table, t)
+		}
+		row, err := parseLineFields(line[sp+1:])
+		if err != nil {
+			return "", nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		rows = append(rows, row)
+	}
+	if table == "" {
+		return "", nil, ErrEmptyBatch
+	}
+	return table, rows, nil
+}
+
+// parseLineFields splits `a=1i,b=2.5,c="x,y"` respecting quoted commas.
+func parseLineFields(s string) (map[string]json.RawMessage, error) {
+	row := map[string]json.RawMessage{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("want field=value near %q", s)
+		}
+		name := s[:eq]
+		s = s[eq+1:]
+		var raw json.RawMessage
+		if len(s) > 0 && s[0] == '"' {
+			val, rest, err := scanQuoted(s)
+			if err != nil {
+				return nil, err
+			}
+			enc, _ := json.Marshal(val)
+			raw = enc
+			s = rest
+		} else {
+			end := strings.IndexByte(s, ',')
+			tok := s
+			if end >= 0 {
+				tok = s[:end]
+			}
+			switch {
+			case strings.HasSuffix(tok, "i"):
+				n := strings.TrimSuffix(tok, "i")
+				if _, err := strconv.ParseInt(n, 10, 64); err != nil {
+					return nil, fmt.Errorf("bad integer %q", tok)
+				}
+				raw = json.RawMessage(n)
+			case tok == "null":
+				raw = json.RawMessage("null")
+			default:
+				if _, err := strconv.ParseFloat(tok, 64); err != nil {
+					return nil, fmt.Errorf("bad number %q", tok)
+				}
+				raw = json.RawMessage(tok)
+			}
+			s = s[len(tok):]
+		}
+		if _, dup := row[name]; dup {
+			return nil, fmt.Errorf("duplicate field %q", name)
+		}
+		row[name] = raw
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("want ',' near %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	if len(row) == 0 {
+		return nil, fmt.Errorf("row has no fields")
+	}
+	return row, nil
+}
+
+// scanQuoted consumes a leading double-quoted string with \" and \\
+// escapes and returns the unescaped value and the remainder.
+func scanQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			i++
+			b.WriteByte(s[i])
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in %q", s)
+}

@@ -1,0 +1,118 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+
+	"btrblocks"
+)
+
+// BenchmarkAppend measures acknowledged ingestion throughput (rows/s)
+// as a function of batch size: each iteration appends one batch and
+// waits for its WAL sync, which is the durability cost an HTTP client
+// pays per request. Small batches are fsync-bound; large batches
+// amortize the sync and become memory-bandwidth-bound.
+func BenchmarkAppend(b *testing.B) {
+	for _, batch := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			dir := b.TempDir()
+			svc, err := Open(Config{
+				Dir:              dir,
+				ChunkRows:        1 << 30, // benchmark the WAL path, not the flush
+				FlushInterval:    -1,
+				CompactMinChunks: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			chunk := benchChunk(batch)
+			b.SetBytes(int64(chunk.UncompressedBytes()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Append("bench", chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkAppendParallel measures group-commit scaling: many
+// goroutines appending concurrently share fsyncs, so acknowledged
+// rows/s should rise well past the serial number.
+func BenchmarkAppendParallel(b *testing.B) {
+	const batch = 100
+	dir := b.TempDir()
+	svc, err := Open(Config{
+		Dir:              dir,
+		ChunkRows:        1 << 30,
+		FlushInterval:    -1,
+		CompactMinChunks: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		chunk := benchChunk(batch)
+		for pb.Next() {
+			if _, err := svc.Append("bench", chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkFlushPublish measures the compress-and-publish side: one
+// full buffer becoming a committed chunk on disk.
+func BenchmarkFlushPublish(b *testing.B) {
+	for _, rows := range []int{1000, 16000, 64000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			dir := b.TempDir()
+			svc, err := Open(Config{
+				Dir:              dir,
+				ChunkRows:        1 << 30,
+				FlushInterval:    -1,
+				CompactMinChunks: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			chunk := benchChunk(rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Append("bench", chunk); err != nil {
+					b.Fatal(err)
+				}
+				if err := svc.FlushTable("bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// benchChunk builds a realistic mixed batch: id, a low-cardinality
+// dimension string, and a metric value.
+func benchChunk(rows int) *btrblocks.Chunk {
+	ids := make([]int64, rows)
+	vals := make([]float64, rows)
+	var dim btrblocks.Column
+	dim.Name, dim.Type = "dim", btrblocks.TypeString
+	for i := 0; i < rows; i++ {
+		ids[i] = int64(i)
+		vals[i] = float64(i%97) * 1.5
+		dim.Strings = dim.Strings.Append(fmt.Sprintf("region-%02d", i%16))
+	}
+	return &btrblocks.Chunk{Columns: []btrblocks.Column{
+		{Name: "id", Type: btrblocks.TypeInt64, Ints64: ids},
+		dim,
+		{Name: "val", Type: btrblocks.TypeDouble, Doubles: vals},
+	}}
+}

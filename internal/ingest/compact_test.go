@@ -1,0 +1,218 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"btrblocks"
+)
+
+// seqIntChunk builds a chunk of n sequential int64s starting at base.
+func seqIntChunk(base int64, n int) *btrblocks.Chunk {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = base + int64(i)
+	}
+	return testChunk(vals...)
+}
+
+// dictChunk builds a chunk of n rows drawn from a 100-value string
+// dictionary plus a row id — the workload where block size decides the
+// ratio: every small block pays for its own dictionary, a full block
+// amortizes one across all rows.
+func dictChunk(base int64, n int) *btrblocks.Chunk {
+	ids := make([]int64, n)
+	var s btrblocks.Column
+	s.Name, s.Type = "s", btrblocks.TypeString
+	for i := 0; i < n; i++ {
+		ids[i] = base + int64(i)
+		v := (base + int64(i)) * 2654435761 % 100
+		s.Strings = s.Strings.Append(fmt.Sprintf("customer-segment-%02d-padding-padding", v))
+	}
+	return &btrblocks.Chunk{Columns: []btrblocks.Column{
+		{Name: "id", Type: btrblocks.TypeInt64, Ints64: ids},
+		s,
+	}}
+}
+
+func TestPickCompaction(t *testing.T) {
+	small := func(seq uint64) chunkInfo {
+		return chunkInfo{Seq: seq, MinSeq: seq, Level: 0, Rows: 100}
+	}
+	full := func(seq uint64) chunkInfo {
+		return chunkInfo{Seq: seq, MinSeq: seq, Level: 0, Rows: 64000}
+	}
+	l1 := func(seq uint64) chunkInfo {
+		return chunkInfo{Seq: seq, MinSeq: 1, Level: 1, Rows: 5000}
+	}
+	cases := []struct {
+		name   string
+		chunks []chunkInfo
+		want   []uint64 // seqs of the selected run
+	}{
+		{"empty", nil, nil},
+		{"below min", []chunkInfo{small(1)}, nil},
+		{"simple run", []chunkInfo{small(1), small(2), small(3)}, []uint64{1, 2, 3}},
+		{"full chunk breaks run", []chunkInfo{small(1), full(2), small(3), small(4)}, []uint64{3, 4}},
+		{"level1 breaks run", []chunkInfo{l1(5), small(6), small(7)}, []uint64{6, 7}},
+		{"oldest run wins", []chunkInfo{small(1), small(2), full(3), small(4), small(5), small(6)}, []uint64{1, 2}},
+		{"short head run skipped", []chunkInfo{small(1), full(2), small(3), small(4)}, []uint64{3, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := pickCompaction(tc.chunks, 2, 64000, 256000)
+			var seqs []uint64
+			for _, c := range got {
+				seqs = append(seqs, c.Seq)
+			}
+			if fmt.Sprint(seqs) != fmt.Sprint(tc.want) {
+				t.Fatalf("picked %v, want %v", seqs, tc.want)
+			}
+		})
+	}
+
+	// Row cap truncates the run but never below 2 chunks.
+	run := []chunkInfo{small(1), small(2), small(3), small(4)}
+	got := pickCompaction(run, 2, 64000, 250)
+	if len(got) != 2 {
+		t.Fatalf("row-capped run has %d chunks, want 2", len(got))
+	}
+}
+
+// TestCompactionImprovesRatioAndPreservesRows is the core compactor
+// property: merging many small published chunks into one level-1 chunk
+// (a) keeps the row multiset identical and (b) shrinks the bytes,
+// because the cascade finally sees full blocks.
+func TestCompactionImprovesRatioAndPreservesRows(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quietConfig(dir)
+	cfg.CompactMinChunks = 2
+	cfg.CompactInterval = -1
+	cfg.TargetBlockRows = 64000
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// 16 small flushes of 500 dictionary-heavy rows each.
+	const flushes, rowsPer = 16, 500
+	for i := 0; i < flushes; i++ {
+		if _, err := svc.Append("t", dictChunk(int64(i*rowsPer), rowsPer)); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.FlushTable("t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tableValues(t, dir, "t")
+	bytesBefore := storeBytes(t, dir, "t")
+
+	if err := svc.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if len(st) != 1 || st[0].Chunks != 1 {
+		t.Fatalf("stats after compaction = %+v, want a single chunk", st)
+	}
+	diffMultiset(t, before, tableValues(t, dir, "t"))
+
+	bytesAfter := storeBytes(t, dir, "t")
+	if bytesAfter >= bytesBefore {
+		t.Fatalf("compaction did not shrink the store: %d -> %d bytes", bytesBefore, bytesAfter)
+	}
+	m := svc.Metrics()
+	if m.Compactions.Load() == 0 || m.CompactionBytesBefore.Load() <= m.CompactionBytesAfter.Load() {
+		t.Fatalf("compaction metrics: n=%d before=%d after=%d",
+			m.Compactions.Load(), m.CompactionBytesBefore.Load(), m.CompactionBytesAfter.Load())
+	}
+	t.Logf("compaction: %d -> %d bytes (%.2fx)", bytesBefore, bytesAfter,
+		float64(bytesBefore)/float64(bytesAfter))
+}
+
+// storeBytes sums the column-file bytes of a table's committed chunks.
+func storeBytes(t *testing.T, dir, table string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := os.ReadDir(filepath.Join(dir, table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".btr") {
+			fi, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// TestCompactionSupersedeRecovery models a crash between the level-1
+// commit and the removal of its inputs: both are on disk at startup.
+// Recovery must drop the inputs (their sequence range is covered) and
+// keep the merged chunk, with no row doubled.
+func TestCompactionSupersedeRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quietConfig(dir)
+	cfg.CompactMinChunks = 2
+	cfg.CompactInterval = -1
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := svc.Append("t", seqIntChunk(int64(i*10), 10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.FlushTable("t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := tableValues(t, dir, "t")
+
+	// Snapshot the level-0 files, compact, then restore them alongside
+	// the level-1 output — exactly the on-disk state of a crash after
+	// output-commit but before input removal.
+	tdir := filepath.Join(dir, "t")
+	saved := map[string][]byte{}
+	entries, err := os.ReadDir(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(tdir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[e.Name()] = data
+	}
+	if err := svc.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	svc.crash()
+	for name, data := range saved {
+		if err := os.WriteFile(filepath.Join(tdir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	svc2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.Metrics().SupersededChunks.Load(); got != 4 {
+		t.Errorf("superseded chunks = %d, want 4", got)
+	}
+	diffMultiset(t, want, tableValues(t, dir, "t"))
+	st := svc2.Stats()
+	if len(st) != 1 || st[0].Chunks != 1 {
+		t.Fatalf("post-recovery stats = %+v, want the single level-1 chunk", st)
+	}
+}

@@ -1,0 +1,172 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"btrblocks"
+)
+
+// TestConcurrentHTTPAppends drives N goroutines × M batches through the
+// HTTP endpoint and asserts the published chunks decode to exactly the
+// acked row multiset — no loss, no duplication, no cross-batch bleed —
+// at compressor Parallelism 1 and GOMAXPROCS.
+func TestConcurrentHTTPAppends(t *testing.T) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("parallelism=%d", workers), func(t *testing.T) {
+			testConcurrentAppends(t, workers)
+		})
+	}
+}
+
+func testConcurrentAppends(t *testing.T, workers int) {
+	dir := t.TempDir()
+	cfg := Config{
+		Dir:              dir,
+		ChunkRows:        512, // force plenty of threshold flushes mid-storm
+		FlushInterval:    -1,
+		CompactMinChunks: 3,
+		CompactInterval:  -1, // compaction driven explicitly below
+		Options:          &btrblocks.Options{Parallelism: workers},
+	}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.CreateTable("storm", []ColumnSpec{
+		{Name: "v", Type: "int64"},
+		{Name: "who", Type: "string"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	const (
+		goroutines = 8
+		batches    = 30
+		batchRows  = 7
+	)
+	var (
+		mu    sync.Mutex
+		acked = map[string]int{}
+		wg    sync.WaitGroup
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				req := jsonAppendRequest{Table: "storm"}
+				keys := make([]string, 0, batchRows)
+				for r := 0; r < batchRows; r++ {
+					v := int64(g*1_000_000 + b*1_000 + r)
+					who := fmt.Sprintf("g%d", g)
+					req.Rows = append(req.Rows, map[string]json.RawMessage{
+						"v":   json.RawMessage(fmt.Sprint(v)),
+						"who": json.RawMessage(fmt.Sprintf("%q", who)),
+					})
+					keys = append(keys, fmt.Sprintf("%d|%s", v, who))
+				}
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(srv.URL+"/v1/append", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("g%d b%d: %v", g, b, err)
+					return
+				}
+				out, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("g%d b%d: status %d: %s", g, b, resp.StatusCode, out)
+					return
+				}
+				var res appendResult
+				if err := json.Unmarshal(out, &res); err != nil || res.Rows != batchRows {
+					t.Errorf("g%d b%d: bad response %s", g, b, out)
+					return
+				}
+				mu.Lock()
+				for _, k := range keys {
+					acked[k]++
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if err := svc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Compact, then check again: compaction must preserve the multiset too.
+	diffMultiset(t, acked, tableValues(t, dir, "storm"))
+	if err := svc.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	diffMultiset(t, acked, tableValues(t, dir, "storm"))
+
+	wantRows := goroutines * batches * batchRows
+	total := 0
+	for _, n := range tableValues(t, dir, "storm") {
+		total += n
+	}
+	if total != wantRows {
+		t.Fatalf("published %d rows, acked %d", total, wantRows)
+	}
+}
+
+// TestConcurrentSchemaInference hammers a fresh table from many
+// goroutines at once: exactly one schema wins and every acked batch
+// either matches it or was rejected with a schema error — never
+// silently coerced.
+func TestConcurrentSchemaInference(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	var (
+		mu    sync.Mutex
+		acked = map[string]int{}
+		wg    sync.WaitGroup
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"table":"fresh","rows":[{"v":%d}]}`, g)
+			resp, err := http.Post(srv.URL+"/v1/append", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				mu.Lock()
+				acked[fmt.Sprint(g)]++
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := svc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	diffMultiset(t, acked, tableValues(t, dir, "fresh"))
+}

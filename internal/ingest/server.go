@@ -1,0 +1,230 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"btrblocks"
+)
+
+// maxBodyBytes bounds an append request body.
+const maxBodyBytes = 256 << 20
+
+// Schema returns the registered schema of a table.
+func (s *Service) Schema(table string) ([]btrblocks.Column, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tables[table]
+	if ts == nil {
+		return nil, false
+	}
+	return ts.schema, true
+}
+
+// NewHandler wires the ingestion HTTP API around a Service:
+//
+//	POST /v1/append          JSON rows: {"table":"t","rows":[{"a":1},...]}
+//	POST /v1/write           line protocol: `t a=1i,b=2.5,c="s"` per line
+//	POST /v1/tables          create table: {"table":"t","columns":[{"name","type"},...]}
+//	GET  /v1/tables          table stats
+//	POST /v1/flush           flush all buffers (or /v1/flush/{table})
+//	POST /v1/compact         run compaction now
+//	GET  /v1/stats           same as GET /v1/tables
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus text
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	h := &handler{svc: svc}
+	mux.HandleFunc("POST /v1/append", h.route("/v1/append", h.appendJSON))
+	mux.HandleFunc("POST /v1/write", h.route("/v1/write", h.appendLines))
+	mux.HandleFunc("POST /v1/tables", h.route("/v1/tables", h.createTable))
+	mux.HandleFunc("GET /v1/tables", h.route("/v1/tables", h.stats))
+	mux.HandleFunc("GET /v1/stats", h.route("/v1/stats", h.stats))
+	mux.HandleFunc("POST /v1/flush", h.route("/v1/flush", h.flushAll))
+	mux.HandleFunc("POST /v1/flush/{table}", h.route("/v1/flush", h.flushTable))
+	mux.HandleFunc("POST /v1/compact", h.route("/v1/compact", h.compact))
+	mux.HandleFunc("GET /healthz", h.route("/healthz", h.healthz))
+	mux.HandleFunc("GET /metrics", h.route("/metrics", h.metrics))
+	return mux
+}
+
+type handler struct {
+	svc *Service
+}
+
+// httpError carries an explicit status through the handler plumbing.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+// route wraps a handler with metrics and uniform error rendering.
+func (h *handler) route(name string, fn func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rm := h.svc.met.Route(name)
+		rm.Requests.Add(1)
+		start := time.Now()
+		err := fn(w, r)
+		rm.Latency.Observe(time.Since(start))
+		if err == nil {
+			return
+		}
+		rm.Errors.Add(1)
+		status := http.StatusInternalServerError
+		var he *httpError
+		switch {
+		case errors.As(err, &he):
+			status = he.status
+		case errors.Is(err, ErrSchema), errors.Is(err, ErrBadValue),
+			errors.Is(err, ErrBadName), errors.Is(err, ErrEmptyBatch):
+			status = http.StatusBadRequest
+		case isUnknownTable(err):
+			status = http.StatusNotFound
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	}
+}
+
+func readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, fmt.Errorf("read body: %v", err)}
+	}
+	if len(body) > maxBodyBytes {
+		return nil, &httpError{http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)}
+	}
+	return body, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// appendResult acknowledges a durable append.
+type appendResult struct {
+	Seq  uint64 `json:"seq"`
+	Rows int    `json:"rows"`
+}
+
+func (h *handler) appendJSON(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(r)
+	if err != nil {
+		return err
+	}
+	var req jsonAppendRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return &httpError{http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err)}
+	}
+	if len(req.Rows) == 0 {
+		return ErrEmptyBatch
+	}
+	return h.appendRows(w, req.Table, req.Rows)
+}
+
+func (h *handler) appendLines(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(r)
+	if err != nil {
+		return err
+	}
+	table, rows, err := parseLineProtocol(string(body))
+	if err != nil {
+		if errors.Is(err, ErrEmptyBatch) {
+			return err
+		}
+		return &httpError{http.StatusBadRequest, err}
+	}
+	return h.appendRows(w, table, rows)
+}
+
+// appendRows resolves the schema (registered, or inferred on first
+// contact), builds the columnar batch, and hands it to the service.
+func (h *handler) appendRows(w http.ResponseWriter, table string, rows []map[string]json.RawMessage) error {
+	if !validName(table) {
+		return fmt.Errorf("%w: table %q", ErrBadName, table)
+	}
+	schema, ok := h.svc.Schema(table)
+	if !ok {
+		var err error
+		schema, err = inferSchemaJSON(rows)
+		if err != nil {
+			return err
+		}
+	}
+	chunk, err := chunkFromJSONRows(schema, rows)
+	if err != nil {
+		return err
+	}
+	seq, err := h.svc.Append(table, &chunk)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, appendResult{Seq: seq, Rows: chunk.NumRows()})
+}
+
+type createTableRequest struct {
+	Table   string       `json:"table"`
+	Columns []ColumnSpec `json:"columns"`
+}
+
+func (h *handler) createTable(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(r)
+	if err != nil {
+		return err
+	}
+	var req createTableRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return &httpError{http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err)}
+	}
+	if err := h.svc.CreateTable(req.Table, req.Columns); err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]string{"table": req.Table, "status": "ok"})
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, map[string]any{"tables": h.svc.Stats()})
+}
+
+func (h *handler) flushAll(w http.ResponseWriter, r *http.Request) error {
+	if err := h.svc.FlushAll(); err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]string{"status": "flushed"})
+}
+
+func (h *handler) flushTable(w http.ResponseWriter, r *http.Request) error {
+	table := strings.TrimSpace(r.PathValue("table"))
+	if err := h.svc.FlushTable(table); err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]string{"status": "flushed", "table": table})
+}
+
+func (h *handler) compact(w http.ResponseWriter, r *http.Request) error {
+	if err := h.svc.CompactNow(); err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]string{"status": "compacted"})
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, err := io.WriteString(w, "ok\n")
+	return err
+}
+
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, err := h.svc.met.WriteTo(w)
+	return err
+}

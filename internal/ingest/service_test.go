@@ -1,0 +1,448 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"btrblocks"
+)
+
+// quietConfig is a service config with the background timers effectively
+// disabled so tests drive flushes and compactions explicitly.
+func quietConfig(dir string) Config {
+	return Config{
+		Dir:              dir,
+		ChunkRows:        1 << 20, // never threshold-flush unless a test wants it
+		FlushInterval:    -1,
+		CompactMinChunks: -1,
+	}
+}
+
+// tableValues decodes every committed chunk of a table directly from
+// disk and returns the multiset of formatted rows, verifying each
+// column file along the way. Reading from disk (not through the
+// service) is the point: this is what btrserved and any other consumer
+// would see.
+func tableValues(t *testing.T, dir, table string) map[string]int {
+	t.Helper()
+	tdir := filepath.Join(dir, table)
+	entries, err := os.ReadDir(tdir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]int{}
+		}
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".commit") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(tdir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m chunkMarker
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		cols := make([]btrblocks.Column, len(m.Columns))
+		for i, mc := range m.Columns {
+			raw, err := os.ReadFile(filepath.Join(tdir, mc.File))
+			if err != nil {
+				t.Fatalf("%s: committed column file missing: %v", e.Name(), err)
+			}
+			if rep := btrblocks.Verify(raw, nil); !rep.OK {
+				t.Fatalf("%s: published file corrupt: %v", mc.File, rep.Errors)
+			}
+			col, err := btrblocks.DecompressColumn(raw, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", mc.File, err)
+			}
+			cols[i] = col
+		}
+		chunk := btrblocks.Chunk{Columns: cols}
+		if chunk.NumRows() != m.Rows {
+			t.Fatalf("%s: decodes to %d rows, marker says %d", e.Name(), chunk.NumRows(), m.Rows)
+		}
+		for r := 0; r < m.Rows; r++ {
+			got[formatRow(&chunk, r)]++
+		}
+	}
+	return got
+}
+
+// formatRow renders one row of a chunk as a stable string key.
+func formatRow(chunk *btrblocks.Chunk, r int) string {
+	var b strings.Builder
+	for i := range chunk.Columns {
+		col := &chunk.Columns[i]
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		if col.Nulls.IsNull(r) {
+			b.WriteString("NULL")
+			continue
+		}
+		switch col.Type {
+		case btrblocks.TypeInt:
+			fmt.Fprintf(&b, "%d", col.Ints[r])
+		case btrblocks.TypeInt64:
+			fmt.Fprintf(&b, "%d", col.Ints64[r])
+		case btrblocks.TypeDouble:
+			fmt.Fprintf(&b, "%g", col.Doubles[r])
+		case btrblocks.TypeString:
+			b.WriteString(col.Strings.At(r))
+		}
+	}
+	return b.String()
+}
+
+func diffMultiset(t *testing.T, want, got map[string]int) {
+	t.Helper()
+	keys := map[string]bool{}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		if want[k] != got[k] {
+			t.Errorf("row %q: want %d, got %d", k, want[k], got[k])
+		}
+	}
+}
+
+func TestServiceAppendFlushPublish(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	want := map[string]int{}
+	for i := int64(0); i < 10; i++ {
+		chunk := testChunk(i, i+100)
+		if _, err := svc.Append("events", chunk); err != nil {
+			t.Fatal(err)
+		}
+		want[fmt.Sprint(i)]++
+		want[fmt.Sprint(i+100)]++
+	}
+	if err := svc.FlushTable("events"); err != nil {
+		t.Fatal(err)
+	}
+	diffMultiset(t, want, tableValues(t, dir, "events"))
+
+	st := svc.Stats()
+	if len(st) != 1 || st[0].Table != "events" || st[0].PublishedRows != 20 || st[0].BufferedRows != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServiceThresholdFlush(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quietConfig(dir)
+	cfg.ChunkRows = 10
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	waitFlushedRows := func(n int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if svc.Metrics().FlushedRows.Load() >= n {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("flushed rows = %d, want >= %d", svc.Metrics().FlushedRows.Load(), n)
+	}
+	// Each threshold crossing guarantees the rows eventually publish
+	// without an explicit flush (how many flushes carry them is up to
+	// the flusher's timing).
+	for i := int64(0); i < 12; i++ {
+		if _, err := svc.Append("t", testChunk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFlushedRows(10)
+	for i := int64(100); i < 112; i++ {
+		if _, err := svc.Append("t", testChunk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFlushedRows(20)
+	if svc.Metrics().Flushes.Load() == 0 {
+		t.Fatal("rows published without any flush being counted")
+	}
+}
+
+func TestServiceRecoversUnflushedRowsFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	// First half is flushed; second half lives only in the WAL.
+	for i := int64(0); i < 6; i++ {
+		if _, err := svc.Append("t", testChunk(i)); err != nil {
+			t.Fatal(err)
+		}
+		want[fmt.Sprint(i)]++
+	}
+	if err := svc.FlushTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(6); i < 11; i++ {
+		if _, err := svc.Append("t", testChunk(i)); err != nil {
+			t.Fatal(err)
+		}
+		want[fmt.Sprint(i)]++
+	}
+	svc.crash()
+
+	svc2, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer svc2.Close()
+	if got := svc2.Metrics().WALReplayedRows.Load(); got != 5 {
+		t.Fatalf("replayed rows = %d, want 5", got)
+	}
+	if err := svc2.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	diffMultiset(t, want, tableValues(t, dir, "t"))
+}
+
+func TestServiceReplaySkipsPublishedRecords(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	for i := int64(0); i < 4; i++ {
+		if _, err := svc.Append("t", testChunk(i)); err != nil {
+			t.Fatal(err)
+		}
+		want[fmt.Sprint(i)]++
+	}
+	// A second table with buffered rows keeps the WAL from checkpointing
+	// when t flushes, so t's records are still in the log at the crash.
+	if _, err := svc.Append("u", testChunk(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.FlushTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without a checkpoint: the WAL still holds t's 4 records, the
+	// store already holds their chunk. Replay must not double them.
+	svc.crash()
+
+	svc2, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.Metrics().WALSkippedRecords.Load(); got != 4 {
+		t.Fatalf("skipped records = %d, want 4", got)
+	}
+	if err := svc2.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	diffMultiset(t, want, tableValues(t, dir, "t"))
+}
+
+func TestServiceRemovesUncommittedFilesAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Append("t", testChunk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.FlushTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	// Simulate a crash mid-publication: a tmp file and a chunk column
+	// file with no commit marker.
+	tdir := filepath.Join(dir, "t")
+	stray1 := filepath.Join(tdir, "c-00000000000000ff-0.v.btr.tmp")
+	stray2 := filepath.Join(tdir, "c-00000000000000ff-0.v.btr")
+	os.WriteFile(stray1, []byte("partial"), 0o644)
+	os.WriteFile(stray2, []byte("unmarked"), 0o644)
+	// A non-chunk file in the same directory must be left alone.
+	other := filepath.Join(tdir, "README")
+	os.WriteFile(other, []byte("keep me"), 0o644)
+
+	svc2, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if _, err := os.Stat(stray1); !os.IsNotExist(err) {
+		t.Error("tmp file survived startup")
+	}
+	if _, err := os.Stat(stray2); !os.IsNotExist(err) {
+		t.Error("uncommitted chunk file survived startup")
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Error("unrelated file was removed")
+	}
+	if svc2.Metrics().UncommittedDrop.Load() != 2 {
+		t.Errorf("UncommittedDrop = %d, want 2", svc2.Metrics().UncommittedDrop.Load())
+	}
+}
+
+func TestServiceSchemaEnforcement(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Append("t", testChunk(1)); err != nil {
+		t.Fatal(err)
+	}
+	wrong := &btrblocks.Chunk{Columns: []btrblocks.Column{
+		{Name: "other", Type: btrblocks.TypeInt64, Ints64: []int64{1}},
+	}}
+	if _, err := svc.Append("t", wrong); !errors.Is(err, ErrSchema) {
+		t.Fatalf("mismatched schema: err = %v, want ErrSchema", err)
+	}
+	if _, err := svc.Append("bad/name", testChunk(1)); !errors.Is(err, ErrBadName) {
+		t.Fatalf("bad table name: err = %v, want ErrBadName", err)
+	}
+	if _, err := svc.Append("t", testChunk()); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("empty batch: err = %v, want ErrEmptyBatch", err)
+	}
+	ragged := &btrblocks.Chunk{Columns: []btrblocks.Column{
+		{Name: "v", Type: btrblocks.TypeInt64, Ints64: []int64{1, 2}},
+		{Name: "w", Type: btrblocks.TypeInt64, Ints64: []int64{1}},
+	}}
+	if _, err := svc.Append("t2", ragged); !errors.Is(err, ErrSchema) {
+		t.Fatalf("ragged batch: err = %v, want ErrSchema", err)
+	}
+}
+
+func TestServiceCreateTable(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	specs := []ColumnSpec{{Name: "a", Type: "int64"}, {Name: "b", Type: "string"}}
+	if err := svc.CreateTable("t", specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateTable("t", specs); err != nil {
+		t.Fatalf("idempotent create: %v", err)
+	}
+	if err := svc.CreateTable("t", specs[:1]); !errors.Is(err, ErrSchema) {
+		t.Fatalf("conflicting create: err = %v, want ErrSchema", err)
+	}
+	schema, ok := svc.Schema("t")
+	if !ok || len(schema) != 2 || schema[1].Type != btrblocks.TypeString {
+		t.Fatalf("schema = %v ok=%v", schema, ok)
+	}
+}
+
+func TestServiceCheckpointAfterFullFlush(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for i := int64(0); i < 3; i++ {
+		if _, err := svc.Append("t", testChunk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Metrics().WALCheckpoints.Load() != 1 {
+		t.Fatalf("checkpoints = %d, want 1", svc.Metrics().WALCheckpoints.Load())
+	}
+	// After the checkpoint the WAL is empty; a reopen replays nothing.
+	svc.Close()
+	svc2, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.Metrics().WALReplayed.Load() + svc2.Metrics().WALSkippedRecords.Load(); got != 0 {
+		t.Fatalf("post-checkpoint reopen touched %d records, want 0", got)
+	}
+}
+
+func TestServiceInvalidatorNotified(t *testing.T) {
+	dir := t.TempDir()
+	inv := &recordingInvalidator{}
+	cfg := quietConfig(dir)
+	cfg.Invalidator = inv
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Append("t", testChunk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.FlushTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	names := inv.take()
+	if len(names) < 2 {
+		t.Fatalf("invalidations = %v, want column file + marker", names)
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "t/c-") {
+			t.Fatalf("unexpected invalidation %q", n)
+		}
+	}
+}
+
+type recordingInvalidator struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (r *recordingInvalidator) Invalidate(name string) {
+	r.mu.Lock()
+	r.names = append(r.names, name)
+	r.mu.Unlock()
+}
+
+func (r *recordingInvalidator) take() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.names
+	r.names = nil
+	return out
+}
