@@ -251,28 +251,39 @@ func classifyFile(name string, data []byte) *File {
 // retried against the new entry. Unknown names are a no-op (drop-only),
 // so writers can invalidate eagerly.
 func (s *Store) Invalidate(name string) {
-	s.fmu.Lock()
+	// Read and classify outside fmu — a large column file would
+	// otherwise stall every concurrent reader for the whole disk read.
+	// The lock is only taken for the O(1)-ish entry swap below.
+	var replacement *File
+	removed := false
 	if s.dir != "" {
 		path := filepath.Join(s.dir, filepath.FromSlash(name))
 		data, err := os.ReadFile(path)
 		switch {
 		case err == nil:
-			if _, known := s.files[name]; !known {
-				s.names = append(s.names, name)
-				sort.Strings(s.names)
-			}
-			s.files[name] = classifyFile(name, data)
+			replacement = classifyFile(name, data)
 		case os.IsNotExist(err):
-			if _, known := s.files[name]; known {
-				delete(s.files, name)
-				i := sort.SearchStrings(s.names, name)
-				if i < len(s.names) && s.names[i] == name {
-					s.names = append(s.names[:i], s.names[i+1:]...)
-				}
-			}
+			removed = true
 		default:
 			// Transient read failure: keep serving the old bytes rather than
 			// dropping the file; the cache purge below still happens.
+		}
+	}
+	s.fmu.Lock()
+	switch {
+	case replacement != nil:
+		if _, known := s.files[name]; !known {
+			s.names = append(s.names, name)
+			sort.Strings(s.names)
+		}
+		s.files[name] = replacement
+	case removed:
+		if _, known := s.files[name]; known {
+			delete(s.files, name)
+			i := sort.SearchStrings(s.names, name)
+			if i < len(s.names) && s.names[i] == name {
+				s.names = append(s.names[:i], s.names[i+1:]...)
+			}
 		}
 	}
 	s.loaded = time.Now()

@@ -181,10 +181,11 @@ func pickCompaction(chunks []chunkInfo, minChunks, targetRows, maxRows int) []ch
 	if len(run) < minChunks {
 		return nil
 	}
-	// Cap the pass: keep the oldest prefix whose rows fit the budget.
+	// Cap the pass: keep the oldest prefix whose rows fit the budget,
+	// but never truncate below the configured minimum run length.
 	total := 0
 	for i := range run {
-		if total+run[i].Rows > maxRows && i >= 2 {
+		if total+run[i].Rows > maxRows && i >= minChunks {
 			return run[:i]
 		}
 		total += run[i].Rows

@@ -80,6 +80,12 @@ func TestPickCompaction(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("row-capped run has %d chunks, want 2", len(got))
 	}
+	// ...and never below a larger configured minimum: with minChunks=4 a
+	// budget that would truncate at 2 keeps the whole minimum-length run.
+	got = pickCompaction(run, 4, 64000, 250)
+	if len(got) != 4 {
+		t.Fatalf("row-capped run with minChunks=4 has %d chunks, want 4", len(got))
+	}
 }
 
 // TestCompactionImprovesRatioAndPreservesRows is the core compactor

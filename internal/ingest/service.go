@@ -169,6 +169,13 @@ type Service struct {
 	tables map[string]*tableState
 	wal    *wal
 	closed bool
+	// publishing counts flushes whose buffer has been taken under mu but
+	// whose chunk has not yet committed (or been restored after a publish
+	// failure). The WAL checkpoint must not run while any publish is in
+	// flight: the in-flight rows are no longer in a buffer, so allEmpty
+	// alone would let a concurrent flush of another table prune the very
+	// segments that still back them.
+	publishing int
 
 	flushCh chan string // threshold-triggered flush requests
 	stop    chan struct{}
@@ -333,7 +340,7 @@ func (s *Service) recoverTable(table string) error {
 		infos = append(infos, info)
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Seq < infos[j].Seq })
-	keep := infos[:0]
+	keep := make([]chunkInfo, 0, len(infos))
 	for _, info := range infos {
 		superseded := false
 		if info.Level == 0 {
@@ -613,6 +620,7 @@ func (s *Service) FlushTable(table string) error {
 	minSeq, maxSeq := ts.bufMinSeq, ts.bufMaxSeq
 	ts.buf = emptyChunkFor(ts.schema)
 	ts.bufMinSeq, ts.bufMaxSeq = 0, 0
+	s.publishing++
 	s.mu.Unlock()
 
 	start := time.Now()
@@ -623,19 +631,22 @@ func (s *Service) FlushTable(table string) error {
 		s.met.PublishErrors.Add(1)
 		s.mu.Lock()
 		arrived := ts.buf
-		chunkCopy := chunk
-		appendChunk(&chunkCopy, &arrived)
-		ts.buf = chunkCopy
+		restored := emptyChunkFor(ts.schema)
+		appendChunk(&restored, &chunk)
+		appendChunk(&restored, &arrived)
+		ts.buf = restored
 		ts.bufMinSeq = minSeq
 		if ts.bufMaxSeq == 0 {
 			ts.bufMaxSeq = maxSeq
 		}
+		s.publishing--
 		s.mu.Unlock()
 		return err
 	}
 	s.mu.Lock()
 	ts.flushedSeq = maxSeq
 	ts.chunks = append(ts.chunks, *info)
+	s.publishing--
 	allEmpty := true
 	for _, other := range s.tables {
 		if other.bufRows() > 0 {
@@ -648,7 +659,10 @@ func (s *Service) FlushTable(table string) error {
 	// not grow without bound. The checkpoint must happen under s.mu:
 	// appends write their WAL record under the same lock, so no record
 	// can land in a segment between the allEmpty check and the prune.
-	if allEmpty && s.wal.size() > int64(walHeaderLen) {
+	// Another table's publish may have taken its buffer (emptying it)
+	// without committing yet — its rows exist only in the WAL, so also
+	// require that no other publish is in flight.
+	if allEmpty && s.publishing == 0 && s.wal.size() > int64(walHeaderLen) {
 		if err := s.wal.checkpoint(); err != nil {
 			s.log.Warn("wal checkpoint", "err", err.Error())
 		}

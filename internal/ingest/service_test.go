@@ -401,6 +401,105 @@ func TestServiceCheckpointAfterFullFlush(t *testing.T) {
 	}
 }
 
+// TestCheckpointWaitsForInFlightPublish pins the durability contract
+// against a cross-table race: table a's flush has taken its buffer (so
+// the buffer looks empty) but its chunk has not committed when table b
+// flushes. b's flush must not checkpoint the WAL — the log still holds
+// the only durable copy of a's acknowledged rows. The test holds a's
+// publish in flight via the invalidator hook, makes it fail (commit
+// marker blocked by a directory squatting on its temp path), flushes b,
+// crashes, and verifies a's rows survive replay.
+func TestCheckpointWaitsForInFlightPublish(t *testing.T) {
+	dir := t.TempDir()
+	inv := &blockingInvalidator{
+		prefix:  "a/",
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	cfg := quietConfig(dir)
+	cfg.Invalidator = inv
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	want := map[string]int{}
+	var lastSeqA uint64
+	for i := int64(0); i < 3; i++ {
+		seq, err := svc.Append("a", testChunk(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[fmt.Sprint(i)]++
+		lastSeqA = seq
+	}
+	if _, err := svc.Append("b", testChunk(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rig a's publish to fail after its column file is written: the
+	// commit marker's temp path is occupied by a directory, so the
+	// marker write errors and the flush takes the restore path.
+	base := fmt.Sprintf("c-%016x-0", lastSeqA)
+	if err := os.MkdirAll(filepath.Join(dir, "a", base+".commit.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- svc.FlushTable("a") }()
+	<-inv.entered // a's column file is on disk; the marker is not
+
+	// a's buffer is empty (taken by the in-flight publish) and b's flush
+	// empties the last buffer — exactly the state where a premature
+	// checkpoint would prune the segments backing a's rows.
+	if err := svc.FlushTable("b"); err != nil {
+		t.Fatal(err)
+	}
+	if n := svc.Metrics().WALCheckpoints.Load(); n != 0 {
+		t.Errorf("checkpoints with a publish in flight = %d, want 0", n)
+	}
+	close(inv.release)
+	if err := <-flushDone; err == nil {
+		t.Fatal("flush of a succeeded; the test meant it to fail mid-publish")
+	}
+
+	svc.crash()
+	svc2, err := Open(quietConfig(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer svc2.Close()
+	if got := svc2.Metrics().WALReplayedRows.Load(); got != 3 {
+		t.Errorf("replayed rows = %d, want 3 (a's acked rows lost)", got)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, "a", base+".commit.tmp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	diffMultiset(t, want, tableValues(t, dir, "a"))
+}
+
+// blockingInvalidator parks the first invalidation whose name matches
+// prefix until released, holding that publish in flight.
+type blockingInvalidator struct {
+	prefix  string
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingInvalidator) Invalidate(name string) {
+	if strings.HasPrefix(name, b.prefix) {
+		b.once.Do(func() {
+			close(b.entered)
+			<-b.release
+		})
+	}
+}
+
 func TestServiceInvalidatorNotified(t *testing.T) {
 	dir := t.TempDir()
 	inv := &recordingInvalidator{}

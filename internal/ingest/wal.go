@@ -21,6 +21,7 @@ package ingest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -28,6 +29,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 
 	"btrblocks"
 )
@@ -569,5 +571,9 @@ func syncDir(dir string) error {
 }
 
 func isSyncUnsupported(err error) bool {
-	return err != nil && (os.IsPermission(err) || err == io.EOF)
+	// EPERM/EACCES and EOF cover sandboxed filesystems; EINVAL and
+	// ENOTSUP are what filesystems that simply do not implement
+	// directory fsync typically return.
+	return err != nil && (os.IsPermission(err) || err == io.EOF ||
+		errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP))
 }
