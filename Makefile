@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-smoke bench-baseline bench-compare ci serve-smoke trace-smoke ingest-smoke ingest-bench chaos fuzz-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke bench-baseline bench-compare ci serve-smoke trace-smoke ingest-smoke ingest-bench spans-smoke chaos fuzz-smoke
 
 all: build
 
@@ -36,6 +36,15 @@ serve-smoke:
 # published chunks decode to exactly the acknowledged rows.
 ingest-smoke:
 	$(GO) run ./cmd/btringest -smoke
+
+# spans-smoke is the end-to-end tracing gate: both server smokes assert
+# their /v1/spans endpoints. btrserved validates its recorded server
+# spans and telemetry exemplar links; btringest drives one trace ID
+# across two processes (append → WAL → flush → cascade compress →
+# atomic publish → invalidate → serve) and asserts both span stores
+# return the trace with parent/child links intact.
+spans-smoke: serve-smoke ingest-smoke
+	@echo "spans smoke: OK"
 
 # ingest-bench single-shots the ingestion benchmarks (rows/s vs batch
 # size, group-commit scaling, flush+publish) so the harness cannot

@@ -31,11 +31,15 @@ run_tier1() {
 	# the race detector.
 	go test -race -short -timeout 30m ./...
 
-	echo "== ingest smoke =="
-	# End-to-end crash safety: btringest spawns a child server, SIGKILLs
-	# it mid-append, restarts it, and verifies the published chunks hold
-	# exactly the acknowledged rows (WAL replay, no loss, no doubles).
-	make ingest-smoke
+	echo "== spans smoke =="
+	# End-to-end crash safety plus cross-process tracing: btringest
+	# spawns a child server, SIGKILLs it mid-append, restarts it, and
+	# verifies the published chunks hold exactly the acknowledged rows;
+	# it then drives one trace ID through append → WAL → flush →
+	# publish → invalidate into a second span-recording server and
+	# asserts /v1/spans continuity on both sides. btrserved's smoke
+	# validates its own span store and exemplar links the same way.
+	make spans-smoke
 }
 
 run_tier2() {

@@ -8,7 +8,7 @@
 //
 // Experiments: fig1 table2 schemes fig4 fig5 fig6 fig7 compspeed table3
 // pde-pool fig8 table4 table5 colscan scalar kernels selection threads
-// serve ingest all
+// serve ingest spans all
 package main
 
 import (
@@ -41,13 +41,14 @@ var registry = map[string]func(*experiments.Config) error{
 	"serve":     experiments.Serve,
 	"threads":   experiments.Threads,
 	"ingest":    experiments.Ingest,
+	"spans":     experiments.Spans,
 }
 
 // order keeps `all` output in the paper's presentation order.
 var order = []string{
 	"fig1", "table2", "schemes", "fig4", "fig5", "fig6", "selection", "fig7",
 	"compspeed", "table3", "pde-pool", "fig8", "table4", "table5",
-	"colscan", "scalar", "kernels", "threads", "serve", "ingest",
+	"colscan", "scalar", "kernels", "threads", "serve", "ingest", "spans",
 }
 
 func main() {

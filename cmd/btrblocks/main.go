@@ -9,6 +9,7 @@
 //	btrblocks inspect    <in.btr>
 //	btrblocks stats      <in.btr>
 //	btrblocks trace      -schema int,int64,double,string [-block N] [-format json|tree] [-validate] <in.csv>
+//	btrblocks spans      [-format json|tree] [-trace ID] [-min-dur D] [-validate] <spans.json|->
 //	btrblocks verify     [-json] [-deep] [-parallel N] [-q] <path>...
 //
 // inspect prints the full layout tree of a column, chunk, or stream file
@@ -23,6 +24,13 @@
 // sample-estimated ratio, the winner, and the cascade tree — as JSON
 // (schema in OBSERVABILITY.md) or a human-readable tree. -validate
 // checks the trace against the schema and fails on any violation.
+//
+// spans renders a span snapshot fetched from a server's /v1/spans
+// endpoint (btrserved or btringest; "-" reads stdin, pairing with curl)
+// as per-trace indented duration trees, so a cross-process trace reads
+// as one story. Filters: -trace keeps one trace ID, -min-dur drops
+// fast spans; -validate checks the set against the schema in
+// OBSERVABILITY.md.
 //
 // verify is the fsck of the format: it walks files (or directories of
 // files), checks every per-block and container CRC32C of v2 files, and
@@ -42,6 +50,7 @@ import (
 
 	"btrblocks"
 	"btrblocks/internal/csvconv"
+	"btrblocks/internal/obs"
 )
 
 func main() {
@@ -61,6 +70,8 @@ func main() {
 		err = stats(os.Args[2:])
 	case "trace":
 		err = trace(os.Args[2:])
+	case "spans":
+		err = spans(os.Args[2:])
 	case "verify":
 		err = verify(os.Args[2:])
 	default:
@@ -80,6 +91,7 @@ func usage() {
   btrblocks inspect    <in.btr>
   btrblocks stats      <in.btr>
   btrblocks trace      -schema int,int64,double,string [-block N] [-format json|tree] [-validate] <in.csv>
+  btrblocks spans      [-format json|tree] [-trace ID] [-min-dur D] [-validate] <spans.json|->
   btrblocks verify     [-json] [-deep] [-parallel N] [-q] <path>...
 `)
 }
@@ -192,6 +204,69 @@ func runTrace(args []string, w io.Writer) error {
 		return enc.Encode(tr)
 	case "tree":
 		tr.RenderTree(w)
+		return nil
+	default:
+		return fmt.Errorf("format must be json or tree")
+	}
+}
+
+func spans(args []string) error { return runSpans(args, os.Stdout) }
+
+// runSpans renders a /v1/spans snapshot (a file, or "-" for stdin — the
+// natural partner of `curl .../v1/spans | btrblocks spans -`) as
+// indented per-trace duration trees or re-emitted JSON, optionally
+// filtered to one trace ID or a minimum duration.
+func runSpans(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	format := fs.String("format", "tree", "output format: json or tree")
+	traceID := fs.String("trace", "", "keep only spans of this trace ID")
+	minDur := fs.Duration("min-dur", 0, "keep only spans at least this long")
+	validate := fs.Bool("validate", false, "validate the span set against the documented schema")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("spans needs <spans.json> (or - for stdin)")
+	}
+	var data []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	var ss obs.SpanSet
+	if err := json.Unmarshal(data, &ss); err != nil {
+		return fmt.Errorf("bad span set: %v", err)
+	}
+	if *validate {
+		if err := ss.Validate(); err != nil {
+			return err
+		}
+	}
+	if *traceID != "" || *minDur > 0 {
+		kept := ss.Spans[:0]
+		for _, s := range ss.Spans {
+			if *traceID != "" && s.TraceID != *traceID {
+				continue
+			}
+			if s.DurationNanos < int64(*minDur) {
+				continue
+			}
+			kept = append(kept, s)
+		}
+		ss.Spans = kept
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ss)
+	case "tree":
+		ss.RenderTree(w)
 		return nil
 	default:
 		return fmt.Errorf("format must be json or tree")

@@ -24,12 +24,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -42,6 +45,7 @@ import (
 	"btrblocks"
 	"btrblocks/internal/blockstore"
 	"btrblocks/internal/ingest"
+	"btrblocks/internal/obs"
 )
 
 func main() {
@@ -56,6 +60,9 @@ func main() {
 		threads    = flag.Int("threads", 0, "compression parallelism (0 = GOMAXPROCS)")
 		notify     = flag.String("notify", "", "btrserved base URL to send cache invalidations to")
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		debugAddr  = flag.String("debug-addr", "", "listen address for pprof + expvar (empty disables)")
+		spanSample = flag.Int("span-sample", 1, "head-sample 1 in N traces (0 disables span recording)")
+		spanSlow   = flag.Duration("span-slow", 250*time.Millisecond, "force-record and warn-log spans at least this slow")
 		verbose    = flag.Bool("v", false, "log requests and flushes to stderr")
 		smoke      = flag.Bool("smoke", false, "self-test: append, kill -9 a child mid-append, restart, verify no acked row lost")
 	)
@@ -89,11 +96,19 @@ func main() {
 		Options:          &btrblocks.Options{Parallelism: *threads},
 		Logger:           logger,
 	}
+	if *spanSample > 0 {
+		cfg.Spans = obs.NewSpanRecorder(obs.SpanRecorderConfig{
+			Process:       "btringest",
+			SampleEvery:   *spanSample,
+			SlowThreshold: *spanSlow,
+			Logger:        logger,
+		})
+	}
 	if *notify != "" {
 		cfg.Invalidator = &remoteInvalidator{cl: blockstore.NewClient(*notify), log: logger}
 	}
 
-	if err := serve(cfg, *addr, *addrFile, logger); err != nil {
+	if err := serve(cfg, *addr, *addrFile, *debugAddr, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "btringest:", err)
 		os.Exit(1)
 	}
@@ -108,16 +123,25 @@ type remoteInvalidator struct {
 }
 
 func (ri *remoteInvalidator) Invalidate(name string) {
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ri.InvalidateContext(context.Background(), name)
+}
+
+// InvalidateContext carries the publishing trace across the process
+// boundary: blockstore.Client injects the context's traceparent and
+// request ID, so the btrserved side of the invalidation shows up in the
+// same trace as the append that caused it.
+func (ri *remoteInvalidator) InvalidateContext(ctx context.Context, name string) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	if _, err := ri.cl.Invalidate(ctx, name); err != nil {
 		ri.log.Warn("invalidate", "file", name, "err", err.Error())
 	}
 }
 
-// serve runs the ingestion server until SIGINT/SIGTERM, then flushes and
-// closes cleanly.
-func serve(cfg ingest.Config, addr, addrFile string, logger *slog.Logger) error {
+// serve runs the ingestion server (and the optional debug server) until
+// SIGINT/SIGTERM, then flushes, closes cleanly, and logs a shutdown
+// summary.
+func serve(cfg ingest.Config, addr, addrFile, debugAddr string, logger *slog.Logger) error {
 	svc, err := ingest.Open(cfg)
 	if err != nil {
 		return err
@@ -144,25 +168,85 @@ func serve(cfg ingest.Config, addr, addrFile string, logger *slog.Logger) error 
 	srv := &http.Server{Handler: ingest.NewHandler(svc)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() { errCh <- srv.Serve(ln) }()
 
+	var debug *http.Server
+	if debugAddr != "" {
+		debug = &http.Server{Addr: debugAddr, Handler: debugMux(svc)}
+		go func() {
+			logger.Info("debug listening", "addr", "http://"+debugAddr,
+				"endpoints", "/debug/pprof/, /debug/vars")
+			if err := debug.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errCh <- err
+			}
+		}()
+	}
+
+	start := time.Now()
 	select {
 	case err := <-errCh:
 		svc.Close()
 		return err
 	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutCtx)
+	if debug != nil {
+		_ = debug.Shutdown(shutCtx)
+	}
 	if err := svc.Close(); err != nil {
 		return err
 	}
+	logSummary(svc, logger, time.Since(start))
 	m := svc.Metrics()
 	fmt.Printf("btringest: shut down: %d appends, %d rows, %d chunks published, %d compactions\n",
 		m.Appends.Load(), m.AppendedRows.Load(), m.Flushes.Load(), m.Compactions.Load())
 	return nil
+}
+
+// debugMux builds the -debug-addr handler: pprof profiles plus expvar
+// with a live btringest section (table stats and span counters), kept
+// off the data listener so profiling access can be firewall scoped
+// separately.
+func debugMux(svc *ingest.Service) *http.ServeMux {
+	expvar.Publish("btringest", expvar.Func(func() any {
+		out := map[string]any{"tables": svc.Stats()}
+		if rec := svc.Spans(); rec.Enabled() {
+			out["spans"] = rec.Stats()
+		}
+		return out
+	}))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// logSummary emits the graceful-shutdown summary: uptime, append and
+// publish totals, WAL sync latency, and span recorder counters.
+func logSummary(svc *ingest.Service, logger *slog.Logger, uptime time.Duration) {
+	m := svc.Metrics()
+	attrs := []any{
+		"uptime", uptime.Round(time.Millisecond).String(),
+		"appends", m.Appends.Load(),
+		"appended_rows", m.AppendedRows.Load(),
+		"chunks_published", m.Flushes.Load(),
+		"published_bytes", m.PublishedBytes.Load(),
+		"compactions", m.Compactions.Load(),
+		"invalidations", m.Invalidations.Load(),
+	}
+	if rec := svc.Spans(); rec.Enabled() {
+		st := rec.Stats()
+		attrs = append(attrs, "spans_recorded", st.Recorded, "spans_evicted", st.Evicted)
+	}
+	logger.Info("summary", attrs...)
 }
 
 // --- smoke test -----------------------------------------------------
@@ -272,13 +356,183 @@ func runSmoke() error {
 	}
 	fmt.Printf("smoke: killed child after %d acked appends; recovery republished all of them (%d rows total, %d unacked in-flight allowed)\n",
 		len(acked), len(got), len(inFlight))
+
+	// Phase 4: cross-process trace continuity — one trace ID must follow
+	// an append through WAL, flush, compress, publish, and the remote
+	// invalidation into a second server's span store.
+	return smokeSpans(self)
+}
+
+// smokeSpans proves end-to-end tracing across the process boundary: the
+// harness (playing btrserved) runs a span-recording blockstore server,
+// spawns a child btringest notifying it, and sends one traced append
+// big enough to trigger a threshold flush. The trace ID minted here
+// must then be retrievable from BOTH processes' span stores with
+// parent/child links intact.
+func smokeSpans(self string) error {
+	dir, err := os.MkdirTemp("", "btringest-spans-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store := filepath.Join(dir, "store")
+	if err := os.MkdirAll(store, 0o755); err != nil {
+		return err
+	}
+
+	// The harness side of the lake: a blockstore server over the same
+	// directory, recording spans, as btrserved would run it. Seed one
+	// column file so the store has something to serve before the child
+	// publishes (it refuses an empty directory).
+	seed, err := btrblocks.CompressColumn(btrblocks.Column{
+		Name: "seed", Type: btrblocks.TypeInt, Ints: []int32{1, 2, 3},
+	}, nil)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(store, "seed.btr"), seed, 0o644); err != nil {
+		return err
+	}
+	bs, err := blockstore.Open(store, blockstore.Config{})
+	if err != nil {
+		return err
+	}
+	defer bs.Close()
+	served := obs.NewSpanRecorder(obs.SpanRecorderConfig{Process: "btrserved"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: blockstore.NewServer(bs, blockstore.WithSpans(served))}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	child, base, err := startChildArgs(self, store, filepath.Join(dir, "addr"),
+		"-notify", "http://"+ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer func() {
+		child.Process.Signal(syscall.SIGTERM)
+		child.Wait()
+	}()
+
+	// One traced append crossing the flush threshold (64 rows per
+	// startChildArgs), so the WAL write, the async flush, and the remote
+	// invalidation all hang off this root span.
+	local := obs.NewSpanRecorder(obs.SpanRecorderConfig{Process: "smoke"})
+	ctx, root := local.StartRoot(context.Background(), "smoke.append")
+	traceID := root.TraceID().String()
+	var lines strings.Builder
+	for v := 0; v < 80; v++ {
+		fmt.Fprintf(&lines, "traced v=%di\n", v)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/write", strings.NewReader(lines.String()))
+	if err != nil {
+		return err
+	}
+	obs.InjectTraceparent(ctx, req.Header)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	root.End()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("traced append: %s", resp.Status)
+	}
+
+	// The flush is asynchronous; poll the child's span store until the
+	// trace contains its invalidate span (the last step of publication).
+	cl := blockstore.NewClient(base)
+	var ingestSet *obs.SpanSet
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ss, err := cl.Spans(context.Background(), traceID, 0)
+		if err != nil {
+			return fmt.Errorf("child /v1/spans: %v", err)
+		}
+		if hasSpan(ss, "invalidate") {
+			ingestSet = ss
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("trace %s never reached invalidation in the child (have %d spans)", traceID, len(ss.Spans))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := ingestSet.Validate(); err != nil {
+		return fmt.Errorf("child span set: %v", err)
+	}
+	byID := make(map[string]obs.SpanRecord, len(ingestSet.Spans))
+	for _, s := range ingestSet.Spans {
+		if s.TraceID != traceID {
+			return fmt.Errorf("child returned span from trace %s, asked for %s", s.TraceID, traceID)
+		}
+		byID[s.SpanID] = s
+	}
+	var serverRoot *obs.SpanRecord
+	for i, s := range ingestSet.Spans {
+		if s.Name == "btringest/v1/write" {
+			serverRoot = &ingestSet.Spans[i]
+		}
+	}
+	if serverRoot == nil {
+		return fmt.Errorf("child recorded no btringest/v1/write span for trace %s", traceID)
+	}
+	if serverRoot.ParentID != root.SpanID().String() {
+		return fmt.Errorf("child server span parent %s, want the harness root %s", serverRoot.ParentID, root.SpanID())
+	}
+	for _, name := range []string{"wal.append", "wal.sync", "ingest.flush", "compress.cascade", "publish.atomic", "invalidate"} {
+		if !hasSpan(ingestSet, name) {
+			return fmt.Errorf("trace %s is missing a %s span in the child", traceID, name)
+		}
+	}
+
+	// The same trace ID must appear in the harness server's span store,
+	// parented under the child's invalidate span.
+	servedSet := served.Snapshot(obs.SpanFilter{TraceID: traceID})
+	if err := servedSet.Validate(); err != nil {
+		return fmt.Errorf("served span set: %v", err)
+	}
+	crossed := false
+	for _, s := range servedSet.Spans {
+		if strings.HasPrefix(s.Name, "btrserved/v1/invalidate") {
+			parent, ok := byID[s.ParentID]
+			if !ok || parent.Name != "invalidate" {
+				return fmt.Errorf("served invalidate span parent %s does not resolve to the child's invalidate span", s.ParentID)
+			}
+			crossed = true
+		}
+	}
+	if !crossed {
+		return fmt.Errorf("trace %s never reached the serving process", traceID)
+	}
+	fmt.Printf("smoke spans: trace %s crossed processes: %d ingest spans, %d served spans, linked parent to child\n",
+		traceID, len(ingestSet.Spans), len(servedSet.Spans))
 	return nil
+}
+
+func hasSpan(ss *obs.SpanSet, name string) bool {
+	for _, s := range ss.Spans {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // startChild spawns `self -dir store` on a free port and waits for the
 // address file.
 func startChild(self, store, addrFile string) (*exec.Cmd, string, error) {
-	cmd := exec.Command(self,
+	return startChildArgs(self, store, addrFile)
+}
+
+// startChildArgs is startChild with extra flags appended (e.g. -notify
+// for the span continuity phase).
+func startChildArgs(self, store, addrFile string, extra ...string) (*exec.Cmd, string, error) {
+	args := []string{
 		"-dir", store,
 		"-addr", "127.0.0.1:0",
 		"-addr-file", addrFile,
@@ -286,7 +540,9 @@ func startChild(self, store, addrFile string) (*exec.Cmd, string, error) {
 		"-flush-interval", "100ms",
 		"-compact-interval", "200ms",
 		"-compact-min-chunks", "3",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(self, args...)
 	cmd.Stdout = io.Discard
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {

@@ -54,6 +54,8 @@ func main() {
 	prefetch := flag.Int("prefetch", 4, "blocks of readahead per request (0 disables)")
 	workers := flag.Int("workers", 2, "readahead worker pool size")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	spanSample := flag.Int("span-sample", 1, "head-sample 1 in N traces (0 disables span recording)")
+	spanSlow := flag.Duration("span-slow", 250*time.Millisecond, "force-record and warn-log spans at least this slow")
 	smoke := flag.Bool("smoke", false, "self-test: serve a generated corpus and verify every endpoint")
 	flag.Parse()
 
@@ -84,7 +86,17 @@ func main() {
 			"rows", f.Rows, "blocks", f.Blocks())
 	}
 
-	if err := serve(store, *addr, *debugAddr, logger); err != nil {
+	var spans *obs.SpanRecorder
+	if *spanSample > 0 {
+		spans = obs.NewSpanRecorder(obs.SpanRecorderConfig{
+			Process:       "btrserved",
+			SampleEvery:   *spanSample,
+			SlowThreshold: *spanSlow,
+			Logger:        logger,
+		})
+	}
+
+	if err := serve(store, *addr, *debugAddr, logger, spans); err != nil {
 		logger.Error("serve", "err", err.Error())
 		os.Exit(1)
 	}
@@ -93,13 +105,13 @@ func main() {
 // serve runs the HTTP server (and the optional debug server) until
 // SIGINT/SIGTERM, then shuts down gracefully and logs a summary of the
 // run. SIGQUIT dumps a telemetry snapshot to the log without exiting.
-func serve(store *blockstore.Store, addr, debugAddr string, logger *slog.Logger) error {
+func serve(store *blockstore.Store, addr, debugAddr string, logger *slog.Logger, spans *obs.SpanRecorder) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	srv := &http.Server{
 		Addr:    addr,
-		Handler: blockstore.NewServer(store, blockstore.WithLogger(logger)),
+		Handler: blockstore.NewServer(store, blockstore.WithLogger(logger), blockstore.WithSpans(spans)),
 	}
 	errCh := make(chan error, 2)
 	go func() {
@@ -287,7 +299,9 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 		return err
 	}
 	logger := obs.NewLogger(os.Stderr, slog.LevelWarn)
-	srv := &http.Server{Handler: blockstore.NewServer(store, blockstore.WithLogger(logger))}
+	spans := obs.NewSpanRecorder(obs.SpanRecorderConfig{Process: "btrserved", Logger: logger})
+	srv := &http.Server{Handler: blockstore.NewServer(store,
+		blockstore.WithLogger(logger), blockstore.WithSpans(spans))}
 	go srv.Serve(ln)
 	defer srv.Close()
 
@@ -339,10 +353,28 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 		"btrserved_decoded_blocks_total",
 		`btrserved_http_requests_total{route="/v1/block"}`,
 		"btrserved_http_request_duration_seconds_bucket",
+		"btrserved_spans_recorded_total",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %s", want)
 		}
+	}
+
+	// Spans: every request above ran under a recorded server span. The
+	// snapshot must validate against the schema and carry roots with
+	// their decode children; the telemetry report must link exemplars.
+	spanSet, err := cl.Spans(ctx, "", 0)
+	if err != nil {
+		return err
+	}
+	if err := spanSet.Validate(); err != nil {
+		return err
+	}
+	if err := checkServerSpans(spanSet); err != nil {
+		return err
+	}
+	if len(rep.SpanExemplars) == 0 {
+		return fmt.Errorf("/v1/telemetry has no span exemplars after traffic")
 	}
 
 	// Decision traces: the re-derived trace must be valid per the schema
@@ -380,6 +412,37 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 
 	fmt.Printf("smoke: %d files, cache hits=%d misses=%d decoded=%d blocks\n",
 		len(columns), rep.Cache.Hits, rep.Cache.Misses, rep.Cache.DecodedBlocks)
+	return nil
+}
+
+// checkServerSpans asserts the smoke traffic produced well-linked
+// spans: a /v1/block server root, and a block.decode child whose parent
+// chain resolves within the same trace.
+func checkServerSpans(ss *obs.SpanSet) error {
+	if len(ss.Spans) == 0 {
+		return fmt.Errorf("/v1/spans is empty after traffic")
+	}
+	byID := make(map[string]obs.SpanRecord, len(ss.Spans))
+	for _, s := range ss.Spans {
+		byID[s.SpanID] = s
+	}
+	var sawRoot, sawDecodeChild bool
+	for _, s := range ss.Spans {
+		if s.Name == "btrserved/v1/block" && s.ParentID == "" {
+			sawRoot = true
+		}
+		if s.Name == "block.decode" {
+			if p, ok := byID[s.ParentID]; ok && p.TraceID == s.TraceID {
+				sawDecodeChild = true
+			}
+		}
+	}
+	if !sawRoot {
+		return fmt.Errorf("no btrserved/v1/block root span recorded")
+	}
+	if !sawDecodeChild {
+		return fmt.Errorf("no block.decode span linked to a recorded parent")
+	}
 	return nil
 }
 

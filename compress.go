@@ -60,11 +60,19 @@ func observerOf(rec *telemetry.Recorder) parallel.Observer {
 // opt.BlockSize values, each carrying its NULL bitmap and compressed data
 // stream. This is the one-file-per-column layout §6.7 uses on S3.
 func CompressColumn(col Column, opt *Options) ([]byte, error) {
+	return CompressColumnContext(context.Background(), col, opt)
+}
+
+// CompressColumnContext is CompressColumn with a caller context: the
+// per-block encode tasks observe cancellation and, when the context
+// carries a tracing span (obs.StartChild), record per-block child spans
+// tagged with worker id and queue wait.
+func CompressColumnContext(ctx context.Context, col Column, opt *Options) ([]byte, error) {
 	ver, err := opt.formatVersionOf()
 	if err != nil {
 		return nil, err
 	}
-	blocks, err := compressColumnBlocks(col, opt)
+	blocks, err := compressColumnBlocks(ctx, col, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +80,7 @@ func CompressColumn(col Column, opt *Options) ([]byte, error) {
 }
 
 // compressColumnBlocks produces the per-block payloads of a column.
-func compressColumnBlocks(col Column, opt *Options) ([][]byte, error) {
+func compressColumnBlocks(ctx context.Context, col Column, opt *Options) ([][]byte, error) {
 	if len(col.Name) > math.MaxUint16 {
 		return nil, fmt.Errorf("btrblocks: column name too long (%d bytes)", len(col.Name))
 	}
@@ -89,7 +97,7 @@ func compressColumnBlocks(col Column, opt *Options) ([][]byte, error) {
 	// Blocks are independent; encode them on the shared pool. Output
 	// lands in per-block slots, so the file bytes are identical at every
 	// worker count.
-	_ = parallel.Observed(context.Background(), numBlocks, parallelism(opt), pathCompressColumn, observerOf(rec), func(b int) error {
+	if err := parallel.Observed(ctx, numBlocks, parallelism(opt), pathCompressColumn, observerOf(rec), func(b int) error {
 		lo := b * bs
 		hi := lo + bs
 		if hi > n {
@@ -97,7 +105,9 @@ func compressColumnBlocks(col Column, opt *Options) ([][]byte, error) {
 		}
 		blocks[b] = compressBlock(&col, b, lo, hi, cfg, rec, tracer)
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return blocks, nil
 }
 
@@ -253,7 +263,16 @@ func assembleColumnFile(col Column, blocks [][]byte, ver byte) []byte {
 // String columns are materialized into an owned Strings vector; use
 // DecompressStringViews for the no-copy path.
 func DecompressColumn(data []byte, opt *Options) (Column, error) {
-	col, views, err := decompressColumn(data, opt)
+	return DecompressColumnContext(context.Background(), data, opt)
+}
+
+// DecompressColumnContext is DecompressColumn with a caller context: the
+// per-block decode tasks observe cancellation and, when the context
+// carries a tracing span, record per-block child spans tagged with
+// worker id and queue wait. With no span in the context the decode path
+// is byte- and allocation-identical to DecompressColumn.
+func DecompressColumnContext(ctx context.Context, data []byte, opt *Options) (Column, error) {
+	col, views, err := decompressColumn(ctx, data, opt)
 	if err != nil {
 		return Column{}, err
 	}
@@ -267,7 +286,7 @@ func DecompressColumn(data []byte, opt *Options) (Column, error) {
 // no-copy view columns (one StringViews per block, pools shared with the
 // block dictionaries).
 func DecompressStringViews(data []byte, opt *Options) ([]coldata.StringViews, *NullMask, error) {
-	col, views, err := decompressColumn(data, opt)
+	col, views, err := decompressColumn(context.Background(), data, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -430,7 +449,7 @@ func assembleColumn(ix *ColumnIndex, results []blockVectors) (Column, []coldata.
 	return col, viewBlocks
 }
 
-func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews, error) {
+func decompressColumn(ctx context.Context, data []byte, opt *Options) (Column, []coldata.StringViews, error) {
 	ix, err := ParseColumnIndex(data)
 	if err != nil {
 		return Column{}, nil, err
@@ -439,7 +458,7 @@ func decompressColumn(data []byte, opt *Options) (Column, []coldata.StringViews,
 	rec := opt.telemetryRecorder()
 	results := make([]blockVectors, len(ix.Blocks))
 	scratches := make([]*core.Scratch, parallel.Workers(parallelism(opt)))
-	err = parallel.ObservedWorkers(context.Background(), len(ix.Blocks), parallelism(opt), pathDecompressColumn, observerOf(rec), func(w, b int) error {
+	err = parallel.ObservedWorkers(ctx, len(ix.Blocks), parallelism(opt), pathDecompressColumn, observerOf(rec), func(w, b int) error {
 		if scratches[w] == nil {
 			scratches[w] = new(core.Scratch)
 		}
@@ -590,6 +609,13 @@ func blockRootScheme(block []byte) Scheme {
 // order means the pool's minimum-index error is exactly the error a
 // column-by-column serial walk would hit first.
 func DecompressChunk(cc *CompressedChunk, opt *Options) (*Chunk, error) {
+	return DecompressChunkContext(context.Background(), cc, opt)
+}
+
+// DecompressChunkContext is DecompressChunk with a caller context: the
+// per-(column, block) decode tasks observe cancellation and, when the
+// context carries a tracing span, record per-block child spans.
+func DecompressChunkContext(ctx context.Context, cc *CompressedChunk, opt *Options) (*Chunk, error) {
 	nCols := len(cc.Columns)
 	ixs := make([]*ColumnIndex, nCols)
 	results := make([][]blockVectors, nCols)
@@ -609,7 +635,7 @@ func DecompressChunk(cc *CompressedChunk, opt *Options) (*Chunk, error) {
 	base := opt.coreConfig()
 	rec := opt.telemetryRecorder()
 	scratches := make([]*core.Scratch, parallel.Workers(parallelism(opt)))
-	err := parallel.ObservedWorkers(context.Background(), len(tasks), parallelism(opt), pathDecompressChunk, observerOf(rec), func(w, i int) error {
+	err := parallel.ObservedWorkers(ctx, len(tasks), parallelism(opt), pathDecompressChunk, observerOf(rec), func(w, i int) error {
 		if scratches[w] == nil {
 			scratches[w] = new(core.Scratch)
 		}

@@ -193,6 +193,9 @@ func (c *Client) getOnce(ctx context.Context, path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Propagate the caller's trace (W3C traceparent) and request ID so the
+	// server's span joins this trace and its logs carry our request ID.
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -262,6 +265,7 @@ func (c *Client) RawRange(ctx context.Context, name string, off, length int64) (
 		return nil, err
 	}
 	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+length-1))
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -354,6 +358,31 @@ func (c *Client) Telemetry(ctx context.Context) (*TelemetryReport, error) {
 	return out, nil
 }
 
+// Spans fetches the server's retained spans, optionally filtered by
+// trace ID and minimum duration (zero values disable each filter).
+func (c *Client) Spans(ctx context.Context, traceID string, minDur time.Duration) (*obs.SpanSet, error) {
+	path := "/v1/spans"
+	q := url.Values{}
+	if traceID != "" {
+		q.Set("trace", traceID)
+	}
+	if minDur > 0 {
+		q.Set("min_dur", minDur.String())
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	body, err := c.get(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	out := &obs.SpanSet{}
+	if err := json.Unmarshal(body, out); err != nil {
+		return nil, fmt.Errorf("blockstore: bad /v1/spans response: %v", err)
+	}
+	return out, nil
+}
+
 // Invalidate tells the server to drop cached state for a file and
 // reload it from its backing directory — called by writers (btringest)
 // after atomically replacing a served file. Not retried: invalidation
@@ -363,6 +392,7 @@ func (c *Client) Invalidate(ctx context.Context, name string) (*InvalidateResult
 	if err != nil {
 		return nil, err
 	}
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err

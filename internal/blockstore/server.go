@@ -38,6 +38,7 @@ type Server struct {
 	handler http.Handler
 	log     *slog.Logger
 	timeout time.Duration
+	spans   *obs.SpanRecorder
 }
 
 // ServerOption configures a Server.
@@ -58,6 +59,18 @@ func WithRequestTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.timeout = d }
 }
 
+// WithSpans installs a span recorder: every request runs under a server
+// span (continuing an inbound W3C traceparent when present), handlers
+// record child spans for cache lookups, block decodes, and per-block
+// scan tasks, and GET /v1/spans serves the retained spans. nil (the
+// default) disables span recording with zero overhead.
+func WithSpans(r *obs.SpanRecorder) ServerOption {
+	return func(s *Server) { s.spans = r }
+}
+
+// Spans returns the server's span recorder (nil when disabled).
+func (s *Server) Spans() *obs.SpanRecorder { return s.spans }
+
 // NewServer wraps a store.
 func NewServer(store *Store, opts ...ServerOption) *Server {
 	s := &Server{store: store, mux: http.NewServeMux()}
@@ -71,6 +84,7 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	s.handle("/v1/count-eq", s.handleCountEq)
 	s.handle("/v1/trace/", s.handleTrace)
 	s.handle("/v1/telemetry", s.handleTelemetry)
+	s.handle("/v1/spans", s.handleSpans)
 	s.handle("/metrics", s.handleMetrics)
 	s.handleWith("/v1/invalidate/", s.handleInvalidate, http.MethodPost)
 	s.handler = s.mux
@@ -116,12 +130,20 @@ func (s *Server) handleWith(route string, h http.HandlerFunc, methods ...string)
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		// An inbound X-Request-ID (e.g. from btringest's invalidation push)
+		// is kept so the originator's ID shows up in this server's logs;
+		// only requests without one mint a fresh ID.
 		rid := r.Header.Get("X-Request-ID")
 		if rid == "" {
 			rid = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", rid)
-		r = r.WithContext(obs.WithRequestID(r.Context(), rid))
+		ctx := obs.WithRequestID(r.Context(), rid)
+		// Continue an inbound trace (W3C traceparent) or start a fresh one;
+		// nil recorder makes both no-ops.
+		ctx, span := s.spans.StartRemote(ctx, "btrserved"+route, r.Header.Get(obs.TraceparentHeader))
+		span.SetAttr("request_id", rid)
+		r = r.WithContext(ctx)
 		m.InFlight.Add(1)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -132,7 +154,10 @@ func (s *Server) handleWith(route string, h http.HandlerFunc, methods ...string)
 		if sw.status/100 != 2 && sw.status != http.StatusPartialContent &&
 			sw.status != http.StatusNotModified {
 			ep.Errors.Add(1)
+			span.SetError(fmt.Errorf("status %d", sw.status))
 		}
+		span.SetAttrInt("status", int64(sw.status))
+		span.End()
 		m.InFlight.Add(-1)
 		if s.log != nil {
 			s.log.Info("request",
@@ -214,8 +239,12 @@ func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	_, read := obs.StartChild(r.Context(), "file.read")
+	read.SetAttr("file", name)
+	read.SetAttrInt("bytes", int64(len(f.Data)))
 	// ServeContent provides Range (206), If-Modified-Since and HEAD.
 	http.ServeContent(w, r, "", s.store.ModTime(), bytes.NewReader(f.Data))
+	read.End()
 }
 
 func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
@@ -230,7 +259,7 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing or bad block parameter", http.StatusBadRequest)
 		return
 	}
-	blk, err := s.store.Block(name, idx)
+	blk, err := s.store.BlockContext(r.Context(), name, idx)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -259,7 +288,7 @@ func (s *Server) handleCountEq(w http.ResponseWriter, r *http.Request) {
 	}
 	value := q.Get("value")
 	start := time.Now()
-	count, typ, err := s.store.CountEqual(name, value)
+	count, typ, err := s.store.CountEqualContext(r.Context(), name, value)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -306,7 +335,35 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		snap.Events = nil // bound the payload; aggregates carry the story
 		report.Telemetry = &snap
 	}
+	if s.spans.Enabled() {
+		report.SpanExemplars = s.spans.Exemplars()
+		st := s.spans.Stats()
+		report.Spans = &st
+	}
 	writeJSON(w, report)
+}
+
+// handleSpans serves GET /v1/spans: the retained spans as a versioned
+// SpanSet, optionally filtered by ?trace=TRACE_ID and ?min_dur=DURATION
+// (a Go duration literal like 5ms). 404 when span recording is off, so
+// operators can tell "disabled" from "nothing recorded".
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if !s.spans.Enabled() {
+		http.Error(w, "span recording disabled", http.StatusNotFound)
+		return
+	}
+	var f obs.SpanFilter
+	q := r.URL.Query()
+	f.TraceID = q.Get("trace")
+	if v := q.Get("min_dur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			http.Error(w, "bad min_dur parameter", http.StatusBadRequest)
+			return
+		}
+		f.MinDuration = d
+	}
+	writeJSON(w, s.spans.Snapshot(f))
 }
 
 // handleInvalidate serves POST /v1/invalidate/NAME: drop cached state
@@ -321,7 +378,10 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing file name", http.StatusBadRequest)
 		return
 	}
+	_, inv := obs.StartChild(r.Context(), "store.invalidate")
+	inv.SetAttr("file", name)
 	s.store.Invalidate(name)
+	inv.End()
 	status := "removed"
 	if s.store.File(name) != nil {
 		status = "reloaded"
@@ -332,4 +392,5 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = s.store.Metrics().WriteTo(w)
+	s.spans.WritePromLines(w, "btrserved")
 }

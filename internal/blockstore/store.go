@@ -15,6 +15,7 @@
 package blockstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"btrblocks"
+	"btrblocks/internal/obs"
 )
 
 // Config tunes a Store.
@@ -358,7 +360,14 @@ func (s *Store) Options() *btrblocks.Options { return s.cfg.Options }
 // Block returns block idx of the named column file, decoding it through
 // the cache, and schedules readahead of the following blocks.
 func (s *Store) Block(name string, idx int) (*Block, error) {
-	blk, err := s.cachedBlock(name, idx)
+	return s.BlockContext(context.Background(), name, idx)
+}
+
+// BlockContext is Block with a caller context: when the context carries
+// a tracing span, the cache lookup (tagged hit/miss) and any resulting
+// block decode record child spans.
+func (s *Store) BlockContext(ctx context.Context, name string, idx int) (*Block, error) {
+	blk, err := s.cachedBlock(ctx, name, idx)
 	if err != nil {
 		return nil, err
 	}
@@ -390,9 +399,9 @@ func IsCorrupt(err error) bool { return errors.Is(err, btrblocks.ErrCorrupt) }
 // cached. Internal — callers retry against the new entry.
 var errStaleLoad = errors.New("blockstore: file replaced during decode")
 
-func (s *Store) cachedBlock(name string, idx int) (*Block, error) {
+func (s *Store) cachedBlock(ctx context.Context, name string, idx int) (*Block, error) {
 	for {
-		blk, err := s.cachedBlockOnce(name, idx)
+		blk, err := s.cachedBlockOnce(ctx, name, idx)
 		if errors.Is(err, errStaleLoad) {
 			continue
 		}
@@ -400,7 +409,7 @@ func (s *Store) cachedBlock(name string, idx int) (*Block, error) {
 	}
 }
 
-func (s *Store) cachedBlockOnce(name string, idx int) (*Block, error) {
+func (s *Store) cachedBlockOnce(ctx context.Context, name string, idx int) (*Block, error) {
 	f := s.File(name)
 	if f == nil {
 		return nil, errNotFound
@@ -415,11 +424,21 @@ func (s *Store) cachedBlockOnce(name string, idx int) (*Block, error) {
 	if err := s.checkQuarantine(key, name, idx); err != nil {
 		return nil, err
 	}
+	_, lookup := obs.StartChild(ctx, "cache.lookup")
+	lookup.SetAttr("file", name)
+	lookup.SetAttrInt("block", int64(idx))
+	loaded := false
 	// The outcome is recorded inside the load closure so that waiters
 	// sharing one singleflight decode don't each count the same failure:
 	// quarantineThreshold counts actual corrupt decodes, not callers.
 	blk, err := s.cache.GetOrLoad(key, func() (*Block, error) {
+		loaded = true
+		_, dec := obs.StartChild(ctx, "block.decode")
+		dec.SetAttr("file", name)
+		dec.SetAttrInt("block", int64(idx))
 		b, err := s.decodeBlock(f, idx)
+		dec.SetError(err)
+		dec.End()
 		s.recordOutcome(key, err)
 		if err == nil && s.File(name) != f {
 			// Invalidate swapped the file entry mid-decode; errors are never
@@ -428,6 +447,14 @@ func (s *Store) cachedBlockOnce(name string, idx int) (*Block, error) {
 		}
 		return b, err
 	})
+	if lookup != nil {
+		if loaded {
+			lookup.SetAttr("result", "miss")
+		} else {
+			lookup.SetAttr("result", "hit")
+		}
+		lookup.End()
+	}
 	return blk, err
 }
 
@@ -545,7 +572,7 @@ func (s *Store) prefetchWorker() {
 			// Readahead decodes through the same cache (and therefore
 			// dedups against foreground requests) but does not itself
 			// schedule further readahead — no cascades.
-			_, _ = s.cachedBlock(t.name, t.block)
+			_, _ = s.cachedBlock(context.Background(), t.name, t.block)
 		}
 	}
 }
@@ -578,7 +605,7 @@ func (s *Store) Trace(name string, idx int) (*btrblocks.DecisionTrace, error) {
 	opt.Trace = tracer
 	out := &btrblocks.DecisionTrace{Version: btrblocks.TraceVersion}
 	for b := first; b <= last; b++ {
-		blk, err := s.cachedBlock(name, b)
+		blk, err := s.cachedBlock(context.Background(), name, b)
 		if err != nil {
 			return nil, err
 		}
@@ -605,6 +632,13 @@ func (s *Store) Trace(name string, idx int) (*btrblocks.DecisionTrace, error) {
 // for int columns, a Go float literal for doubles, and the raw string
 // otherwise. It returns the match count and the column type.
 func (s *Store) CountEqual(name, value string) (int, btrblocks.Type, error) {
+	return s.CountEqualContext(context.Background(), name, value)
+}
+
+// CountEqualContext is CountEqual with a caller context: cancellation
+// reaches the per-block predicate tasks and, when the context carries a
+// tracing span, each block evaluation records a child span.
+func (s *Store) CountEqualContext(ctx context.Context, name, value string) (int, btrblocks.Type, error) {
 	f := s.File(name)
 	if f == nil {
 		return 0, 0, errNotFound
@@ -619,24 +653,24 @@ func (s *Store) CountEqual(name, value string) (int, btrblocks.Type, error) {
 		if err != nil {
 			return 0, f.Index.Type, fmt.Errorf("blockstore: bad int32 probe %q: %v", value, err)
 		}
-		n, err := f.Index.CountEqualInt32(f.Data, int32(v), opt)
+		n, err := f.Index.CountEqualInt32Context(ctx, f.Data, int32(v), opt)
 		return n, f.Index.Type, err
 	case btrblocks.TypeInt64:
 		v, err := strconv.ParseInt(value, 10, 64)
 		if err != nil {
 			return 0, f.Index.Type, fmt.Errorf("blockstore: bad int64 probe %q: %v", value, err)
 		}
-		n, err := f.Index.CountEqualInt64(f.Data, v, opt)
+		n, err := f.Index.CountEqualInt64Context(ctx, f.Data, v, opt)
 		return n, f.Index.Type, err
 	case btrblocks.TypeDouble:
 		v, err := strconv.ParseFloat(value, 64)
 		if err != nil {
 			return 0, f.Index.Type, fmt.Errorf("blockstore: bad double probe %q: %v", value, err)
 		}
-		n, err := f.Index.CountEqualDouble(f.Data, v, opt)
+		n, err := f.Index.CountEqualDoubleContext(ctx, f.Data, v, opt)
 		return n, f.Index.Type, err
 	default:
-		n, err := f.Index.CountEqualString(f.Data, value, opt)
+		n, err := f.Index.CountEqualStringContext(ctx, f.Data, value, opt)
 		return n, f.Index.Type, err
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"btrblocks"
 	"btrblocks/coldata"
+	"btrblocks/internal/obs"
 )
 
 // This file defines the wire representations shared by Server and
@@ -100,6 +101,14 @@ type TelemetryReport struct {
 	Cache     CacheStats                   `json:"cache"`
 	Endpoints []EndpointSnapshot           `json:"endpoints,omitempty"`
 	Telemetry *btrblocks.TelemetrySnapshot `json:"telemetry,omitempty"`
+	// SpanExemplars links each root span name to its slowest recorded
+	// trace ID — the jump from a latency histogram to the one concrete
+	// trace that explains its tail. Present only when span recording is
+	// enabled on the server.
+	SpanExemplars []obs.Exemplar `json:"span_exemplars,omitempty"`
+	// Spans carries the recorder's cumulative counters when span
+	// recording is enabled.
+	Spans *obs.SpanStats `json:"spans,omitempty"`
 }
 
 // BlockValues is the client-side decoded form of a block, whichever wire

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -112,7 +113,7 @@ func (s *Service) CompactTable(table string) (bool, error) {
 			table, merged.NumRows(), rows)
 	}
 
-	out, err := s.publishChunk(table, &merged, chunkInfo{
+	out, err := s.publishChunk(context.Background(), table, &merged, chunkInfo{
 		Seq:    inputs[len(inputs)-1].Seq,
 		MinSeq: inputs[0].MinSeq,
 		Level:  1,
@@ -144,7 +145,7 @@ func (s *Service) CompactTable(table string) (bool, error) {
 
 	// The output is committed; the inputs are now redundant copies.
 	for i := range inputs {
-		s.removeChunk(table, &inputs[i])
+		s.removeChunk(context.Background(), table, &inputs[i])
 	}
 
 	s.met.Compactions.Add(1)

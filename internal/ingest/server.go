@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"btrblocks"
+	"btrblocks/internal/obs"
 )
 
 // maxBodyBytes bounds an append request body.
@@ -35,6 +36,7 @@ func (s *Service) Schema(table string) ([]btrblocks.Column, bool) {
 //	POST /v1/flush           flush all buffers (or /v1/flush/{table})
 //	POST /v1/compact         run compaction now
 //	GET  /v1/stats           same as GET /v1/tables
+//	GET  /v1/spans           retained spans (when recording is enabled)
 //	GET  /healthz            liveness
 //	GET  /metrics            Prometheus text
 func NewHandler(svc *Service) http.Handler {
@@ -48,6 +50,7 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v1/flush", h.route("/v1/flush", h.flushAll))
 	mux.HandleFunc("POST /v1/flush/{table}", h.route("/v1/flush", h.flushTable))
 	mux.HandleFunc("POST /v1/compact", h.route("/v1/compact", h.compact))
+	mux.HandleFunc("GET /v1/spans", h.route("/v1/spans", h.spans))
 	mux.HandleFunc("GET /healthz", h.route("/healthz", h.healthz))
 	mux.HandleFunc("GET /metrics", h.route("/metrics", h.metrics))
 	return mux
@@ -65,15 +68,26 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.err.Error() }
 
-// route wraps a handler with metrics and uniform error rendering.
+// route wraps a handler with metrics, tracing, and uniform error
+// rendering. The root span continues an inbound traceparent when the
+// caller sent one; the inbound X-Request-ID is reused rather than
+// re-minted so logs on both sides of the process boundary share one ID.
 func (h *handler) route(name string, fn func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		rm := h.svc.met.Route(name)
 		rm.Requests.Add(1)
 		start := time.Now()
-		err := fn(w, r)
+		rid := r.Header.Get(obs.RequestIDHeader)
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), rid)
+		ctx, span := h.svc.Spans().StartRemote(ctx, "btringest"+name, r.Header.Get(obs.TraceparentHeader))
+		span.SetAttr("request_id", rid)
+		err := fn(w, r.WithContext(ctx))
 		rm.Latency.Observe(time.Since(start))
 		if err == nil {
+			span.End()
 			return
 		}
 		rm.Errors.Add(1)
@@ -88,6 +102,9 @@ func (h *handler) route(name string, fn func(w http.ResponseWriter, r *http.Requ
 		case isUnknownTable(err):
 			status = http.StatusNotFound
 		}
+		span.SetAttrInt("status", int64(status))
+		span.SetError(err)
+		span.End()
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
@@ -128,7 +145,7 @@ func (h *handler) appendJSON(w http.ResponseWriter, r *http.Request) error {
 	if len(req.Rows) == 0 {
 		return ErrEmptyBatch
 	}
-	return h.appendRows(w, req.Table, req.Rows)
+	return h.appendRows(w, r, req.Table, req.Rows)
 }
 
 func (h *handler) appendLines(w http.ResponseWriter, r *http.Request) error {
@@ -143,12 +160,12 @@ func (h *handler) appendLines(w http.ResponseWriter, r *http.Request) error {
 		}
 		return &httpError{http.StatusBadRequest, err}
 	}
-	return h.appendRows(w, table, rows)
+	return h.appendRows(w, r, table, rows)
 }
 
 // appendRows resolves the schema (registered, or inferred on first
 // contact), builds the columnar batch, and hands it to the service.
-func (h *handler) appendRows(w http.ResponseWriter, table string, rows []map[string]json.RawMessage) error {
+func (h *handler) appendRows(w http.ResponseWriter, r *http.Request, table string, rows []map[string]json.RawMessage) error {
 	if !validName(table) {
 		return fmt.Errorf("%w: table %q", ErrBadName, table)
 	}
@@ -164,7 +181,7 @@ func (h *handler) appendRows(w http.ResponseWriter, table string, rows []map[str
 	if err != nil {
 		return err
 	}
-	seq, err := h.svc.Append(table, &chunk)
+	seq, err := h.svc.AppendContext(r.Context(), table, &chunk)
 	if err != nil {
 		return err
 	}
@@ -196,7 +213,7 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (h *handler) flushAll(w http.ResponseWriter, r *http.Request) error {
-	if err := h.svc.FlushAll(); err != nil {
+	if err := h.svc.FlushAllContext(r.Context()); err != nil {
 		return err
 	}
 	return writeJSON(w, map[string]string{"status": "flushed"})
@@ -204,7 +221,7 @@ func (h *handler) flushAll(w http.ResponseWriter, r *http.Request) error {
 
 func (h *handler) flushTable(w http.ResponseWriter, r *http.Request) error {
 	table := strings.TrimSpace(r.PathValue("table"))
-	if err := h.svc.FlushTable(table); err != nil {
+	if err := h.svc.FlushTableContext(r.Context(), table); err != nil {
 		return err
 	}
 	return writeJSON(w, map[string]string{"status": "flushed", "table": table})
@@ -217,6 +234,28 @@ func (h *handler) compact(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, map[string]string{"status": "compacted"})
 }
 
+// spans serves GET /v1/spans: the retained spans as a versioned
+// SpanSet, optionally filtered by ?trace=TRACE_ID and ?min_dur=DURATION
+// (a Go duration literal like 5ms). 404 when span recording is off, so
+// operators can tell "disabled" from "nothing recorded".
+func (h *handler) spans(w http.ResponseWriter, r *http.Request) error {
+	rec := h.svc.Spans()
+	if !rec.Enabled() {
+		return &httpError{http.StatusNotFound, errors.New("span recording disabled")}
+	}
+	var f obs.SpanFilter
+	q := r.URL.Query()
+	f.TraceID = q.Get("trace")
+	if v := q.Get("min_dur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return &httpError{http.StatusBadRequest, fmt.Errorf("bad min_dur parameter %q", v)}
+		}
+		f.MinDuration = d
+	}
+	return writeJSON(w, rec.Snapshot(f))
+}
+
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, err := io.WriteString(w, "ok\n")
@@ -225,6 +264,11 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) error {
 
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, err := h.svc.met.WriteTo(w)
-	return err
+	if _, err := h.svc.met.WriteTo(w); err != nil {
+		return err
+	}
+	if rec := h.svc.Spans(); rec.Enabled() {
+		rec.WritePromLines(w, "btringest")
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"btrblocks"
+	"btrblocks/internal/obs"
 )
 
 // Invalidator receives the store-relative name of every file the service
@@ -22,6 +24,15 @@ import (
 // it.
 type Invalidator interface {
 	Invalidate(name string)
+}
+
+// ContextInvalidator is an Invalidator that accepts the publishing
+// request's context, so a remote invalidator (an HTTP client pushing to
+// btrserved) can propagate the trace and request ID across the process
+// boundary. The service type-asserts for it and falls back to
+// Invalidate when it is not implemented.
+type ContextInvalidator interface {
+	InvalidateContext(ctx context.Context, name string)
 }
 
 // Config tunes a Service.
@@ -63,6 +74,11 @@ type Config struct {
 	Metrics *Metrics
 	// Logger receives structured logs (default: discard).
 	Logger *slog.Logger
+	// Spans, when non-nil, records spans for the ingest pipeline: WAL
+	// append, group-commit sync, flush, cascade compression, atomic
+	// publication, and invalidation all become children of whatever span
+	// is in the caller's context (usually the HTTP handler's root span).
+	Spans *obs.SpanRecorder
 }
 
 func (c *Config) chunkRows() int {
@@ -177,9 +193,18 @@ type Service struct {
 	// segments that still back them.
 	publishing int
 
-	flushCh chan string // threshold-triggered flush requests
+	flushCh chan flushRequest // threshold-triggered flush requests
 	stop    chan struct{}
 	wg      sync.WaitGroup
+}
+
+// flushRequest carries a threshold-triggered flush to the flusher loop
+// together with the appending request's (uncancellable) context, so the
+// asynchronous flush — compression, publication, invalidation — shows
+// up in the same trace as the append that tripped the threshold.
+type flushRequest struct {
+	table string
+	ctx   context.Context
 }
 
 // Open recovers the service from dir: committed chunks are indexed (and
@@ -212,7 +237,7 @@ func Open(cfg Config) (*Service, error) {
 		met:     met,
 		log:     logger,
 		tables:  make(map[string]*tableState),
-		flushCh: make(chan string, 64),
+		flushCh: make(chan flushRequest, 64),
 		stop:    make(chan struct{}),
 	}
 	if err := s.recoverPublished(); err != nil {
@@ -250,6 +275,9 @@ func Open(cfg Config) (*Service, error) {
 
 // Metrics returns the service's counters.
 func (s *Service) Metrics() *Metrics { return s.met }
+
+// Spans returns the service's span recorder (nil when disabled).
+func (s *Service) Spans() *obs.SpanRecorder { return s.cfg.Spans }
 
 // Dir returns the store directory the service publishes into.
 func (s *Service) Dir() string { return s.dir }
@@ -316,7 +344,7 @@ func (s *Service) recoverTable(table string) error {
 			if _, ok := committed[base]; !ok {
 				os.Remove(filepath.Join(tdir, name))
 				s.met.UncommittedDrop.Add(1)
-				s.invalidate(table + "/" + name)
+				s.invalidate(context.Background(), table+"/"+name)
 			}
 		}
 	}
@@ -355,7 +383,7 @@ func (s *Service) recoverTable(table string) error {
 			s.log.Warn("removing superseded chunk left by interrupted compaction",
 				"table", table, "chunk", info.base())
 			s.met.SupersededChunks.Add(1)
-			s.removeChunk(table, &info)
+			s.removeChunk(context.Background(), table, &info)
 			continue
 		}
 		keep = append(keep, info)
@@ -480,6 +508,14 @@ func (s *Service) CreateTable(table string, specs []ColumnSpec) error {
 // The first append to an unknown table registers the batch's schema as
 // the table's schema.
 func (s *Service) Append(table string, chunk *btrblocks.Chunk) (seq uint64, err error) {
+	return s.AppendContext(context.Background(), table, chunk)
+}
+
+// AppendContext is Append with a caller context. When the context
+// carries a span, the WAL framing and the group-commit fsync wait are
+// recorded as children, and a threshold-triggered flush joins the same
+// trace.
+func (s *Service) AppendContext(ctx context.Context, table string, chunk *btrblocks.Chunk) (seq uint64, err error) {
 	start := time.Now()
 	defer func() {
 		if err != nil {
@@ -524,7 +560,12 @@ func (s *Service) Append(table string, chunk *btrblocks.Chunk) (seq uint64, err 
 	// holds records in sequence order — a flushed buffer is always a
 	// contiguous range of the table's WAL records, which is what lets
 	// replay skip by comparing against the published high-water mark.
+	_, wsp := obs.StartChild(ctx, "wal.append")
+	wsp.SetAttr("table", table)
+	wsp.SetAttrInt("rows", int64(rows))
 	seq, off, gen, werr := s.wal.append(table, chunk)
+	wsp.SetError(werr)
+	wsp.End()
 	if werr != nil {
 		s.mu.Unlock()
 		return 0, werr
@@ -537,15 +578,23 @@ func (s *Service) Append(table string, chunk *btrblocks.Chunk) (seq uint64, err 
 	needFlush := ts.bufRows() >= s.cfg.chunkRows()
 	s.mu.Unlock()
 
+	// wal.sync covers the whole group-commit protocol: the wait to become
+	// (or ride on) the sync winner plus the fsync itself.
 	syncStart := time.Now()
-	if err := s.wal.syncTo(off, gen); err != nil {
-		return 0, err
+	_, ssp := obs.StartChild(ctx, "wal.sync")
+	serr := s.wal.syncTo(off, gen)
+	ssp.SetError(serr)
+	ssp.End()
+	if serr != nil {
+		return 0, serr
 	}
 	s.met.WALSyncLatency.Observe(time.Since(syncStart))
 
 	if needFlush {
 		select {
-		case s.flushCh <- table:
+		// WithoutCancel: the flush outlives the HTTP request whose context
+		// this is; it must keep the trace linkage but not the cancellation.
+		case s.flushCh <- flushRequest{table: table, ctx: context.WithoutCancel(ctx)}:
 		default: // a flush is already queued; the flusher drains the backlog
 		}
 	}
@@ -566,9 +615,9 @@ func (s *Service) flusherLoop() {
 		select {
 		case <-s.stop:
 			return
-		case table := <-s.flushCh:
-			if err := s.FlushTable(table); err != nil {
-				s.log.Error("flush", "table", table, "err", err.Error())
+		case req := <-s.flushCh:
+			if err := s.FlushTableContext(req.ctx, req.table); err != nil {
+				s.log.Error("flush", "table", req.table, "err", err.Error())
 			}
 		case <-tick:
 			if err := s.FlushAll(); err != nil {
@@ -580,6 +629,11 @@ func (s *Service) flusherLoop() {
 
 // FlushAll publishes every non-empty buffer.
 func (s *Service) FlushAll() error {
+	return s.FlushAllContext(context.Background())
+}
+
+// FlushAllContext is FlushAll with a caller context for tracing.
+func (s *Service) FlushAllContext(ctx context.Context) error {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.tables))
 	for name := range s.tables {
@@ -589,7 +643,7 @@ func (s *Service) FlushAll() error {
 	sort.Strings(names)
 	var firstErr error
 	for _, name := range names {
-		if err := s.FlushTable(name); err != nil && firstErr == nil {
+		if err := s.FlushTableContext(ctx, name); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -601,12 +655,26 @@ func (s *Service) FlushAll() error {
 // empty buffer is a no-op. On publish failure the rows return to the
 // buffer and the next flush retries.
 func (s *Service) FlushTable(table string) error {
+	return s.FlushTableContext(context.Background(), table)
+}
+
+// FlushTableContext is FlushTable with a caller context. When the
+// context carries a span, the flush and everything under it — cascade
+// compression, atomic publication, invalidation — are recorded as
+// children.
+func (s *Service) FlushTableContext(ctx context.Context, table string) (err error) {
 	s.mu.Lock()
 	ts := s.tables[table]
 	s.mu.Unlock()
 	if ts == nil {
 		return fmt.Errorf("ingest: unknown table %q", table)
 	}
+	ctx, fsp := obs.StartChild(ctx, "ingest.flush")
+	fsp.SetAttr("table", table)
+	defer func() {
+		fsp.SetError(err)
+		fsp.End()
+	}()
 	ts.flushMu.Lock()
 	defer ts.flushMu.Unlock()
 
@@ -623,8 +691,9 @@ func (s *Service) FlushTable(table string) error {
 	s.publishing++
 	s.mu.Unlock()
 
+	fsp.SetAttrInt("rows", int64(rows))
 	start := time.Now()
-	info, err := s.publishChunk(table, &chunk, chunkInfo{Seq: maxSeq, MinSeq: minSeq, Level: 0, Rows: rows})
+	info, err := s.publishChunk(ctx, table, &chunk, chunkInfo{Seq: maxSeq, MinSeq: minSeq, Level: 0, Rows: rows})
 	if err != nil {
 		// Put the rows back in front of whatever arrived meanwhile so the
 		// buffer stays in sequence order.
@@ -682,7 +751,7 @@ func (s *Service) FlushTable(table string) error {
 // renamed; the commit marker goes last. A crash anywhere in between
 // leaves either an invisible chunk (no marker — startup removes the
 // fragments and the WAL re-publishes) or a complete one.
-func (s *Service) publishChunk(table string, chunk *btrblocks.Chunk, proto chunkInfo) (*chunkInfo, error) {
+func (s *Service) publishChunk(ctx context.Context, table string, chunk *btrblocks.Chunk, proto chunkInfo) (*chunkInfo, error) {
 	tdir := filepath.Join(s.dir, table)
 	if err := os.MkdirAll(tdir, 0o755); err != nil {
 		return nil, err
@@ -698,13 +767,27 @@ func (s *Service) publishChunk(table string, chunk *btrblocks.Chunk, proto chunk
 	}
 	for i := range chunk.Columns {
 		col := &chunk.Columns[i]
-		data, err := btrblocks.CompressColumn(*col, s.compressOptions(info.Level))
+		cctx, csp := obs.StartChild(ctx, "compress.cascade")
+		csp.SetAttr("column", col.Name)
+		csp.SetAttrInt("rows", int64(col.Len()))
+		data, err := btrblocks.CompressColumnContext(cctx, *col, s.compressOptions(info.Level))
+		csp.SetError(err)
+		if err == nil {
+			csp.SetAttrInt("bytes", int64(len(data)))
+		}
+		csp.End()
 		if err != nil {
 			return nil, fmt.Errorf("compress %s/%s: %w", table, col.Name, err)
 		}
 		name := fmt.Sprintf("%s.%s.btr", base, col.Name)
-		if err := writeFileAtomic(filepath.Join(tdir, name), data); err != nil {
-			return nil, err
+		_, psp := obs.StartChild(ctx, "publish.atomic")
+		psp.SetAttr("file", table+"/"+name)
+		psp.SetAttrInt("bytes", int64(len(data)))
+		werr := writeFileAtomic(filepath.Join(tdir, name), data)
+		psp.SetError(werr)
+		psp.End()
+		if werr != nil {
+			return nil, werr
 		}
 		info.Files = append(info.Files, name)
 		info.Bytes += int64(len(data))
@@ -713,16 +796,22 @@ func (s *Service) publishChunk(table string, chunk *btrblocks.Chunk, proto chunk
 		})
 		s.met.PublishedFiles.Add(1)
 		s.met.PublishedBytes.Add(int64(len(data)))
-		s.invalidate(table + "/" + name)
+		s.invalidate(ctx, table+"/"+name)
 	}
 	mdata, err := json.MarshalIndent(&marker, "", "  ")
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFileAtomic(filepath.Join(tdir, base+".commit"), mdata); err != nil {
+	_, msp := obs.StartChild(ctx, "publish.atomic")
+	msp.SetAttr("file", table+"/"+base+".commit")
+	msp.SetAttrInt("bytes", int64(len(mdata)))
+	err = writeFileAtomic(filepath.Join(tdir, base+".commit"), mdata)
+	msp.SetError(err)
+	msp.End()
+	if err != nil {
 		return nil, err
 	}
-	s.invalidate(table + "/" + base + ".commit")
+	s.invalidate(ctx, table+"/"+base+".commit")
 	return &info, nil
 }
 
@@ -743,22 +832,30 @@ func (s *Service) compressOptions(level int) *btrblocks.Options {
 // removeChunk deletes a chunk from disk, marker first: the moment the
 // marker is gone the chunk no longer exists as far as recovery is
 // concerned, so leftover column files are mere garbage, not data.
-func (s *Service) removeChunk(table string, info *chunkInfo) {
+func (s *Service) removeChunk(ctx context.Context, table string, info *chunkInfo) {
 	tdir := filepath.Join(s.dir, table)
 	os.Remove(filepath.Join(tdir, info.base()+".commit"))
-	s.invalidate(table + "/" + info.base() + ".commit")
+	s.invalidate(ctx, table+"/"+info.base()+".commit")
 	for _, f := range info.Files {
 		os.Remove(filepath.Join(tdir, f))
-		s.invalidate(table + "/" + f)
+		s.invalidate(ctx, table+"/"+f)
 	}
 	syncDir(tdir)
 }
 
-func (s *Service) invalidate(name string) {
-	if s.cfg.Invalidator != nil {
-		s.cfg.Invalidator.Invalidate(name)
-		s.met.Invalidations.Add(1)
+func (s *Service) invalidate(ctx context.Context, name string) {
+	if s.cfg.Invalidator == nil {
+		return
 	}
+	ictx, sp := obs.StartChild(ctx, "invalidate")
+	sp.SetAttr("file", name)
+	if ci, ok := s.cfg.Invalidator.(ContextInvalidator); ok {
+		ci.InvalidateContext(ictx, name)
+	} else {
+		s.cfg.Invalidator.Invalidate(name)
+	}
+	sp.End()
+	s.met.Invalidations.Add(1)
 }
 
 // writeFileAtomic writes data to path via a temp file in the same

@@ -23,6 +23,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"btrblocks/internal/obs"
 )
 
 // Task is one unit of work, addressed by its index in [0, n).
@@ -92,7 +94,7 @@ func ObservedWorkers(ctx context.Context, n, workers int, path string, o Observe
 			if err := ctxErr(ctx); err != nil {
 				return err
 			}
-			if err := fn(0, i); err != nil {
+			if err := spannedTask(ctx, path, 0, i, -1, fn); err != nil {
 				return err
 			}
 		}
@@ -143,10 +145,11 @@ func ObservedWorkers(ctx context.Context, n, workers int, path string, o Observe
 				i := next
 				next++
 				mu.Unlock()
+				wait := time.Since(start)
 				if o != nil && path != "" {
-					o.ObserveQueueWait(path, time.Since(start))
+					o.ObserveQueueWait(path, wait)
 				}
-				if err := fn(worker, i); err != nil {
+				if err := spannedTask(ctx, path, worker, i, wait, fn); err != nil {
 					mu.Lock()
 					if minIdx < 0 || i < minIdx {
 						minIdx, minErr = i, err
@@ -163,6 +166,27 @@ func ObservedWorkers(ctx context.Context, n, workers int, path string, o Observe
 		return minErr
 	}
 	return ctxErr(ctx)
+}
+
+// spannedTask runs one task, wrapped in a per-task child span tagged
+// with worker id, task index, and queue wait when the context carries a
+// span. With no span in the context (the common case) this adds only a
+// context value lookup and zero allocations — the decode hot path's
+// AllocsPerRun pin depends on that.
+func spannedTask(ctx context.Context, path string, worker, i int, wait time.Duration, fn WorkerTask) error {
+	if ctx == nil || path == "" || obs.SpanFromContext(ctx) == nil {
+		return fn(worker, i)
+	}
+	_, sp := obs.StartChild(ctx, path+".task")
+	sp.SetAttrInt("worker", int64(worker))
+	sp.SetAttrInt("index", int64(i))
+	if wait >= 0 {
+		sp.SetAttrInt("queue_wait_ns", int64(wait))
+	}
+	err := fn(worker, i)
+	sp.SetError(err)
+	sp.End()
+	return err
 }
 
 func ctxErr(ctx context.Context) error {

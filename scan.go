@@ -148,26 +148,49 @@ func CountEqualString(data []byte, v string, opt *Options) (int, error) {
 // file framing on every predicate. data must be the buffer the index was
 // parsed from.
 func (ix *ColumnIndex) CountEqualInt32(data []byte, v int32, opt *Options) (int, error) {
+	return ix.CountEqualInt32Context(context.Background(), data, v, opt)
+}
+
+// CountEqualInt32Context is CountEqualInt32 with a caller context: the
+// per-block predicate tasks observe cancellation and, when the context
+// carries a tracing span, record per-block child spans tagged with
+// worker id and queue wait.
+func (ix *ColumnIndex) CountEqualInt32Context(ctx context.Context, data []byte, v int32, opt *Options) (int, error) {
 	fast, slow := int32Preds(v)
-	return countEqualIndexed(ix, data, opt, TypeInt, fast, slow)
+	return countEqualIndexed(ctx, ix, data, opt, TypeInt, fast, slow)
 }
 
 // CountEqualInt64 is CountEqualInt64 on an already-parsed index.
 func (ix *ColumnIndex) CountEqualInt64(data []byte, v int64, opt *Options) (int, error) {
+	return ix.CountEqualInt64Context(context.Background(), data, v, opt)
+}
+
+// CountEqualInt64Context is CountEqualInt64 with a caller context.
+func (ix *ColumnIndex) CountEqualInt64Context(ctx context.Context, data []byte, v int64, opt *Options) (int, error) {
 	fast, slow := int64Preds(v)
-	return countEqualIndexed(ix, data, opt, TypeInt64, fast, slow)
+	return countEqualIndexed(ctx, ix, data, opt, TypeInt64, fast, slow)
 }
 
 // CountEqualDouble is CountEqualDouble on an already-parsed index.
 func (ix *ColumnIndex) CountEqualDouble(data []byte, v float64, opt *Options) (int, error) {
+	return ix.CountEqualDoubleContext(context.Background(), data, v, opt)
+}
+
+// CountEqualDoubleContext is CountEqualDouble with a caller context.
+func (ix *ColumnIndex) CountEqualDoubleContext(ctx context.Context, data []byte, v float64, opt *Options) (int, error) {
 	fast, slow := doublePreds(v)
-	return countEqualIndexed(ix, data, opt, TypeDouble, fast, slow)
+	return countEqualIndexed(ctx, ix, data, opt, TypeDouble, fast, slow)
 }
 
 // CountEqualString is CountEqualString on an already-parsed index.
 func (ix *ColumnIndex) CountEqualString(data []byte, v string, opt *Options) (int, error) {
+	return ix.CountEqualStringContext(context.Background(), data, v, opt)
+}
+
+// CountEqualStringContext is CountEqualString with a caller context.
+func (ix *ColumnIndex) CountEqualStringContext(ctx context.Context, data []byte, v string, opt *Options) (int, error) {
 	fast, slow := stringPreds(v)
-	return countEqualIndexed(ix, data, opt, TypeString, fast, slow)
+	return countEqualIndexed(ctx, ix, data, opt, TypeString, fast, slow)
 }
 
 // countEqualIndexed evaluates an equality predicate over a column's
@@ -181,6 +204,7 @@ func (ix *ColumnIndex) CountEqualString(data []byte, v string, opt *Options) (in
 // compressed representation. Per-block counts land in ordered slots and
 // are summed in block order.
 func countEqualIndexed(
+	ctx context.Context,
 	ix *ColumnIndex,
 	data []byte,
 	opt *Options,
@@ -194,7 +218,7 @@ func countEqualIndexed(
 	base := opt.coreConfig()
 	rec := opt.telemetryRecorder()
 	counts := make([]int, len(ix.Blocks))
-	err := parallel.Observed(context.Background(), len(ix.Blocks), parallelism(opt), pathScan, observerOf(rec), func(b int) error {
+	err := parallel.Observed(ctx, len(ix.Blocks), parallelism(opt), pathScan, observerOf(rec), func(b int) error {
 		ref := ix.Blocks[b]
 		if ref.End() > len(data) {
 			return ErrTruncatedFile
