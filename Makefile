@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-smoke bench-baseline bench-compare ci serve-smoke trace-smoke ingest-smoke ingest-bench spans-smoke chaos fuzz-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke bench-baseline bench-compare ci serve-smoke trace-smoke ingest-smoke ingest-bench spans-smoke cluster-smoke chaos fuzz-smoke
 
 all: build
 
@@ -36,6 +36,16 @@ serve-smoke:
 # published chunks decode to exactly the acknowledged rows.
 ingest-smoke:
 	$(GO) run ./cmd/btringest -smoke
+
+# cluster-smoke is the replicated-serving chaos gate: btrrouted places a
+# generated corpus over three child node processes with R=2, verifies
+# every file scans bit-correct through the router, flips a byte on one
+# replica (scans must stay correct while the repair loop heals it),
+# SIGKILLs a node mid-scan (scans must keep completing off the
+# survivors), and proves hedged requests fire and win against a
+# latency-skewed replica — all visible in /metrics and /v1/spans.
+cluster-smoke:
+	$(GO) run ./cmd/btrrouted -smoke
 
 # spans-smoke is the end-to-end tracing gate: both server smokes assert
 # their /v1/spans endpoints. btrserved validates its recorded server
@@ -85,7 +95,7 @@ fuzz-smoke:
 # the end-to-end smoke tests. ci.sh splits the same steps into a fast
 # tier 1 (fmt, build, test, race) and a deep tier 2 (vet, fuzz smoke,
 # chaos gate, smokes).
-check: fmt vet build test race chaos fuzz-smoke serve-smoke trace-smoke ingest-smoke
+check: fmt vet build test race chaos fuzz-smoke serve-smoke trace-smoke ingest-smoke cluster-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

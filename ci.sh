@@ -40,6 +40,13 @@ run_tier1() {
 	# asserts /v1/spans continuity on both sides. btrserved's smoke
 	# validates its own span store and exemplar links the same way.
 	make spans-smoke
+
+	echo "== cluster smoke =="
+	# Replicated serving: btrrouted scatter-gathers a 3-node cluster
+	# (R=2), a byte-flipped replica must fail over and heal via
+	# cross-replica repair, a SIGKILLed node must not fail any in-flight
+	# scan, and hedged requests must beat a latency-skewed replica.
+	make cluster-smoke
 }
 
 run_tier2() {

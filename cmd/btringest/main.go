@@ -15,9 +15,11 @@
 // appends through HTTP, kills the child with SIGKILL mid-append,
 // restarts it, and verifies every acknowledged row survived.
 //
-// With -notify URL, each published or replaced file is reported to a
-// running btrserved instance via POST /v1/invalidate/ so its block cache
-// never serves stale bytes.
+// With -notify URL[,URL...], each published or replaced file is
+// reported to every listed btrserved (or btrrouted) endpoint via
+// POST /v1/invalidate/ so no block cache serves stale bytes — a
+// replicated cluster lists one endpoint per replica (or the router,
+// which fans the invalidation out to the file's replicas itself).
 package main
 
 import (
@@ -39,6 +41,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -58,7 +61,7 @@ func main() {
 		compactIvl = flag.Duration("compact-interval", 5*time.Second, "background compaction period")
 		compactMin = flag.Int("compact-min-chunks", 4, "small chunks that trigger compaction (<0 disables)")
 		threads    = flag.Int("threads", 0, "compression parallelism (0 = GOMAXPROCS)")
-		notify     = flag.String("notify", "", "btrserved base URL to send cache invalidations to")
+		notify     = flag.String("notify", "", "comma-separated btrserved/btrrouted base URLs to send cache invalidations to")
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
 		debugAddr  = flag.String("debug-addr", "", "listen address for pprof + expvar (empty disables)")
 		spanSample = flag.Int("span-sample", 1, "head-sample 1 in N traces (0 disables span recording)")
@@ -105,7 +108,7 @@ func main() {
 		})
 	}
 	if *notify != "" {
-		cfg.Invalidator = &remoteInvalidator{cl: blockstore.NewClient(*notify), log: logger}
+		cfg.Invalidator = newRemoteInvalidator(*notify, logger)
 	}
 
 	if err := serve(cfg, *addr, *addrFile, *debugAddr, logger); err != nil {
@@ -114,12 +117,26 @@ func main() {
 	}
 }
 
-// remoteInvalidator pushes invalidations to a btrserved instance over
-// HTTP. Failures are logged, not fatal: the store directory is the
-// truth, and a restarted btrserved reloads it anyway.
+// remoteInvalidator pushes invalidations to one or more btrserved (or
+// btrrouted) instances over HTTP — a replicated cluster needs every
+// replica's cache dropped, not just one. Failures are logged, not
+// fatal: the store directory is the truth, and a restarted btrserved
+// reloads it anyway.
 type remoteInvalidator struct {
-	cl  *blockstore.Client
+	cls []*blockstore.Client
 	log *slog.Logger
+}
+
+// newRemoteInvalidator builds an invalidator from a comma-separated
+// endpoint list (empty entries are skipped).
+func newRemoteInvalidator(endpoints string, log *slog.Logger) *remoteInvalidator {
+	ri := &remoteInvalidator{log: log}
+	for _, ep := range strings.Split(endpoints, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			ri.cls = append(ri.cls, blockstore.NewClient(ep))
+		}
+	}
+	return ri
 }
 
 func (ri *remoteInvalidator) Invalidate(name string) {
@@ -128,14 +145,23 @@ func (ri *remoteInvalidator) Invalidate(name string) {
 
 // InvalidateContext carries the publishing trace across the process
 // boundary: blockstore.Client injects the context's traceparent and
-// request ID, so the btrserved side of the invalidation shows up in the
-// same trace as the append that caused it.
+// request ID, so the btrserved side of each invalidation shows up in
+// the same trace as the append that caused it. Endpoints are notified
+// concurrently; one slow or dead replica does not delay the others.
 func (ri *remoteInvalidator) InvalidateContext(ctx context.Context, name string) {
 	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
-	if _, err := ri.cl.Invalidate(ctx, name); err != nil {
-		ri.log.Warn("invalidate", "file", name, "err", err.Error())
+	var wg sync.WaitGroup
+	for _, cl := range ri.cls {
+		wg.Add(1)
+		go func(cl *blockstore.Client) {
+			defer wg.Done()
+			if _, err := cl.Invalidate(ctx, name); err != nil {
+				ri.log.Warn("invalidate", "endpoint", cl.Endpoint(), "file", name, "err", err.Error())
+			}
+		}(cl)
 	}
+	wg.Wait()
 }
 
 // serve runs the ingestion server (and the optional debug server) until
@@ -407,8 +433,20 @@ func smokeSpans(self string) error {
 	go srv.Serve(ln)
 	defer srv.Close()
 
+	// A second serving endpoint over the same directory — the child is
+	// given both as a comma-separated -notify list, as it would be in
+	// front of a replicated cluster, and the trace must reach both.
+	served2 := obs.NewSpanRecorder(obs.SpanRecorderConfig{Process: "btrserved"})
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv2 := &http.Server{Handler: blockstore.NewServer(bs, blockstore.WithSpans(served2))}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
 	child, base, err := startChildArgs(self, store, filepath.Join(dir, "addr"),
-		"-notify", "http://"+ln.Addr().String())
+		"-notify", "http://"+ln.Addr().String()+",http://"+ln2.Addr().String())
 	if err != nil {
 		return err
 	}
@@ -509,8 +547,20 @@ func smokeSpans(self string) error {
 	if !crossed {
 		return fmt.Errorf("trace %s never reached the serving process", traceID)
 	}
-	fmt.Printf("smoke spans: trace %s crossed processes: %d ingest spans, %d served spans, linked parent to child\n",
-		traceID, len(ingestSet.Spans), len(servedSet.Spans))
+	// The comma-separated notify list fanned the same traced
+	// invalidation out to the second endpoint too.
+	served2Set := served2.Snapshot(obs.SpanFilter{TraceID: traceID})
+	crossed2 := false
+	for _, s := range served2Set.Spans {
+		if strings.HasPrefix(s.Name, "btrserved/v1/invalidate") {
+			crossed2 = true
+		}
+	}
+	if !crossed2 {
+		return fmt.Errorf("trace %s never reached the second -notify endpoint", traceID)
+	}
+	fmt.Printf("smoke spans: trace %s crossed processes: %d ingest spans, %d+%d served spans across two notify endpoints\n",
+		traceID, len(ingestSet.Spans), len(servedSet.Spans), len(served2Set.Spans))
 	return nil
 }
 

@@ -1,0 +1,970 @@
+// Command btrrouted fronts a cluster of btrserved nodes as one logical
+// blockstore: column files are placed on R of N nodes by a consistent
+// hash over stable node names, reads scatter-gather across the replicas
+// with health-aware failover, slow primaries are hedged against a
+// second replica (the budget derived from per-replica latency
+// histograms), and replicas whose bytes fail their CRC are healed in
+// the background by re-pushing a verified good copy from a healthy
+// replica. The router speaks the btrserved wire protocol, so existing
+// clients point at it unchanged.
+//
+// Usage:
+//
+//	btrrouted -nodes "n1=http://h1:8080,n2=http://h2:8080,n3=http://h3:8080"
+//	          [-addr HOST:PORT] [-replicas R] [-probe-interval D]
+//	          [-hedge-initial D] [-hedge-max D] [-no-hedge]
+//	btrrouted -smoke
+//
+// -smoke is the cluster chaos gate: it generates a corpus, places it
+// over three child node processes with R=2, then (1) verifies every
+// file scans bit-correct through the router, (2) flips a byte on one
+// replica of a multi-block file and proves scans stay correct while
+// the repair loop heals the damaged replica, (3) SIGKILLs a node
+// mid-scan and proves every scan still returns complete, bit-correct
+// results, and (4) proves hedged requests fire and win against a
+// latency-skewed replica — with the repair/hedge/failover activity
+// visible in /metrics and /v1/spans. It exits non-zero on any miss.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"btrblocks"
+	"btrblocks/internal/blockstore"
+	"btrblocks/internal/cluster"
+	"btrblocks/internal/obs"
+	"btrblocks/internal/pbi"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9500", "listen address (host:port; port 0 picks a free port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		nodes      = flag.String("nodes", "", "comma-separated cluster members as name=url (required unless -smoke)")
+		replicas   = flag.Int("replicas", 2, "replication factor R")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per member (0 = default)")
+		probeIvl   = flag.Duration("probe-interval", time.Second, "health probe period (<0 disables)")
+		hedgeInit  = flag.Duration("hedge-initial", 25*time.Millisecond, "hedge budget before latency history exists")
+		hedgeMax   = flag.Duration("hedge-max", 250*time.Millisecond, "upper clamp on the p95-derived hedge budget")
+		noHedge    = flag.Bool("no-hedge", false, "disable hedged block fetches")
+		spanSample = flag.Int("span-sample", 1, "head-sample 1 in N traces (0 disables span recording)")
+		spanSlow   = flag.Duration("span-slow", 250*time.Millisecond, "force-record and warn-log spans at least this slow")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		smoke      = flag.Bool("smoke", false, "self-test: 3-node cluster, byte-flip repair, mid-scan node kill, hedging")
+
+		// Hidden child mode used by -smoke: serve one directory as a
+		// plain blockstore node (a btrserved stand-in in this binary).
+		nodeDir = flag.String("node-dir", "", "serve DIR as a single blockstore node (smoke child mode)")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "btrrouted smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("btrrouted smoke: OK")
+		return
+	}
+
+	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel))
+	if *nodeDir != "" {
+		if err := runNode(*nodeDir, *addr, *addrFile, logger); err != nil {
+			logger.Error("node", "err", err.Error())
+			os.Exit(1)
+		}
+		return
+	}
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "btrrouted: -nodes is required (or -smoke)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var spans *obs.SpanRecorder
+	if *spanSample > 0 {
+		spans = obs.NewSpanRecorder(obs.SpanRecorderConfig{
+			Process:       "btrrouted",
+			SampleEvery:   *spanSample,
+			SlowThreshold: *spanSlow,
+			Logger:        logger,
+		})
+	}
+	cfg := cluster.Config{
+		Nodes:         splitList(*nodes),
+		Replicas:      *replicas,
+		VirtualNodes:  *vnodes,
+		ProbeInterval: *probeIvl,
+		HedgeInitial:  *hedgeInit,
+		HedgeMax:      *hedgeMax,
+		DisableHedge:  *noHedge,
+		Log:           logger,
+		Spans:         spans,
+	}
+	if err := serveRouter(cfg, *addr, *addrFile, logger); err != nil {
+		logger.Error("serve", "err", err.Error())
+		os.Exit(1)
+	}
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// serveRouter runs the router until SIGINT/SIGTERM, then shuts down
+// gracefully and closes the background loops.
+func serveRouter(cfg cluster.Config, addr, addrFile string, logger *slog.Logger) error {
+	router, err := cluster.NewRouter(cfg)
+	if err != nil {
+		return err
+	}
+	router.Start()
+	defer router.Close()
+	// Surface dead members before the first request rather than on it.
+	probeCtx, probeCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	router.Membership().ProbeOnce(probeCtx)
+	probeCancel()
+	for _, st := range router.Membership().Statuses() {
+		logger.Info("member", "node", st.Name, "endpoint", st.Endpoint, "up", st.Up)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := writeAddrFile(addrFile, ln.Addr().String()); err != nil {
+		return err
+	}
+	logger.Info("listening", "addr", "http://"+ln.Addr().String(),
+		"nodes", len(router.Membership().Nodes()), "replicas", router.Membership().Replicas())
+
+	srv := &http.Server{Handler: cluster.NewServer(router, logger)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}
+
+// runNode serves one directory as a plain blockstore node — the smoke's
+// btrserved stand-in so the cluster smoke is self-contained in this
+// binary. Spans are enabled so router-originated traces continue here.
+func runNode(dir, addr, addrFile string, logger *slog.Logger) error {
+	store, err := blockstore.Open(dir, blockstore.Config{
+		CacheBytes:          64 << 20,
+		PrefetchBlocks:      2,
+		PrefetchWorkers:     2,
+		QuarantineThreshold: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	spans := obs.NewSpanRecorder(obs.SpanRecorderConfig{Process: "btrserved", Logger: logger})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := writeAddrFile(addrFile, ln.Addr().String()); err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: blockstore.NewServer(store, blockstore.WithSpans(spans))}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}
+
+// writeAddrFile publishes the bound address via temp-and-rename so a
+// watcher never reads a partial line. Empty path is a no-op.
+func writeAddrFile(path, addr string) error {
+	if path == "" {
+		return nil
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Smoke: the cluster chaos gate.
+
+// smokeColumn is one generated column: served name, compressed bytes,
+// ground truth, and the replica nodes the ring placed it on.
+type smokeColumn struct {
+	name     string
+	data     []byte
+	col      btrblocks.Column
+	replicas []int // node indices in placement preference order
+	blocks   int
+}
+
+// smokeNode is one child node process of the smoke cluster.
+type smokeNode struct {
+	name string
+	dir  string
+	cmd  *exec.Cmd
+	base string
+	cl   *blockstore.Client
+}
+
+func runSmoke() error {
+	const (
+		rows     = 8000
+		seed     = 42
+		replicas = 2
+	)
+	names := []string{"n1", "n2", "n3"}
+
+	work, err := os.MkdirTemp("", "btrrouted-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	// Generate the corpus and place every column file on R of the N
+	// nodes with the same ring the router will build — writers and
+	// routers agreeing on placement by node name is the whole point.
+	ring, err := cluster.NewRing(names, 0)
+	if err != nil {
+		return err
+	}
+	opt := &btrblocks.Options{BlockSize: 4096}
+	var columns []smokeColumn
+	for _, ds := range pbi.Corpus(rows, seed) {
+		for _, col := range ds.Chunk.Columns {
+			data, err := btrblocks.CompressColumn(col, opt)
+			if err != nil {
+				return fmt.Errorf("compress %s/%s: %v", ds.Name, col.Name, err)
+			}
+			name := ds.Name + "/" + col.Name + ".btr"
+			ix, err := btrblocks.ParseColumnIndex(data)
+			if err != nil {
+				return err
+			}
+			sc := smokeColumn{name: name, data: data, col: col,
+				replicas: ring.Place(name, replicas), blocks: len(ix.Blocks)}
+			for _, ni := range sc.replicas {
+				path := filepath.Join(work, names[ni], filepath.FromSlash(name))
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					return err
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return err
+				}
+			}
+			columns = append(columns, sc)
+		}
+	}
+
+	// Spawn the three node processes.
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	nodes := make([]*smokeNode, len(names))
+	defer func() {
+		for _, n := range nodes {
+			if n != nil && n.cmd != nil && n.cmd.Process != nil {
+				n.cmd.Process.Kill()
+				n.cmd.Wait()
+			}
+		}
+	}()
+	for i, name := range names {
+		n, err := startNode(self, name, filepath.Join(work, name), filepath.Join(work, name+".addr"))
+		if err != nil {
+			return err
+		}
+		nodes[i] = n
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// The router under test: health probes every 100ms so the kill phase
+	// converges fast; hedging off so the repair phase's damage detection
+	// is deterministic (a dedicated hedge phase covers hedging).
+	specs := make([]string, len(nodes))
+	for i, n := range nodes {
+		specs[i] = n.name + "=" + n.base
+	}
+	logger := obs.NewLogger(os.Stderr, slog.LevelWarn)
+	spans := obs.NewSpanRecorder(obs.SpanRecorderConfig{Process: "btrrouted", Logger: logger})
+	router, err := cluster.NewRouter(cluster.Config{
+		Nodes:          specs,
+		Replicas:       replicas,
+		ProbeInterval:  100 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		DownTTL:        500 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		DisableHedge:   true,
+		RepairBackoff:  50 * time.Millisecond,
+		Log:            logger,
+		Spans:          spans,
+	})
+	if err != nil {
+		return err
+	}
+	router.Start()
+	defer router.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	rsrv := &http.Server{Handler: cluster.NewServer(router, logger)}
+	go rsrv.Serve(rln)
+	defer rsrv.Close()
+	routerBase := "http://" + rln.Addr().String()
+	cl := blockstore.NewClient(routerBase)
+
+	// Phase 1: the whole corpus reads complete and bit-correct through
+	// the router, and the scatter-gather count agrees with ground truth.
+	if err := cl.Healthz(ctx); err != nil {
+		return err
+	}
+	metas, err := cl.Files(ctx)
+	if err != nil {
+		return err
+	}
+	if len(metas) != len(columns) {
+		return fmt.Errorf("router lists %d files, wrote %d", len(metas), len(columns))
+	}
+	for i := range columns {
+		if err := checkColumn(ctx, cl, &columns[i]); err != nil {
+			return fmt.Errorf("phase 1: %s: %v", columns[i].name, err)
+		}
+	}
+	if err := checkScatterCount(ctx, routerBase, columns, opt); err != nil {
+		return fmt.Errorf("phase 1 scatter: %v", err)
+	}
+	fmt.Printf("smoke phase 1: %d files scan bit-correct through the router\n", len(columns))
+
+	// Phase 2: flip a byte on one replica and prove scans stay correct
+	// while the repair loop heals the flipped copy.
+	if err := smokeRepair(ctx, router, cl, nodes, columns); err != nil {
+		return fmt.Errorf("phase 2 (repair): %v", err)
+	}
+	// Check spans now, before phase 3's scan volume evicts the repair
+	// span from the recorder's retention ring.
+	if err := checkRouterSpans(ctx, cl, "router.repair"); err != nil {
+		return err
+	}
+
+	// Phase 3: SIGKILL one node mid-scan; every scan still returns
+	// complete, bit-correct results off the surviving replicas.
+	victim := nodes[len(nodes)-1]
+	if err := smokeKill(ctx, routerBase, cl, victim, columns, opt); err != nil {
+		return fmt.Errorf("phase 3 (kill): %v", err)
+	}
+
+	// The router's metrics and spans must show the failover, damage, and
+	// repair activity the phases above caused.
+	if err := checkRouterMetrics(ctx, cl, map[string]bool{
+		"btrrouted_failovers_total":         true,
+		"btrrouted_damage_detected_total":   true,
+		"btrrouted_repairs_queued_total":    true,
+		"btrrouted_repairs_succeeded_total": true,
+	}); err != nil {
+		return err
+	}
+
+	// Phase 4: hedged requests against a latency-skewed replica, on a
+	// second router over the two surviving nodes.
+	if err := smokeHedge(ctx, specs[:2], columns, logger); err != nil {
+		return fmt.Errorf("phase 4 (hedge): %v", err)
+	}
+	return nil
+}
+
+// startNode spawns `self -node-dir dir` on a free port and waits for
+// its address file and /healthz.
+func startNode(self, name, dir, addrFile string) (*smokeNode, error) {
+	cmd := exec.Command(self,
+		"-node-dir", dir,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-log-level", "warn",
+	)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(addrFile); err == nil {
+			base := "http://" + strings.TrimSpace(string(data))
+			if _, err := http.Get(base + "/healthz"); err == nil {
+				return &smokeNode{name: name, dir: dir, cmd: cmd, base: base,
+					cl: blockstore.NewClient(base)}, nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, fmt.Errorf("node %s did not come up within 10s", name)
+}
+
+// checkColumn scans every block of one column through cl and verifies
+// each value (and NULL position) against the in-memory ground truth.
+func checkColumn(ctx context.Context, cl *blockstore.Client, sc *smokeColumn) error {
+	meta, err := cl.FileMeta(ctx, sc.name)
+	if err != nil {
+		return err
+	}
+	if meta.Blocks != sc.blocks {
+		return fmt.Errorf("meta lists %d blocks, want %d", meta.Blocks, sc.blocks)
+	}
+	col := sc.col
+	rows := 0
+	for b := 0; b < meta.Blocks; b++ {
+		blk, err := cl.Block(ctx, sc.name, b)
+		if err != nil {
+			return fmt.Errorf("block %d: %v", b, err)
+		}
+		if blk.StartRow != rows {
+			return fmt.Errorf("block %d starts at %d, want %d", b, blk.StartRow, rows)
+		}
+		isNull := make(map[int]bool, len(blk.Nulls))
+		for _, p := range blk.Nulls {
+			isNull[p] = true
+		}
+		for i := 0; i < blk.Rows; i++ {
+			r := rows + i
+			if col.Nulls != nil && col.Nulls.IsNull(r) {
+				if !isNull[i] {
+					return fmt.Errorf("row %d is NULL but served as valid", r)
+				}
+				continue
+			}
+			if isNull[i] {
+				return fmt.Errorf("row %d served as NULL but is valid", r)
+			}
+			switch col.Type {
+			case btrblocks.TypeInt:
+				if blk.Ints[i] != col.Ints[r] {
+					return fmt.Errorf("row %d: got %d, want %d", r, blk.Ints[i], col.Ints[r])
+				}
+			case btrblocks.TypeInt64:
+				if blk.Ints64[i] != col.Ints64[r] {
+					return fmt.Errorf("row %d: got %d, want %d", r, blk.Ints64[i], col.Ints64[r])
+				}
+			case btrblocks.TypeDouble:
+				if blk.Doubles[i] != col.Doubles[r] {
+					return fmt.Errorf("row %d: got %v, want %v", r, blk.Doubles[i], col.Doubles[r])
+				}
+			case btrblocks.TypeString:
+				if blk.Strings[i] != col.Strings.At(r) {
+					return fmt.Errorf("row %d: got %q, want %q", r, blk.Strings[i], col.Strings.At(r))
+				}
+			}
+		}
+		rows += blk.Rows
+	}
+	if rows != col.Len() {
+		return fmt.Errorf("blocks cover %d rows, column has %d", rows, col.Len())
+	}
+	return nil
+}
+
+// checkScatterCount asks the router for a cluster-wide equality count
+// (GET /v1/count-eq?value=) and verifies the merged total against local
+// counting over every matching column.
+func checkScatterCount(ctx context.Context, routerBase string, columns []smokeColumn, opt *btrblocks.Options) error {
+	probe := ""
+	for i := range columns {
+		if columns[i].col.Type == btrblocks.TypeString {
+			probe = columns[i].col.Strings.At(0)
+			break
+		}
+	}
+	if probe == "" {
+		return fmt.Errorf("no string column in the corpus")
+	}
+	want := 0
+	for i := range columns {
+		if columns[i].col.Type != btrblocks.TypeString {
+			continue
+		}
+		n, err := btrblocks.CountEqualString(columns[i].data, probe, opt)
+		if err != nil {
+			return err
+		}
+		want += n
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		routerBase+"/v1/count-eq?value="+url.QueryEscape(probe), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scatter count: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var sc cluster.ScatterCount
+	if err := json.Unmarshal(body, &sc); err != nil {
+		return err
+	}
+	if sc.Partial {
+		return fmt.Errorf("scatter count is partial: %+v", sc)
+	}
+	if sc.Count != want {
+		return fmt.Errorf("scatter count %q: router %d, local %d", probe, sc.Count, want)
+	}
+	return nil
+}
+
+// smokeRepair flips one byte inside a middle block of a multi-block
+// column on one replica's disk, reloads that node, and proves (a) the
+// routed read of the damaged block is still bit-correct (failover), and
+// (b) the repair loop pushes the good copy back so a direct re-scan of
+// the healed node succeeds.
+func smokeRepair(ctx context.Context, router *cluster.Router, cl *blockstore.Client, nodes []*smokeNode, columns []smokeColumn) error {
+	victim := -1
+	for i := range columns {
+		if columns[i].blocks >= 2 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		return fmt.Errorf("no multi-block column in the corpus")
+	}
+	sc := &columns[victim]
+	ix, err := btrblocks.ParseColumnIndex(sc.data)
+	if err != nil {
+		return err
+	}
+	badBlock := len(ix.Blocks) / 2
+	// With hedging off, FetchBlock rotates the two healthy replicas by
+	// block index — flip the copy on the node the rotation makes primary
+	// for badBlock, so the routed read deterministically observes the
+	// damage (and enqueues the repair) before failing over.
+	flipped := nodes[sc.replicas[badBlock%len(sc.replicas)]]
+	damaged := append([]byte(nil), sc.data...)
+	damaged[ix.Blocks[badBlock].DataOffset()] ^= 0xFF
+	path := filepath.Join(flipped.dir, filepath.FromSlash(sc.name))
+	if err := os.WriteFile(path, damaged, 0o644); err != nil {
+		return err
+	}
+	if _, err := flipped.cl.Invalidate(ctx, sc.name); err != nil {
+		return fmt.Errorf("reload flipped replica: %v", err)
+	}
+	// The flipped node now refuses the block — prove the damage is real.
+	if _, err := flipped.cl.Block(ctx, sc.name, badBlock); !blockstore.IsBlockDamage(err) {
+		return fmt.Errorf("flipped replica served block %d without damage error: %v", badBlock, err)
+	}
+
+	// The routed scan must stay complete and bit-correct: the damaged
+	// leg 422s, the router enqueues the repair and fails over.
+	if err := checkColumn(ctx, cl, sc); err != nil {
+		return fmt.Errorf("routed scan with damaged replica: %v", err)
+	}
+	m := router.Metrics()
+	if m.DamageDetected.Load() == 0 {
+		return fmt.Errorf("router scanned past damage without detecting it")
+	}
+
+	// The repair loop heals the flipped copy: poll the damaged node
+	// directly until its block serves again, then re-scan it end to end.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := flipped.cl.Block(ctx, sc.name, badBlock); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica %s not healed within 15s (repairs: ok=%d failed=%d)",
+				flipped.name, m.RepairsSucceeded.Load(), m.RepairsFailed.Load())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := checkColumn(ctx, flipped.cl, sc); err != nil {
+		return fmt.Errorf("re-scan of healed node %s: %v", flipped.name, err)
+	}
+	raw, err := flipped.cl.Raw(ctx, sc.name)
+	if err != nil {
+		return err
+	}
+	if len(raw) != len(sc.data) {
+		return fmt.Errorf("healed copy is %d bytes, want %d", len(raw), len(sc.data))
+	}
+	if m.RepairsSucceeded.Load() == 0 {
+		return fmt.Errorf("block healed but repairs_succeeded is zero")
+	}
+	fmt.Printf("smoke phase 2: block %d of %s flipped on %s, scan stayed bit-correct, replica healed (repairs=%d)\n",
+		badBlock, sc.name, flipped.name, m.RepairsSucceeded.Load())
+	return nil
+}
+
+// smokeKill SIGKILLs one node while scans are in flight and proves
+// every scan keeps returning complete, bit-correct results, the prober
+// marks the node down, and the scatter count still agrees.
+func smokeKill(ctx context.Context, routerBase string, cl *blockstore.Client, victim *smokeNode, columns []smokeColumn, opt *btrblocks.Options) error {
+	var (
+		scans   atomic.Int64
+		scanErr error
+		errOnce sync.Once
+		stop    = make(chan struct{})
+		done    = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := range columns {
+				if err := checkColumn(ctx, cl, &columns[i]); err != nil {
+					errOnce.Do(func() { scanErr = fmt.Errorf("%s: %v", columns[i].name, err) })
+					return
+				}
+				scans.Add(1)
+			}
+		}
+	}()
+
+	// Kill the node once scans are demonstrably in flight.
+	for scans.Load() == 0 {
+		select {
+		case <-done:
+			close(stop)
+			<-done
+			return fmt.Errorf("scan loop died before the kill: %v", scanErr)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := victim.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	victim.cmd.Wait()
+	killedAt := scans.Load()
+
+	// Scans must keep completing correctly for a while after the kill.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && scans.Load() < killedAt+int64(2*len(columns)) {
+		select {
+		case <-done:
+			close(stop)
+			return fmt.Errorf("scan failed after node kill: %v", scanErr)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+	if scanErr != nil {
+		return fmt.Errorf("scan failed after node kill: %v", scanErr)
+	}
+	if scans.Load() < killedAt+int64(len(columns)) {
+		return fmt.Errorf("only %d column scans completed after the kill", scans.Load()-killedAt)
+	}
+
+	// The prober must notice the death.
+	probeDeadline := time.Now().Add(5 * time.Second)
+	for {
+		body, err := httpGet(ctx, routerBase+"/v1/nodes")
+		if err != nil {
+			return err
+		}
+		var status cluster.ClusterStatus
+		if err := json.Unmarshal([]byte(body), &status); err != nil {
+			return err
+		}
+		downSeen := false
+		for _, n := range status.Nodes {
+			if n.Name == victim.name && !n.Up {
+				downSeen = true
+			}
+		}
+		if downSeen {
+			break
+		}
+		if time.Now().After(probeDeadline) {
+			return fmt.Errorf("prober did not mark %s down within 5s", victim.name)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Scatter-gather still answers correctly off the survivors.
+	if err := checkScatterCount(ctx, routerBase, columns, opt); err != nil {
+		return err
+	}
+	fmt.Printf("smoke phase 3: %s SIGKILLed mid-scan, %d column scans completed bit-correct after the kill\n",
+		victim.name, scans.Load()-killedAt)
+	return nil
+}
+
+// smokeHedge runs a second router over two healthy nodes with a
+// latency-skewed transport on the primary-leaning node and an instant
+// hedge budget, and proves hedge legs fire, win, and return correct
+// data — with the hedge visible in the router's metrics and spans.
+func smokeHedge(ctx context.Context, specs []string, columns []smokeColumn, logger *slog.Logger) error {
+	// Delay every request through this transport; the other node's
+	// requests go straight through, so the hedge leg reliably wins.
+	slow := &http.Client{Transport: delayTransport{d: 50 * time.Millisecond}}
+	slowName, _, err := cluster.ParseNodeSpec(specs[0])
+	if err != nil {
+		return err
+	}
+	spans := obs.NewSpanRecorder(obs.SpanRecorderConfig{Process: "btrrouted", Logger: logger})
+	router, err := cluster.NewRouter(cluster.Config{
+		Nodes:           specs,
+		Replicas:        2,
+		ProbeInterval:   -1, // no background churn; both nodes start up
+		HedgeInitial:    time.Millisecond,
+		HedgeMinSamples: 1 << 30, // pin the budget to HedgeInitial
+		Log:             logger,
+		Spans:           spans,
+		ClientOptions: func(name string) []blockstore.ClientOption {
+			if name == slowName {
+				return []blockstore.ClientOption{blockstore.WithHTTPClient(slow)}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	router.Start()
+	defer router.Close()
+
+	// Scan a column placed on both remaining nodes (R=2 over 2 nodes
+	// places everything on both) through the hedging router directly.
+	hedged := false
+	m := router.Metrics()
+	for i := range columns {
+		sc := &columns[i]
+		for b := 0; b < sc.blocks; b++ {
+			// Root a span per fetch so the replica.fetch children (and
+			// their hedge attribute) are recorded.
+			fctx, fspan := spans.StartRoot(ctx, "smoke.fetch")
+			blk, err := router.FetchBlock(fctx, sc.name, b)
+			fspan.End()
+			if err != nil {
+				return fmt.Errorf("%s block %d: %v", sc.name, b, err)
+			}
+			if blk.Rows == 0 {
+				return fmt.Errorf("%s block %d: empty block", sc.name, b)
+			}
+		}
+		if m.Hedges.Load() > 0 && m.HedgeWins.Load() > 0 {
+			hedged = true
+			break
+		}
+	}
+	if !hedged {
+		return fmt.Errorf("no hedge fired and won (hedges=%d wins=%d)", m.Hedges.Load(), m.HedgeWins.Load())
+	}
+	// The hedge must be visible in the rendered metrics and in a span.
+	var buf strings.Builder
+	if _, err := m.WriteTo(&buf); err != nil {
+		return err
+	}
+	if !strings.Contains(buf.String(), "btrrouted_hedged_requests_total") ||
+		!strings.Contains(buf.String(), "btrrouted_hedge_wins_total") {
+		return fmt.Errorf("hedge counters missing from metrics exposition")
+	}
+	ss := spans.Snapshot(obs.SpanFilter{})
+	if err := ss.Validate(); err != nil {
+		return err
+	}
+	sawHedgeSpan := false
+	for _, s := range ss.Spans {
+		if s.Name != "replica.fetch" {
+			continue
+		}
+		for _, a := range s.Attrs {
+			if a.Key == "hedge" && a.Value == "true" {
+				sawHedgeSpan = true
+			}
+		}
+	}
+	if !sawHedgeSpan {
+		return fmt.Errorf("no replica.fetch span with hedge=true recorded")
+	}
+	fmt.Printf("smoke phase 4: hedged requests fired=%d won=%d against a %s-skewed replica\n",
+		m.Hedges.Load(), m.HedgeWins.Load(), "50ms")
+	return nil
+}
+
+// delayTransport adds a fixed delay before every round trip.
+type delayTransport struct {
+	d time.Duration
+}
+
+func (t delayTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	select {
+	case <-time.After(t.d):
+	case <-req.Context().Done():
+		return nil, req.Context().Err()
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// checkRouterMetrics fetches the router's /metrics and asserts every
+// named counter is present with a non-zero value.
+func checkRouterMetrics(ctx context.Context, cl *blockstore.Client, want map[string]bool) error {
+	text, err := cl.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if want[fields[0]] {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return fmt.Errorf("metric %s: bad value %q", fields[0], fields[1])
+			}
+			if v <= 0 {
+				return fmt.Errorf("metric %s is zero after the chaos phases", fields[0])
+			}
+			delete(want, fields[0])
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for k := range want {
+			missing = append(missing, k)
+		}
+		return fmt.Errorf("/metrics missing %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// checkRouterSpans fetches the router's spans, validates them against
+// the schema, and asserts a root span with the given name exists plus a
+// replica.fetch child resolving to a recorded parent.
+func checkRouterSpans(ctx context.Context, cl *blockstore.Client, wantRoot string) error {
+	ss, err := cl.Spans(ctx, "", 0)
+	if err != nil {
+		return err
+	}
+	if err := ss.Validate(); err != nil {
+		return err
+	}
+	byID := make(map[string]obs.SpanRecord, len(ss.Spans))
+	for _, s := range ss.Spans {
+		byID[s.SpanID] = s
+	}
+	sawRoot, sawFetchChild := false, false
+	for _, s := range ss.Spans {
+		if s.Name == wantRoot && s.ParentID == "" {
+			sawRoot = true
+		}
+		if s.Name == "replica.fetch" {
+			if p, ok := byID[s.ParentID]; ok && p.TraceID == s.TraceID {
+				sawFetchChild = true
+			}
+		}
+	}
+	if !sawRoot {
+		return fmt.Errorf("no %s root span recorded", wantRoot)
+	}
+	if !sawFetchChild {
+		return fmt.Errorf("no replica.fetch span linked to a recorded parent")
+	}
+	return nil
+}
+
+// httpGet fetches a URL and returns the body, failing on non-200.
+func httpGet(ctx context.Context, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}

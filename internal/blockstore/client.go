@@ -1,6 +1,7 @@
 package blockstore
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -37,8 +38,22 @@ type Client struct {
 	backoffMax  time.Duration // cap per step
 	reqTimeout  time.Duration // per-attempt deadline (0 = none)
 
-	retries  atomic.Int64
-	backoffs obs.Histogram // distribution of backoff sleeps
+	// Endpoint down-marking (the client-side mirror of the store's
+	// block quarantine): after downThreshold consecutive transport-level
+	// request failures the endpoint is marked down and every call fails
+	// fast with ErrEndpointDown — no retries, no backoff sleeps — until
+	// downTTL elapses, when exactly one caller gets through to re-probe.
+	// Zero threshold (the default) disables the machinery.
+	downThreshold int
+	downTTL       time.Duration
+
+	retries    atomic.Int64
+	attempts   atomic.Int64  // individual HTTP attempts issued
+	failures   atomic.Int64  // requests that exhausted their retry budget
+	consecFail atomic.Int64  // consecutive failed requests (transport/5xx)
+	downUntil  atomic.Int64  // unixnano the down window ends; 0 = up
+	markedDown atomic.Int64  // times the endpoint was marked down
+	backoffs   obs.Histogram // distribution of backoff sleeps
 }
 
 // ClientOption configures a Client.
@@ -74,6 +89,22 @@ func WithAttemptTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.reqTimeout = d }
 }
 
+// WithEndpointDown enables endpoint down-marking: after threshold
+// consecutive failed requests (transport errors or 5xx — responses the
+// server never gave or could not give) the endpoint is marked down for
+// ttl, and every call during the window fails immediately with
+// ErrEndpointDown instead of burning its retry budget against a dead
+// host. When the TTL expires one caller is let through as a probe;
+// success clears the mark, failure re-arms the window. This reuses the
+// store quarantine's TTL re-probe shape on the client side. threshold
+// <= 0 disables (the default).
+func WithEndpointDown(threshold int, ttl time.Duration) ClientOption {
+	return func(c *Client) {
+		c.downThreshold = threshold
+		c.downTTL = ttl
+	}
+}
+
 // NewClient returns a client for the server at base (e.g.
 // "http://127.0.0.1:8080"). It uses http.DefaultClient's transport, which
 // pools connections per host.
@@ -91,17 +122,110 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	return c
 }
 
-// ClientStats reports the client's fault-handling counters.
+// ClientStats reports the client's fault-handling counters. With
+// several clients (one per cluster node) the Endpoint field tells the
+// per-endpoint series apart.
 type ClientStats struct {
+	// Endpoint is the base URL this client talks to.
+	Endpoint string `json:"endpoint"`
 	// Retries is the total number of retried attempts.
 	Retries int64 `json:"retries"`
+	// Attempts is the total number of individual HTTP attempts issued
+	// (first tries and retries alike).
+	Attempts int64 `json:"attempts"`
+	// Failures is the number of requests that failed after exhausting
+	// their retry budget.
+	Failures int64 `json:"failures"`
+	// Down reports whether the endpoint is currently marked down.
+	Down bool `json:"down"`
+	// MarkedDown is how many times the endpoint transitioned to down.
+	MarkedDown int64 `json:"marked_down"`
 	// Backoff is the distribution of backoff sleeps.
 	Backoff obs.HistogramSnapshot `json:"backoff"`
 }
 
 // Stats returns a snapshot of the client's retry behavior.
 func (c *Client) Stats() ClientStats {
-	return ClientStats{Retries: c.retries.Load(), Backoff: c.backoffs.Snapshot()}
+	return ClientStats{
+		Endpoint:   c.base,
+		Retries:    c.retries.Load(),
+		Attempts:   c.attempts.Load(),
+		Failures:   c.failures.Load(),
+		Down:       c.isDown(),
+		MarkedDown: c.markedDown.Load(),
+		Backoff:    c.backoffs.Snapshot(),
+	}
+}
+
+// Endpoint returns the base URL this client talks to.
+func (c *Client) Endpoint() string { return c.base }
+
+// ErrEndpointDown is returned without issuing a request while the
+// endpoint is marked down (see WithEndpointDown).
+var ErrEndpointDown = errors.New("blockstore: endpoint marked down")
+
+// IsEndpointDown reports whether err is the client failing fast on a
+// down-marked endpoint.
+func IsEndpointDown(err error) bool { return errors.Is(err, ErrEndpointDown) }
+
+// isDown reports whether the endpoint is inside a down window.
+func (c *Client) isDown() bool {
+	until := c.downUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
+// gateDown fails fast while the endpoint is marked down. When the down
+// TTL has expired, exactly one caller wins the CAS and proceeds as the
+// re-probe (the window is pushed forward so concurrent callers keep
+// failing fast until the probe resolves).
+func (c *Client) gateDown() error {
+	if c.downThreshold <= 0 {
+		return nil
+	}
+	until := c.downUntil.Load()
+	if until == 0 {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	if now >= until && c.downUntil.CompareAndSwap(until, now+int64(c.downTTL)) {
+		return nil // this caller is the probe
+	}
+	return fmt.Errorf("%w: %s", ErrEndpointDown, c.base)
+}
+
+// noteOutcome updates the endpoint health ledger after a request (all
+// retries spent). Only failures the server never answered — transport
+// errors and 5xx — count toward down-marking; a 4xx means the endpoint
+// is alive and well. Caller cancellation is neutral: it says nothing
+// about the endpoint, and a hedging router cancels loser legs to a
+// healthy-but-slower replica routinely — those must not down-mark it.
+func (c *Client) noteOutcome(err error) {
+	switch {
+	case err == nil:
+		c.consecFail.Store(0)
+		c.downUntil.Store(0)
+	case errors.Is(err, context.Canceled):
+		// Neither success nor endpoint failure; leave the ledger as is.
+	default:
+		c.failures.Add(1)
+		if c.downThreshold <= 0 || !retryable(err) {
+			return
+		}
+		if c.consecFail.Add(1) >= int64(c.downThreshold) {
+			if c.downUntil.Swap(time.Now().Add(c.downTTL).UnixNano()) == 0 {
+				c.markedDown.Add(1)
+			}
+		}
+	}
+}
+
+// ProbeHealth checks server liveness, bypassing the down fast-fail so
+// health probes can notice recovery before the down TTL expires. A
+// success clears the down mark.
+func (c *Client) ProbeHealth(ctx context.Context) error {
+	_, err := c.doGet(ctx, "/healthz")
+	c.noteOutcome(err)
+	return err
 }
 
 // HTTPError is a non-2xx response, preserved with its status code so
@@ -155,8 +279,20 @@ func (c *Client) backoffDelay(n int) time.Duration {
 }
 
 // get issues a GET and fails on any non-2xx status, retrying transient
-// failures within the retry budget.
+// failures within the retry budget. While the endpoint is marked down
+// it fails fast without touching the network.
 func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	if err := c.gateDown(); err != nil {
+		return nil, err
+	}
+	body, err := c.doGet(ctx, path)
+	c.noteOutcome(err)
+	return body, err
+}
+
+// doGet is the retry loop behind get, without the endpoint health
+// bookkeeping (ProbeHealth shares it to bypass the down gate).
+func (c *Client) doGet(ctx context.Context, path string) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		body, err := c.getOnce(ctx, path)
@@ -184,6 +320,7 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 
 // getOnce is a single attempt, bounded by the per-attempt timeout.
 func (c *Client) getOnce(ctx context.Context, path string) ([]byte, error) {
+	c.attempts.Add(1)
 	if c.reqTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
@@ -408,6 +545,38 @@ func (c *Client) Invalidate(ctx context.Context, name string) (*InvalidateResult
 	out := &InvalidateResult{}
 	if err := json.Unmarshal(body, out); err != nil {
 		return nil, fmt.Errorf("blockstore: bad /v1/invalidate response: %v", err)
+	}
+	return out, nil
+}
+
+// Repair pushes a verified replacement copy of a file to the server
+// via PUT /v1/repair/NAME — the cross-replica healing path: a router
+// that fetched good bytes from one replica re-pushes them to a replica
+// whose copy failed its CRC. The server re-verifies before accepting,
+// so a damaged payload cannot displace a good copy. Not retried: the
+// repair loop owns scheduling and backoff.
+func (c *Client) Repair(ctx context.Context, name string, data []byte) (*RepairResult, error) {
+	c.attempts.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/v1/repair/"+rawPath(name), bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	obs.InjectTraceparent(ctx, req.Header)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, &HTTPError{Status: resp.StatusCode, Path: "/v1/repair/" + name, Msg: firstLine(body)}
+	}
+	out := &RepairResult{}
+	if err := json.Unmarshal(body, out); err != nil {
+		return nil, fmt.Errorf("blockstore: bad /v1/repair response: %v", err)
 	}
 	return out, nil
 }

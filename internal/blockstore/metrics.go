@@ -30,6 +30,8 @@ type Metrics struct {
 	QuarantinedBlocks atomic.Int64 // gauge: blocks currently quarantined
 	Invalidations     atomic.Int64 // Invalidate calls (file reloads/removals)
 	InvalidatedBlocks atomic.Int64 // cached blocks dropped by invalidation
+	RepairsAccepted   atomic.Int64 // repair pushes verified and installed
+	RepairsRejected   atomic.Int64 // repair pushes refused (failed verification)
 
 	mu        sync.Mutex
 	endpoints map[string]*EndpointMetrics
@@ -116,6 +118,8 @@ func (m *Metrics) Cache() CacheStats {
 		InFlight:          m.InFlight.Load(),
 		CorruptBlocks:     m.CorruptBlocks.Load(),
 		QuarantinedBlocks: m.QuarantinedBlocks.Load(),
+		RepairsAccepted:   m.RepairsAccepted.Load(),
+		RepairsRejected:   m.RepairsRejected.Load(),
 	}
 }
 
@@ -142,6 +146,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	gauge("btrserved_quarantined_blocks", "Blocks currently quarantined after repeated corrupt decodes.", m.QuarantinedBlocks.Load())
 	counter("btrserved_invalidations_total", "File invalidations (reload, add, or removal of a served file).", m.Invalidations.Load())
 	counter("btrserved_invalidated_blocks_total", "Cached blocks dropped by file invalidation.", m.InvalidatedBlocks.Load())
+	counter("btrserved_repairs_accepted_total", "Cross-replica repair pushes verified and installed.", m.RepairsAccepted.Load())
+	counter("btrserved_repairs_rejected_total", "Cross-replica repair pushes refused after failing verification.", m.RepairsRejected.Load())
 
 	routes, eps := m.endpointsSorted()
 

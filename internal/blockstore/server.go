@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -24,6 +25,7 @@ import (
 //	GET /v1/trace/NAME[?block=I]          cascade decision trace (JSON)
 //	GET /v1/telemetry                     cache + library telemetry (JSON)
 //	GET /metrics                          Prometheus text exposition
+//	PUT /v1/repair/NAME                   install a verified replacement copy
 //
 // The raw endpoint is the S3-style path: compute nodes that want to run
 // their own decoder fetch byte ranges, exactly as against an object
@@ -87,6 +89,7 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	s.handle("/v1/spans", s.handleSpans)
 	s.handle("/metrics", s.handleMetrics)
 	s.handleWith("/v1/invalidate/", s.handleInvalidate, http.MethodPost)
+	s.handleWith("/v1/repair/", s.handleRepair, http.MethodPut, http.MethodPost)
 	s.handler = s.mux
 	if s.timeout > 0 {
 		s.handler = http.TimeoutHandler(s.mux, s.timeout, "request timed out")
@@ -387,6 +390,38 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		status = "reloaded"
 	}
 	writeJSON(w, InvalidateResult{File: name, Status: status})
+}
+
+// maxRepairBytes bounds a repair payload; column files are far smaller,
+// and an unbounded body would let one bad push exhaust memory.
+const maxRepairBytes = 1 << 30
+
+// handleRepair serves PUT /v1/repair/NAME: install a pushed replacement
+// copy of a file after verifying every checksum and payload — the
+// receiving half of cross-replica repair. A payload that fails
+// verification is refused with 422 and changes nothing.
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/repair/")
+	if name == "" {
+		http.Error(w, "missing file name", http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRepairBytes))
+	if err != nil {
+		http.Error(w, "reading repair payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	_, rep := obs.StartChild(r.Context(), "store.repair")
+	rep.SetAttr("file", name)
+	rep.SetAttrInt("bytes", int64(len(data)))
+	err = s.store.AcceptRepair(name, data)
+	rep.SetError(err)
+	rep.End()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, RepairResult{File: name, Bytes: len(data), Status: "accepted"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -292,6 +292,74 @@ func (s *Store) Invalidate(name string) {
 	s.fmu.Unlock()
 
 	s.cache.InvalidateFile(name)
+	s.clearQuarantine(name)
+	s.metrics.Invalidations.Add(1)
+}
+
+// AcceptRepair replaces (or adds) the named file with a pushed copy —
+// the receiving half of cross-replica repair. The payload is verified
+// before anything changes: it must be a BtrBlocks container whose
+// checksums and payloads all check out, so a damaged or malicious push
+// can never displace a good copy. Accepted bytes are persisted
+// atomically (temp + rename) when the store has a backing directory,
+// the entry is swapped in under the file lock, and every cached block
+// and quarantine record of the old copy is dropped.
+func (s *Store) AcceptRepair(name string, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("%w: empty repair payload", btrblocks.ErrCorrupt)
+	}
+	if _, ok := btrblocks.SniffKind(data); !ok {
+		return fmt.Errorf("%w: repair payload is not a btrblocks container", btrblocks.ErrCorrupt)
+	}
+	rep := btrblocks.Verify(data, &btrblocks.VerifyOptions{Deep: true})
+	if !rep.OK {
+		s.metrics.RepairsRejected.Add(1)
+		return fmt.Errorf("%w: repair payload failed verification: %s", btrblocks.ErrCorrupt, verifySummary(rep))
+	}
+	if s.dir != "" {
+		path := filepath.Join(s.dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(filepath.Dir(path), ".repair-*")
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write(data); err == nil {
+			err = tmp.Sync()
+		} else {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	replacement := classifyFile(name, append([]byte(nil), data...))
+	s.fmu.Lock()
+	if _, known := s.files[name]; !known {
+		s.names = append(s.names, name)
+		sort.Strings(s.names)
+	}
+	s.files[name] = replacement
+	s.loaded = time.Now()
+	s.fmu.Unlock()
+
+	s.cache.InvalidateFile(name)
+	s.clearQuarantine(name)
+	s.metrics.RepairsAccepted.Add(1)
+	return nil
+}
+
+// clearQuarantine drops the failure and quarantine records of every
+// block of the named file (shared by Invalidate and AcceptRepair).
+func (s *Store) clearQuarantine(name string) {
 	prefix := name + "\x00"
 	s.quarMu.Lock()
 	for key := range s.failures {
@@ -306,7 +374,24 @@ func (s *Store) Invalidate(name string) {
 		}
 	}
 	s.quarMu.Unlock()
-	s.metrics.Invalidations.Add(1)
+}
+
+// verifySummary renders the first problem a failed VerifyReport found.
+func verifySummary(rep *btrblocks.VerifyReport) string {
+	if len(rep.Errors) > 0 {
+		return rep.Errors[0]
+	}
+	for _, col := range rep.Columns {
+		if col.Error != "" {
+			return col.Error
+		}
+		for _, b := range col.Blocks {
+			if !b.OK {
+				return fmt.Sprintf("block %d: %s", b.Block, b.Error)
+			}
+		}
+	}
+	return "verification failed"
 }
 
 // Close stops the prefetch workers. The store must not be used after

@@ -90,6 +90,17 @@ type CacheStats struct {
 	InFlight          int64 `json:"inflight"`
 	CorruptBlocks     int64 `json:"corrupt_blocks"`
 	QuarantinedBlocks int64 `json:"quarantined_blocks"`
+	RepairsAccepted   int64 `json:"repairs_accepted,omitempty"`
+	RepairsRejected   int64 `json:"repairs_rejected,omitempty"`
+}
+
+// RepairResult is the PUT /v1/repair/NAME response.
+type RepairResult struct {
+	File string `json:"file"`
+	// Bytes is the size of the installed payload.
+	Bytes int `json:"bytes"`
+	// Status is "accepted" — a rejected push is an HTTP error instead.
+	Status string `json:"status"`
 }
 
 // TelemetryReport is the /v1/telemetry response: the serving-side cache
@@ -212,6 +223,95 @@ func (p *BlockPayload) Values() (*BlockValues, error) {
 		}
 	}
 	return out, nil
+}
+
+// WireType maps the block's Type string back to the btrblocks Type
+// byte, with the populated payload slice as a tie-breaker so a block
+// that traveled either wire format round-trips.
+func (b *BlockValues) WireType() btrblocks.Type {
+	switch b.Type {
+	case btrblocks.TypeInt.String():
+		return btrblocks.TypeInt
+	case btrblocks.TypeInt64.String():
+		return btrblocks.TypeInt64
+	case btrblocks.TypeDouble.String():
+		return btrblocks.TypeDouble
+	case btrblocks.TypeString.String():
+		return btrblocks.TypeString
+	}
+	switch {
+	case b.Ints != nil:
+		return btrblocks.TypeInt
+	case b.Ints64 != nil:
+		return btrblocks.TypeInt64
+	case b.Doubles != nil:
+		return btrblocks.TypeDouble
+	default:
+		return btrblocks.TypeString
+	}
+}
+
+// EncodeBinary renders the block in the BTBK wire format — the path a
+// router uses to re-serve a block it fetched from a replica without
+// ever re-decoding the column bytes.
+func (b *BlockValues) EncodeBinary() []byte {
+	out := make([]byte, 0, 18+4*len(b.Nulls)+b.UncompressedBytes())
+	out = append(out, blockWireMagic...)
+	out = append(out, blockWireVersion, byte(b.WireType()))
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.StartRow))
+	out = binary.LittleEndian.AppendUint32(out, uint32(b.Rows))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(b.Nulls)))
+	for _, p := range b.Nulls {
+		out = binary.LittleEndian.AppendUint32(out, uint32(p))
+	}
+	switch b.WireType() {
+	case btrblocks.TypeInt:
+		for _, v := range b.Ints {
+			out = binary.LittleEndian.AppendUint32(out, uint32(v))
+		}
+	case btrblocks.TypeInt64:
+		for _, v := range b.Ints64 {
+			out = binary.LittleEndian.AppendUint64(out, uint64(v))
+		}
+	case btrblocks.TypeDouble:
+		for _, v := range b.Doubles {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	case btrblocks.TypeString:
+		off := uint32(0)
+		out = binary.LittleEndian.AppendUint32(out, off)
+		for _, s := range b.Strings {
+			off += uint32(len(s))
+			out = binary.LittleEndian.AppendUint32(out, off)
+		}
+		for _, s := range b.Strings {
+			out = append(out, s...)
+		}
+	}
+	return out
+}
+
+// Payload renders the block as the JSON DTO (the counterpart of
+// EncodeBinary for format=json re-serving).
+func (b *BlockValues) Payload() *BlockPayload {
+	p := &BlockPayload{
+		File:     b.File,
+		Block:    b.Block,
+		StartRow: b.StartRow,
+		Rows:     b.Rows,
+		Type:     b.WireType().String(),
+		Ints:     b.Ints,
+		Ints64:   b.Ints64,
+		Strings:  b.Strings,
+		Nulls:    b.Nulls,
+	}
+	if b.Doubles != nil {
+		p.Doubles = make([]string, len(b.Doubles))
+		for i, v := range b.Doubles {
+			p.Doubles[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+	}
+	return p
 }
 
 // encodeBlockBinary renders a decoded block in the BTBK wire format.

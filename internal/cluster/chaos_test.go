@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"btrblocks/internal/blockstore"
+)
+
+// TestClusterChaosSeeded is the in-suite version of the btrrouted
+// smoke's chaos phases: over a seeded 3-node cluster it (1) flips a
+// byte on one replica of a random file, (2) closes one node that is
+// not the damaged file's surviving good copy while scans run
+// concurrently, and asserts every scan keeps returning complete,
+// bit-correct results and the flipped replica heals — in any
+// interleaving the seed produces.
+func TestClusterChaosSeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(1337))
+	contents, cols := testCorpus(t)
+	names := []string{"n1", "n2", "n3"}
+	ring, perNode := placeCorpus(t, contents, names, 2)
+
+	// Pick a seeded victim file and damage one of its replicas — the
+	// one rotation makes primary for the flipped block, so routed reads
+	// deterministically observe the damage.
+	fileNames := make([]string, 0, len(contents))
+	for name := range contents {
+		fileNames = append(fileNames, name)
+	}
+	sort.Strings(fileNames)
+	victimFile := fileNames[rng.Intn(len(fileNames))]
+	badBlock := rng.Intn(blockCount(t, contents[victimFile]))
+	placed := ring.Place(victimFile, 2)
+	damagedNode := placed[badBlock%len(placed)]
+	donorNode := placed[0]
+	if donorNode == damagedNode {
+		donorNode = placed[1]
+	}
+	perNode[damagedNode][victimFile] = flipBlockByte(t, contents[victimFile], badBlock)
+
+	nodes, specs := startNodes(t, names, perNode, blockstore.Config{QuarantineThreshold: 1})
+	r := newTestRouter(t, specs, Config{
+		Replicas:       2,
+		DisableHedge:   true,
+		AttemptTimeout: 2 * time.Second,
+		ProbeInterval:  50 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		DownTTL:        200 * time.Millisecond,
+	})
+
+	// The kill victim must not be the damaged file's only good copy —
+	// the donor must survive so repair can converge.
+	killIdx := rng.Intn(len(nodes))
+	for killIdx == donorNode {
+		killIdx = rng.Intn(len(nodes))
+	}
+
+	// Concurrent scan workers hammer the whole corpus through the
+	// router while the chaos happens.
+	var (
+		stop     atomic.Bool
+		scans    atomic.Int64
+		failures atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				name := fileNames[(int(scans.Add(1))+w)%len(fileNames)]
+				col := cols[name]
+				blocks := blockCount(t, contents[name])
+				for b := 0; b < blocks; b++ {
+					blk, err := r.FetchBlock(testCtx, name, b)
+					if err != nil {
+						t.Errorf("scan %s block %d: %v", name, b, err)
+						failures.Add(1)
+						return
+					}
+					if blk.StartRow+blk.Rows > col.Len() {
+						t.Errorf("scan %s block %d: rows out of range", name, b)
+						failures.Add(1)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Let scans run, then kill a node mid-flight.
+	waitFor(t, 5*time.Second, "scans to start", func() bool { return scans.Load() > 5 })
+	nodes[killIdx].srv.Close()
+	preKill := scans.Load()
+	waitFor(t, 10*time.Second, "scans to continue past the kill", func() bool {
+		return failures.Load() > 0 || scans.Load() > preKill+10
+	})
+	stop.Store(true)
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d scans failed around the chaos", failures.Load())
+	}
+
+	// Every file still reads complete and bit-correct off the survivors.
+	for name, col := range cols {
+		blocks := blockCount(t, contents[name])
+		verifyColumn(t, col, blocks, func(b int) (*blockstore.BlockValues, error) {
+			return r.FetchBlock(testCtx, name, b)
+		})
+	}
+
+	// The damaged replica heals unless the chaos killed it — repair
+	// needs the damaged node alive to accept the push.
+	if killIdx != damagedNode {
+		waitFor(t, 10*time.Second, "flipped replica to heal", func() bool {
+			_, err := nodes[damagedNode].cl.Block(testCtx, victimFile, badBlock)
+			return err == nil
+		})
+		verifyColumn(t, cols[victimFile], blockCount(t, contents[victimFile]), func(b int) (*blockstore.BlockValues, error) {
+			return nodes[damagedNode].cl.Block(testCtx, victimFile, b)
+		})
+		if r.Metrics().RepairsSucceeded.Load() == 0 {
+			t.Error("no successful repair recorded")
+		}
+	}
+
+	// The prober noticed the death.
+	waitFor(t, 5*time.Second, "prober to mark the killed node down", func() bool {
+		return r.Metrics().NodesUp.Load() == int64(len(nodes)-1)
+	})
+	if r.Metrics().Failovers.Load() == 0 {
+		t.Error("no failovers counted across the chaos")
+	}
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"btrblocks"
+	"btrblocks/internal/blockstore"
+)
+
+// testCorpus builds a small multi-block corpus: one column file per
+// type (3 blocks each) plus NULLs, keyed by store-relative name.
+func testCorpus(t *testing.T) (map[string][]byte, map[string]btrblocks.Column) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	const n = 3000
+	nulls := btrblocks.NewNullMask()
+	for i := 0; i < n; i += 7 {
+		nulls.SetNull(i)
+	}
+	ints := make([]int32, n)
+	ints64 := make([]int64, n)
+	doubles := make([]float64, n)
+	strs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ints[i] = int32(rng.Intn(100))
+		ints64[i] = int64(rng.Intn(100)) << 33
+		doubles[i] = float64(rng.Intn(1000)) / 8
+		strs[i] = fmt.Sprintf("city-%d", rng.Intn(25))
+	}
+	cols := map[string]btrblocks.Column{
+		"t/i.btr": btrblocks.IntColumn("i", ints),
+		"t/l.btr": btrblocks.Int64Column("l", ints64),
+		"t/d.btr": btrblocks.DoubleColumn("d", doubles),
+		"t/s.btr": btrblocks.StringColumn("s", strs),
+	}
+	contents := make(map[string][]byte)
+	for name, col := range cols {
+		col.Nulls = nulls
+		cols[name] = col
+		data, err := btrblocks.CompressColumn(col, &btrblocks.Options{BlockSize: 1000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		contents[name] = data
+	}
+	return contents, cols
+}
+
+// placeCorpus distributes a corpus over node-local content maps using
+// the same ring the router under test will build.
+func placeCorpus(t *testing.T, contents map[string][]byte, names []string, replicas int) (*Ring, []map[string][]byte) {
+	t.Helper()
+	ring, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := make([]map[string][]byte, len(names))
+	for i := range perNode {
+		perNode[i] = make(map[string][]byte)
+	}
+	for name, data := range contents {
+		for _, ni := range ring.Place(name, replicas) {
+			perNode[ni][name] = data
+		}
+	}
+	return ring, perNode
+}
+
+// testNode is one httptest-backed cluster member.
+type testNode struct {
+	name  string
+	store *blockstore.Store
+	srv   *httptest.Server
+	cl    *blockstore.Client
+}
+
+// startNodes serves each node-local content map over httptest and
+// returns the nodes plus their "name=url" specs.
+func startNodes(t *testing.T, names []string, perNode []map[string][]byte, storeCfg blockstore.Config) ([]*testNode, []string) {
+	t.Helper()
+	nodes := make([]*testNode, len(names))
+	specs := make([]string, len(names))
+	for i, name := range names {
+		store, err := blockstore.NewStore(perNode[i], storeCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(store.Close)
+		srv := httptest.NewServer(blockstore.NewServer(store))
+		t.Cleanup(srv.Close)
+		nodes[i] = &testNode{name: name, store: store, srv: srv, cl: blockstore.NewClient(srv.URL)}
+		specs[i] = name + "=" + srv.URL
+	}
+	return nodes, specs
+}
+
+// newTestRouter builds and starts a router over the specs with
+// test-friendly defaults: no background prober (tests call ProbeOnce
+// when they need health state), fast repair, quiet logs.
+func newTestRouter(t *testing.T, specs []string, cfg Config) *Router {
+	t.Helper()
+	cfg.Nodes = specs
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1
+	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = 5 * time.Second
+	}
+	if cfg.RepairBackoff == 0 {
+		cfg.RepairBackoff = 10 * time.Millisecond
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(testWriter{t}, &slog.HandlerOptions{Level: slog.LevelError}))
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(r.Close)
+	return r
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(string(p))
+	return len(p), nil
+}
+
+// blockCount returns the number of blocks in a compressed column file.
+func blockCount(t *testing.T, data []byte) int {
+	t.Helper()
+	ix, err := btrblocks.ParseColumnIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ix.Blocks)
+}
+
+// flipBlockByte corrupts one byte inside the given block's payload,
+// returning a damaged copy.
+func flipBlockByte(t *testing.T, data []byte, block int) []byte {
+	t.Helper()
+	ix, err := btrblocks.ParseColumnIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(nil), data...)
+	out[ix.Blocks[block].DataOffset()] ^= 0xFF
+	return out
+}
+
+// verifyColumn fetches every block via fetch and checks each value and
+// NULL position against the ground-truth column.
+func verifyColumn(t *testing.T, col btrblocks.Column, blocks int, fetch func(b int) (*blockstore.BlockValues, error)) {
+	t.Helper()
+	rows := 0
+	for b := 0; b < blocks; b++ {
+		blk, err := fetch(b)
+		if err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		if blk.StartRow != rows {
+			t.Fatalf("block %d starts at %d, want %d", b, blk.StartRow, rows)
+		}
+		isNull := make(map[int]bool, len(blk.Nulls))
+		for _, p := range blk.Nulls {
+			isNull[p] = true
+		}
+		for i := 0; i < blk.Rows; i++ {
+			r := rows + i
+			if col.Nulls != nil && col.Nulls.IsNull(r) {
+				if !isNull[i] {
+					t.Fatalf("row %d is NULL but served as valid", r)
+				}
+				continue
+			}
+			if isNull[i] {
+				t.Fatalf("row %d served as NULL but is valid", r)
+			}
+			switch col.Type {
+			case btrblocks.TypeInt:
+				if blk.Ints[i] != col.Ints[r] {
+					t.Fatalf("row %d: got %d, want %d", r, blk.Ints[i], col.Ints[r])
+				}
+			case btrblocks.TypeInt64:
+				if blk.Ints64[i] != col.Ints64[r] {
+					t.Fatalf("row %d: got %d, want %d", r, blk.Ints64[i], col.Ints64[r])
+				}
+			case btrblocks.TypeDouble:
+				if blk.Doubles[i] != col.Doubles[r] {
+					t.Fatalf("row %d: got %v, want %v", r, blk.Doubles[i], col.Doubles[r])
+				}
+			case btrblocks.TypeString:
+				if blk.Strings[i] != col.Strings.At(r) {
+					t.Fatalf("row %d: got %q, want %q", r, blk.Strings[i], col.Strings.At(r))
+				}
+			}
+		}
+		rows += blk.Rows
+	}
+	if rows != col.Len() {
+		t.Fatalf("blocks cover %d rows, column has %d", rows, col.Len())
+	}
+}
+
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var testCtx = context.Background()

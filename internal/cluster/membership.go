@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"btrblocks/internal/blockstore"
+)
+
+// Node is one cluster member: a stable name (the placement key), the
+// HTTP endpoint it currently answers on, and the fault-tolerant client
+// the router talks to it through. Health is probed periodically by the
+// Membership and consulted on every routing decision.
+type Node struct {
+	Name     string
+	Endpoint string
+	Client   *blockstore.Client
+
+	up        atomic.Bool
+	lastProbe atomic.Int64 // unixnano of the last completed probe
+}
+
+// Up reports whether the node's last health probe succeeded. Nodes
+// start optimistic (up) so traffic flows before the first probe lands.
+func (n *Node) Up() bool { return n.up.Load() }
+
+// NodeStatus is the JSON view of one node (served at /v1/nodes).
+type NodeStatus struct {
+	Name     string                 `json:"name"`
+	Endpoint string                 `json:"endpoint"`
+	Up       bool                   `json:"up"`
+	Client   blockstore.ClientStats `json:"client"`
+}
+
+// ParseNodeSpec splits a "name=url" node spec; a bare URL gets its
+// host:port as the name. Names are the consistent-hash placement keys,
+// so give nodes explicit stable names whenever endpoints are dynamic.
+func ParseNodeSpec(spec string) (name, endpoint string, err error) {
+	spec = strings.TrimSpace(spec)
+	if i := strings.Index(spec, "="); i >= 0 && !strings.HasPrefix(spec, "http") {
+		name, endpoint = spec[:i], spec[i+1:]
+	} else {
+		endpoint = spec
+	}
+	if endpoint == "" {
+		return "", "", fmt.Errorf("cluster: empty node endpoint in %q", spec)
+	}
+	u, err := url.Parse(endpoint)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return "", "", fmt.Errorf("cluster: bad node endpoint %q (want http://host:port)", endpoint)
+	}
+	if name == "" {
+		name = u.Host
+	}
+	return name, strings.TrimSuffix(endpoint, "/"), nil
+}
+
+// Membership owns the node set, the placement ring over their names,
+// and the background health-probe loop.
+type Membership struct {
+	nodes    []*Node
+	ring     *Ring
+	replicas int
+
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	log           *slog.Logger
+	metrics       *Metrics
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// newMembership builds the node set and ring from "name=url" specs.
+func newMembership(specs []string, replicas, vnodes int, httpClient *http.Client,
+	clientOpts func(name string) []blockstore.ClientOption,
+	probeInterval, probeTimeout time.Duration, log *slog.Logger, m *Metrics) (*Membership, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: at least one node is required")
+	}
+	if replicas <= 0 {
+		replicas = 2
+	}
+	if replicas > len(specs) {
+		replicas = len(specs)
+	}
+	names := make([]string, 0, len(specs))
+	nodes := make([]*Node, 0, len(specs))
+	for _, spec := range specs {
+		name, endpoint, err := ParseNodeSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		opts := []blockstore.ClientOption{}
+		if httpClient != nil {
+			opts = append(opts, blockstore.WithHTTPClient(httpClient))
+		}
+		if clientOpts != nil {
+			opts = append(opts, clientOpts(name)...)
+		}
+		n := &Node{Name: name, Endpoint: endpoint, Client: blockstore.NewClient(endpoint, opts...)}
+		n.up.Store(true)
+		names = append(names, name)
+		nodes = append(nodes, n)
+	}
+	ring, err := NewRing(names, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	mem := &Membership{
+		nodes:         nodes,
+		ring:          ring,
+		replicas:      replicas,
+		probeInterval: probeInterval,
+		probeTimeout:  probeTimeout,
+		log:           log,
+		metrics:       m,
+		quit:          make(chan struct{}),
+	}
+	mem.metrics.NodesUp.Store(int64(len(nodes)))
+	return mem, nil
+}
+
+// start launches the probe loop (idempotent).
+func (m *Membership) start() {
+	if m.probeInterval <= 0 {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(m.probeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.quit:
+				return
+			case <-t.C:
+				m.ProbeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// close stops the probe loop.
+func (m *Membership) close() {
+	m.once.Do(func() { close(m.quit) })
+	m.wg.Wait()
+}
+
+// ProbeOnce health-checks every node concurrently and updates their
+// up/down state, logging transitions. Exposed so tests and the router's
+// startup can force a probe instead of waiting out the interval.
+func (m *Membership) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, n := range m.nodes {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, m.probeTimeout)
+			defer cancel()
+			err := n.Client.ProbeHealth(pctx)
+			n.lastProbe.Store(time.Now().UnixNano())
+			up := err == nil
+			if n.up.Swap(up) != up {
+				m.metrics.ProbeTransitions.Add(1)
+				if up {
+					m.log.Info("node up", "node", n.Name, "endpoint", n.Endpoint)
+				} else {
+					m.log.Warn("node down", "node", n.Name, "endpoint", n.Endpoint, "err", err.Error())
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	var live int64
+	for _, n := range m.nodes {
+		if n.Up() {
+			live++
+		}
+	}
+	m.metrics.NodesUp.Store(live)
+}
+
+// Nodes returns every member.
+func (m *Membership) Nodes() []*Node { return m.nodes }
+
+// Replicas returns the replication factor R.
+func (m *Membership) Replicas() int { return m.replicas }
+
+// Ring returns the placement ring.
+func (m *Membership) Ring() *Ring { return m.ring }
+
+// Place returns the R nodes responsible for a file, in ring preference
+// order regardless of health (callers reorder by health).
+func (m *Membership) Place(name string) []*Node {
+	idx := m.ring.Place(name, m.replicas)
+	out := make([]*Node, len(idx))
+	for i, id := range idx {
+		out[i] = m.nodes[id]
+	}
+	return out
+}
+
+// Statuses snapshots every node's health and client counters.
+func (m *Membership) Statuses() []NodeStatus {
+	out := make([]NodeStatus, len(m.nodes))
+	for i, n := range m.nodes {
+		out[i] = NodeStatus{Name: n.Name, Endpoint: n.Endpoint, Up: n.Up(), Client: n.Client.Stats()}
+	}
+	return out
+}

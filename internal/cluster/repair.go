@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"btrblocks"
+	"btrblocks/internal/obs"
+)
+
+// Cross-replica repair: when a replica answers a read with 422
+// (corrupt) or 410 (quarantined), the router enqueues a repair task.
+// The repair worker fetches the file's raw bytes from a healthy
+// replica, deep-verifies them locally, and pushes them to the damaged
+// node via PUT /v1/repair/NAME — which re-verifies before atomically
+// installing, so a racing second corruption cannot displace a good
+// copy. This replaces the single-node posture of PR 4 (quarantine and
+// wait for an operator) with convergence: the cluster heals itself
+// while scans keep succeeding off the other replica.
+
+// repairTask asks the worker to heal one file on one damaged node.
+type repairTask struct {
+	file string
+	node *Node
+}
+
+func (t repairTask) key() string { return t.file + "\x00" + t.node.Name }
+
+// enqueueRepair schedules a repair unless the same (file, node) pair is
+// already pending. Never blocks: a full queue drops the task (counted),
+// and the next damaged read of the file re-enqueues it.
+func (r *Router) enqueueRepair(file string, node *Node) {
+	t := repairTask{file: file, node: node}
+	r.pendingMu.Lock()
+	if r.pending[t.key()] {
+		r.pendingMu.Unlock()
+		return
+	}
+	r.pending[t.key()] = true
+	r.pendingMu.Unlock()
+	select {
+	case r.repairCh <- t:
+		r.metrics.RepairsQueued.Add(1)
+	default:
+		r.clearPending(t)
+		r.metrics.RepairsDropped.Add(1)
+		r.log.Warn("repair queue full, task dropped", "file", file, "node", node.Name)
+	}
+}
+
+func (r *Router) clearPending(t repairTask) {
+	r.pendingMu.Lock()
+	delete(r.pending, t.key())
+	r.pendingMu.Unlock()
+}
+
+// repairLoop drains the repair queue until Close.
+func (r *Router) repairLoop() {
+	for {
+		select {
+		case <-r.quit:
+			return
+		case t := <-r.repairCh:
+			r.runRepair(t)
+		}
+	}
+}
+
+// runRepair attempts one repair task up to the attempt budget, backing
+// off between attempts. The whole task is one root span in the router's
+// recorder so the heal shows up next to the scan that triggered it.
+func (r *Router) runRepair(t repairTask) {
+	defer r.clearPending(t)
+	ctx, span := r.spans.StartRoot(context.Background(), "router.repair")
+	span.SetAttr("file", t.file)
+	span.SetAttr("node", t.node.Name)
+	defer span.End()
+
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.RepairAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-r.quit:
+				span.SetError(fmt.Errorf("router closing"))
+				r.metrics.RepairsFailed.Add(1)
+				return
+			case <-time.After(r.cfg.RepairBackoff):
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, r.cfg.RepairTimeout)
+		bytes, err := r.repairOnce(actx, t)
+		cancel()
+		if err == nil {
+			span.SetAttrInt("bytes", int64(bytes))
+			span.SetAttrInt("attempts", int64(attempt+1))
+			r.metrics.RepairsSucceeded.Add(1)
+			r.log.Info("replica repaired", "file", t.file, "node", t.node.Name, "bytes", bytes)
+			return
+		}
+		lastErr = err
+	}
+	span.SetError(lastErr)
+	r.metrics.RepairsFailed.Add(1)
+	r.log.Warn("repair failed", "file", t.file, "node", t.node.Name, "err", lastErr.Error())
+}
+
+// repairOnce is one healing attempt: find a donor replica with a copy
+// that deep-verifies, then push it to the damaged node. The damaged
+// node itself never donates, and a donor whose copy fails verification
+// is skipped — two damaged replicas must not trade bad bytes.
+func (r *Router) repairOnce(ctx context.Context, t repairTask) (int, error) {
+	ctx, span := obs.StartChild(ctx, "repair.attempt")
+	defer span.End()
+	var lastErr error
+	for _, donor := range r.orderFor(t.file, 0) {
+		if donor == t.node {
+			continue
+		}
+		data, err := donor.Client.Raw(ctx, t.file)
+		if err != nil {
+			lastErr = fmt.Errorf("donor %s: %w", donor.Name, err)
+			continue
+		}
+		if rep := btrblocks.Verify(data, &btrblocks.VerifyOptions{Deep: true}); !rep.OK {
+			lastErr = fmt.Errorf("donor %s: copy fails verification: %s", donor.Name, firstVerifyError(rep))
+			continue
+		}
+		res, err := t.node.Client.Repair(ctx, t.file, data)
+		if err != nil {
+			span.SetError(err)
+			return 0, fmt.Errorf("push to %s: %w", t.node.Name, err)
+		}
+		span.SetAttr("donor", donor.Name)
+		return res.Bytes, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no donor replica for %s", t.file)
+	}
+	span.SetError(lastErr)
+	return 0, lastErr
+}
+
+// firstVerifyError summarizes a failed verification report.
+func firstVerifyError(rep *btrblocks.VerifyReport) string {
+	if len(rep.Errors) > 0 {
+		return rep.Errors[0]
+	}
+	return "payload damage"
+}

@@ -1,0 +1,131 @@
+// Package cluster turns a set of independent btrserved nodes into a
+// replicated blockstore: a consistent-hash Ring places every column
+// file on R of N nodes, a Membership tracks node health with periodic
+// probes, and a Router scatter-gathers block fetches and pushed-down
+// counts across the cluster — failing over between replicas, hedging
+// slow reads against a second replica, and pushing verified good copies
+// back onto replicas whose bytes failed their CRC (cross-replica
+// repair, the promotion of the single-node quarantine/self-healing
+// machinery from PR 4).
+//
+// Placement is by node *name*, not endpoint, so a cluster whose nodes
+// restart on new ports (or move hosts) keeps the same file→replica
+// mapping as long as the names are stable. Writers use the same Ring to
+// decide where to put files; the Router uses it to decide where to read
+// them from.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the ring points per node when Ring is built
+// with vnodes <= 0. 128 points keep the per-node share of keys within a
+// few percent of uniform for small clusters without making ring walks
+// expensive.
+const DefaultVirtualNodes = 128
+
+type ringPoint struct {
+	hash uint64
+	node int // index into names
+}
+
+// Ring is a consistent-hash ring over node names with virtual nodes.
+// Immutable after construction; builds are cheap enough to rebuild on
+// membership change.
+type Ring struct {
+	names  []string
+	points []ringPoint
+}
+
+// NewRing builds a ring over the given node names (order is
+// insignificant; placement depends only on the name set). vnodes <= 0
+// uses DefaultVirtualNodes.
+func NewRing(names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n)
+		}
+		seen[n] = true
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{
+		names:  append([]string(nil), names...),
+		points: make([]ringPoint, 0, len(names)*vnodes),
+	}
+	for i, name := range r.names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(name + "#" + strconv.Itoa(v)),
+				node: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Ties broken by node index so the walk order is deterministic
+		// regardless of input order.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Nodes returns the node names the ring was built over.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.names...) }
+
+// ringHash is FNV-1a over the key — stable across processes and Go
+// versions, which placement requires (writers and routers must agree).
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Place returns the indices of the n distinct nodes responsible for
+// key, clockwise from the key's hash. n is capped at the node count.
+// The first index is the key's primary; the rest are its replicas in
+// preference order.
+func (r *Ring) Place(key string, n int) []int {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.names) {
+		n = len(r.names)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// PlaceNames is Place returning node names.
+func (r *Ring) PlaceNames(key string, n int) []string {
+	idx := r.Place(key, n)
+	out := make([]string, len(idx))
+	for i, id := range idx {
+		out[i] = r.names[id]
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ds-%d/col-%d.btr", i%37, i)
+	}
+	return keys
+}
+
+// Placement must be a pure function of the name set — independent of
+// the order nodes were listed in, and stable across ring rebuilds.
+func TestRingPlacementDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n4", "n2", "n1", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ringKeys(500) {
+		pa := a.PlaceNames(key, 2)
+		pb := b.PlaceNames(key, 2)
+		if len(pa) != len(pb) {
+			t.Fatalf("%s: %v vs %v", key, pa, pb)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("%s: placement depends on input order: %v vs %v", key, pa, pb)
+			}
+		}
+	}
+}
+
+// Place must return R distinct nodes, capped at the cluster size.
+func TestRingDistinctReplicas(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ringKeys(300) {
+		for _, n := range []int{1, 2, 3, 7} {
+			placed := r.Place(key, n)
+			want := n
+			if want > 3 {
+				want = 3
+			}
+			if len(placed) != want {
+				t.Fatalf("%s: Place(%d) returned %d nodes", key, n, len(placed))
+			}
+			seen := make(map[int]bool)
+			for _, ni := range placed {
+				if seen[ni] {
+					t.Fatalf("%s: duplicate replica %d in %v", key, ni, placed)
+				}
+				seen[ni] = true
+			}
+		}
+	}
+}
+
+// With virtual nodes, the per-node share of primaries stays within a
+// reasonable band of uniform.
+func TestRingDistribution(t *testing.T) {
+	names := []string{"n1", "n2", "n3", "n4", "n5"}
+	r, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	keys := ringKeys(5000)
+	for _, key := range keys {
+		counts[r.Place(key, 1)[0]]++
+	}
+	mean := len(keys) / len(names)
+	for ni, c := range counts {
+		if c < mean/3 || c > mean*3 {
+			t.Errorf("node %d owns %d of %d keys (mean %d) — distribution too skewed", ni, c, len(keys), mean)
+		}
+	}
+	if len(counts) != len(names) {
+		t.Fatalf("only %d of %d nodes own any keys", len(counts), len(names))
+	}
+}
+
+// The consistent-hashing contract: removing one node must not change
+// the primary of any key whose primary was a different node.
+func TestRingRemovalStability(t *testing.T) {
+	before, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	keys := ringKeys(2000)
+	for _, key := range keys {
+		was := before.PlaceNames(key, 1)[0]
+		now := after.PlaceNames(key, 1)[0]
+		if was == "n4" {
+			moved++
+			continue
+		}
+		if now != was {
+			t.Fatalf("%s: primary moved %s -> %s though n4 was not its primary", key, was, now)
+		}
+	}
+	if moved == 0 || moved > len(keys)/2 {
+		t.Fatalf("%d of %d keys had n4 as primary — expected roughly a quarter", moved, len(keys))
+	}
+}
+
+func TestParseNodeSpec(t *testing.T) {
+	cases := []struct {
+		spec, name, endpoint string
+		wantErr              bool
+	}{
+		{spec: "n1=http://h1:8080", name: "n1", endpoint: "http://h1:8080"},
+		{spec: " n2=http://h2:9090/ ", name: "n2", endpoint: "http://h2:9090"},
+		{spec: "http://h3:7070", name: "h3:7070", endpoint: "http://h3:7070"},
+		{spec: "", wantErr: true},
+		{spec: "n4=", wantErr: true},
+		{spec: "n5=not-a-url", wantErr: true},
+	}
+	for _, c := range cases {
+		name, endpoint, err := ParseNodeSpec(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%q: expected error, got %q %q", c.spec, name, endpoint)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", c.spec, err)
+			continue
+		}
+		if name != c.name || endpoint != c.endpoint {
+			t.Errorf("%q: got (%q, %q), want (%q, %q)", c.spec, name, endpoint, c.name, c.endpoint)
+		}
+	}
+}
+
+func TestNewRingRejectsBadNames(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty name set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}

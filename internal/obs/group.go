@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds label-keyed metric groups on top of Histogram: a
+// HistogramGroup keys histograms by one label value (e.g. a replica
+// name) and a CounterGroup does the same for counters. Both render as a
+// single Prometheus metric family with one series per label value —
+// the shape the cluster router uses for per-replica latency, attempt,
+// and error series.
+
+// HistogramGroup is a set of Histograms keyed by one label value.
+// Lookup is lock-guarded but the returned *Histogram is the shared
+// atomic type, so hot paths resolve their label once and observe
+// lock-free afterwards. The zero value is ready to use.
+type HistogramGroup struct {
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// At returns (creating on first use) the histogram for one label value.
+func (g *HistogramGroup) At(label string) *Histogram {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*Histogram)
+	}
+	h := g.m[label]
+	if h == nil {
+		h = &Histogram{}
+		g.m[label] = h
+	}
+	return h
+}
+
+// Labels returns the known label values, sorted.
+func (g *HistogramGroup) Labels() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.m))
+	for l := range g.m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot summarizes every labeled histogram.
+func (g *HistogramGroup) Snapshot() map[string]HistogramSnapshot {
+	g.mu.Lock()
+	labels := make([]string, 0, len(g.m))
+	hists := make([]*Histogram, 0, len(g.m))
+	for l, h := range g.m {
+		labels = append(labels, l)
+		hists = append(hists, h)
+	}
+	g.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(labels))
+	for i, l := range labels {
+		out[l] = hists[i].Snapshot()
+	}
+	return out
+}
+
+// WritePromLines renders the group as one Prometheus histogram family:
+// per label value, the cumulative _bucket/_sum/_count series labeled
+// {labelKey="value"}. HELP/TYPE headers are the caller's job.
+func (g *HistogramGroup) WritePromLines(w io.Writer, name, labelKey string) {
+	for _, l := range g.Labels() {
+		g.At(l).WritePromLines(w, name, fmt.Sprintf("%s=%q", labelKey, l))
+	}
+}
+
+// CounterGroup is a set of int64 counters keyed by one label value,
+// with the same locking shape as HistogramGroup.
+type CounterGroup struct {
+	mu sync.Mutex
+	m  map[string]*atomic.Int64
+}
+
+// At returns (creating on first use) the counter for one label value.
+func (g *CounterGroup) At(label string) *atomic.Int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*atomic.Int64)
+	}
+	c := g.m[label]
+	if c == nil {
+		c = &atomic.Int64{}
+		g.m[label] = c
+	}
+	return c
+}
+
+// Add adds delta to the labeled counter.
+func (g *CounterGroup) Add(label string, delta int64) { g.At(label).Add(delta) }
+
+// Labels returns the known label values, sorted.
+func (g *CounterGroup) Labels() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.m))
+	for l := range g.m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns the current value of every labeled counter.
+func (g *CounterGroup) Snapshot() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int64, len(g.m))
+	for l, c := range g.m {
+		out[l] = c.Load()
+	}
+	return out
+}
+
+// WritePromLines renders the group as one Prometheus family with one
+// sample line per label value. HELP/TYPE headers are the caller's job.
+func (g *CounterGroup) WritePromLines(w io.Writer, name, labelKey string) {
+	for _, l := range g.Labels() {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, labelKey, l, g.At(l).Load())
+	}
+}
