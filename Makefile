@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-smoke bench-baseline bench-compare ci serve-smoke trace-smoke ingest-smoke ingest-bench spans-smoke cluster-smoke chaos fuzz-smoke
+.PHONY: all build test race vet fmt check bench bench-smoke bench-baseline bench-compare ci serve-smoke trace-smoke ingest-smoke ingest-bench spans-smoke cluster-smoke chaos fuzz-smoke query-smoke
 
 all: build
 
@@ -79,15 +79,32 @@ chaos:
 	$(GO) test -run 'Quarantine|ClientRetr|ClientDoes|AttemptTimeout|RawFetchDetects' ./internal/blockstore/
 	@echo "chaos gate: OK"
 
+# query-smoke is the query-engine gate: the differential oracle suite
+# (random plans vs a decompress-everything reference), the NULL
+# three-valued-logic matrix, selection-vector flow, the /v1/query
+# endpoint contract on one node (status codes, sidecar pruning, corrupt
+# blocks), and the cluster scatter-gather equivalence + failover tests.
+query-smoke:
+	$(GO) test -run 'TestOracle|TestNullSemantics|TestSelection|TestAgg|TestPlan' ./internal/query/
+	$(GO) test -run 'TestQueryEndpoint' ./internal/blockstore/
+	$(GO) test -run 'TestQueryScatterGather|TestQueryHTTPFailover' ./internal/cluster/
+	$(GO) test -run 'TestAddRange' ./internal/roaring/
+	@echo "query smoke: OK"
+
 # fuzz-smoke runs every fuzz target for a short fixed budget on top of
 # the committed seed corpora in testdata/fuzz/. Continuous fuzzing uses
 # the same targets without the -fuzztime bound.
 FUZZ_TARGETS = FuzzDecompressColumn FuzzDecompressIntStream FuzzDecompressStringStream FuzzCompressIntRoundTrip FuzzStreamReader
+QUERY_FUZZ_TARGETS = FuzzQueryPlan
 FUZZ_TIME ?= 10s
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "fuzz $$t ($(FUZZ_TIME))"; \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZ_TIME) . || exit 1; \
+	done
+	@for t in $(QUERY_FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZ_TIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZ_TIME) ./internal/query/ || exit 1; \
 	done
 	@echo "fuzz smoke: OK"
 
@@ -95,7 +112,7 @@ fuzz-smoke:
 # the end-to-end smoke tests. ci.sh splits the same steps into a fast
 # tier 1 (fmt, build, test, race) and a deep tier 2 (vet, fuzz smoke,
 # chaos gate, smokes).
-check: fmt vet build test race chaos fuzz-smoke serve-smoke trace-smoke ingest-smoke cluster-smoke
+check: fmt vet build test race chaos query-smoke fuzz-smoke serve-smoke trace-smoke ingest-smoke cluster-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -46,7 +46,20 @@ run_tier1() {
 	# (R=2), a byte-flipped replica must fail over and heal via
 	# cross-replica repair, a SIGKILLed node must not fail any in-flight
 	# scan, and hedged requests must beat a latency-skewed replica.
+	# Its smoke also routes a /v1/query plan (leaf scatter + bitmap
+	# gather) and re-runs one degraded against the damaged replica.
 	make cluster-smoke
+
+	echo "== query smoke =="
+	# Query-engine correctness: the differential oracle sweep (random
+	# plans over every column type and scheme mix vs a
+	# decompress-everything reference), the NULL three-valued-logic
+	# matrix, /v1/query's status-code contract on a single node (plan
+	# errors 400, missing column 404, corrupt block 422, never 5xx,
+	# sidecar pruning live), and cluster scatter-gather equivalence with
+	# a damaged replica. The serving smokes above exercise the same
+	# engine end to end over HTTP.
+	make query-smoke
 }
 
 run_tier2() {

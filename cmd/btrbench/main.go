@@ -42,6 +42,7 @@ var registry = map[string]func(*experiments.Config) error{
 	"threads":   experiments.Threads,
 	"ingest":    experiments.Ingest,
 	"spans":     experiments.Spans,
+	"query":     experiments.Query,
 }
 
 // order keeps `all` output in the paper's presentation order.
@@ -49,6 +50,7 @@ var order = []string{
 	"fig1", "table2", "schemes", "fig4", "fig5", "fig6", "selection", "fig7",
 	"compspeed", "table3", "pde-pool", "fig8", "table4", "table5",
 	"colscan", "scalar", "kernels", "threads", "serve", "ingest", "spans",
+	"query",
 }
 
 func main() {

@@ -53,6 +53,7 @@ import (
 	"btrblocks/internal/cluster"
 	"btrblocks/internal/obs"
 	"btrblocks/internal/pbi"
+	"btrblocks/internal/query"
 )
 
 func main() {
@@ -404,6 +405,9 @@ func runSmoke() error {
 	if err := checkScatterCount(ctx, routerBase, columns, opt); err != nil {
 		return fmt.Errorf("phase 1 scatter: %v", err)
 	}
+	if err := checkRoutedQuery(ctx, cl, routerBase, columns, opt); err != nil {
+		return fmt.Errorf("phase 1 query: %v", err)
+	}
 	fmt.Printf("smoke phase 1: %d files scan bit-correct through the router\n", len(columns))
 
 	// Phase 2: flip a byte on one replica and prove scans stay correct
@@ -431,6 +435,8 @@ func runSmoke() error {
 		"btrrouted_damage_detected_total":   true,
 		"btrrouted_repairs_queued_total":    true,
 		"btrrouted_repairs_succeeded_total": true,
+		"btrrouted_query_plans_total":       true,
+		"btrrouted_query_legs_total":        true,
 	}); err != nil {
 		return err
 	}
@@ -589,6 +595,118 @@ func checkScatterCount(ctx context.Context, routerBase string, columns []smokeCo
 	return nil
 }
 
+// sameTable returns indices of columns sharing one dataset prefix and
+// row count — the unit a multi-column plan can range over.
+func sameTable(columns []smokeColumn) []int {
+	byDS := make(map[string][]int)
+	best := ""
+	for i := range columns {
+		ds := columns[i].name[:strings.LastIndex(columns[i].name, "/")]
+		key := ds + "\x00" + strconv.Itoa(columns[i].col.Len())
+		byDS[key] = append(byDS[key], i)
+		if best == "" || len(byDS[key]) > len(byDS[best]) {
+			best = key
+		}
+	}
+	return byDS[best]
+}
+
+// checkRoutedQuery pushes a multi-column and/or plan with aggregates
+// through POST /v1/query on the router and verifies the scatter-
+// gathered answer bit-for-bit against one in-process executor over the
+// whole table; a malformed plan must answer 400.
+func checkRoutedQuery(ctx context.Context, cl *blockstore.Client, routerBase string, columns []smokeColumn, opt *btrblocks.Options) error {
+	table := sameTable(columns)
+	if len(table) < 2 {
+		return fmt.Errorf("no two same-table columns in the corpus")
+	}
+	a, b := &columns[table[0]], &columns[table[1]]
+	probe := firstValueLiteral(a.col)
+	plan := &query.Plan{
+		Filter: &query.Node{Op: "and", Children: []*query.Node{
+			{Op: "notnull", Column: b.name},
+			{Op: "or", Children: []*query.Node{
+				{Op: "eq", Column: a.name, Value: probe},
+				{Op: "notnull", Column: a.name},
+			}},
+		}},
+		Aggregates: []query.AggSpec{
+			{Op: "count", Column: a.name},
+			{Op: "min", Column: b.name},
+			{Op: "max", Column: b.name},
+		},
+		Rows:   true,
+		Return: query.ReturnBitmap,
+	}
+	routed, err := cl.Query(ctx, plan)
+	if err != nil {
+		return err
+	}
+	src := query.MemSource{}
+	for _, i := range table {
+		ix, err := btrblocks.ParseColumnIndex(columns[i].data)
+		if err != nil {
+			return err
+		}
+		src[columns[i].name] = &query.Col{Index: ix, Data: columns[i].data}
+	}
+	e := &query.Executor{Source: src, Options: opt}
+	local, err := e.Run(ctx, plan)
+	if err != nil {
+		return err
+	}
+	if routed.Rows != local.Rows || routed.Matched != local.Matched ||
+		len(routed.RowIDs) != len(local.RowIDs) || !bytesEqual(routed.Bitmap, local.Bitmap) {
+		return fmt.Errorf("routed result diverges: rows=%d/%d matched=%d/%d",
+			routed.Rows, local.Rows, routed.Matched, local.Matched)
+	}
+	for i := range local.Aggregates {
+		if routed.Aggregates[i] != local.Aggregates[i] {
+			return fmt.Errorf("aggregate %d diverges: routed %+v, local %+v",
+				i, routed.Aggregates[i], local.Aggregates[i])
+		}
+	}
+	resp, err := http.Post(routerBase+"/v1/query", "application/json",
+		strings.NewReader(`{"filter":{"op":"between"}}`))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("malformed plan answered %d, want 400", resp.StatusCode)
+	}
+	fmt.Printf("smoke query: routed plan over %s matched %d of %d rows, aggregates agree\n",
+		a.name[:strings.LastIndex(a.name, "/")], routed.Matched, routed.Rows)
+	return nil
+}
+
+// firstValueLiteral renders row 0 of a column as a JSON plan literal.
+func firstValueLiteral(col btrblocks.Column) json.RawMessage {
+	switch col.Type {
+	case btrblocks.TypeInt:
+		return json.RawMessage(strconv.FormatInt(int64(col.Ints[0]), 10))
+	case btrblocks.TypeInt64:
+		return json.RawMessage(strconv.FormatInt(col.Ints64[0], 10))
+	case btrblocks.TypeDouble:
+		return json.RawMessage(strconv.Quote(strconv.FormatFloat(col.Doubles[0], 'g', -1, 64)))
+	default:
+		b, _ := json.Marshal(col.Strings.At(0))
+		return json.RawMessage(b)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // smokeRepair flips one byte inside a middle block of a multi-block
 // column on one replica's disk, reloads that node, and proves (a) the
 // routed read of the damaged block is still bit-correct (failover), and
@@ -638,6 +756,29 @@ func smokeRepair(ctx context.Context, router *cluster.Router, cl *blockstore.Cli
 	m := router.Metrics()
 	if m.DamageDetected.Load() == 0 {
 		return fmt.Errorf("router scanned past damage without detecting it")
+	}
+
+	// A routed query over the damaged column must also stay correct: the
+	// leg that lands on the flipped replica 422s and fails over.
+	ix2, err := btrblocks.ParseColumnIndex(sc.data)
+	if err != nil {
+		return err
+	}
+	qPlan := &query.Plan{
+		Filter:     &query.Node{Op: "notnull", Column: sc.name},
+		Aggregates: []query.AggSpec{{Op: "count", Column: sc.name}},
+	}
+	routed, err := cl.Query(ctx, qPlan)
+	if err != nil {
+		return fmt.Errorf("routed query with damaged replica: %v", err)
+	}
+	e := &query.Executor{Source: query.MemSource{sc.name: {Index: ix2, Data: sc.data}}}
+	local, err := e.Run(ctx, qPlan)
+	if err != nil {
+		return err
+	}
+	if routed.Matched != local.Matched || routed.Aggregates[0] != local.Aggregates[0] {
+		return fmt.Errorf("routed query diverges under damage: %+v vs %+v", routed, local)
 	}
 
 	// The repair loop heals the flipped copy: poll the damaged node

@@ -44,6 +44,8 @@ import (
 	"btrblocks/internal/blockstore"
 	"btrblocks/internal/obs"
 	"btrblocks/internal/pbi"
+	"btrblocks/internal/query"
+	"btrblocks/metadata"
 )
 
 func main() {
@@ -288,6 +290,31 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 		}
 	}
 
+	// A sorted timestamp column with its BTRM sidecar: the query phase
+	// proves range plans prune most of its blocks before any decode.
+	ts := make([]int64, rows)
+	for i := range ts {
+		ts[i] = 1_600_000_000_000 + int64(i)*250
+	}
+	tsCol := btrblocks.Int64Column("event_ts", ts)
+	tsData, err := btrblocks.CompressColumn(tsCol, opt)
+	if err != nil {
+		return fmt.Errorf("compress timestamp column: %v", err)
+	}
+	tsName := "events/event_ts.btr"
+	tsPath := filepath.Join(dir, filepath.FromSlash(tsName))
+	if err := os.MkdirAll(filepath.Dir(tsPath), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(tsPath, tsData, 0o644); err != nil {
+		return err
+	}
+	m := metadata.Build(tsCol, opt)
+	if err := os.WriteFile(tsPath+blockstore.MetaSuffix, m.AppendTo(nil), 0o644); err != nil {
+		return err
+	}
+	columns = append(columns, smokeColumn{name: tsName, data: tsData, col: tsCol})
+
 	store, err := blockstore.Open(dir, storeConfig(cacheMB, prefetch, workers))
 	if err != nil {
 		return err
@@ -326,14 +353,21 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 	if err != nil {
 		return err
 	}
-	if len(metas) != len(columns) {
-		return fmt.Errorf("/v1/files lists %d files, wrote %d", len(metas), len(columns))
+	// Every column file plus the timestamp column's metadata sidecar.
+	if len(metas) != len(columns)+1 {
+		return fmt.Errorf("/v1/files lists %d files, wrote %d", len(metas), len(columns)+1)
 	}
 
 	for _, c := range columns {
 		if err := smokeFile(ctx, cl, c.name, c.data, c.col, store.Options()); err != nil {
 			return fmt.Errorf("%s: %v", c.name, err)
 		}
+	}
+
+	// Query plans: /v1/query must agree with an in-process executor over
+	// the same bytes, prune via the hosted sidecar, and 400 bad plans.
+	if err := smokeQuery(ctx, cl, tsName, tsData, ts, store.Options()); err != nil {
+		return fmt.Errorf("query: %v", err)
 	}
 
 	// Telemetry and metrics must be live and reflect the traffic above.
@@ -354,6 +388,8 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 		`btrserved_http_requests_total{route="/v1/block"}`,
 		"btrserved_http_request_duration_seconds_bucket",
 		"btrserved_spans_recorded_total",
+		"btrserved_query_requests_total",
+		"btrserved_query_blocks_pruned_total",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %s", want)
@@ -412,6 +448,86 @@ func runSmoke(cacheMB, prefetch, workers int) error {
 
 	fmt.Printf("smoke: %d files, cache hits=%d misses=%d decoded=%d blocks\n",
 		len(columns), rep.Cache.Hits, rep.Cache.Misses, rep.Cache.DecodedBlocks)
+	return nil
+}
+
+// smokeQuery drives POST /v1/query against the sorted timestamp column:
+// a narrow range plan must answer exactly (checked against both the
+// known row window and an in-process executor over the same bytes),
+// skip more than half the blocks via the hosted sidecar, fold
+// aggregates correctly, and reject a malformed plan with 400.
+func smokeQuery(ctx context.Context, cl *blockstore.Client, name string, data []byte, ts []int64, opt *btrblocks.Options) error {
+	const lo, hi = 6200, 7800 // row window: values are sorted, so ids == offsets
+	plan := &query.Plan{
+		Filter: &query.Node{Op: "range", Column: name,
+			Lo: []byte(strconv.FormatInt(ts[lo], 10)),
+			Hi: []byte(strconv.FormatInt(ts[hi], 10))},
+		Aggregates: []query.AggSpec{
+			{Op: "count", Column: name},
+			{Op: "min", Column: name},
+			{Op: "max", Column: name},
+		},
+		Rows: true,
+	}
+	res, err := cl.Query(ctx, plan)
+	if err != nil {
+		return err
+	}
+	wantMatched := int64(hi - lo + 1)
+	if res.Matched != wantMatched || len(res.RowIDs) != int(wantMatched) ||
+		res.RowIDs[0] != lo || res.RowIDs[len(res.RowIDs)-1] != hi {
+		return fmt.Errorf("range [%d,%d]: matched=%d rows=%d", lo, hi, res.Matched, len(res.RowIDs))
+	}
+	for i, want := range []string{
+		strconv.FormatInt(wantMatched, 10),
+		strconv.FormatInt(ts[lo], 10),
+		strconv.FormatInt(ts[hi], 10),
+	} {
+		if res.Aggregates[i].Value != want || res.Aggregates[i].Count != wantMatched {
+			return fmt.Errorf("aggregate %d: %+v, want value %s", i, res.Aggregates[i], want)
+		}
+	}
+	if res.Stats.BlocksPruned*2 <= res.Stats.BlocksTotal {
+		return fmt.Errorf("sidecar pruned %d of %d blocks, want >50%%", res.Stats.BlocksPruned, res.Stats.BlocksTotal)
+	}
+	if res.Stats.BlocksPruned+res.Stats.BlocksScanned != res.Stats.BlocksTotal {
+		return fmt.Errorf("pruned+scanned != total: %+v", res.Stats)
+	}
+
+	// The served result must be bit-identical to an in-process run over
+	// the same compressed bytes (sidecar-free: pruning must not change
+	// the answer, only the work).
+	ix, err := btrblocks.ParseColumnIndex(data)
+	if err != nil {
+		return err
+	}
+	e := &query.Executor{Source: query.MemSource{name: {Index: ix, Data: data}}, Options: opt}
+	local, err := e.Run(ctx, plan)
+	if err != nil {
+		return err
+	}
+	if local.Matched != res.Matched || len(local.RowIDs) != len(res.RowIDs) {
+		return fmt.Errorf("served result diverges from local executor: %d/%d vs %d/%d",
+			res.Matched, len(res.RowIDs), local.Matched, len(local.RowIDs))
+	}
+	for i := range local.Aggregates {
+		if local.Aggregates[i] != res.Aggregates[i] {
+			return fmt.Errorf("aggregate %d diverges: served %+v, local %+v", i, res.Aggregates[i], local.Aggregates[i])
+		}
+	}
+
+	// A malformed plan is a 400, never a 500.
+	resp, err := http.Post(cl.Endpoint()+"/v1/query", "application/json",
+		strings.NewReader(`{"filter":{"op":"between"}}`))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("malformed plan answered %d, want 400", resp.StatusCode)
+	}
+	fmt.Printf("smoke query: range matched %d rows, %d/%d blocks pruned via sidecar\n",
+		res.Matched, res.Stats.BlocksPruned, res.Stats.BlocksTotal)
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"btrblocks"
 	"btrblocks/internal/obs"
+	"btrblocks/internal/query"
 )
 
 // Client is the Go consumer of a blockstore Server. Zero-allocation it is
@@ -577,6 +578,40 @@ func (c *Client) Repair(ctx context.Context, name string, data []byte) (*RepairR
 	out := &RepairResult{}
 	if err := json.Unmarshal(body, out); err != nil {
 		return nil, fmt.Errorf("blockstore: bad /v1/repair response: %v", err)
+	}
+	return out, nil
+}
+
+// Query executes a JSON query plan via POST /v1/query. Not retried: a
+// 400 means the plan is wrong, and scatter layers (btrrouted) own their
+// failover policy across replicas.
+func (c *Client) Query(ctx context.Context, p *query.Plan) (*query.Result, error) {
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: encoding plan: %v", err)
+	}
+	c.attempts.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	obs.InjectTraceparent(ctx, req.Header)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, &HTTPError{Status: resp.StatusCode, Path: "/v1/query", Msg: firstLine(body)}
+	}
+	out := &query.Result{}
+	if err := json.Unmarshal(body, out); err != nil {
+		return nil, fmt.Errorf("blockstore: bad /v1/query response: %v", err)
 	}
 	return out, nil
 }

@@ -33,6 +33,11 @@ type Metrics struct {
 	RepairsAccepted   atomic.Int64 // repair pushes verified and installed
 	RepairsRejected   atomic.Int64 // repair pushes refused (failed verification)
 
+	QueryRequests      atomic.Int64 // /v1/query plans executed
+	QueryPredicates    atomic.Int64 // filter leaves evaluated across all queries
+	QueryBlocksPruned  atomic.Int64 // candidate blocks skipped via metadata bounds
+	QueryBlocksScanned atomic.Int64 // candidate blocks evaluated by a kernel
+
 	mu        sync.Mutex
 	endpoints map[string]*EndpointMetrics
 }
@@ -148,6 +153,10 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("btrserved_invalidated_blocks_total", "Cached blocks dropped by file invalidation.", m.InvalidatedBlocks.Load())
 	counter("btrserved_repairs_accepted_total", "Cross-replica repair pushes verified and installed.", m.RepairsAccepted.Load())
 	counter("btrserved_repairs_rejected_total", "Cross-replica repair pushes refused after failing verification.", m.RepairsRejected.Load())
+	counter("btrserved_query_requests_total", "Query plans executed by /v1/query.", m.QueryRequests.Load())
+	counter("btrserved_query_predicates_total", "Filter leaves evaluated across all queries.", m.QueryPredicates.Load())
+	counter("btrserved_query_blocks_pruned_total", "Candidate blocks skipped via metadata bounds before any decode.", m.QueryBlocksPruned.Load())
+	counter("btrserved_query_blocks_scanned_total", "Candidate blocks evaluated by a predicate kernel.", m.QueryBlocksScanned.Load())
 
 	routes, eps := m.endpointsSorted()
 

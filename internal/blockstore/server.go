@@ -22,6 +22,7 @@ import (
 //	GET /v1/block?file=N&block=I          decompressed block
 //	    [&format=json|binary]             (default json; binary = BTBK)
 //	GET /v1/count-eq?file=N&value=V       pushed-down equality predicate
+//	POST /v1/query                        JSON query plan over column files
 //	GET /v1/trace/NAME[?block=I]          cascade decision trace (JSON)
 //	GET /v1/telemetry                     cache + library telemetry (JSON)
 //	GET /metrics                          Prometheus text exposition
@@ -88,6 +89,7 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	s.handle("/v1/telemetry", s.handleTelemetry)
 	s.handle("/v1/spans", s.handleSpans)
 	s.handle("/metrics", s.handleMetrics)
+	s.handleWith("/v1/query", s.handleQuery, http.MethodPost)
 	s.handleWith("/v1/invalidate/", s.handleInvalidate, http.MethodPost)
 	s.handleWith("/v1/repair/", s.handleRepair, http.MethodPut, http.MethodPost)
 	s.handler = s.mux

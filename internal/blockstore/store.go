@@ -29,6 +29,7 @@ import (
 
 	"btrblocks"
 	"btrblocks/internal/obs"
+	"btrblocks/metadata"
 )
 
 // Config tunes a Store.
@@ -93,13 +94,18 @@ type File struct {
 	// Data is the raw compressed file.
 	Data []byte
 	// Kind is the detected container format ("column", "chunk",
-	// "stream"), or "raw" when the file is not a BtrBlocks container.
+	// "stream"), "meta" for a BTRM metadata sidecar, or "raw" when the
+	// file is not a BtrBlocks container.
 	Kind string
 	// Rows is the total row count (0 for raw files).
 	Rows int
 	// Index is the block directory; non-nil only for column files, which
 	// are the kind served at block and predicate granularity.
 	Index *btrblocks.ColumnIndex
+	// Meta is the parsed per-block zone map when the file is a BTRM
+	// metadata sidecar (<column>.btrm); the query path uses the sidecar
+	// of a column file for block pruning.
+	Meta *metadata.ColumnMeta
 }
 
 // Blocks returns the number of addressable blocks (0 unless a column).
@@ -233,6 +239,11 @@ func Open(dir string, cfg Config) (*Store, error) {
 // are kept and served raw — a data lake directory can hold anything.
 func classifyFile(name string, data []byte) *File {
 	f := &File{Name: name, Data: data, Kind: "raw"}
+	if m, used, err := metadata.FromBytes(data); err == nil && used == len(data) {
+		f.Kind = "meta"
+		f.Meta = &m
+		return f
+	}
 	if info, err := btrblocks.Inspect(data); err == nil {
 		f.Kind = info.Kind.String()
 		f.Rows = info.Rows()

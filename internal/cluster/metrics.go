@@ -21,6 +21,8 @@ type Metrics struct {
 	Hedges           atomic.Int64 // hedge legs fired after the latency budget
 	HedgeWins        atomic.Int64 // fetches won by the hedge leg
 	ScatterQueries   atomic.Int64 // cross-file scatter-gather count queries
+	PlanQueries      atomic.Int64 // query plans routed via /v1/query
+	PlanQueryLegs    atomic.Int64 // per-leaf and per-column sub-queries scattered
 	RepairsQueued    atomic.Int64
 	RepairsSucceeded atomic.Int64
 	RepairsFailed    atomic.Int64 // given up after the attempt budget
@@ -107,6 +109,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("btrrouted_hedged_requests_total", "Hedge legs fired after the per-replica latency budget.", m.Hedges.Load())
 	counter("btrrouted_hedge_wins_total", "Block fetches won by the hedge leg.", m.HedgeWins.Load())
 	counter("btrrouted_scatter_queries_total", "Cross-file scatter-gather count queries.", m.ScatterQueries.Load())
+	counter("btrrouted_query_plans_total", "Query plans routed via /v1/query.", m.PlanQueries.Load())
+	counter("btrrouted_query_legs_total", "Per-leaf and per-column sub-queries scattered to replicas.", m.PlanQueryLegs.Load())
 	counter("btrrouted_repairs_queued_total", "Cross-replica repair tasks enqueued.", m.RepairsQueued.Load())
 	counter("btrrouted_repairs_succeeded_total", "Repairs that pushed a verified good copy onto the damaged replica.", m.RepairsSucceeded.Load())
 	counter("btrrouted_repairs_failed_total", "Repairs abandoned after the attempt budget.", m.RepairsFailed.Load())

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"btrblocks"
+	"btrblocks/internal/blockstore"
+	"btrblocks/internal/query"
+	"btrblocks/metadata"
+)
+
+// addSidecars appends a BTRM sidecar for every corpus column, so nodes
+// hosting both files prune with it.
+func addSidecars(t *testing.T, contents map[string][]byte, cols map[string]btrblocks.Column) {
+	t.Helper()
+	opt := &btrblocks.Options{BlockSize: 1000}
+	for name, col := range cols {
+		m := metadata.Build(col, opt)
+		contents[name+blockstore.MetaSuffix] = m.AppendTo(nil)
+	}
+}
+
+// oracleSource builds the single-node view of the whole corpus the
+// routed result must match bit for bit.
+func oracleSource(t *testing.T, contents map[string][]byte) query.MemSource {
+	t.Helper()
+	src := query.MemSource{}
+	for name, data := range contents {
+		if strings.HasSuffix(name, blockstore.MetaSuffix) {
+			continue
+		}
+		ix, err := btrblocks.ParseColumnIndex(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &query.Col{Index: ix, Data: data}
+		if mb, ok := contents[name+blockstore.MetaSuffix]; ok {
+			m, _, err := metadata.FromBytes(mb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Meta = &m
+		}
+		src[name] = c
+	}
+	return src
+}
+
+func scatterPlan() *query.Plan {
+	return &query.Plan{
+		Filter: &query.Node{Op: "and", Children: []*query.Node{
+			{Op: "range", Column: "t/i.btr", Lo: json.RawMessage("20"), Hi: json.RawMessage("60")},
+			{Op: "or", Children: []*query.Node{
+				{Op: "eq", Column: "t/s.btr", Value: json.RawMessage(`"city-7"`)},
+				{Op: "in", Column: "t/s.btr", Values: []json.RawMessage{
+					json.RawMessage(`"city-3"`), json.RawMessage(`"city-11"`)}},
+			}},
+		}},
+		Aggregates: []query.AggSpec{
+			{Op: "count", Column: "t/l.btr"},
+			{Op: "sum", Column: "t/d.btr"},
+			{Op: "min", Column: "t/i.btr"},
+			{Op: "max", Column: "t/s.btr"},
+		},
+		Rows:   true,
+		Return: query.ReturnBitmap,
+	}
+}
+
+// checkSameResult asserts the routed answer matches the single-node
+// oracle on every output field.
+func checkSameResult(t *testing.T, got, want *query.Result) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Matched != want.Matched {
+		t.Fatalf("rows/matched: got %d/%d want %d/%d", got.Rows, got.Matched, want.Rows, want.Matched)
+	}
+	if len(got.RowIDs) != len(want.RowIDs) {
+		t.Fatalf("row ids: got %d want %d", len(got.RowIDs), len(want.RowIDs))
+	}
+	for i := range got.RowIDs {
+		if got.RowIDs[i] != want.RowIDs[i] {
+			t.Fatalf("row id %d: got %d want %d", i, got.RowIDs[i], want.RowIDs[i])
+		}
+	}
+	if !bytes.Equal(got.Bitmap, want.Bitmap) {
+		t.Fatal("bitmaps differ")
+	}
+	if len(got.Aggregates) != len(want.Aggregates) {
+		t.Fatalf("aggregates: got %d want %d", len(got.Aggregates), len(want.Aggregates))
+	}
+	for i, a := range got.Aggregates {
+		if a != want.Aggregates[i] {
+			t.Fatalf("aggregate %d: got %+v want %+v", i, a, want.Aggregates[i])
+		}
+	}
+}
+
+// TestQueryScatterGather routes a multi-column and/or plan with
+// aggregates across a 3-node cluster and checks the gathered result is
+// bit-identical to one executor over the whole corpus.
+func TestQueryScatterGather(t *testing.T) {
+	contents, cols := testCorpus(t)
+	addSidecars(t, contents, cols)
+	names := []string{"n1", "n2", "n3"}
+	_, perNode := placeCorpus(t, contents, names, 2)
+	_, specs := startNodes(t, names, perNode, blockstore.Config{})
+	r := newTestRouter(t, specs, Config{Replicas: 2})
+
+	p := scatterPlan()
+	got, err := r.Query(t.Context(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &query.Executor{Source: oracleSource(t, contents)}
+	want, err := e.Run(t.Context(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameResult(t, got, want)
+	if got.Matched == 0 {
+		t.Fatal("test plan matched nothing; corpus or plan is broken")
+	}
+	// 3 filter leaves + 4 aggregate columns = 7 scattered legs.
+	if n := r.Metrics().PlanQueryLegs.Load(); n != 7 {
+		t.Fatalf("scattered %d legs, want 7", n)
+	}
+	if r.Metrics().PlanQueries.Load() != 1 {
+		t.Fatalf("PlanQueries = %d, want 1", r.Metrics().PlanQueries.Load())
+	}
+}
+
+// TestQueryHTTPFailover serves the router over HTTP with one replica of
+// one column damaged: the routed query must fail over to the good
+// replica and still match the oracle, and the wire surface must keep
+// single-node error semantics (bad plan → 400, unknown column → 404).
+func TestQueryHTTPFailover(t *testing.T) {
+	contents, cols := testCorpus(t)
+	addSidecars(t, contents, cols)
+	names := []string{"n1", "n2", "n3"}
+	ring, perNode := placeCorpus(t, contents, names, 2)
+	victim := "t/i.btr"
+	damagedNode := ring.Place(victim, 2)[0]
+	perNode[damagedNode][victim] = flipBlockByte(t, contents[victim], 1)
+	_, specs := startNodes(t, names, perNode, blockstore.Config{})
+	r := newTestRouter(t, specs, Config{Replicas: 2})
+
+	srv := httptest.NewServer(NewServer(r, nil))
+	t.Cleanup(srv.Close)
+	cl := blockstore.NewClient(srv.URL)
+
+	p := scatterPlan()
+	got, err := cl.Query(t.Context(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &query.Executor{Source: oracleSource(t, contents)}
+	want, err := e.Run(t.Context(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameResult(t, got, want)
+	if r.Metrics().DamageDetected.Load() == 0 {
+		t.Fatal("damaged replica went unnoticed")
+	}
+
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"bad-plan", `{"filter":{"op":"like"}}`, http.StatusBadRequest},
+		{"unknown-column", `{"filter":{"op":"notnull","column":"t/none.btr"}}`, http.StatusNotFound},
+	} {
+		resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 
 	"btrblocks/internal/blockstore"
 	"btrblocks/internal/obs"
+	"btrblocks/internal/query"
 )
 
 // Server is the HTTP surface of a Router. It speaks the blockstore wire
@@ -30,6 +32,7 @@ import (
 //	GET  /v1/nodes                     per-node health and client counters
 //	GET  /v1/spans                     retained router spans (JSON)
 //	GET  /metrics                      Prometheus text exposition
+//	POST /v1/query                     JSON query plan, scatter-gathered per leaf
 //	POST /v1/invalidate/NAME           fan invalidation out to the replicas
 type Server struct {
 	router *Router
@@ -48,6 +51,7 @@ func NewServer(r *Router, log *slog.Logger) *Server {
 	s.handle("/v1/nodes", s.handleNodes)
 	s.handle("/v1/spans", s.handleSpans)
 	s.handle("/metrics", s.handleMetrics)
+	s.handleWith("/v1/query", s.handleQuery, http.MethodPost)
 	s.handleWith("/v1/invalidate/", s.handleInvalidate, http.MethodPost)
 	return s
 }
@@ -265,6 +269,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = s.router.metrics.WriteTo(w)
 	s.router.spans.WritePromLines(w, "btrrouted")
+}
+
+// handleQuery serves POST /v1/query with single-node semantics: plan
+// problems are 400s, a column file absent on every replica is 404, a
+// block damaged on every replica is 422, no replica reachable is 502.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, query.MaxPlanBytes))
+	if err != nil {
+		http.Error(w, "reading plan: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, err := query.ParsePlan(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.router.Query(r.Context(), p)
+	if err != nil {
+		if query.IsPlanError(err) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, res)
 }
 
 func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,1030 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"slices"
+	"sync/atomic"
+
+	"btrblocks/internal/bitpack"
+	"btrblocks/internal/roaring"
+)
+
+// This file implements selection-vector predicate evaluation directly on
+// compressed streams — the generalization of the count-eq pushdown in
+// scan.go from counts to positions. Each Select* kernel walks one
+// compressed stream and adds the positions of matching values (offset by
+// base) to a roaring bitmap:
+//
+//   - OneValue answers the whole stream in O(1) (one range add)
+//   - RLE tests each run value once and adds whole runs
+//   - Dict maps the predicate over the sorted dictionary to a code
+//     predicate and recurses into the codes stream (dict-code set mapping)
+//   - Frequency splits into the top-value bitmap and a recursive select
+//     over the exceptions stream, then walks positions without decoding
+//   - FOR/bit-packed streams compare the predicate's value bounds against
+//     each 128-value block's [reference, reference+2^width) envelope and
+//     skip whole packed blocks that cannot match (min-max arithmetic)
+//   - everything else decodes and filters
+//
+// NULL handling is the caller's job: NULL slots are rewritten by the
+// compressor, so a caller evaluating a NULL-bearing block subtracts the
+// block's NULL bitmap from the kernel's output (AndNot). That keeps the
+// compressed-domain paths usable even when NULLs are present — unlike
+// counts, a position set can be corrected after the fact.
+
+// PredOp is the comparison class of a predicate.
+type PredOp uint8
+
+// Predicate operators.
+const (
+	PredEq PredOp = iota
+	PredRange
+	PredIn
+)
+
+// SelectStats counts which evaluation paths fired during Select*/
+// Aggregate* calls. Counters are atomic so one stats value can be shared
+// across the per-block workers of a parallel scan. The restricted-scheme
+// oracle tests use these to prove a compressed-domain path actually
+// executed rather than silently falling back to decode.
+type SelectStats struct {
+	OneValue    atomic.Int64 // OneValue short-circuits
+	RLE         atomic.Int64 // RLE run walks (no expansion)
+	Dict        atomic.Int64 // dictionary predicate mappings
+	Frequency   atomic.Int64 // Frequency bitmap/exception splits
+	FORSkipped  atomic.Int64 // packed 128-value blocks skipped by min-max
+	FORScanned  atomic.Int64 // packed 128-value blocks unpacked and tested
+	Decoded     atomic.Int64 // terminal streams decoded and filtered
+	AggFast     atomic.Int64 // aggregates answered from compressed form
+	AggDecoded  atomic.Int64 // aggregates that decoded values
+	noopDiscard [0]byte
+}
+
+// SelectStatsSnapshot is a plain-value copy of SelectStats, suitable for
+// JSON and for summing across scans.
+type SelectStatsSnapshot struct {
+	OneValue   int64 `json:"one_value"`
+	RLE        int64 `json:"rle"`
+	Dict       int64 `json:"dict"`
+	Frequency  int64 `json:"frequency"`
+	FORSkipped int64 `json:"for_skipped"`
+	FORScanned int64 `json:"for_scanned"`
+	Decoded    int64 `json:"decoded"`
+	AggFast    int64 `json:"agg_fast"`
+	AggDecoded int64 `json:"agg_decoded"`
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *SelectStats) Snapshot() SelectStatsSnapshot {
+	return SelectStatsSnapshot{
+		OneValue:   s.OneValue.Load(),
+		RLE:        s.RLE.Load(),
+		Dict:       s.Dict.Load(),
+		Frequency:  s.Frequency.Load(),
+		FORSkipped: s.FORSkipped.Load(),
+		FORScanned: s.FORScanned.Load(),
+		Decoded:    s.Decoded.Load(),
+		AggFast:    s.AggFast.Load(),
+		AggDecoded: s.AggDecoded.Load(),
+	}
+}
+
+// Add accumulates o into s.
+func (s *SelectStatsSnapshot) Add(o SelectStatsSnapshot) {
+	s.OneValue += o.OneValue
+	s.RLE += o.RLE
+	s.Dict += o.Dict
+	s.Frequency += o.Frequency
+	s.FORSkipped += o.FORSkipped
+	s.FORScanned += o.FORScanned
+	s.Decoded += o.Decoded
+	s.AggFast += o.AggFast
+	s.AggDecoded += o.AggDecoded
+}
+
+// discardStats is the sink used when a caller passes nil stats; atomic
+// counters make concurrent discarding writes harmless.
+var discardStats SelectStats
+
+func (s *SelectStats) orDiscard() *SelectStats {
+	if s == nil {
+		return &discardStats
+	}
+	return s
+}
+
+func maskU32(w uint) uint32 {
+	if w >= 32 {
+		return ^uint32(0)
+	}
+	return (1 << w) - 1
+}
+
+func maskU64of(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << w) - 1
+}
+
+// --- int32 predicates ---
+
+// IntPred is a predicate over int32 values. Range bounds are inclusive.
+// In must be sorted ascending (use Normalize). An empty In matches
+// nothing.
+type IntPred struct {
+	Op     PredOp
+	Eq     int32
+	Lo, Hi int32
+	In     []int32
+}
+
+// Normalize sorts and dedupes the In set.
+func (p *IntPred) Normalize() {
+	if p.Op == PredIn {
+		slices.Sort(p.In)
+		p.In = slices.Compact(p.In)
+	}
+}
+
+// Match reports whether v satisfies the predicate.
+func (p *IntPred) Match(v int32) bool {
+	switch p.Op {
+	case PredEq:
+		return v == p.Eq
+	case PredRange:
+		return v >= p.Lo && v <= p.Hi
+	default:
+		_, ok := slices.BinarySearch(p.In, v)
+		return ok
+	}
+}
+
+// Bounds returns the inclusive value envelope outside which nothing can
+// match. An unsatisfiable predicate returns lo > hi.
+func (p *IntPred) Bounds() (lo, hi int64) {
+	switch p.Op {
+	case PredEq:
+		return int64(p.Eq), int64(p.Eq)
+	case PredRange:
+		return int64(p.Lo), int64(p.Hi)
+	default:
+		if len(p.In) == 0 {
+			return math.MaxInt64, math.MinInt64
+		}
+		return int64(p.In[0]), int64(p.In[len(p.In)-1])
+	}
+}
+
+// codesPred maps p over a sorted dictionary to a predicate on dictionary
+// codes, exploiting the sorted order: Eq binary-searches, Range becomes a
+// contiguous code range, In becomes a sorted code set.
+func (p *IntPred) codesPred(dict []int32) *IntPred {
+	switch p.Op {
+	case PredEq:
+		if i, ok := slices.BinarySearch(dict, p.Eq); ok {
+			return &IntPred{Op: PredEq, Eq: int32(i)}
+		}
+		return &IntPred{Op: PredIn}
+	case PredRange:
+		lo, _ := slices.BinarySearch(dict, p.Lo)
+		hi, ok := slices.BinarySearch(dict, p.Hi)
+		if !ok {
+			hi--
+		}
+		if lo > hi {
+			return &IntPred{Op: PredIn}
+		}
+		return &IntPred{Op: PredRange, Lo: int32(lo), Hi: int32(hi)}
+	default:
+		var codes []int32
+		for _, v := range p.In {
+			if i, ok := slices.BinarySearch(dict, v); ok {
+				codes = append(codes, int32(i))
+			}
+		}
+		return codesPredFromSorted(codes)
+	}
+}
+
+// codesPredFromSorted builds the cheapest predicate holding exactly the
+// given ascending code list: a contiguous list becomes a range (so the
+// codes stream's FOR blocks can still be min-max skipped), otherwise an
+// In set.
+func codesPredFromSorted(codes []int32) *IntPred {
+	switch {
+	case len(codes) == 0:
+		return &IntPred{Op: PredIn}
+	case len(codes) == 1:
+		return &IntPred{Op: PredEq, Eq: codes[0]}
+	case int(codes[len(codes)-1]-codes[0]) == len(codes)-1:
+		return &IntPred{Op: PredRange, Lo: codes[0], Hi: codes[len(codes)-1]}
+	default:
+		return &IntPred{Op: PredIn, In: codes}
+	}
+}
+
+// --- int64 predicates ---
+
+// Int64Pred is a predicate over int64 values (inclusive bounds; In sorted).
+type Int64Pred struct {
+	Op     PredOp
+	Eq     int64
+	Lo, Hi int64
+	In     []int64
+}
+
+// Normalize sorts and dedupes the In set.
+func (p *Int64Pred) Normalize() {
+	if p.Op == PredIn {
+		slices.Sort(p.In)
+		p.In = slices.Compact(p.In)
+	}
+}
+
+// Match reports whether v satisfies the predicate.
+func (p *Int64Pred) Match(v int64) bool {
+	switch p.Op {
+	case PredEq:
+		return v == p.Eq
+	case PredRange:
+		return v >= p.Lo && v <= p.Hi
+	default:
+		_, ok := slices.BinarySearch(p.In, v)
+		return ok
+	}
+}
+
+// Bounds returns the inclusive match envelope; unsatisfiable → lo > hi.
+func (p *Int64Pred) Bounds() (lo, hi int64) {
+	switch p.Op {
+	case PredEq:
+		return p.Eq, p.Eq
+	case PredRange:
+		return p.Lo, p.Hi
+	default:
+		if len(p.In) == 0 {
+			return math.MaxInt64, math.MinInt64
+		}
+		return p.In[0], p.In[len(p.In)-1]
+	}
+}
+
+func (p *Int64Pred) codesPred(dict []int64) *IntPred {
+	switch p.Op {
+	case PredEq:
+		if i, ok := slices.BinarySearch(dict, p.Eq); ok {
+			return &IntPred{Op: PredEq, Eq: int32(i)}
+		}
+		return &IntPred{Op: PredIn}
+	case PredRange:
+		lo, _ := slices.BinarySearch(dict, p.Lo)
+		hi, ok := slices.BinarySearch(dict, p.Hi)
+		if !ok {
+			hi--
+		}
+		if lo > hi {
+			return &IntPred{Op: PredIn}
+		}
+		return &IntPred{Op: PredRange, Lo: int32(lo), Hi: int32(hi)}
+	default:
+		var codes []int32
+		for _, v := range p.In {
+			if i, ok := slices.BinarySearch(dict, v); ok {
+				codes = append(codes, int32(i))
+			}
+		}
+		return codesPredFromSorted(codes)
+	}
+}
+
+// --- double predicates ---
+
+// DoublePred is a predicate over float64 values. Eq and In compare
+// bit-exactly (NaN payloads and -0.0 vs 0.0 are distinct, matching
+// CountEqualDouble); Range uses ordinary float comparison, so NaN never
+// matches a range.
+type DoublePred struct {
+	Op     PredOp
+	Eq     float64
+	Lo, Hi float64
+	In     []float64
+	inBits []uint64 // sorted bit patterns of In, built by Normalize
+}
+
+// Normalize prepares the bit-pattern set for In matching.
+func (p *DoublePred) Normalize() {
+	if p.Op != PredIn {
+		return
+	}
+	p.inBits = p.inBits[:0]
+	for _, v := range p.In {
+		p.inBits = append(p.inBits, math.Float64bits(v))
+	}
+	slices.Sort(p.inBits)
+	p.inBits = slices.Compact(p.inBits)
+}
+
+// Match reports whether v satisfies the predicate.
+func (p *DoublePred) Match(v float64) bool {
+	switch p.Op {
+	case PredEq:
+		return math.Float64bits(v) == math.Float64bits(p.Eq)
+	case PredRange:
+		return v >= p.Lo && v <= p.Hi
+	default:
+		_, ok := slices.BinarySearch(p.inBits, math.Float64bits(v))
+		return ok
+	}
+}
+
+// codesPred maps p over a double dictionary (sorted by bit pattern, not
+// numerically) by testing every entry, returning the matching code set.
+func (p *DoublePred) codesPred(dict []float64) *IntPred {
+	var codes []int32
+	for i, v := range dict {
+		if p.Match(v) {
+			codes = append(codes, int32(i))
+		}
+	}
+	return codesPredFromSorted(codes)
+}
+
+// --- string predicates ---
+
+// StringPred is a predicate over string values (byte comparisons; Range
+// is lexicographic and inclusive; In must be sorted with Normalize).
+type StringPred struct {
+	Op     PredOp
+	Eq     []byte
+	Lo, Hi []byte
+	In     [][]byte
+}
+
+// Normalize sorts and dedupes the In set lexicographically.
+func (p *StringPred) Normalize() {
+	if p.Op != PredIn {
+		return
+	}
+	slices.SortFunc(p.In, bytes.Compare)
+	p.In = slices.CompactFunc(p.In, bytes.Equal)
+}
+
+// Match reports whether v satisfies the predicate.
+func (p *StringPred) Match(v []byte) bool {
+	switch p.Op {
+	case PredEq:
+		return bytes.Equal(v, p.Eq)
+	case PredRange:
+		return bytes.Compare(v, p.Lo) >= 0 && bytes.Compare(v, p.Hi) <= 0
+	default:
+		_, ok := slices.BinarySearchFunc(p.In, v, bytes.Compare)
+		return ok
+	}
+}
+
+// --- shared helpers ---
+
+// frequencyPositions walks a Frequency stream's position structure: bm
+// marks the positions holding the top value, the remaining positions hold
+// exceptions in ascending order. topMatch selects every marked position;
+// excSel (a bitmap over exception *indexes*) selects the corresponding
+// gap positions. Mirrors decodeIntFrequency's gap-filling walk, but never
+// touches values.
+func frequencyPositions(n int, bm *roaring.Bitmap, topMatch bool, excSel *roaring.Bitmap, base uint32, out *roaring.Bitmap) error {
+	ei := 0
+	next := 0
+	ok := true
+	bm.ForEach(func(v uint32) bool {
+		if int(v) >= n {
+			ok = false
+			return false
+		}
+		for next < int(v) {
+			if excSel != nil && excSel.Contains(uint32(ei)) {
+				out.Add(base + uint32(next))
+			}
+			ei++
+			next++
+		}
+		if topMatch {
+			out.Add(base + uint32(next))
+		}
+		next++
+		return true
+	})
+	if !ok {
+		return ErrCorrupt
+	}
+	for next < n {
+		if excSel != nil && excSel.Contains(uint32(ei)) {
+			out.Add(base + uint32(next))
+		}
+		ei++
+		next++
+	}
+	return nil
+}
+
+// --- int32 kernel ---
+
+// SelectInt evaluates p over one compressed int stream, adding the
+// positions of matching values (offset by base) to out. Returns the bytes
+// consumed. st may be nil.
+func SelectInt(src []byte, p *IntPred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	c := cfg.normalized()
+	return selectInt(src, p, base, out, st.orDiscard(), &c)
+}
+
+func selectInt(src []byte, p *IntPred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	if len(src) < 1 {
+		return 0, ErrCorrupt
+	}
+	code := Code(src[0])
+	body := src[1:]
+	switch code {
+	case CodeOneValue:
+		if len(body) < 8 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		if n > cfg.maxN() {
+			return 0, ErrCorrupt
+		}
+		st.OneValue.Add(1)
+		if p.Match(int32(binary.LittleEndian.Uint32(body[4:]))) {
+			out.AddRange(base, base+uint32(n))
+		}
+		return 9, nil
+	case CodeRLE:
+		n := int(binary.LittleEndian.Uint32(body))
+		values, lengths, used, err := decodeRLEParts(src, cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer cfg.Scratch.putInt32(values)
+		defer cfg.Scratch.putInt32(lengths)
+		st.RLE.Add(1)
+		off := 0
+		for i, rv := range values {
+			l := int(lengths[i])
+			if l < 0 || off+l > n {
+				return 0, ErrCorrupt
+			}
+			if p.Match(rv) {
+				out.AddRange(base+uint32(off), base+uint32(off+l))
+			}
+			off += l
+		}
+		if off != n {
+			return 0, ErrCorrupt
+		}
+		return used, nil
+	case CodeDict:
+		if len(body) < 8 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		dictN := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > cfg.maxN() || dictN > n {
+			return 0, ErrCorrupt
+		}
+		pos := 1 + 8
+		dict, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+		defer cfg.Scratch.putInt32(dict)
+		if err != nil {
+			return 0, err
+		}
+		if len(dict) != dictN {
+			return 0, ErrCorrupt
+		}
+		pos += used
+		st.Dict.Add(1)
+		used, err = selectInt(src[pos:], p.codesPred(dict), base, out, st, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return pos + used, nil
+	case CodeFrequency:
+		if len(body) < 8 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		if n > cfg.maxN() {
+			return 0, ErrCorrupt
+		}
+		top := int32(binary.LittleEndian.Uint32(body[4:]))
+		pos := 1 + 8
+		bm, used, err := roaring.FromBytes(src[pos:])
+		if err != nil {
+			return 0, ErrCorrupt
+		}
+		pos += used
+		st.Frequency.Add(1)
+		excSel := roaring.New()
+		used, err = selectInt(src[pos:], p, 0, excSel, st, cfg)
+		if err != nil {
+			return 0, err
+		}
+		pos += used
+		if err := frequencyPositions(n, bm, p.Match(top), excSel, base, out); err != nil {
+			return 0, err
+		}
+		return pos, nil
+	case CodeFastBP:
+		used, err := selectIntFOR(body, p, base, out, st, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return 1 + used, nil
+	default:
+		values, used, err := decompressInt(cfg.Scratch.getInt32(), src, cfg)
+		defer cfg.Scratch.putInt32(values)
+		if err != nil {
+			return 0, err
+		}
+		st.Decoded.Add(1)
+		for i, v := range values {
+			if p.Match(v) {
+				out.Add(base + uint32(i))
+			}
+		}
+		return used, nil
+	}
+}
+
+// selectIntFOR walks a FOR/bit-packed body (scheme byte already
+// stripped), skipping whole 128-value packed blocks whose
+// [reference, reference+2^width) envelope cannot intersect the
+// predicate's bounds, and unpacking only the rest.
+func selectIntFOR(body []byte, p *IntPred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	if len(body) < 4 {
+		return 0, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	pos := 4
+	if n == 0 {
+		return pos, nil
+	}
+	if n < 0 || n > cfg.maxN() || len(body) < 8 {
+		return 0, ErrCorrupt
+	}
+	ref := int32(binary.LittleEndian.Uint32(body[pos:]))
+	pos += 4
+	plo, phi := p.Bounds()
+	unpack := bitpack.Unpack
+	if cfg.ScalarDecode {
+		unpack = bitpack.UnpackGeneric
+	}
+	var deltas [bitpack.BlockLen]uint32
+	for got := 0; got < n; got += bitpack.BlockLen {
+		cnt := n - got
+		if cnt > bitpack.BlockLen {
+			cnt = bitpack.BlockLen
+		}
+		if pos >= len(body) {
+			return 0, ErrCorrupt
+		}
+		w := uint(body[pos])
+		pos++
+		if w > 32 {
+			return 0, ErrCorrupt
+		}
+		nBytes := (cnt*int(w) + 63) / 64 * 8
+		if len(body) < pos+nBytes {
+			return 0, ErrCorrupt
+		}
+		// Envelope check: every value in this packed block lies in
+		// [ref, ref+mask(w)] — disjoint from the predicate bounds means
+		// the block cannot contain a match and is skipped unread.
+		if phi < int64(ref) || plo > int64(ref)+int64(maskU32(w)) {
+			st.FORSkipped.Add(1)
+			pos += nBytes
+			continue
+		}
+		st.FORScanned.Add(1)
+		used, err := unpack(deltas[:cnt], body[pos:], cnt, w)
+		if err != nil {
+			return 0, ErrCorrupt
+		}
+		pos += used
+		for i := 0; i < cnt; i++ {
+			if p.Match(ref + int32(deltas[i])) {
+				out.Add(base + uint32(got+i))
+			}
+		}
+	}
+	return pos, nil
+}
+
+// --- int64 kernel ---
+
+// SelectInt64 evaluates p over one compressed int64 stream (see
+// SelectInt).
+func SelectInt64(src []byte, p *Int64Pred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	c := cfg.normalized()
+	return selectInt64(src, p, base, out, st.orDiscard(), &c)
+}
+
+func selectInt64(src []byte, p *Int64Pred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	if len(src) < 1 {
+		return 0, ErrCorrupt
+	}
+	code := Code(src[0])
+	body := src[1:]
+	switch code {
+	case CodeOneValue:
+		if len(body) < 12 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		if n > cfg.maxN() {
+			return 0, ErrCorrupt
+		}
+		st.OneValue.Add(1)
+		if p.Match(int64(binary.LittleEndian.Uint64(body[4:]))) {
+			out.AddRange(base, base+uint32(n))
+		}
+		return 13, nil
+	case CodeRLE:
+		if len(body) < 8 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		runCount := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > cfg.maxN() || runCount > n {
+			return 0, ErrCorrupt
+		}
+		pos := 1 + 8
+		values, used, err := decompressInt64(cfg.Scratch.getInt64(), src[pos:], cfg)
+		defer cfg.Scratch.putInt64(values)
+		if err != nil {
+			return 0, err
+		}
+		pos += used
+		lengths, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+		defer cfg.Scratch.putInt32(lengths)
+		if err != nil {
+			return 0, err
+		}
+		pos += used
+		if len(values) != runCount || len(lengths) != runCount {
+			return 0, ErrCorrupt
+		}
+		st.RLE.Add(1)
+		off := 0
+		for i, rv := range values {
+			l := int(lengths[i])
+			if l < 0 || off+l > n {
+				return 0, ErrCorrupt
+			}
+			if p.Match(rv) {
+				out.AddRange(base+uint32(off), base+uint32(off+l))
+			}
+			off += l
+		}
+		if off != n {
+			return 0, ErrCorrupt
+		}
+		return pos, nil
+	case CodeDict:
+		if len(body) < 8 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		dictN := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > cfg.maxN() || dictN > n {
+			return 0, ErrCorrupt
+		}
+		pos := 1 + 8
+		dict, used, err := decompressInt64(cfg.Scratch.getInt64(), src[pos:], cfg)
+		defer cfg.Scratch.putInt64(dict)
+		if err != nil {
+			return 0, err
+		}
+		if len(dict) != dictN {
+			return 0, ErrCorrupt
+		}
+		pos += used
+		st.Dict.Add(1)
+		used, err = selectInt(src[pos:], p.codesPred(dict), base, out, st, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return pos + used, nil
+	case CodeFrequency:
+		if len(body) < 12 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		if n > cfg.maxN() {
+			return 0, ErrCorrupt
+		}
+		top := int64(binary.LittleEndian.Uint64(body[4:]))
+		pos := 1 + 12
+		bm, used, err := roaring.FromBytes(src[pos:])
+		if err != nil {
+			return 0, ErrCorrupt
+		}
+		pos += used
+		st.Frequency.Add(1)
+		excSel := roaring.New()
+		used, err = selectInt64(src[pos:], p, 0, excSel, st, cfg)
+		if err != nil {
+			return 0, err
+		}
+		pos += used
+		if err := frequencyPositions(n, bm, p.Match(top), excSel, base, out); err != nil {
+			return 0, err
+		}
+		return pos, nil
+	case CodeFastBP:
+		used, err := selectInt64FOR(body, p, base, out, st, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return 1 + used, nil
+	default:
+		values, used, err := decompressInt64(cfg.Scratch.getInt64(), src, cfg)
+		defer cfg.Scratch.putInt64(values)
+		if err != nil {
+			return 0, err
+		}
+		st.Decoded.Add(1)
+		for i, v := range values {
+			if p.Match(v) {
+				out.Add(base + uint32(i))
+			}
+		}
+		return used, nil
+	}
+}
+
+func selectInt64FOR(body []byte, p *Int64Pred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	if len(body) < 4 {
+		return 0, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	pos := 4
+	if n == 0 {
+		return pos, nil
+	}
+	if n < 0 || n > cfg.maxN() || len(body) < 12 {
+		return 0, ErrCorrupt
+	}
+	ref := int64(binary.LittleEndian.Uint64(body[pos:]))
+	pos += 8
+	plo, phi := p.Bounds()
+	unpack := bitpack.Unpack64
+	if cfg.ScalarDecode {
+		unpack = bitpack.Unpack64Generic
+	}
+	var deltas [bitpack.BlockLen]uint64
+	for got := 0; got < n; got += bitpack.BlockLen {
+		cnt := n - got
+		if cnt > bitpack.BlockLen {
+			cnt = bitpack.BlockLen
+		}
+		if pos >= len(body) {
+			return 0, ErrCorrupt
+		}
+		w := uint(body[pos])
+		pos++
+		if w > 64 {
+			return 0, ErrCorrupt
+		}
+		nBytes := ((cnt*int(w) + 63) / 64) * 8
+		if len(body) < pos+nBytes {
+			return 0, ErrCorrupt
+		}
+		// Envelope upper bound ref+mask(w), saturating at MaxInt64: a
+		// width-64 block (or one whose envelope overflows) is never
+		// skipped by the upper bound, which keeps the skip sound.
+		hiBound := int64(math.MaxInt64)
+		if w < 64 {
+			if d := int64(maskU64of(w)); ref <= math.MaxInt64-d {
+				hiBound = ref + d
+			}
+		}
+		if phi < ref || plo > hiBound {
+			st.FORSkipped.Add(1)
+			pos += nBytes
+			continue
+		}
+		st.FORScanned.Add(1)
+		used, err := unpack(deltas[:cnt], body[pos:], cnt, w)
+		if err != nil {
+			return 0, ErrCorrupt
+		}
+		pos += used
+		for i := 0; i < cnt; i++ {
+			if p.Match(ref + int64(deltas[i])) {
+				out.Add(base + uint32(got+i))
+			}
+		}
+	}
+	return pos, nil
+}
+
+// --- double kernel ---
+
+// SelectDouble evaluates p over one compressed double stream (see
+// SelectInt).
+func SelectDouble(src []byte, p *DoublePred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	c := cfg.normalized()
+	return selectDouble(src, p, base, out, st.orDiscard(), &c)
+}
+
+func selectDouble(src []byte, p *DoublePred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	if len(src) < 1 {
+		return 0, ErrCorrupt
+	}
+	code := Code(src[0])
+	body := src[1:]
+	switch code {
+	case CodeOneValue:
+		if len(body) < 12 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		if n > cfg.maxN() {
+			return 0, ErrCorrupt
+		}
+		st.OneValue.Add(1)
+		if p.Match(math.Float64frombits(binary.LittleEndian.Uint64(body[4:]))) {
+			out.AddRange(base, base+uint32(n))
+		}
+		return 13, nil
+	case CodeRLE:
+		if len(body) < 8 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		runCount := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > cfg.maxN() || runCount > n {
+			return 0, ErrCorrupt
+		}
+		pos := 1 + 8
+		values, used, err := decompressDouble(cfg.Scratch.getFloat64(), src[pos:], cfg)
+		defer cfg.Scratch.putFloat64(values)
+		if err != nil {
+			return 0, err
+		}
+		pos += used
+		lengths, used, err := decompressInt(cfg.Scratch.getInt32(), src[pos:], cfg)
+		defer cfg.Scratch.putInt32(lengths)
+		if err != nil {
+			return 0, err
+		}
+		pos += used
+		if len(values) != runCount || len(lengths) != runCount {
+			return 0, ErrCorrupt
+		}
+		st.RLE.Add(1)
+		off := 0
+		for i, rv := range values {
+			l := int(lengths[i])
+			if l < 0 || off+l > n {
+				return 0, ErrCorrupt
+			}
+			if p.Match(rv) {
+				out.AddRange(base+uint32(off), base+uint32(off+l))
+			}
+			off += l
+		}
+		if off != n {
+			return 0, ErrCorrupt
+		}
+		return pos, nil
+	case CodeDict:
+		if len(body) < 8 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		dictN := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > cfg.maxN() || dictN > n {
+			return 0, ErrCorrupt
+		}
+		pos := 1 + 8
+		dict, used, err := decompressDouble(cfg.Scratch.getFloat64(), src[pos:], cfg)
+		defer cfg.Scratch.putFloat64(dict)
+		if err != nil {
+			return 0, err
+		}
+		if len(dict) != dictN {
+			return 0, ErrCorrupt
+		}
+		pos += used
+		st.Dict.Add(1)
+		used, err = selectInt(src[pos:], p.codesPred(dict), base, out, st, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return pos + used, nil
+	case CodeFrequency:
+		if len(body) < 12 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		if n > cfg.maxN() {
+			return 0, ErrCorrupt
+		}
+		top := math.Float64frombits(binary.LittleEndian.Uint64(body[4:]))
+		pos := 1 + 12
+		bm, used, err := roaring.FromBytes(src[pos:])
+		if err != nil {
+			return 0, ErrCorrupt
+		}
+		pos += used
+		st.Frequency.Add(1)
+		excSel := roaring.New()
+		used, err = selectDouble(src[pos:], p, 0, excSel, st, cfg)
+		if err != nil {
+			return 0, err
+		}
+		pos += used
+		if err := frequencyPositions(n, bm, p.Match(top), excSel, base, out); err != nil {
+			return 0, err
+		}
+		return pos, nil
+	default:
+		values, used, err := decompressDouble(cfg.Scratch.getFloat64(), src, cfg)
+		defer cfg.Scratch.putFloat64(values)
+		if err != nil {
+			return 0, err
+		}
+		st.Decoded.Add(1)
+		for i, v := range values {
+			if p.Match(v) {
+				out.Add(base + uint32(i))
+			}
+		}
+		return used, nil
+	}
+}
+
+// --- string kernel ---
+
+// SelectString evaluates p over one compressed string stream (see
+// SelectInt). Dictionary streams map the predicate over the
+// lexicographically sorted dictionary to a code predicate; other schemes
+// decode views and filter.
+func SelectString(src []byte, p *StringPred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	c := cfg.normalized()
+	return selectString(src, p, base, out, st.orDiscard(), &c)
+}
+
+func selectString(src []byte, p *StringPred, base uint32, out *roaring.Bitmap, st *SelectStats, cfg *Config) (int, error) {
+	if len(src) < 1 {
+		return 0, ErrCorrupt
+	}
+	code := Code(src[0])
+	body := src[1:]
+	switch code {
+	case CodeOneValue:
+		if len(body) < 8 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		l := int(binary.LittleEndian.Uint32(body[4:]))
+		if n > cfg.maxN() || l < 0 || len(body) < 8+l {
+			return 0, ErrCorrupt
+		}
+		st.OneValue.Add(1)
+		if p.Match(body[8 : 8+l]) {
+			out.AddRange(base, base+uint32(n))
+		}
+		return 1 + 8 + l, nil
+	case CodeDict:
+		views, err := decodeStringDictViews(body, cfg)
+		if err != nil {
+			return 0, err
+		}
+		var codes []int32
+		for i := 0; i < views.dict.Len(); i++ {
+			if p.Match(views.dict.Bytes(i)) {
+				codes = append(codes, int32(i))
+			}
+		}
+		st.Dict.Add(1)
+		used, err := selectInt(body[views.codesOff:], codesPredFromSorted(codes), base, out, st, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return 1 + views.codesOff + used, nil
+	default:
+		views, used, err := decompressString(src, cfg)
+		if err != nil {
+			return 0, err
+		}
+		st.Decoded.Add(1)
+		for i := 0; i < views.Len(); i++ {
+			if p.Match(views.Bytes(i)) {
+				out.Add(base + uint32(i))
+			}
+		}
+		return used, nil
+	}
+}

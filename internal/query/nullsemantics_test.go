@@ -1,0 +1,273 @@
+package query
+
+// NULL-semantics matrix: for every scheme family, value predicates
+// (eq/range/in) never match NULL slots — even though the compressor is
+// free to rewrite the stored value at a NULL position — NotNull composes
+// under and/or, and aggregates over all-NULL data return the documented
+// zero values (Count 0, empty Value for sum/min/max).
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"btrblocks"
+	"btrblocks/internal/roaring"
+)
+
+// nullCase builds one column per scheme family: rows%3==0 are NULL (the
+// stored value at those slots is a decoy that WOULD match the probe if
+// NULL masking leaked), the rest alternate between a matching and a
+// non-matching value shaped to keep the target scheme attractive.
+type nullCase struct {
+	name  string
+	col   btrblocks.Column
+	copt  *btrblocks.Options
+	typ   btrblocks.Type
+	probe json.RawMessage // literal equal to the decoy AND to the even non-NULL rows
+	lo    json.RawMessage // range bounds covering every stored value
+	hi    json.RawMessage
+}
+
+func intNullCase(name string, scheme btrblocks.Scheme, matchV, otherV int32) nullCase {
+	const rows = 2400
+	vals := make([]int32, rows)
+	col := btrblocks.IntColumn("a", vals)
+	col.Nulls = btrblocks.NewNullMask()
+	for i := range vals {
+		if i%3 == 0 {
+			vals[i] = matchV // decoy under a NULL
+			col.Nulls.SetNull(i)
+		} else if i%2 == 0 {
+			vals[i] = matchV
+		} else {
+			vals[i] = otherV
+		}
+	}
+	lo, hi := matchV, otherV
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return nullCase{
+		name:  name,
+		col:   col,
+		copt:  &btrblocks.Options{BlockSize: 500, IntSchemes: []btrblocks.Scheme{scheme, btrblocks.SchemeFastBP, btrblocks.SchemeUncompressed}},
+		typ:   btrblocks.TypeInt,
+		probe: jNum(matchV),
+		lo:    jNum(lo),
+		hi:    jNum(hi),
+	}
+}
+
+func nullCases() []nullCase {
+	cases := []nullCase{
+		intNullCase("int-onevalue", btrblocks.SchemeOneValue, 42, 42),
+		intNullCase("int-rle", btrblocks.SchemeRLE, 100, 100), // runs of one value + NULL holes
+		intNullCase("int-dict", btrblocks.SchemeDict, 7, 9000),
+		intNullCase("int-frequency", btrblocks.SchemeFrequency, 7, 123456),
+		intNullCase("int-fastbp", btrblocks.SchemeFastBP, 1000, 500000),
+	}
+
+	const rows = 2400
+	i64 := make([]int64, rows)
+	colI64 := btrblocks.Int64Column("a", i64)
+	colI64.Nulls = btrblocks.NewNullMask()
+	for i := range i64 {
+		i64[i] = 1_600_000_000_000 + int64(i%2)*5000
+		if i%3 == 0 {
+			colI64.Nulls.SetNull(i)
+		}
+	}
+	cases = append(cases, nullCase{
+		name:  "int64-default",
+		col:   colI64,
+		copt:  &btrblocks.Options{BlockSize: 500},
+		typ:   btrblocks.TypeInt64,
+		probe: jNum(int64(1_600_000_000_000)),
+		lo:    jNum(int64(1_600_000_000_000)),
+		hi:    jNum(int64(1_600_000_000_005_000)),
+	})
+
+	dbl := make([]float64, rows)
+	colD := btrblocks.DoubleColumn("a", dbl)
+	colD.Nulls = btrblocks.NewNullMask()
+	for i := range dbl {
+		dbl[i] = 19.99
+		if i%2 == 1 {
+			dbl[i] = 4.25
+		}
+		if i%3 == 0 {
+			colD.Nulls.SetNull(i)
+		}
+	}
+	cases = append(cases, nullCase{
+		name:  "double-default",
+		col:   colD,
+		copt:  &btrblocks.Options{BlockSize: 500},
+		typ:   btrblocks.TypeDouble,
+		probe: jNum(19.99),
+		lo:    jNum(0.0),
+		hi:    jNum(100.0),
+	})
+
+	strs := make([]string, rows)
+	colS := btrblocks.StringColumn("a", strs)
+	colS.Nulls = btrblocks.NewNullMask()
+	for i := range strs {
+		strs[i] = "us-east-1"
+		if i%2 == 1 {
+			strs[i] = "eu-west-2"
+		}
+		if i%3 == 0 {
+			colS.Nulls.SetNull(i)
+		}
+	}
+	cases = append(cases, nullCase{
+		name:  "string-default",
+		col:   colS,
+		copt:  &btrblocks.Options{BlockSize: 500},
+		typ:   btrblocks.TypeString,
+		probe: jStr("us-east-1"),
+		lo:    jStr("a"),
+		hi:    jStr("zz"),
+	})
+	return cases
+}
+
+func runNullPlan(t *testing.T, e *Executor, filter *Node) *roaring.Bitmap {
+	t.Helper()
+	raw, err := json.Marshal(&Plan{Filter: filter, Return: ReturnBitmap})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	p, err := ParsePlan(raw)
+	if err != nil {
+		t.Fatalf("parse %s: %v", raw, err)
+	}
+	res, err := e.Run(t.Context(), p)
+	if err != nil {
+		t.Fatalf("run %s: %v", raw, err)
+	}
+	bm, used, err := roaring.FromBytes(res.Bitmap)
+	if err != nil || used != len(res.Bitmap) {
+		t.Fatalf("bitmap: %v", err)
+	}
+	return bm
+}
+
+func TestNullSemanticsMatrix(t *testing.T) {
+	for _, tc := range nullCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			src := MemSource{"a": buildQueryCol(t, tc.col, tc.copt)}
+			e := &Executor{Source: src, Options: tc.copt}
+
+			total := caseRows(tc.col)
+			wantNotNull := roaring.New()
+			for i := 0; i < total; i++ {
+				if !tc.col.Nulls.IsNull(i) {
+					wantNotNull.Add(uint32(i))
+				}
+			}
+
+			// NotNull selects exactly the non-NULL rows.
+			gotNotNull := runNullPlan(t, e, &Node{Op: "notnull", Column: "a"})
+			if !gotNotNull.Equals(wantNotNull) {
+				t.Fatalf("notnull: got %d rows, want %d", gotNotNull.Cardinality(), wantNotNull.Cardinality())
+			}
+
+			// Value predicates never select a NULL slot, even when the slot's
+			// stored decoy value matches the probe.
+			for _, filter := range []*Node{
+				{Op: "eq", Column: "a", Value: tc.probe},
+				{Op: "range", Column: "a", Lo: tc.lo, Hi: tc.hi},
+				{Op: "in", Column: "a", Values: []json.RawMessage{tc.probe}},
+			} {
+				got := runNullPlan(t, e, filter)
+				leaked := roaring.AndNot(got, wantNotNull)
+				if !leaked.IsEmpty() {
+					t.Fatalf("%s predicate matched %d NULL slots (first: %v)",
+						filter.Op, leaked.Cardinality(), leaked.ToArray()[:1])
+				}
+				// And composes: pred AND notnull == pred (notnull is implied).
+				composed := runNullPlan(t, e, &Node{Op: "and", Children: []*Node{
+					filter, {Op: "notnull", Column: "a"},
+				}})
+				if !composed.Equals(got) {
+					t.Fatalf("%s AND notnull != %s: %d vs %d rows",
+						filter.Op, filter.Op, composed.Cardinality(), got.Cardinality())
+				}
+			}
+		})
+	}
+}
+
+func caseRows(c btrblocks.Column) int {
+	switch c.Type {
+	case btrblocks.TypeInt:
+		return len(c.Ints)
+	case btrblocks.TypeInt64:
+		return len(c.Ints64)
+	case btrblocks.TypeDouble:
+		return len(c.Doubles)
+	default:
+		return c.Strings.Len()
+	}
+}
+
+// TestAggregatesAllNull pins the documented zero values: aggregates over
+// a column whose every row is NULL return Count 0 and an empty Value for
+// sum/min/max, for every type.
+func TestAggregatesAllNull(t *testing.T) {
+	const rows = 1200
+	build := func(typ btrblocks.Type) btrblocks.Column {
+		var col btrblocks.Column
+		switch typ {
+		case btrblocks.TypeInt:
+			col = btrblocks.IntColumn("a", make([]int32, rows))
+		case btrblocks.TypeInt64:
+			col = btrblocks.Int64Column("a", make([]int64, rows))
+		case btrblocks.TypeDouble:
+			col = btrblocks.DoubleColumn("a", make([]float64, rows))
+		default:
+			col = btrblocks.StringColumn("a", make([]string, rows))
+		}
+		col.Nulls = btrblocks.NewNullMask()
+		for i := 0; i < rows; i++ {
+			col.Nulls.SetNull(i)
+		}
+		return col
+	}
+	for _, typ := range []btrblocks.Type{btrblocks.TypeInt, btrblocks.TypeInt64, btrblocks.TypeDouble, btrblocks.TypeString} {
+		t.Run(fmt.Sprint(typ), func(t *testing.T) {
+			copt := &btrblocks.Options{BlockSize: 500}
+			src := MemSource{"a": buildQueryCol(t, build(typ), copt)}
+			e := &Executor{Source: src, Options: copt}
+			aggs := []AggSpec{{Op: "count", Column: "a"}, {Op: "min", Column: "a"}, {Op: "max", Column: "a"}}
+			if typ != btrblocks.TypeString {
+				aggs = append(aggs, AggSpec{Op: "sum", Column: "a"})
+			}
+			raw, _ := json.Marshal(&Plan{Aggregates: aggs})
+			p, err := ParsePlan(raw)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, err := e.Run(t.Context(), p)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for i, spec := range aggs {
+				got := res.Aggregates[i]
+				if got.Count != 0 {
+					t.Fatalf("%s over all-NULL: count = %d, want 0", spec.Op, got.Count)
+				}
+				wantValue := ""
+				if spec.Op == "count" {
+					wantValue = "0"
+				}
+				if got.Value != wantValue {
+					t.Fatalf("%s over all-NULL: value = %q, want %q", spec.Op, got.Value, wantValue)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package roaring
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// naiveAddRange is the reference semantics AddRange must match.
+func naiveAddRange(b *Bitmap, lo, hi uint32) {
+	for v := uint64(lo); v < uint64(hi); v++ {
+		b.Add(uint32(v))
+	}
+}
+
+// TestAddRangeEquivalence drives AddRange through container-boundary and
+// promotion cases and checks both set equality with per-value Adds and
+// byte equality of the serialized form (query results compare bitmaps
+// byte for byte, so range-built and add-built bitmaps must serialize
+// identically).
+func TestAddRangeEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		ranges [][2]uint32
+	}{
+		{"empty", [][2]uint32{{10, 10}, {10, 5}}},
+		{"single", [][2]uint32{{7, 8}}},
+		{"small-array", [][2]uint32{{100, 200}}},
+		{"promotes-to-bitmap", [][2]uint32{{0, 5000}}},
+		{"exact-arrayMaxCard", [][2]uint32{{0, arrayMaxCard}}},
+		{"one-past-arrayMaxCard", [][2]uint32{{0, arrayMaxCard + 1}}},
+		{"crosses-chunk", [][2]uint32{{65530, 65600}}},
+		{"spans-three-chunks", [][2]uint32{{60000, 200000}}},
+		{"full-chunk", [][2]uint32{{65536, 131072}}},
+		{"chunk-tail", [][2]uint32{{65535, 65536}}},
+		{"overlapping", [][2]uint32{{100, 300}, {200, 500}, {50, 150}}},
+		{"adjacent", [][2]uint32{{100, 200}, {200, 300}}},
+		{"disjoint-then-bridge", [][2]uint32{{10, 20}, {40, 50}, {15, 45}}},
+		{"array-grows-past-max", [][2]uint32{{0, 3000}, {3500, 6000}}},
+		{"high-end", [][2]uint32{{0xFFFFFF00, 0xFFFFFFFF}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fast, slow := New(), New()
+			for _, r := range tc.ranges {
+				fast.AddRange(r[0], r[1])
+				naiveAddRange(slow, r[0], r[1])
+			}
+			if !fast.Equals(slow) {
+				t.Fatalf("sets differ: fast card %d, slow card %d",
+					fast.Cardinality(), slow.Cardinality())
+			}
+			if !bytes.Equal(fast.AppendTo(nil), slow.AppendTo(nil)) {
+				t.Fatal("serialized bytes differ between range-built and add-built bitmaps")
+			}
+		})
+	}
+}
+
+// TestAddRangeOverExisting merges ranges into pre-populated containers of
+// every kind: array, bitmap, and run (via RunOptimize).
+func TestAddRangeOverExisting(t *testing.T) {
+	seed := func() (*Bitmap, *Bitmap) {
+		fast, slow := New(), New()
+		for _, v := range []uint32{5, 90, 250, 66000} {
+			fast.Add(v)
+			slow.Add(v)
+		}
+		return fast, slow
+	}
+
+	t.Run("into-array", func(t *testing.T) {
+		fast, slow := seed()
+		fast.AddRange(80, 260)
+		naiveAddRange(slow, 80, 260)
+		if !fast.Equals(slow) || !bytes.Equal(fast.AppendTo(nil), slow.AppendTo(nil)) {
+			t.Fatal("array merge diverged")
+		}
+	})
+	t.Run("into-bitmap", func(t *testing.T) {
+		fast, slow := seed()
+		fast.AddRange(0, 5000) // promotes chunk 0 to a bitmap container
+		naiveAddRange(slow, 0, 5000)
+		fast.AddRange(4000, 6000)
+		naiveAddRange(slow, 4000, 6000)
+		if !fast.Equals(slow) || !bytes.Equal(fast.AppendTo(nil), slow.AppendTo(nil)) {
+			t.Fatal("bitmap merge diverged")
+		}
+	})
+	t.Run("into-run", func(t *testing.T) {
+		b := New()
+		b.AddRange(100, 200)
+		b.AddRange(300, 400)
+		b.RunOptimize()
+		for _, r := range [][2]uint32{{150, 350}, {50, 90}, {500, 600}, {399, 501}} {
+			b.AddRange(r[0], r[1])
+		}
+		want := New()
+		for _, r := range [][2]uint32{{100, 200}, {300, 400}, {150, 350}, {50, 90}, {500, 600}, {399, 501}} {
+			naiveAddRange(want, r[0], r[1])
+		}
+		if !b.Equals(want) {
+			t.Fatalf("run merge diverged: card %d want %d", b.Cardinality(), want.Cardinality())
+		}
+	})
+}
+
+// TestAddRangeRandomized cross-checks random mixes of Add and AddRange
+// against the naive implementation.
+func TestAddRangeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		fast, slow := New(), New()
+		for op := 0; op < 30; op++ {
+			if rng.Intn(3) == 0 {
+				v := uint32(rng.Intn(1 << 18))
+				fast.Add(v)
+				slow.Add(v)
+				continue
+			}
+			lo := uint32(rng.Intn(1 << 18))
+			hi := lo + uint32(rng.Intn(9000))
+			fast.AddRange(lo, hi)
+			naiveAddRange(slow, lo, hi)
+		}
+		if !fast.Equals(slow) {
+			t.Fatalf("trial %d: sets diverged", trial)
+		}
+		if !bytes.Equal(fast.AppendTo(nil), slow.AppendTo(nil)) {
+			t.Fatalf("trial %d: serialized bytes diverged", trial)
+		}
+	}
+}

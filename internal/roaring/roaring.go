@@ -71,19 +71,76 @@ func (b *Bitmap) Add(v uint32) {
 		b.containers[i] = b.containers[i].add(low)
 		return
 	}
+	b.insertContainerAt(i, key, arrayContainer{low})
+}
+
+func (b *Bitmap) insertContainerAt(i int, key uint16, c container) {
 	b.keys = append(b.keys, 0)
 	copy(b.keys[i+1:], b.keys[i:])
 	b.keys[i] = key
 	b.containers = append(b.containers, nil)
 	copy(b.containers[i+1:], b.containers[i:])
-	b.containers[i] = arrayContainer{low}
+	b.containers[i] = c
 }
 
-// AddRange inserts all values in [lo, hi).
+// AddRange inserts all values in [lo, hi). It works a container at a
+// time — word fills on bitmap containers, one splice on array
+// containers, interval merges on run containers — instead of one
+// sorted-insert per value, and produces the same canonical container
+// kinds as point Adds (array up to arrayMaxCard, bitmap beyond), so a
+// range-built bitmap serializes byte-identically to an Add-built one.
 func (b *Bitmap) AddRange(lo, hi uint32) {
-	for v := uint64(lo); v < uint64(hi); v++ {
-		b.Add(uint32(v))
+	if hi <= lo {
+		return
 	}
+	last := hi - 1 // inclusive from here on
+	for key := lo >> 16; ; key++ {
+		clo, chi := uint16(0), uint16(0xFFFF)
+		if key == lo>>16 {
+			clo = uint16(lo)
+		}
+		if key == last>>16 {
+			chi = uint16(last)
+		}
+		i, ok := b.containerIndex(uint16(key))
+		if ok {
+			b.containers[i] = addRangeTo(b.containers[i], clo, chi)
+		} else {
+			b.insertContainerAt(i, uint16(key), newRangeContainer(clo, chi))
+		}
+		if key == last>>16 {
+			return
+		}
+	}
+}
+
+// newRangeContainer builds a fresh container holding [lo, hi], in the
+// same representation point Adds would have produced.
+func newRangeContainer(lo, hi uint16) container {
+	n := int(hi) - int(lo) + 1
+	if n > arrayMaxCard {
+		bc := newBitmapContainer()
+		bc.setRange(lo, hi)
+		return bc
+	}
+	a := make(arrayContainer, 0, n)
+	for v := uint32(lo); v <= uint32(hi); v++ {
+		a = append(a, uint16(v))
+	}
+	return a
+}
+
+func addRangeTo(c container, lo, hi uint16) container {
+	switch cc := c.(type) {
+	case arrayContainer:
+		return cc.addRange(lo, hi)
+	case *bitmapContainer:
+		cc.setRange(lo, hi)
+		return cc
+	case runContainer:
+		return cc.addRange(lo, hi)
+	}
+	return c
 }
 
 // Remove deletes v from the bitmap if present.
@@ -117,8 +174,11 @@ func (b *Bitmap) Cardinality() int {
 	return n
 }
 
-// IsEmpty reports whether the bitmap contains no values.
-func (b *Bitmap) IsEmpty() bool { return b.Cardinality() == 0 }
+// IsEmpty reports whether the bitmap contains no values. Containers are
+// never left empty (Remove deletes a drained container and FromBytes
+// drops empty ones), so this is O(1) on the container directory instead
+// of a full cardinality walk.
+func (b *Bitmap) IsEmpty() bool { return len(b.keys) == 0 }
 
 // ForEach calls f for every value in ascending order until f returns false.
 func (b *Bitmap) ForEach(f func(uint32) bool) {
@@ -292,6 +352,40 @@ func (a arrayContainer) add(v uint16) container {
 	return a
 }
 
+// addRange inserts [lo, hi] with one splice, converting to a bitmap
+// container when the merged cardinality crosses arrayMaxCard (the same
+// threshold point Adds convert at).
+func (a arrayContainer) addRange(lo, hi uint16) container {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= lo })
+	j := sort.Search(len(a), func(i int) bool { return a[i] > hi })
+	rangeLen := int(hi) - int(lo) + 1
+	merged := len(a) - (j - i) + rangeLen
+	if merged > arrayMaxCard {
+		bc := newBitmapContainer()
+		for _, x := range a {
+			bc.set(x)
+		}
+		bc.setRange(lo, hi)
+		return bc
+	}
+	var out arrayContainer
+	if cap(a) >= merged {
+		out = a[:merged] // splice in place, like add's append path
+	} else {
+		newCap := merged + merged/4
+		if newCap > arrayMaxCard {
+			newCap = arrayMaxCard
+		}
+		out = make(arrayContainer, merged, newCap)
+		copy(out, a[:i])
+	}
+	copy(out[i+rangeLen:], a[j:]) // memmove-safe when out aliases a
+	for v, k := uint32(lo), i; v <= uint32(hi); v, k = v+1, k+1 {
+		out[k] = uint16(v)
+	}
+	return out
+}
+
 func (a arrayContainer) remove(v uint16) container {
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
 	if i >= len(a) || a[i] != v {
@@ -326,6 +420,22 @@ func (b *bitmapContainer) set(v uint16) {
 	if b.words[w]&(1<<bit) == 0 {
 		b.words[w] |= 1 << bit
 		b.n++
+	}
+}
+
+// setRange sets every bit in [lo, hi] with word-wide masks.
+func (b *bitmapContainer) setRange(lo, hi uint16) {
+	w1, w2 := int(lo>>6), int(hi>>6)
+	for w := w1; w <= w2; w++ {
+		mask := ^uint64(0)
+		if w == w1 {
+			mask &= ^uint64(0) << (lo & 63)
+		}
+		if w == w2 {
+			mask &= ^uint64(0) >> (63 - hi&63)
+		}
+		b.n += bits.OnesCount64(mask &^ b.words[w])
+		b.words[w] |= mask
 	}
 }
 
@@ -413,6 +523,29 @@ func (r runContainer) add(v uint16) container {
 		c = bc
 	}
 	return c.add(v)
+}
+
+// addRange merges [lo, hi] into the interval list, coalescing
+// overlapping and adjacent runs, and stays a run container.
+func (r runContainer) addRange(lo, hi uint16) container {
+	out := make(runContainer, 0, len(r)+1)
+	k := 0
+	for k < len(r) && uint32(r[k].start)+uint32(r[k].length)+1 < uint32(lo) {
+		out = append(out, r[k])
+		k++
+	}
+	start, end := uint32(lo), uint32(hi)
+	for k < len(r) && uint32(r[k].start) <= end+1 {
+		if uint32(r[k].start) < start {
+			start = uint32(r[k].start)
+		}
+		if e := uint32(r[k].start) + uint32(r[k].length); e > end {
+			end = e
+		}
+		k++
+	}
+	out = append(out, interval{start: uint16(start), length: uint16(end - start)})
+	return append(out, r[k:]...)
 }
 
 func (r runContainer) remove(v uint16) container {
@@ -564,6 +697,12 @@ func FromBytes(src []byte) (*Bitmap, int, error) {
 			c = rc
 		default:
 			return nil, 0, ErrCorrupt
+		}
+		if c.card() == 0 {
+			// AppendTo never writes an empty container; tolerate one in the
+			// input but drop it so the no-empty-containers invariant (which
+			// IsEmpty relies on) holds for deserialized bitmaps too.
+			continue
 		}
 		b.keys = append(b.keys, key)
 		b.containers = append(b.containers, c)

@@ -1,0 +1,148 @@
+// Package testgen holds the seeded column-shape generators shared by the
+// parallel-equivalence property tests and the query-engine differential
+// oracle. It deliberately depends on nothing in the module (not even the
+// root package) so in-package root tests can use it without an import
+// cycle: generators return plain value slices plus ascending NULL
+// positions, and callers build whatever column representation they need.
+package testgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+)
+
+// WorkerCounts are the Parallelism values properties are checked under:
+// serial, small, a prime that never divides block counts evenly, and
+// whatever the host has.
+func WorkerCounts() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// Spec describes one randomized column shape.
+type Spec struct {
+	Rows        int
+	NullDensity float64 // fraction of rows marked NULL
+	RunLen      int     // expected value-run length (1 = no runs)
+	Cardinality int     // distinct-value pool size
+}
+
+// Label renders the shape for test names and failure messages.
+func (s Spec) Label() string {
+	return fmt.Sprintf("rows=%d/null=%.2f/run=%d/card=%d",
+		s.Rows, s.NullDensity, s.RunLen, s.Cardinality)
+}
+
+// Specs sweeps block-boundary-straddling sizes (the harnesses compress
+// with BlockSize 1000) against NULL-density / run-length / cardinality
+// corners.
+func Specs() []Spec {
+	shapes := []struct {
+		null float64
+		run  int
+		card int
+	}{
+		{0, 1, 1000},  // high-entropy, no NULLs
+		{0, 40, 3},    // long runs, tiny dictionary (RLE/OneValue territory)
+		{0.15, 8, 50}, // sparse NULLs, dictionary-sized pool
+		{0.6, 1, 200}, // NULL-heavy
+	}
+	var specs []Spec
+	for _, rows := range []int{0, 1, 999, 1000, 1001, 2500} {
+		for _, sh := range shapes {
+			specs = append(specs, Spec{rows, sh.null, sh.run, sh.card})
+		}
+	}
+	return specs
+}
+
+// nullPositions draws ~NullDensity of the rows as NULL positions,
+// ascending. Values at those positions stay whatever the generator
+// produced — compressors are free to rewrite them.
+func nullPositions(rng *rand.Rand, s Spec) []int {
+	if s.NullDensity <= 0 {
+		return nil
+	}
+	var out []int
+	for i := 0; i < s.Rows; i++ {
+		if rng.Float64() < s.NullDensity {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// runs fills n slots by repeatedly drawing a pool index and holding it
+// for a geometric run, so RunLen shapes the data toward RLE.
+func runs(rng *rand.Rand, n int, s Spec, emit func(i, poolIdx int)) {
+	i := 0
+	for i < n {
+		idx := rng.Intn(s.Cardinality)
+		length := 1
+		if s.RunLen > 1 {
+			length += rng.Intn(2 * s.RunLen)
+		}
+		for j := 0; j < length && i < n; j++ {
+			emit(i, idx)
+			i++
+		}
+	}
+}
+
+// IntValues generates an int32 column shape: values plus ascending NULL
+// positions.
+func IntValues(rng *rand.Rand, s Spec) ([]int32, []int) {
+	pool := make([]int32, s.Cardinality)
+	for i := range pool {
+		pool[i] = int32(rng.Intn(1 << 20))
+	}
+	values := make([]int32, s.Rows)
+	runs(rng, s.Rows, s, func(i, p int) { values[i] = pool[p] })
+	return values, nullPositions(rng, s)
+}
+
+// Int64Values generates an int64 (timestamp-flavored) column shape.
+func Int64Values(rng *rand.Rand, s Spec) ([]int64, []int) {
+	pool := make([]int64, s.Cardinality)
+	base := int64(1_600_000_000_000)
+	for i := range pool {
+		pool[i] = base + rng.Int63n(1<<32)
+	}
+	values := make([]int64, s.Rows)
+	runs(rng, s.Rows, s, func(i, p int) { values[i] = pool[p] })
+	return values, nullPositions(rng, s)
+}
+
+// DoubleValues generates a double column shape: two-decimal prices
+// exercise PDE; a few specials (-0.0, a NaN payload) exercise the
+// bit-exact escape paths.
+func DoubleValues(rng *rand.Rand, s Spec) ([]float64, []int) {
+	pool := make([]float64, s.Cardinality)
+	for i := range pool {
+		switch i % 7 {
+		case 5:
+			pool[i] = math.Copysign(0, -1)
+		case 6:
+			pool[i] = math.Float64frombits(0x7ff8_0000_dead_beef) // NaN payload
+		default:
+			pool[i] = float64(rng.Intn(1_000_000)) / 100
+		}
+	}
+	values := make([]float64, s.Rows)
+	runs(rng, s.Rows, s, func(i, p int) { values[i] = pool[p] })
+	return values, nullPositions(rng, s)
+}
+
+// StringValues generates a string column shape with shared prefixes
+// (FSST territory).
+func StringValues(rng *rand.Rand, s Spec) ([]string, []int) {
+	prefixes := []string{"us-east-", "eu-west-", "ap-", ""}
+	pool := make([]string, s.Cardinality)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("%s%d", prefixes[rng.Intn(len(prefixes))], rng.Intn(1<<16))
+	}
+	values := make([]string, s.Rows)
+	runs(rng, s.Rows, s, func(i, p int) { values[i] = pool[p] })
+	return values, nullPositions(rng, s)
+}

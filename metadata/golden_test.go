@@ -1,0 +1,199 @@
+package metadata
+
+// Golden wire bytes for the BTRM sidecar (the format other tools and
+// future sessions must keep reading), plus the pruning-soundness
+// property: a block dropped by any Prune* rule provably contains no
+// matching non-NULL row. False positives (kept blocks with no match)
+// are fine; a false negative is data loss.
+
+import (
+	"encoding/hex"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"btrblocks"
+	"btrblocks/internal/testgen"
+)
+
+// goldenCases pin AppendTo byte for byte. The int column has a NULL in
+// its second block (bounds exclude the NULL slot), the double column has
+// a NaN in its first block (bounds widened to ±Inf so no range ever
+// prunes it), and the string column's 42-char minimum is truncated to
+// the 32-byte bound prefix.
+func goldenCases() []struct {
+	name string
+	col  btrblocks.Column
+	hex  string
+} {
+	icol := btrblocks.IntColumn("i", []int32{1, 5, 3, -2})
+	icol.Nulls = btrblocks.NewNullMask()
+	icol.Nulls.SetNull(3)
+	return []struct {
+		name string
+		col  btrblocks.Column
+		hex  string
+	}{
+		{"int-with-null", icol,
+			"4254524d01000100690200000002000000000000000001000000050000000200000001000000000300000003000000"},
+		{"int64-timestamps", btrblocks.Int64Column("ts", []int64{1_600_000_000_000, 1_600_000_000_500}),
+			"4254524d0103020074730100000002000000000000000000806e8774010000f4816e8774010000"},
+		{"double-nan-widens", btrblocks.DoubleColumn("d", []float64{1.5, math.NaN(), 2.5}),
+			"4254524d010101006402000000020000000000000000000000000000f0ff000000000000f07f01000000000000000000000000000004400000000000000440"},
+		{"string-truncated-bound", btrblocks.StringColumn("s", []string{strings.Repeat("a", 40) + "zz", "b"}),
+			"4254524d010201007301000000020000000000000000206161616161616161616161616161616161616161616161616161616161616161" + "0162"},
+	}
+}
+
+func TestGoldenBytes(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			m := Build(tc.col, &btrblocks.Options{BlockSize: 2})
+			got := m.AppendTo(nil)
+			want, err := hex.DecodeString(tc.hex)
+			if err != nil {
+				t.Fatalf("bad golden hex: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("wire bytes drifted:\n got %x\nwant %x", got, want)
+			}
+			// And the golden bytes parse back to the same summaries.
+			back, used, err := FromBytes(want)
+			if err != nil || used != len(want) {
+				t.Fatalf("golden bytes do not parse: %v (used %d)", err, used)
+			}
+			if !reflect.DeepEqual(back, m) {
+				t.Fatalf("golden parse mismatch:\n%+v\n%+v", back, m)
+			}
+		})
+	}
+}
+
+// soundnessCheck asserts that every block NOT in keep has no row
+// matching the given predicate over the original values.
+func soundnessCheck(t *testing.T, label string, rows, blockSize int, keep []int, matches func(i int) bool) {
+	t.Helper()
+	kept := make(map[int]bool, len(keep))
+	for _, b := range keep {
+		kept[b] = true
+	}
+	for i := 0; i < rows; i++ {
+		if matches(i) && !kept[i/blockSize] {
+			t.Fatalf("%s: row %d matches but its block %d was pruned (kept %v)",
+				label, i, i/blockSize, keep)
+		}
+	}
+}
+
+// TestPruneSoundnessSweep runs the generator sweep over every type and
+// rule: random probes and windows, NULL masks, NaN-bearing doubles.
+func TestPruneSoundnessSweep(t *testing.T) {
+	const blockSize = 100
+	opt := &btrblocks.Options{BlockSize: blockSize}
+	for si, spec := range testgen.Specs() {
+		if spec.Rows == 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(int64(3100 + si)))
+		label := spec.Label()
+
+		ints, inulls := testgen.IntValues(rng, spec)
+		icol := withNullMask(btrblocks.IntColumn("i", ints), inulls)
+		im := Build(icol, opt)
+		inull := nullLookup(inulls)
+		for k := 0; k < 8; k++ {
+			lo := int32(rng.Intn(1 << 20))
+			hi := lo + int32(rng.Intn(1<<16))
+			keep := im.PruneIntRange(lo, hi)
+			soundnessCheck(t, label+"/int-range", spec.Rows, blockSize, keep, func(i int) bool {
+				return !inull[i] && ints[i] >= lo && ints[i] <= hi
+			})
+		}
+		keep := im.PruneNotNull()
+		soundnessCheck(t, label+"/int-notnull", spec.Rows, blockSize, keep, func(i int) bool {
+			return !inull[i]
+		})
+
+		i64s, lnulls := testgen.Int64Values(rng, spec)
+		lcol := withNullMask(btrblocks.Int64Column("l", i64s), lnulls)
+		lm := Build(lcol, opt)
+		lnull := nullLookup(lnulls)
+		for k := 0; k < 8; k++ {
+			lo := 1_600_000_000_000 + rng.Int63n(1<<32)
+			hi := lo + rng.Int63n(1<<28)
+			keep := lm.PruneInt64Range(lo, hi)
+			soundnessCheck(t, label+"/int64-range", spec.Rows, blockSize, keep, func(i int) bool {
+				return !lnull[i] && i64s[i] >= lo && i64s[i] <= hi
+			})
+		}
+
+		dbls, dnulls := testgen.DoubleValues(rng, spec)
+		dcol := withNullMask(btrblocks.DoubleColumn("d", dbls), dnulls)
+		dm := Build(dcol, opt)
+		dnull := nullLookup(dnulls)
+		for k := 0; k < 8; k++ {
+			lo := float64(rng.Intn(500_000)) / 100
+			hi := lo + float64(rng.Intn(100_000))/100
+			keep := dm.PruneDoubleRange(lo, hi)
+			soundnessCheck(t, label+"/double-range", spec.Rows, blockSize, keep, func(i int) bool {
+				return !dnull[i] && dbls[i] >= lo && dbls[i] <= hi
+			})
+		}
+
+		strs, snulls := testgen.StringValues(rng, spec)
+		scol := withNullMask(btrblocks.StringColumn("s", strs), snulls)
+		sm := Build(scol, opt)
+		snull := nullLookup(snulls)
+		for k := 0; k < 8; k++ {
+			probe := strs[rng.Intn(spec.Rows)]
+			keep := sm.PruneStringEquals(probe)
+			soundnessCheck(t, label+"/string-eq", spec.Rows, blockSize, keep, func(i int) bool {
+				return !snull[i] && strs[i] == probe
+			})
+		}
+	}
+}
+
+// TestPruneSoundnessLongStrings stresses the truncated-bound edge: values
+// longer than the 32-byte bound prefix, probes that share the prefix but
+// differ past it, and probes equal to a stored value.
+func TestPruneSoundnessLongStrings(t *testing.T) {
+	const blockSize = 4
+	rng := rand.New(rand.NewSource(777))
+	base := strings.Repeat("x", 31)
+	vals := make([]string, 64)
+	for i := range vals {
+		// All values share a >=31-char prefix; suffixes differ beyond the
+		// truncation point.
+		vals[i] = base + strings.Repeat("y", rng.Intn(8)) + string(rune('a'+rng.Intn(4)))
+	}
+	m := Build(btrblocks.StringColumn("s", vals), &btrblocks.Options{BlockSize: blockSize})
+	probes := append([]string{}, vals...)
+	probes = append(probes, base, base+"zzzzzzzzzz", "a", strings.Repeat("z", 40))
+	for _, probe := range probes {
+		keep := m.PruneStringEquals(probe)
+		soundnessCheck(t, "long-strings", len(vals), blockSize, keep, func(i int) bool {
+			return vals[i] == probe
+		})
+	}
+}
+
+func withNullMask(col btrblocks.Column, nulls []int) btrblocks.Column {
+	for _, i := range nulls {
+		if col.Nulls == nil {
+			col.Nulls = btrblocks.NewNullMask()
+		}
+		col.Nulls.SetNull(i)
+	}
+	return col
+}
+
+func nullLookup(nulls []int) map[int]bool {
+	m := make(map[int]bool, len(nulls))
+	for _, i := range nulls {
+		m[i] = true
+	}
+	return m
+}

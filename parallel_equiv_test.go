@@ -25,142 +25,53 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"btrblocks/internal/testgen"
 )
 
+// The seeded shape generators live in internal/testgen so the query
+// engine's differential oracle shares the exact same sweep; these
+// adapters wrap the generated value/NULL-position pairs into Columns.
+
 // equivWorkerCounts are the Parallelism values every property is checked
-// under: serial, small, a prime that never divides block counts evenly,
-// and whatever the host has.
-func equivWorkerCounts() []int {
-	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
-}
+// under (see testgen.WorkerCounts).
+func equivWorkerCounts() []int { return testgen.WorkerCounts() }
 
-// genSpec describes one randomized column shape.
-type genSpec struct {
-	rows        int
-	nullDensity float64 // fraction of rows marked NULL
-	runLen      int     // expected value-run length (1 = no runs)
-	cardinality int     // distinct-value pool size
-}
+// genSpec aliases testgen.Spec; equivSpecs sweeps the standard
+// block-boundary-straddling corners.
+type genSpec = testgen.Spec
 
-func (s genSpec) label() string {
-	return fmt.Sprintf("rows=%d/null=%.2f/run=%d/card=%d",
-		s.rows, s.nullDensity, s.runLen, s.cardinality)
-}
+func equivSpecs() []genSpec { return testgen.Specs() }
 
-// equivSpecs sweeps block-boundary-straddling sizes (the harness
-// compresses with BlockSize 1000) against NULL-density / run-length /
-// cardinality corners.
-func equivSpecs() []genSpec {
-	shapes := []struct {
-		null float64
-		run  int
-		card int
-	}{
-		{0, 1, 1000},  // high-entropy, no NULLs
-		{0, 40, 3},    // long runs, tiny dictionary (RLE/OneValue territory)
-		{0.15, 8, 50}, // sparse NULLs, dictionary-sized pool
-		{0.6, 1, 200}, // NULL-heavy
-	}
-	var specs []genSpec
-	for _, rows := range []int{0, 1, 999, 1000, 1001, 2500} {
-		for _, sh := range shapes {
-			specs = append(specs, genSpec{rows, sh.null, sh.run, sh.card})
+// withNulls marks the generated NULL positions on a column.
+func withNulls(col Column, nulls []int) Column {
+	for _, i := range nulls {
+		if col.Nulls == nil {
+			col.Nulls = NewNullMask()
 		}
+		col.Nulls.SetNull(i)
 	}
-	return specs
-}
-
-// applyNulls marks ~nullDensity of the rows NULL. Values at those
-// positions stay whatever the generator produced — the compressor is
-// free to rewrite them.
-func applyNulls(rng *rand.Rand, col *Column, s genSpec) {
-	if s.nullDensity <= 0 {
-		return
-	}
-	for i := 0; i < s.rows; i++ {
-		if rng.Float64() < s.nullDensity {
-			if col.Nulls == nil {
-				col.Nulls = NewNullMask()
-			}
-			col.Nulls.SetNull(i)
-		}
-	}
-}
-
-// runs fills n slots by repeatedly drawing a pool index and holding it
-// for a geometric run, so runLen shapes the data toward RLE.
-func runs(rng *rand.Rand, n int, s genSpec, emit func(i, poolIdx int)) {
-	i := 0
-	for i < n {
-		idx := rng.Intn(s.cardinality)
-		length := 1
-		if s.runLen > 1 {
-			length += rng.Intn(2 * s.runLen)
-		}
-		for j := 0; j < length && i < n; j++ {
-			emit(i, idx)
-			i++
-		}
-	}
+	return col
 }
 
 func genIntColumnEquiv(rng *rand.Rand, s genSpec) Column {
-	pool := make([]int32, s.cardinality)
-	for i := range pool {
-		pool[i] = int32(rng.Intn(1 << 20))
-	}
-	values := make([]int32, s.rows)
-	runs(rng, s.rows, s, func(i, p int) { values[i] = pool[p] })
-	col := IntColumn("i", values)
-	applyNulls(rng, &col, s)
-	return col
+	values, nulls := testgen.IntValues(rng, s)
+	return withNulls(IntColumn("i", values), nulls)
 }
 
 func genInt64ColumnEquiv(rng *rand.Rand, s genSpec) Column {
-	pool := make([]int64, s.cardinality)
-	base := int64(1_600_000_000_000)
-	for i := range pool {
-		pool[i] = base + rng.Int63n(1<<32)
-	}
-	values := make([]int64, s.rows)
-	runs(rng, s.rows, s, func(i, p int) { values[i] = pool[p] })
-	col := Int64Column("l", values)
-	applyNulls(rng, &col, s)
-	return col
+	values, nulls := testgen.Int64Values(rng, s)
+	return withNulls(Int64Column("l", values), nulls)
 }
 
 func genDoubleColumnEquiv(rng *rand.Rand, s genSpec) Column {
-	pool := make([]float64, s.cardinality)
-	for i := range pool {
-		// Two-decimal prices exercise PDE; a few specials exercise the
-		// bit-exact escape paths.
-		switch i % 7 {
-		case 5:
-			pool[i] = math.Copysign(0, -1)
-		case 6:
-			pool[i] = math.Float64frombits(0x7ff8_0000_dead_beef) // NaN payload
-		default:
-			pool[i] = float64(rng.Intn(1_000_000)) / 100
-		}
-	}
-	values := make([]float64, s.rows)
-	runs(rng, s.rows, s, func(i, p int) { values[i] = pool[p] })
-	col := DoubleColumn("d", values)
-	applyNulls(rng, &col, s)
-	return col
+	values, nulls := testgen.DoubleValues(rng, s)
+	return withNulls(DoubleColumn("d", values), nulls)
 }
 
 func genStringColumnEquiv(rng *rand.Rand, s genSpec) Column {
-	prefixes := []string{"us-east-", "eu-west-", "ap-", ""}
-	pool := make([]string, s.cardinality)
-	for i := range pool {
-		pool[i] = fmt.Sprintf("%s%d", prefixes[rng.Intn(len(prefixes))], rng.Intn(1<<16))
-	}
-	values := make([]string, s.rows)
-	runs(rng, s.rows, s, func(i, p int) { values[i] = pool[p] })
-	col := StringColumn("s", values)
-	applyNulls(rng, &col, s)
-	return col
+	values, nulls := testgen.StringValues(rng, s)
+	return withNulls(StringColumn("s", values), nulls)
 }
 
 func genColumnEquiv(rng *rand.Rand, typ Type, s genSpec) Column {
@@ -268,12 +179,12 @@ func TestParallelColumnEquivalenceProperty(t *testing.T) {
 					opt := &Options{BlockSize: 1000, Parallelism: workers}
 					data, err := CompressColumn(col, opt)
 					if err != nil {
-						t.Fatalf("%s: compress P=%d: %v", s.label(), workers, err)
+						t.Fatalf("%s: compress P=%d: %v", s.Label(), workers, err)
 					}
 					if baseline == nil {
 						baseline = data
 					} else if !bytes.Equal(baseline, data) {
-						t.Fatalf("%s: compressed bytes differ at P=%d", s.label(), workers)
+						t.Fatalf("%s: compressed bytes differ at P=%d", s.Label(), workers)
 					}
 				}
 
@@ -282,13 +193,13 @@ func TestParallelColumnEquivalenceProperty(t *testing.T) {
 					opt := &Options{BlockSize: 1000, Parallelism: workers}
 					got, err := DecompressColumn(baseline, opt)
 					if err != nil {
-						t.Fatalf("%s: decompress P=%d: %v", s.label(), workers, err)
+						t.Fatalf("%s: decompress P=%d: %v", s.Label(), workers, err)
 					}
 					if workers == 1 {
 						serial = got
-						requireRoundTrip(t, s.label()+"/roundtrip", col, got)
+						requireRoundTrip(t, s.Label()+"/roundtrip", col, got)
 					} else {
-						requireIdentical(t, fmt.Sprintf("%s/P=%d", s.label(), workers), serial, got)
+						requireIdentical(t, fmt.Sprintf("%s/P=%d", s.Label(), workers), serial, got)
 					}
 				}
 			}
@@ -301,7 +212,7 @@ func TestParallelColumnEquivalenceProperty(t *testing.T) {
 // reintroduce worker-count dependence.
 func TestParallelEquivalenceRestrictedSchemes(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	col := genIntColumnEquiv(rng, genSpec{rows: 2500, nullDensity: 0.1, runLen: 16, cardinality: 40})
+	col := genIntColumnEquiv(rng, genSpec{Rows: 2500, NullDensity: 0.1, RunLen: 16, Cardinality: 40})
 	pools := [][]Scheme{
 		{SchemeUncompressed},
 		{SchemeUncompressed, SchemeRLE},
@@ -331,7 +242,7 @@ func TestParallelEquivalenceRestrictedSchemes(t *testing.T) {
 // boundaries at BlockSize 1000.
 func equivChunk(seed int64, rows int) *Chunk {
 	rng := rand.New(rand.NewSource(seed))
-	s := genSpec{rows: rows, nullDensity: 0.2, runLen: 8, cardinality: 64}
+	s := genSpec{Rows: rows, NullDensity: 0.2, RunLen: 8, Cardinality: 64}
 	return &Chunk{Columns: []Column{
 		genIntColumnEquiv(rng, s),
 		genInt64ColumnEquiv(rng, s),
@@ -390,7 +301,7 @@ func TestParallelChunkEquivalence(t *testing.T) {
 // (non-NULL rows only) at every worker count.
 func TestParallelScanEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
-	s := genSpec{rows: 3503, nullDensity: 0.25, runLen: 12, cardinality: 20}
+	s := genSpec{Rows: 3503, NullDensity: 0.25, RunLen: 12, Cardinality: 20}
 
 	intCol := genIntColumnEquiv(rng, s)
 	int64Col := genInt64ColumnEquiv(rng, s)
@@ -498,7 +409,7 @@ func TestParallelVerifyReportEquality(t *testing.T) {
 // index — at every worker count, every time.
 func TestParallelFirstErrorDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(47))
-	col := genIntColumnEquiv(rng, genSpec{rows: 5000, nullDensity: 0, runLen: 1, cardinality: 100000})
+	col := genIntColumnEquiv(rng, genSpec{Rows: 5000, NullDensity: 0, RunLen: 1, Cardinality: 100000})
 	data, err := CompressColumn(col, &Options{BlockSize: 500})
 	if err != nil {
 		t.Fatal(err)
